@@ -1,0 +1,60 @@
+// Ablation: NZ locality and ordering. spECK's binning deliberately preserves
+// the input row order because "matrices often show internal structures, e.g.
+// diagonal-like patterns or local clustering" (paper §4.2). This experiment
+// quantifies that: the same matrix is multiplied in its natural (banded)
+// order, after a random symmetric permutation (locality destroyed), and
+// after reverse Cuthill-McKee restores the band.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gen/generators.h"
+#include "matrix/permute.h"
+#include "speck/speck.h"
+
+using namespace speck;
+using namespace speck::bench;
+
+int main() {
+  const Csr natural = gen::banded(100000, 120, 12, 901);
+  const Csr shuffled = permute_symmetric(natural, random_permutation(100000, 903));
+  const Csr restored = permute_symmetric(shuffled, reverse_cuthill_mckee(shuffled));
+
+  struct Variant {
+    const char* name;
+    const Csr* matrix;
+  };
+  const Variant variants[] = {{"natural (banded)", &natural},
+                              {"randomly permuted", &shuffled},
+                              {"RCM reordered", &restored}};
+
+  std::printf("Ablation: NZ locality (same matrix, three orderings)\n\n");
+  std::printf("bandwidth: natural=%d shuffled=%d rcm=%d\n\n", bandwidth(natural),
+              bandwidth(shuffled), bandwidth(restored));
+  const std::vector<int> widths{20, 12, 12, 14};
+  print_row({"ordering", "speck(ms)", "ac(ms)", "nsparse(ms)"}, widths);
+
+  const sim::DeviceSpec device = sim::DeviceSpec::titan_v();
+  const sim::CostModel model;
+  for (const Variant& variant : variants) {
+    const auto algorithms = baselines::make_gpu_algorithms(device, model);
+    double speck_ms = 0, ac_ms = 0, nsparse_ms = 0;
+    for (const auto& algorithm : algorithms) {
+      const std::string name = algorithm->name();
+      if (name != "speck" && name != "ac" && name != "nsparse") continue;
+      const SpGemmResult result = algorithm->multiply(*variant.matrix, *variant.matrix);
+      SPECK_REQUIRE(result.ok(), "locality run failed");
+      if (name == "speck") speck_ms = result.seconds * 1e3;
+      if (name == "ac") ac_ms = result.seconds * 1e3;
+      if (name == "nsparse") nsparse_ms = result.seconds * 1e3;
+    }
+    print_row({variant.name, format_double(speck_ms, 3), format_double(ac_ms, 3),
+               format_double(nsparse_ms, 3)},
+              widths);
+  }
+  std::printf("\n(spECK is the ordering-sensitive method: its ordered binning turns"
+              " neighbouring rows' overlapping B accesses into cache hits, which a"
+              " random permutation destroys; RCM recovers part of the band and part"
+              " of the win. AC/nsparse stream or work row-at-a-time and are"
+              " order-insensitive.)\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+
+namespace speck::bench {
+
+std::vector<Measurement> run_suite(
+    const std::vector<gen::CorpusEntry>& corpus,
+    const std::vector<std::unique_ptr<SpGemmAlgorithm>>& algorithms,
+    bool verify) {
+  std::vector<Measurement> out;
+  for (const gen::CorpusEntry& entry : corpus) {
+    const offset_t products = entry.products();
+    const Csr oracle = verify ? gustavson_spgemm(entry.a, entry.b) : Csr();
+    for (const auto& algorithm : algorithms) {
+      Measurement m;
+      m.algorithm = algorithm->name();
+      m.matrix = entry.name;
+      m.products = products;
+      SpGemmResult result = algorithm->multiply(entry.a, entry.b);
+      m.status = result.status;
+      if (result.ok()) {
+        m.seconds = result.seconds;
+        m.gflops = result.gflops(products);
+        m.peak_memory_bytes = result.peak_memory_bytes;
+        m.timeline = result.timeline;
+        if (verify) {
+          const auto diff = compare(result.c, oracle);
+          SPECK_REQUIRE(!diff.has_value(), "algorithm " + m.algorithm +
+                                               " produced a wrong result on " +
+                                               m.matrix + ": " + diff->description);
+        }
+      }
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    os << ' ';
+    std::string cell = cells[i];
+    if (static_cast<int>(cell.size()) > width) cell.resize(static_cast<std::size_t>(width));
+    os << cell;
+    for (int pad = static_cast<int>(cell.size()); pad < width; ++pad) os << ' ';
+  }
+  std::puts(os.str().c_str());
+}
+
+std::string format_double(double v, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+std::string format_bytes_mb(std::size_t bytes) {
+  return format_double(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+}
+
+std::map<std::string, double> best_seconds_per_matrix(
+    const std::vector<Measurement>& measurements) {
+  std::map<std::string, double> best;
+  for (const Measurement& m : measurements) {
+    if (m.status != SpGemmStatus::kOk) continue;
+    auto [it, inserted] = best.emplace(m.matrix, m.seconds);
+    if (!inserted) it->second = std::min(it->second, m.seconds);
+  }
+  return best;
+}
+
+}  // namespace speck::bench
+
+namespace speck::bench {
+
+void write_csv(const std::string& path, const std::vector<Measurement>& measurements) {
+  std::ofstream out(path);
+  SPECK_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+  out << "algorithm,matrix,products,status,seconds,gflops,peak_memory_bytes\n";
+  for (const Measurement& m : measurements) {
+    out << m.algorithm << ',' << m.matrix << ',' << m.products << ','
+        << (m.status == SpGemmStatus::kOk
+                ? "ok"
+                : m.status == SpGemmStatus::kOutOfMemory ? "oom" : "unsupported")
+        << ',' << m.seconds << ',' << m.gflops << ',' << m.peak_memory_bytes
+        << '\n';
+  }
+}
+
+}  // namespace speck::bench
+
+namespace speck::bench {
+
+std::string ascii_chart(const std::vector<std::string>& series_names,
+                        const std::vector<std::vector<double>>& series,
+                        int height, bool log_scale) {
+  SPECK_REQUIRE(series_names.size() == series.size(),
+                "one name per series required");
+  SPECK_REQUIRE(height >= 2, "chart height must be at least 2");
+  static constexpr char kSymbols[] = "*o+x#@%&";
+  std::size_t width = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    width = std::max(width, s.size());
+    for (const double v : s) {
+      if (v <= 0.0 && log_scale) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (width == 0 || !(lo < hi)) return "(no data)\n";
+  const auto scale = [&](double v) {
+    if (log_scale) {
+      return (std::log(v) - std::log(lo)) / (std::log(hi) - std::log(lo));
+    }
+    return (v - lo) / (hi - lo);
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(width * 2, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char symbol = kSymbols[si % (sizeof(kSymbols) - 1)];
+    for (std::size_t x = 0; x < series[si].size(); ++x) {
+      const double v = series[si][x];
+      if (v <= 0.0 && log_scale) continue;
+      const auto y = static_cast<std::size_t>(
+          std::clamp(scale(v), 0.0, 1.0) * (height - 1) + 0.5);
+      grid[static_cast<std::size_t>(height - 1) - y][x * 2] = symbol;
+    }
+  }
+
+  std::ostringstream os;
+  os << format_double(hi, 2) << " +" << '\n';
+  for (const auto& line : grid) os << "  |" << line << '\n';
+  os << format_double(lo, 2) << " +" << std::string(width * 2, '-') << '\n';
+  os << "   legend:";
+  for (std::size_t si = 0; si < series_names.size(); ++si) {
+    os << ' ' << kSymbols[si % (sizeof(kSymbols) - 1)] << '=' << series_names[si];
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace speck::bench

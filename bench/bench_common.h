@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark/report binaries: each binary regenerates
+// one of the paper's tables or figures (DESIGN.md §4) as formatted text.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/suite.h"
+#include "gen/corpus.h"
+#include "ref/spgemm_api.h"
+
+namespace speck::bench {
+
+/// One algorithm's measurement on one corpus entry.
+struct Measurement {
+  std::string algorithm;
+  std::string matrix;
+  offset_t products = 0;
+  SpGemmStatus status = SpGemmStatus::kOk;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  std::size_t peak_memory_bytes = 0;
+  sim::StageTimeline timeline;
+};
+
+/// Runs every algorithm on every corpus entry. Results are verified against
+/// the exact oracle once per matrix (any mismatch aborts — benchmarks must
+/// not report wrong results).
+std::vector<Measurement> run_suite(
+    const std::vector<gen::CorpusEntry>& corpus,
+    const std::vector<std::unique_ptr<SpGemmAlgorithm>>& algorithms,
+    bool verify = true);
+
+/// Fixed-width table printing.
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+std::string format_double(double v, int precision = 2);
+std::string format_bytes_mb(std::size_t bytes);
+
+/// Per-matrix best time among OK measurements; key = matrix name.
+std::map<std::string, double> best_seconds_per_matrix(
+    const std::vector<Measurement>& measurements);
+
+}  // namespace speck::bench
+
+namespace speck::bench {
+
+/// Writes the raw measurements as CSV (one row per algorithm x matrix) for
+/// downstream plotting: algorithm,matrix,products,status,seconds,gflops,
+/// peak_memory_bytes.
+void write_csv(const std::string& path, const std::vector<Measurement>& measurements);
+
+}  // namespace speck::bench
+
+namespace speck::bench {
+
+/// Renders series as a fixed-height ASCII line chart (one symbol per
+/// series, x = sample index, optional log-scaled y). Used to draw the
+/// trend figures in the terminal.
+std::string ascii_chart(const std::vector<std::string>& series_names,
+                        const std::vector<std::vector<double>>& series,
+                        int height = 16, bool log_scale = true);
+
+}  // namespace speck::bench

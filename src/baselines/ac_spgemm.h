@@ -1,0 +1,21 @@
+// AC-SpGEMM-like local Expand-Sort-Compress (paper Table 1, [19]).
+//
+// Splits the product stream into fixed-size chunks handled entirely in
+// scratchpad (local sort + local compress), then merges chunk results that
+// share output rows. Adaptive local load balancing gives near-perfect
+// thread utilization; temporary memory is over-allocated generously
+// (the authors leave exact estimates to future work).
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class AcSpgemm final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "ac"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+};
+
+}  // namespace speck::baselines

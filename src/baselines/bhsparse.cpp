@@ -1,0 +1,100 @@
+#include "baselines/bhsparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/baseline_util.h"
+#include "common/bit_utils.h"
+#include "ref/gustavson.h"
+
+namespace speck::baselines {
+
+SpGemmResult BhSparse::multiply(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SpGemmResult result;
+  const BaselineInputs& in = compute_inputs(a, b);
+  const auto rows = static_cast<std::size_t>(a.rows());
+
+  // Analysis + binning by upper-bounded NNZ (products), with per-row atomics.
+  {
+    sim::Launch launch("bhsparse/bin", device_, model_);
+    const int threads = device_.max_threads_per_block;
+    for (std::size_t done = 0; done < std::max<std::size_t>(rows, 1);
+         done += static_cast<std::size_t>(threads)) {
+      const std::size_t n = std::min(static_cast<std::size_t>(threads), rows - done);
+      auto cost = launch.make_block(threads, 2 * 1024);
+      cost.global_coalesced(n);
+      cost.global_scattered(2 * n);  // row offset pairs of A and B
+      cost.global_atomic(static_cast<double>(n));
+      cost.global_scattered(n);
+      launch.add(cost);
+      if (rows == 0) break;
+    }
+    result.timeline.add(sim::Stage::kAnalysis, launch.finish().seconds);
+  }
+
+  const double cache = sim::reuse_cache_factor(device_, b.byte_size());
+  // Compute kernels: dispatch per row by product count.
+  constexpr offset_t kHeapLimit = 64;      // heap method in registers/scratch
+  constexpr offset_t kBitonicLimit = 2048; // bitonic ESC in scratchpad
+  sim::Launch heap_launch("bhsparse/heap", device_, model_);
+  sim::Launch bitonic_launch("bhsparse/bitonic", device_, model_);
+  sim::Launch merge_launch("bhsparse/global_merge", device_, model_);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const offset_t products = in.row_products[static_cast<std::size_t>(r)];
+    const double p = static_cast<double>(std::max<offset_t>(products, 1));
+    const double nnz_a_row = std::max<double>(a.row_length(r), 1.0);
+    if (products <= kHeapLimit) {
+      auto cost = heap_launch.make_block(64, 2 * 1024);
+      cost.global_segmented(static_cast<std::size_t>(products) * 3,
+                            static_cast<std::size_t>(nnz_a_row), cache);
+      // Heap pops serialize within the cooperating threads (weight 6).
+      cost.issued(p * std::log2(nnz_a_row + 1.0), 6.0);
+      cost.global_coalesced(static_cast<std::size_t>(
+          in.c_row_nnz[static_cast<std::size_t>(r)]));
+      heap_launch.add(cost);
+    } else if (products <= kBitonicLimit) {
+      auto cost = bitonic_launch.make_block(256, 32 * 1024);
+      cost.global_segmented(static_cast<std::size_t>(products) * 3,
+                            static_cast<std::size_t>(nnz_a_row), cache);
+      const double rounds = std::log2(p) * (std::log2(p) + 1.0) / 2.0;
+      cost.issued(p * rounds, 1.0);
+      cost.smem(p * rounds);
+      cost.global_coalesced(static_cast<std::size_t>(
+          in.c_row_nnz[static_cast<std::size_t>(r)]));
+      bitonic_launch.add(cost);
+    } else {
+      // Global merge path: log2(nnz_a) full passes over the row's products
+      // in global memory, with a re-allocation check between passes.
+      auto cost = merge_launch.make_block(256, 16 * 1024);
+      const double passes = std::max(1.0, std::log2(nnz_a_row));
+      cost.global_coalesced(static_cast<std::size_t>(p * passes * 2.0));
+      cost.global_coalesced64(static_cast<std::size_t>(p * passes * 2.0));
+      cost.issued(p * passes, 2.0);
+      cost.global_atomic(passes);
+      merge_launch.add(cost);
+    }
+  }
+  for (sim::Launch* launch : {&heap_launch, &bitonic_launch, &merge_launch}) {
+    if (launch->block_count() > 0) {
+      result.timeline.add(sim::Stage::kNumeric, launch->finish().seconds);
+    }
+  }
+  // bhSPARSE dispatches one kernel per occupied size bin (up to 37 bins in
+  // the original implementation) plus the memory re-allocation checks.
+  result.timeline.add(sim::Stage::kOther,
+                      16 * model_.kernel_launch_overhead_us * 1e-6);
+
+  // Temporary memory: per-row upper-bound buffers for the ESC/merge paths.
+  std::size_t temp_elements = 0;
+  for (const offset_t p : in.row_products) {
+    if (p > kHeapLimit) temp_elements += static_cast<std::size_t>(p);
+  }
+  const std::size_t temp_bytes =
+      2 * temp_elements * (sizeof(index_t) + sizeof(value_t)) +
+      2 * rows * sizeof(index_t);
+  finalize_result(result, a, b, Csr(cached_product(a, b)), temp_bytes, device_);
+  return result;
+}
+
+}  // namespace speck::baselines

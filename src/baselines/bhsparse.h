@@ -1,0 +1,21 @@
+// bhSPARSE-like hybrid SpGEMM (paper Table 1, [14]).
+//
+// Bins the rows of C by upper-bounded NNZ and dispatches: heap method for
+// short rows, bitonic ESC in scratchpad for medium rows, and an iterative
+// global-memory merge with buffer re-allocation for long rows. Binning uses
+// per-row atomics; the long-row path is the weakness the paper's Table 3
+// numbers (t/t_b = 13.1) reflect.
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class BhSparse final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "bhsparse"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+};
+
+}  // namespace speck::baselines

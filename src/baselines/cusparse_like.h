@@ -1,0 +1,20 @@
+// cuSPARSE-like generic hash SpGEMM (paper Table 1, [17]).
+//
+// Two-phase hashing with the accumulators resident in *global* memory and a
+// fixed kernel configuration: robust (never fails, low memory — Table 3
+// shows 1.01x spECK's footprint) but slow across the board because every
+// insert is a global atomic.
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class CusparseLike final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "cusparse"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+};
+
+}  // namespace speck::baselines

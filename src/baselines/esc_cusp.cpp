@@ -1,0 +1,89 @@
+#include "baselines/esc_cusp.h"
+
+#include <algorithm>
+
+#include "baselines/baseline_util.h"
+#include "common/bit_utils.h"
+#include "common/sorting.h"
+#include "ref/gustavson.h"
+
+namespace speck::baselines {
+
+SpGemmResult EscCusp::multiply(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SpGemmResult result;
+  const BaselineInputs& in = compute_inputs(a, b);
+  const auto products = static_cast<std::size_t>(in.total_products);
+  const double cache = sim::reuse_cache_factor(device_, b.byte_size());
+
+  constexpr std::size_t kProductsPerBlock = 8192;
+  const int threads = device_.max_threads_per_block;
+
+  // Expand: write (row|col key, value) for every product.
+  {
+    sim::Launch launch("cusp/expand", device_, model_);
+    const std::size_t blocks =
+        std::max<std::size_t>(1, ceil_div(products, kProductsPerBlock));
+    const std::size_t partials_per_block =
+        static_cast<std::size_t>(a.nnz()) / blocks + 1;
+    for (std::size_t done = 0; done < products; done += kProductsPerBlock) {
+      const std::size_t n = std::min(kProductsPerBlock, products - done);
+      auto cost = launch.make_block(threads, 0);
+      cost.global_segmented(n, partials_per_block, cache);      // B columns
+      cost.global_segmented(n * 2, partials_per_block, cache);   // B values
+      cost.global_coalesced64(n);   // expanded keys
+      cost.global_coalesced64(n);   // expanded values
+      cost.issued(static_cast<double>(n), 3.0);
+      launch.add(cost);
+    }
+    if (launch.block_count() > 0) {
+      result.timeline.add(sim::Stage::kNumeric, launch.finish().seconds);
+    }
+  }
+
+  // Sort: device radix sort over 64-bit (row,col) keys with value payload.
+  const int row_bits = 64 - std::countl_zero(
+      static_cast<std::uint64_t>(std::max<index_t>(a.rows(), 1)));
+  const int col_bits = 64 - std::countl_zero(
+      static_cast<std::uint64_t>(std::max<index_t>(b.cols(), 1)));
+  const int passes = ceil_div(row_bits + col_bits, 8);
+  {
+    sim::Launch launch("cusp/sort", device_, model_);
+    for (std::size_t done = 0; done < products; done += kProductsPerBlock) {
+      const std::size_t n = std::min(kProductsPerBlock, products - done);
+      auto cost = launch.make_block(threads, 32 * 1024);
+      cost.global_coalesced64(n * static_cast<std::size_t>(passes) * 2);  // keys rw
+      cost.global_coalesced64(n * static_cast<std::size_t>(passes) * 2);  // values rw
+      cost.issued(static_cast<double>(n) * passes, 4.0);
+      cost.smem(static_cast<double>(n) * passes * 2.0);
+      launch.add(cost);
+    }
+    if (launch.block_count() > 0) {
+      result.timeline.add(sim::Stage::kSorting, launch.finish().seconds);
+    }
+  }
+
+  // Compress: segmented reduce-by-key.
+  {
+    sim::Launch launch("cusp/compress", device_, model_);
+    for (std::size_t done = 0; done < products; done += kProductsPerBlock) {
+      const std::size_t n = std::min(kProductsPerBlock, products - done);
+      auto cost = launch.make_block(threads, 16 * 1024);
+      cost.global_coalesced64(n * 2);  // read sorted pairs
+      cost.issued(static_cast<double>(n), 2.0);
+      launch.add(cost);
+    }
+    auto write_back = launch.make_block(threads, 0);
+    write_back.global_coalesced(static_cast<std::size_t>(in.c_nnz));
+    write_back.global_coalesced64(static_cast<std::size_t>(in.c_nnz));
+    launch.add(write_back);
+    result.timeline.add(sim::Stage::kNumeric, launch.finish().seconds);
+  }
+
+  // Temporary memory: double-buffered expanded (key, value) arrays.
+  const std::size_t temp_bytes = 2 * products * (sizeof(key64_t) + sizeof(value_t));
+  finalize_result(result, a, b, Csr(cached_product(a, b)), temp_bytes, device_);
+  return result;
+}
+
+}  // namespace speck::baselines

@@ -1,0 +1,20 @@
+// CUSP-like global Expand-Sort-Compress SpGEMM (paper Table 1, [3]).
+//
+// Expands every intermediate product to global memory, radix-sorts all of
+// them by (row, column) and compresses duplicates. Perfect load balance and
+// memory access, but cost and memory scale with the *product* count, which
+// makes it uncompetitive for high-compaction matrices.
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class EscCusp final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "cusp"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+};
+
+}  // namespace speck::baselines

@@ -1,0 +1,25 @@
+// KokkosKernels-like portable hash SpGEMM (paper Table 1, [7]).
+//
+// Performance-portable two-level hashing: a small team scratchpad map backed
+// by global memory. Two modeled quirks from the paper's evaluation:
+//   * the output rows are returned *unsorted* (violating the CSR
+//     specification and skipping the expensive sort stage),
+//   * matrices whose rows exceed the portable accumulator limit fail
+//     (815 of 2672 matrices in the paper's runs).
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class KokkosLike final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "kokkos"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+
+  /// Row-size limit above which the portable accumulator gives up.
+  static constexpr offset_t kMaxRowProducts = 1 << 15;
+};
+
+}  // namespace speck::baselines

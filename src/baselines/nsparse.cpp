@@ -1,0 +1,212 @@
+#include "baselines/nsparse.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "baselines/baseline_util.h"
+#include "common/bit_utils.h"
+#include "ref/gustavson.h"
+
+namespace speck::baselines {
+namespace {
+
+/// nsparse's bin ladder: scratchpad hash capacities with matching block
+/// sizes; rows above the largest capacity use global-memory hash maps.
+struct NsparseBin {
+  offset_t capacity;
+  int threads;
+};
+constexpr std::array<NsparseBin, 7> kBins = {{{32, 4},  // PWARP: 4 threads/row
+                                              {512, 64},
+                                              {1024, 128},
+                                              {2048, 256},
+                                              {4096, 512},
+                                              {8192, 1024},
+                                              {0, 1024}}};  // global bin
+
+/// Rows sharing one block in the PWARP bin (256 threads / 4 per row).
+constexpr int kPwarpRowsPerBlock = 64;
+
+std::size_t bin_for(offset_t demand) {
+  for (std::size_t i = 0; i + 1 < kBins.size(); ++i) {
+    if (demand <= kBins[i].capacity) return i;
+  }
+  return kBins.size() - 1;
+}
+
+/// Expected linear-probing steps per insert at the given final load factor.
+double probe_factor(double load) {
+  const double clamped = std::min(load, 0.97);
+  return 0.5 * (1.0 + 1.0 / (1.0 - clamped));
+}
+
+/// Charges the fixed-group-size sweep over the B rows referenced by row r
+/// (g = 32 for all regular bins, 4 for the PWARP bin — never adapted to the
+/// row length, which is nsparse's Fig. 13 weakness).
+void charge_sweep(sim::BlockCost& cost, const Csr& a, const Csr& b, index_t r,
+                  bool numeric, int group_size, double cache) {
+  for (const index_t k : a.row_cols(r)) {
+    const auto len = static_cast<std::size_t>(b.row_length(k));
+    if (len == 0) continue;
+    const std::size_t iterations =
+        ceil_div<std::size_t>(len, static_cast<std::size_t>(group_size));
+    cost.issued(static_cast<double>(iterations * group_size), 2.0);
+    cost.global_segmented(len, 1, cache);
+    if (numeric) cost.global_segmented(len * 2, 1, cache);
+  }
+  cost.global_coalesced(a.row_cols(r).size());
+  if (numeric) cost.global_coalesced64(a.row_cols(r).size());
+}
+
+}  // namespace
+
+SpGemmResult Nsparse::multiply(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SpGemmResult result;
+  const BaselineInputs& in = compute_inputs(a, b);
+  const auto rows = static_cast<std::size_t>(a.rows());
+  const double cache = sim::reuse_cache_factor(device_, b.byte_size());
+
+  // Analysis: count products per row (always runs).
+  {
+    sim::Launch launch("nsparse/count", device_, model_);
+    const int threads = device_.max_threads_per_block;
+    const auto nnz_a = static_cast<std::size_t>(a.nnz());
+    for (std::size_t done = 0; done < std::max<std::size_t>(nnz_a, 1);
+         done += static_cast<std::size_t>(threads)) {
+      const std::size_t n =
+          std::min(static_cast<std::size_t>(threads), nnz_a - done);
+      auto cost = launch.make_block(threads, 4 * 1024);
+      cost.global_coalesced(n);
+      cost.global_scattered(2 * n);
+      cost.smem_atomic(static_cast<double>(n));
+      cost.issued(static_cast<double>(threads), 4.0);
+      launch.add(cost);
+      if (nnz_a == 0) break;
+    }
+    result.timeline.add(sim::Stage::kAnalysis, launch.finish().seconds);
+  }
+
+  // One symbolic and one numeric phase; both re-run binning with per-row
+  // global atomics.
+  offset_t global_rows = 0;
+  offset_t global_row_products = 0;
+  offset_t global_rows_products_total = 0;
+  for (const bool numeric : {false, true}) {
+    // Binning.
+    {
+      sim::Launch launch(numeric ? "nsparse/bin_numeric" : "nsparse/bin_symbolic",
+                         device_, model_);
+      const int threads = device_.max_threads_per_block;
+      for (std::size_t done = 0; done < std::max<std::size_t>(rows, 1);
+           done += static_cast<std::size_t>(threads)) {
+        const std::size_t n = std::min(static_cast<std::size_t>(threads), rows - done);
+        auto cost = launch.make_block(threads, 0);
+        cost.global_coalesced(n);
+        cost.global_atomic(static_cast<double>(n));  // one atomic per row
+        cost.global_scattered(n);                    // scattered bin writes
+        launch.add(cost);
+        if (rows == 0) break;
+      }
+      result.timeline.add(numeric ? sim::Stage::kNumericLoadBalance
+                                  : sim::Stage::kSymbolicLoadBalance,
+                          launch.finish().seconds);
+    }
+
+    // Hash kernels, one launch per bin. Regular bins run one row per block;
+    // the PWARP bin packs 64 tiny rows into a 256-thread block with 4
+    // threads per row.
+    for (std::size_t bin = 0; bin < kBins.size(); ++bin) {
+      sim::Launch launch((numeric ? "nsparse/numeric_bin" : "nsparse/symbolic_bin") +
+                             std::to_string(bin),
+                         device_, model_);
+      const NsparseBin& spec = kBins[bin];
+      const bool pwarp_bin = bin == 0;
+      const bool global_bin = bin + 1 == kBins.size();
+      const int block_threads = pwarp_bin ? 256 : spec.threads;
+      const int rows_per_block = pwarp_bin ? kPwarpRowsPerBlock : 1;
+      const int group_size = pwarp_bin ? 4 : 32;
+      const std::size_t entry_bytes =
+          numeric ? sizeof(key32_t) + sizeof(value_t) : sizeof(key32_t);
+      const std::size_t smem = std::min<std::size_t>(
+          global_bin ? 0
+                     : static_cast<std::size_t>(spec.capacity) * entry_bytes *
+                           static_cast<std::size_t>(rows_per_block),
+          device_.dynamic_scratchpad_per_block);
+
+      auto cost = launch.make_block(block_threads, smem);
+      int rows_in_block = 0;
+      const auto flush = [&]() {
+        if (rows_in_block > 0) launch.add(cost);
+        cost = launch.make_block(block_threads, smem);
+        rows_in_block = 0;
+      };
+      for (index_t r = 0; r < a.rows(); ++r) {
+        const offset_t demand =
+            numeric ? in.c_row_nnz[static_cast<std::size_t>(r)]
+                    : in.row_products[static_cast<std::size_t>(r)];
+        if (demand == 0 && bin != 0) continue;
+        if (bin_for(demand) != bin) continue;
+        charge_sweep(cost, a, b, r, numeric, group_size, cache);
+
+        const auto inserts =
+            static_cast<double>(in.row_products[static_cast<std::size_t>(r)]);
+        const auto unique =
+            static_cast<double>(in.c_row_nnz[static_cast<std::size_t>(r)]);
+        if (global_bin) {
+          cost.global_atomic(inserts * 1.5);
+          if (!numeric) {
+            ++global_rows;
+            global_rows_products_total +=
+                in.row_products[static_cast<std::size_t>(r)];
+            global_row_products =
+                std::max(global_row_products,
+                         in.row_products[static_cast<std::size_t>(r)]);
+          }
+        } else {
+          const double load =
+              unique / static_cast<double>(std::max<offset_t>(spec.capacity, 1));
+          cost.smem_atomic(inserts, probe_factor(load));
+          // Extraction scans this row's map.
+          cost.issued(static_cast<double>(spec.capacity));
+          cost.smem(static_cast<double>(spec.capacity));
+        }
+        if (numeric) {
+          // In-kernel bitonic sort of the row result.
+          const double n = std::max(unique, 1.0);
+          const double rounds = std::log2(n) * (std::log2(n) + 1.0) / 2.0 + 1.0;
+          cost.issued(n * rounds);
+          cost.smem(n * rounds);
+          cost.global_coalesced(static_cast<std::size_t>(unique));
+          cost.global_coalesced64(static_cast<std::size_t>(unique));
+        } else {
+          cost.global_coalesced(1);  // row count
+        }
+        if (++rows_in_block >= rows_per_block) flush();
+      }
+      flush();
+      if (launch.block_count() > 0) {
+        result.timeline.add(numeric ? sim::Stage::kNumeric : sim::Stage::kSymbolic,
+                            launch.finish().seconds);
+      }
+    }
+  }
+
+  // Temporary memory: bin lists and product counts for both phases, plus a
+  // global hash table allocated for *every* global-bin row simultaneously —
+  // the coarse upper-bound sizing the paper contrasts with spECK's
+  // concurrency-aware pool ("better analysis of the requirements for global
+  // hashing", §6.1).
+  const std::size_t temp_bytes =
+      3 * rows * sizeof(index_t) +
+      static_cast<std::size_t>(
+          next_pow2(static_cast<std::uint64_t>(
+              std::max<offset_t>(global_rows_products_total, 1)))) *
+          (global_rows > 0 ? 1 : 0) * (sizeof(key32_t) + sizeof(value_t));
+  (void)global_row_products;
+  finalize_result(result, a, b, Csr(cached_product(a, b)), temp_bytes, device_);
+  return result;
+}
+
+}  // namespace speck::baselines

@@ -1,0 +1,25 @@
+// nsparse-like hash SpGEMM (paper Table 1, [16]).
+//
+// The closest competitor to spECK: two-phase (symbolic + numeric) scratchpad
+// hashing with binning by intermediate-product count. Its defining
+// differences from spECK, all modeled here:
+//   * the analysis + binning always run (no conditional load balancing),
+//   * binning inserts rows one-by-one with global atomics (pulling apart
+//     neighbouring rows),
+//   * a fixed 32 threads per row of B regardless of row length,
+//   * no dense accumulation and no direct referencing: rows exceeding the
+//     largest scratchpad map use slow global-memory hash maps.
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class Nsparse final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "nsparse"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+};
+
+}  // namespace speck::baselines

@@ -1,0 +1,23 @@
+// Outer-product SpGEMM (OuterSPACE-family) — an *extension* baseline beyond
+// the paper's Table 1 taxonomy.
+//
+// C = sum_k col_k(A) ⊗ row_k(B): the multiplication is driven by the inner
+// dimension instead of the rows of A. Each k produces |col_k(A)| * |row_k(B)|
+// products that scatter across the whole output, so the method needs either
+// a full expansion buffer (modeled here, ESC-style merge afterwards) or
+// massive atomics. Included to contrast the row-wise formulations the paper
+// studies with the column-driven alternative.
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class OuterProduct final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "outer"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+};
+
+}  // namespace speck::baselines

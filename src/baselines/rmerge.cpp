@@ -1,0 +1,96 @@
+#include "baselines/rmerge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/baseline_util.h"
+#include "common/bit_utils.h"
+#include "ref/gustavson.h"
+
+namespace speck::baselines {
+
+SpGemmResult RMerge::multiply(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SpGemmResult result;
+  const BaselineInputs& in = compute_inputs(a, b);
+
+  // Merge width: rows of B merged per thread group and round.
+  constexpr offset_t kMergeWidth = 32;
+  index_t max_nnz_a = 0;
+  for (index_t r = 0; r < a.rows(); ++r) max_nnz_a = std::max(max_nnz_a, a.row_length(r));
+  const int rounds = std::max(
+      1, static_cast<int>(std::ceil(std::log(std::max<double>(max_nnz_a, 2)) /
+                                    std::log(static_cast<double>(kMergeWidth)))));
+
+  // Equal-size temporary rows: every row's buffer is padded to the power of
+  // two covering its product count — the utilization penalty the paper
+  // attributes to merging approaches.
+  std::size_t padded_elements = 0;
+  for (const offset_t p : in.row_products) {
+    padded_elements +=
+        static_cast<std::size_t>(next_pow2(static_cast<std::uint64_t>(std::max<offset_t>(p, 1))));
+  }
+
+  const int threads = 256;
+  constexpr std::size_t kPerBlock = 4096;
+  for (int round = 0; round < rounds; ++round) {
+    sim::Launch launch("rmerge/round" + std::to_string(round), device_, model_);
+    // Every round streams the padded intermediate through the merge network.
+    // The first round gathers the rows of B (segmented); later rounds read
+    // the padded intermediate, which is laid out contiguously.
+    const std::size_t blocks =
+        std::max<std::size_t>(1, ceil_div(padded_elements, kPerBlock));
+    // Round 0 gathers the rows of B (one segment per NZ of A); later rounds
+    // still jump between the per-row padded arrays (one segment per row).
+    const std::size_t partials_per_block =
+        (round == 0 ? static_cast<std::size_t>(a.nnz())
+                    : static_cast<std::size_t>(a.rows())) /
+            blocks +
+        1;
+    for (std::size_t done = 0; done < padded_elements; done += kPerBlock) {
+      const std::size_t n = std::min(kPerBlock, padded_elements - done);
+      auto cost = launch.make_block(threads, 32 * 1024);
+      // Entries are 16-byte (padded 64-bit key + 64-bit value) so the merge
+      // network can move them as aligned pairs. Every round is two-phase
+      // (partition, then merge), touching the input twice.
+      const double cache =
+          round == 0 ? sim::reuse_cache_factor(device_, b.byte_size()) : 1.0;
+      cost.global_segmented(n * 4, 2 * partials_per_block + 1, cache);  // keys x2
+      cost.global_segmented(n * 4, 2 * partials_per_block + 1, cache);  // vals x2
+      cost.issued(static_cast<double>(n) *
+                      std::log2(static_cast<double>(kMergeWidth)),
+                  4.5);  // merge network (lane-serialized compares + selects)
+      cost.smem(static_cast<double>(n) * 4.0);
+      cost.global_coalesced64(n);  // keys out (padded)
+      cost.global_coalesced64(n);  // values out
+      launch.add(cost);
+    }
+    if (launch.block_count() > 0) {
+      result.timeline.add(sim::Stage::kNumeric, launch.finish().seconds);
+    }
+  }
+
+  // Preprocessing: building the decomposition streams A once per round.
+  {
+    sim::Launch launch("rmerge/decompose", device_, model_);
+    const auto nnz_a = static_cast<std::size_t>(a.nnz());
+    for (std::size_t done = 0; done < std::max<std::size_t>(nnz_a, 1);
+         done += kPerBlock) {
+      const std::size_t n = std::min(kPerBlock, nnz_a - done);
+      auto cost = launch.make_block(threads, 8 * 1024);
+      cost.global_coalesced(n * static_cast<std::size_t>(rounds));
+      cost.issued(static_cast<double>(n) * rounds, 2.0);
+      launch.add(cost);
+      if (nnz_a == 0) break;
+    }
+    result.timeline.add(sim::Stage::kAnalysis, launch.finish().seconds);
+  }
+
+  // Temporary memory: double-buffered padded intermediate.
+  const std::size_t temp_bytes =
+      2 * padded_elements * (sizeof(index_t) + sizeof(value_t));
+  finalize_result(result, a, b, Csr(cached_product(a, b)), temp_bytes, device_);
+  return result;
+}
+
+}  // namespace speck::baselines

@@ -1,0 +1,21 @@
+// RMerge-like iterative row merging (paper Table 1, [10]).
+//
+// Decomposes A into factors whose rows reference at most `kMergeWidth` rows
+// of B and multiplies iteratively, merging sorted lists. Excellent for very
+// thin, uniform matrices (one or two rounds); suffers from equally-sized
+// temporary arrays when row lengths vary and from multiple full passes over
+// the intermediate data when rows of A are long.
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+class RMerge final : public SpGemmAlgorithm {
+ public:
+  using SpGemmAlgorithm::SpGemmAlgorithm;
+  std::string name() const override { return "rmerge"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+};
+
+}  // namespace speck::baselines

@@ -1,0 +1,71 @@
+#include "baselines/suite.h"
+
+#include "baselines/outer_product.h"
+#include "speck/partial.h"
+
+#include "baselines/ac_spgemm.h"
+#include "baselines/bhsparse.h"
+#include "baselines/cusparse_like.h"
+#include "baselines/esc_cusp.h"
+#include "baselines/kokkos_like.h"
+#include "baselines/nsparse.h"
+#include "baselines/rmerge.h"
+#include "ref/mkl_like.h"
+#include "speck/speck.h"
+
+namespace speck::baselines {
+
+std::vector<std::unique_ptr<SpGemmAlgorithm>> make_gpu_algorithms(
+    const sim::DeviceSpec& device, const sim::CostModel& model) {
+  std::vector<std::unique_ptr<SpGemmAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<CusparseLike>(device, model));
+  algorithms.push_back(std::make_unique<AcSpgemm>(device, model));
+  algorithms.push_back(std::make_unique<Nsparse>(device, model));
+  algorithms.push_back(std::make_unique<RMerge>(device, model));
+  algorithms.push_back(std::make_unique<BhSparse>(device, model));
+  algorithms.push_back(std::make_unique<EscCusp>(device, model));
+  SpeckConfig speck_config;
+  speck_config.thresholds = reduced_scale_thresholds();
+  algorithms.push_back(std::make_unique<Speck>(device, model, speck_config));
+  algorithms.push_back(std::make_unique<KokkosLike>(device, model));
+  return algorithms;
+}
+
+std::vector<std::unique_ptr<SpGemmAlgorithm>> make_all_algorithms(
+    const sim::DeviceSpec& device, const sim::CostModel& model) {
+  auto algorithms = make_gpu_algorithms(device, model);
+  algorithms.push_back(std::make_unique<MklLikeCpu>(device, model));
+  return algorithms;
+}
+
+}  // namespace speck::baselines
+
+namespace speck::baselines {
+
+std::unique_ptr<SpGemmAlgorithm> make_algorithm(const std::string& name,
+                                                const sim::DeviceSpec& device,
+                                                const sim::CostModel& model) {
+  if (name == "speck") {
+    SpeckConfig config;
+    config.thresholds = reduced_scale_thresholds();
+    return std::make_unique<Speck>(device, model, config);
+  }
+  if (name == "speck-partial") return std::make_unique<PartialSpeck>(device, model);
+  if (name == "cusparse") return std::make_unique<CusparseLike>(device, model);
+  if (name == "ac") return std::make_unique<AcSpgemm>(device, model);
+  if (name == "nsparse") return std::make_unique<Nsparse>(device, model);
+  if (name == "rmerge") return std::make_unique<RMerge>(device, model);
+  if (name == "bhsparse") return std::make_unique<BhSparse>(device, model);
+  if (name == "cusp") return std::make_unique<EscCusp>(device, model);
+  if (name == "kokkos") return std::make_unique<KokkosLike>(device, model);
+  if (name == "outer") return std::make_unique<OuterProduct>(device, model);
+  if (name == "mkl") return std::make_unique<MklLikeCpu>(device, model);
+  throw InvalidArgument("unknown algorithm: " + name);
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"speck", "speck-partial", "cusparse", "ac",     "nsparse", "rmerge",
+          "bhsparse", "cusp",       "kokkos",   "outer",  "mkl"};
+}
+
+}  // namespace speck::baselines

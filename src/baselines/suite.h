@@ -1,0 +1,35 @@
+// Assembly of the full comparison suite (paper Table 3 column order).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ref/spgemm_api.h"
+
+namespace speck::baselines {
+
+/// All eight algorithms from the paper's evaluation, bound to one device:
+/// cusparse, ac, nsparse, rmerge, bhsparse, speck, kokkos, mkl.
+std::vector<std::unique_ptr<SpGemmAlgorithm>> make_all_algorithms(
+    const sim::DeviceSpec& device, const sim::CostModel& model);
+
+/// Only the GPU competitors (excludes the MKL-like CPU baseline).
+std::vector<std::unique_ptr<SpGemmAlgorithm>> make_gpu_algorithms(
+    const sim::DeviceSpec& device, const sim::CostModel& model);
+
+}  // namespace speck::baselines
+
+namespace speck::baselines {
+
+/// Constructs one algorithm by name ("speck", "nsparse", "ac", "rmerge",
+/// "bhsparse", "cusp", "cusparse", "kokkos", "outer", "mkl",
+/// "speck-partial"). Throws InvalidArgument for unknown names.
+std::unique_ptr<SpGemmAlgorithm> make_algorithm(const std::string& name,
+                                                const sim::DeviceSpec& device,
+                                                const sim::CostModel& model);
+
+/// Names accepted by make_algorithm.
+std::vector<std::string> algorithm_names();
+
+}  // namespace speck::baselines

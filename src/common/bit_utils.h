@@ -1,0 +1,44 @@
+// Small bit-twiddling helpers used by load balancers and hash sizing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace speck {
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest power of two >= v (v >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  return std::bit_ceil(v == 0 ? std::uint64_t{1} : v);
+}
+
+/// Largest power of two <= v (v >= 1).
+constexpr std::uint64_t prev_pow2(std::uint64_t v) {
+  return v == 0 ? 1 : std::bit_floor(v);
+}
+
+/// Rounds v to the *closest* power of two; ties round up.
+/// Used when rounding the local load-balancing group size g (paper §4.3).
+constexpr std::uint64_t round_pow2(std::uint64_t v) {
+  if (v <= 1) return 1;
+  const std::uint64_t lo = std::bit_floor(v);
+  const std::uint64_t hi = lo << 1;
+  return (v - lo < hi - v) ? lo : hi;
+}
+
+/// log2 of a power of two.
+constexpr int log2_pow2(std::uint64_t v) {
+  return std::countr_zero(v == 0 ? std::uint64_t{1} : v);
+}
+
+/// True if v is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && std::has_single_bit(v); }
+
+}  // namespace speck

@@ -1,0 +1,52 @@
+// Lightweight runtime checking used at API boundaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace speck {
+
+/// Thrown when a precondition on user input is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": internal invariant `" << expr << "` violated";
+  if (!msg.empty()) os << ": " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace speck
+
+/// Validates a user-facing precondition; throws speck::InvalidArgument.
+#define SPECK_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) ::speck::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validates an internal invariant; throws speck::InternalError.
+#define SPECK_ASSERT(expr, msg)                                           \
+  do {                                                                    \
+    if (!(expr)) ::speck::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

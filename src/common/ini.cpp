@@ -1,0 +1,95 @@
+#include "common/ini.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace speck {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+IniConfig IniConfig::parse(std::istream& in) {
+  IniConfig config;
+  std::string line;
+  std::string section;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    line = trim(line);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      SPECK_REQUIRE(line.back() == ']',
+                    "malformed section header on line " + std::to_string(line_number));
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    SPECK_REQUIRE(eq != std::string::npos,
+                  "expected key=value on line " + std::to_string(line_number));
+    std::string key = trim(line.substr(0, eq));
+    SPECK_REQUIRE(!key.empty(), "empty key on line " + std::to_string(line_number));
+    if (!section.empty()) key = section + "." + key;
+    config.values_[key] = trim(line.substr(eq + 1));
+  }
+  return config;
+}
+
+IniConfig IniConfig::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  SPECK_REQUIRE(in.good(), "cannot open config file: " + path);
+  return parse(in);
+}
+
+std::string IniConfig::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool IniConfig::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(it->second);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw InvalidArgument("cannot parse boolean value '" + it->second + "' for key " + key);
+}
+
+long long IniConfig::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::istringstream parse(it->second);
+  long long value = 0;
+  parse >> value;
+  SPECK_REQUIRE(!parse.fail(), "cannot parse integer value for key " + key);
+  return value;
+}
+
+double IniConfig::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::istringstream parse(it->second);
+  double value = 0.0;
+  parse >> value;
+  SPECK_REQUIRE(!parse.fail(), "cannot parse floating-point value for key " + key);
+  return value;
+}
+
+}  // namespace speck

@@ -1,0 +1,36 @@
+// Minimal INI-style configuration reader for the runspeck tool, mirroring
+// the config.ini the paper's artifact ships (Appendix A.2).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace speck {
+
+/// Flat key=value configuration. Section headers ([name]) are accepted and
+/// flattened to "section.key". Lines starting with '#' or ';' are comments.
+class IniConfig {
+ public:
+  IniConfig() = default;
+
+  static IniConfig parse(std::istream& in);
+  static IniConfig parse_file(const std::string& path);
+
+  bool contains(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  /// Accepts true/false/yes/no/on/off/1/0 (case-insensitive).
+  bool get_bool(const std::string& key, bool fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace speck

@@ -1,0 +1,68 @@
+#include "common/prng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace speck {
+
+double Xoshiro256::next_normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = next_double(-1.0, 1.0);
+    v = next_double(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+std::int64_t Xoshiro256::next_power_law(std::int64_t max_value, double alpha) {
+  SPECK_ASSERT(max_value >= 1, "power law needs max_value >= 1");
+  SPECK_ASSERT(alpha > 1.0, "power law needs alpha > 1");
+  // Inverse-CDF sampling of a continuous Pareto truncated at max_value.
+  const double u = next_double();
+  const double one_minus_alpha = 1.0 - alpha;
+  const double max_term = std::pow(static_cast<double>(max_value), one_minus_alpha);
+  const double x = std::pow(1.0 - u * (1.0 - max_term), 1.0 / one_minus_alpha);
+  const auto result = static_cast<std::int64_t>(x);
+  return std::clamp<std::int64_t>(result, 1, max_value);
+}
+
+std::vector<std::int64_t> sample_distinct_sorted(Xoshiro256& rng, std::int64_t universe,
+                                                 std::int64_t count) {
+  SPECK_REQUIRE(count <= universe, "cannot sample more distinct values than universe");
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (count > universe / 2) {
+    // Dense regime: reservoir-style selection over the whole universe.
+    std::int64_t remaining = count;
+    for (std::int64_t v = 0; v < universe && remaining > 0; ++v) {
+      const std::int64_t left = universe - v;
+      if (rng.next_below(static_cast<std::uint64_t>(left)) <
+          static_cast<std::uint64_t>(remaining)) {
+        out.push_back(v);
+        --remaining;
+      }
+    }
+    return out;
+  }
+  // Sparse regime: Floyd's algorithm.
+  std::unordered_set<std::int64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(count) * 2);
+  for (std::int64_t j = universe - count; j < universe; ++j) {
+    const auto t = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace speck

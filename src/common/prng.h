@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation for matrix synthesis and tests.
+//
+// We intentionally avoid <random> engines for the hot generator paths: their
+// distributions are not guaranteed to be reproducible across standard library
+// implementations, and reproducible corpora are required so that benchmark
+// tables are stable across machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace speck {
+
+/// SplitMix64: used for seeding and cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit generator with a tiny state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x5eC4u) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound > 0. Uses Lemire's multiply-shift reduction.
+  std::uint64_t next_below(std::uint64_t bound) {
+    SPECK_ASSERT(bound > 0, "next_below requires positive bound");
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    SPECK_ASSERT(lo <= hi, "next_int requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double next_normal();
+
+  /// Power-law distributed integer in [1, max_value] with exponent alpha > 1.
+  /// Used to synthesize scale-free row-degree distributions.
+  std::int64_t next_power_law(std::int64_t max_value, double alpha);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Samples `count` distinct values from [0, universe) in increasing order.
+/// Floyd's algorithm followed by a sort; O(count log count).
+std::vector<std::int64_t> sample_distinct_sorted(Xoshiro256& rng, std::int64_t universe,
+                                                 std::int64_t count);
+
+}  // namespace speck

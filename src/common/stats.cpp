@@ -1,0 +1,62 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace speck {
+namespace {
+
+template <typename T>
+SampleSummary summarize_impl(std::span<const T> values) {
+  SampleSummary s;
+  s.count = static_cast<std::int64_t>(values.size());
+  if (values.empty()) return s;
+  s.min = values.front();
+  s.max = values.front();
+  for (const T v : values) {
+    s.min = std::min<std::int64_t>(s.min, v);
+    s.max = std::max<std::int64_t>(s.max, v);
+    s.total += v;
+  }
+  s.mean = static_cast<double>(s.total) / static_cast<double>(s.count);
+  double var = 0.0;
+  for (const T v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+}  // namespace
+
+SampleSummary summarize(std::span<const std::int64_t> values) {
+  return summarize_impl(values);
+}
+
+SampleSummary summarize(std::span<const std::int32_t> values) {
+  return summarize_impl(values);
+}
+
+double percentile(std::vector<double> values, double p) {
+  SPECK_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    SPECK_REQUIRE(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace speck

@@ -1,0 +1,30 @@
+// Descriptive statistics helpers used by the analysis stages and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace speck {
+
+/// Summary of a sample of non-negative integer quantities (row lengths,
+/// product counts, ...).
+struct SampleSummary {
+  std::int64_t count = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t total = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+SampleSummary summarize(std::span<const std::int64_t> values);
+SampleSummary summarize(std::span<const std::int32_t> values);
+
+/// p in [0,100]; nearest-rank percentile of an *unsorted* sample.
+double percentile(std::vector<double> values, double p);
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double geometric_mean(std::span<const double> values);
+
+}  // namespace speck

@@ -1,0 +1,27 @@
+// Fundamental scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace speck {
+
+/// Column/row index type. CSR matrices with up to ~2 billion rows/columns.
+using index_t = std::int32_t;
+
+/// Offset type for row pointers and element counts (products can exceed 2^31).
+using offset_t = std::int64_t;
+
+/// Numeric value type. The paper evaluates in double precision.
+using value_t = double;
+
+/// 32-bit compound hash key: 5 bits local row | 27 bits column (paper §4.3).
+using key32_t = std::uint32_t;
+
+/// 64-bit fallback key for matrices with more than 2^27 columns.
+using key64_t = std::uint64_t;
+
+/// Number of columns above which 32-bit compound keys no longer fit.
+inline constexpr index_t kMaxColumns32Bit = index_t{1} << 27;
+
+}  // namespace speck

@@ -1,0 +1,168 @@
+#include "gen/corpus.h"
+
+#include "gen/generators.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+
+namespace speck::gen {
+namespace {
+
+CorpusEntry square(std::string name, Csr a) {
+  CorpusEntry e;
+  e.name = std::move(name);
+  e.b = a;
+  e.a = std::move(a);
+  e.square = true;
+  return e;
+}
+
+CorpusEntry rectangular(std::string name, Csr a) {
+  CorpusEntry e;
+  e.name = std::move(name);
+  e.b = transpose(a);
+  e.a = std::move(a);
+  e.square = false;
+  return e;
+}
+
+}  // namespace
+
+offset_t CorpusEntry::products() const { return count_products(a, b); }
+
+std::vector<CorpusEntry> common_corpus() {
+  std::vector<CorpusEntry> corpus;
+  // webbase: web graph, power-law rows with strong hubs.
+  corpus.push_back(square("webbase", power_law(20000, 20000, 3, 1.7, 2000, 11)));
+  // hugebubbles: enormous near-uniform 2D mesh (3 NZ/row).
+  corpus.push_back(square("hugebubbles", stencil_2d(260, 200)));
+  // mario002: banded FEM matrix with short rows.
+  corpus.push_back(square("mario002", banded(40000, 40, 4, 13)));
+  // stat96v2: rectangular LP constraint matrix, C = A*Aᵀ, very short B rows.
+  corpus.push_back(rectangular("stat96v2", rectangular_lp(4000, 130000, 70, 17)));
+  // email-Enron: social graph, heavy-tailed degrees.
+  corpus.push_back(square("email-Enron", power_law(6000, 6000, 10, 1.8, 1500, 19)));
+  // cage13: DNA electrophoresis; regular short rows with moderate coupling.
+  corpus.push_back(square("cage13", banded(24000, 400, 8, 23)));
+  // 144: 3D FEM mesh, ~14 NZ/row.
+  corpus.push_back(square("144", banded(16000, 600, 14, 29)));
+  // poisson3Da: 3D Poisson problem, 27-point coupling.
+  corpus.push_back(square("poisson3Da", stencil_3d(13)));
+  // QCD: lattice QCD, uniform 39 NZ/row, small and dense-ish.
+  corpus.push_back(square("QCD", banded(3000, 700, 32, 31)));
+  // harbor: coastal FEM model, long rows (~50 NZ/row).
+  corpus.push_back(square("harbor", banded(4000, 800, 44, 37)));
+  // TSC_OPF: optimal power flow, dense diagonal blocks -> huge compaction.
+  corpus.push_back(square("TSC_OPF", block_diagonal(8, 100, 0.95, 41)));
+  return corpus;
+}
+
+std::vector<CorpusEntry> evaluation_collection(int scale) {
+  SPECK_REQUIRE(scale >= 1, "scale must be >= 1");
+  std::vector<CorpusEntry> corpus;
+  std::uint64_t seed = 1000;
+  const auto s = static_cast<index_t>(scale);
+
+  // Tiny matrices: below the GPU/CPU crossover, where the paper's Fig. 6
+  // has Intel MKL winning (356 of its 363 wins are here).
+  for (const index_t rows : {60, 120, 240}) {
+    for (const index_t deg : {2, 4}) {
+      corpus.push_back(square("tiny_r" + std::to_string(rows) + "_d" +
+                                  std::to_string(deg),
+                              random_uniform(rows * s, rows * s, deg, ++seed)));
+    }
+  }
+  // Uniform random matrices across sizes and densities. Product counts are
+  // capped so a full-suite sweep stays laptop-friendly.
+  constexpr offset_t kMaxProducts = 12'000'000;
+  for (const index_t rows : {300, 1000, 3000, 10000, 30000}) {
+    for (const index_t deg : {2, 4, 8, 16, 32}) {
+      if (static_cast<offset_t>(rows) * deg * deg > kMaxProducts) continue;
+      corpus.push_back(square("uniform_r" + std::to_string(rows) + "_d" +
+                                  std::to_string(deg),
+                              random_uniform(rows * s, rows * s, deg, ++seed)));
+    }
+  }
+  // Banded / FEM-like locality.
+  for (const index_t rows : {1000, 5000, 20000, 60000}) {
+    for (const index_t deg : {3, 6, 12, 24}) {
+      if (static_cast<offset_t>(rows) * deg * deg > kMaxProducts) continue;
+      corpus.push_back(square("banded_r" + std::to_string(rows) + "_d" +
+                                  std::to_string(deg),
+                              banded(rows * s, std::max<index_t>(8, rows / 100),
+                                     deg, ++seed)));
+    }
+  }
+  // Densely filled bands: high compaction factors (the SuiteSparse average
+  // is ~7) and dense output rows — hashing/dense-accumulation territory.
+  for (const index_t rows : {2000, 8000, 30000}) {
+    for (const index_t deg : {8, 16, 32}) {
+      corpus.push_back(square("denseband_r" + std::to_string(rows) + "_d" +
+                                  std::to_string(deg),
+                              banded(rows * s, std::max<index_t>(4, deg * 3 / 4),
+                                     deg, ++seed)));
+    }
+  }
+  // Regular grids.
+  for (const index_t n : {16, 40, 90, 160}) {
+    corpus.push_back(square("grid2d_" + std::to_string(n),
+                            stencil_2d(n * s, n * s)));
+  }
+  for (const index_t n : {6, 10, 14}) {
+    corpus.push_back(square("grid3d_" + std::to_string(n), stencil_3d(n * s)));
+  }
+  // Scale-free graphs with varying skew.
+  for (const index_t rows : {1000, 4000, 16000}) {
+    for (const double alpha : {1.6, 2.0, 2.5}) {
+      corpus.push_back(square(
+          "powerlaw_r" + std::to_string(rows) + "_a" + std::to_string(alpha),
+          power_law(rows * s, rows * s, 6, alpha, rows / 4, ++seed)));
+    }
+  }
+  // R-MAT graphs.
+  for (const int sc : {9, 11, 13}) {
+    corpus.push_back(square("rmat_" + std::to_string(sc),
+                            rmat(sc, 8, 0.45, 0.22, 0.22, ++seed)));
+  }
+  // Block-diagonal with dense blocks (high compaction).
+  for (const index_t blk : {50, 100, 200}) {
+    corpus.push_back(square("blockdiag_" + std::to_string(blk),
+                            block_diagonal(8, blk, 0.8, ++seed)));
+  }
+  // Rectangular LP-like (multiplied as A*Aᵀ).
+  for (const index_t rows : {500, 2000, 8000}) {
+    corpus.push_back(rectangular("lp_r" + std::to_string(rows),
+                                 rectangular_lp(rows * s, rows * 16, 24, ++seed)));
+  }
+  // Single-entry-heavy matrices (direct-referencing path).
+  for (const double frac : {0.5, 0.9}) {
+    corpus.push_back(square("single_" + std::to_string(static_cast<int>(frac * 100)),
+                            single_entry_mix(20000 * s, 20000 * s, frac, 16, ++seed)));
+  }
+  // Strongly skewed row lengths (binning pays off).
+  for (const index_t heavy : {256, 1024, 2048}) {
+    corpus.push_back(square(
+        "skewed_h" + std::to_string(heavy),
+        skewed_rows(6000 * s, 6000 * s, 0.01, heavy, 3, ++seed)));
+  }
+  return corpus;
+}
+
+std::vector<CorpusEntry> test_corpus() {
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back(square("tiny_uniform", random_uniform(60, 60, 4, 101)));
+  corpus.push_back(square("small_uniform", random_uniform(500, 500, 8, 103)));
+  corpus.push_back(square("small_banded", banded(400, 12, 5, 107)));
+  corpus.push_back(square("grid2d", stencil_2d(20, 17)));
+  corpus.push_back(square("grid3d", stencil_3d(6)));
+  corpus.push_back(square("powerlaw", power_law(300, 300, 6, 1.8, 80, 109)));
+  corpus.push_back(square("rmat", rmat(8, 6, 0.5, 0.2, 0.2, 113)));
+  corpus.push_back(square("blockdiag", block_diagonal(5, 40, 0.7, 127)));
+  corpus.push_back(rectangular("rect_lp", rectangular_lp(120, 1500, 12, 131)));
+  corpus.push_back(square("single_rows", single_entry_mix(400, 400, 0.8, 12, 137)));
+  corpus.push_back(square("skewed", skewed_rows(600, 600, 0.02, 300, 3, 139)));
+  corpus.push_back(square("identity", Csr::identity(64)));
+  corpus.push_back(square("empty", Csr::zeros(32, 32)));
+  return corpus;
+}
+
+}  // namespace speck::gen

@@ -1,0 +1,41 @@
+// Named synthetic corpora standing in for the SuiteSparse collection.
+//
+// `common_corpus` mimics the 11 matrices of the paper's Table 4 / Fig. 8-11
+// at reduced scale (same structural family, same relative characteristics:
+// row-length profile, compaction factor, NZ locality).
+// `evaluation_collection` is the larger mixed set driving the overall
+// statistics (Table 3, Figs. 6/7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace speck::gen {
+
+/// One benchmark multiplication: C = A*B. For square inputs B == A
+/// (paper: C = A*A); for rectangular inputs B is the precomputed transpose
+/// (paper: C = A*Aᵀ).
+struct CorpusEntry {
+  std::string name;
+  Csr a;
+  Csr b;
+  bool square = true;
+
+  offset_t products() const;
+};
+
+/// The Table 4 stand-ins: webbase, hugebubbles, mario002, stat96v2,
+/// email-Enron, cage13, 144, poisson3Da, QCD, harbor, TSC_OPF.
+std::vector<CorpusEntry> common_corpus();
+
+/// Mixed collection spanning structure families and sizes; `scale` >= 1
+/// multiplies the matrix dimensions (1 keeps the full run under a minute
+/// per algorithm on a laptop core).
+std::vector<CorpusEntry> evaluation_collection(int scale = 1);
+
+/// Small corpus used by unit/property tests (fast, diverse).
+std::vector<CorpusEntry> test_corpus();
+
+}  // namespace speck::gen

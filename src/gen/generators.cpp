@@ -1,0 +1,241 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/prng.h"
+#include "matrix/coo.h"
+
+namespace speck::gen {
+namespace {
+
+value_t random_value(Xoshiro256& rng) { return rng.next_double(0.1, 1.0); }
+
+/// Adds `count` distinct random entries within [col_lo, col_hi] to row r.
+void add_row_uniform(Coo& coo, Xoshiro256& rng, index_t r, index_t col_lo,
+                     index_t col_hi, index_t count) {
+  const std::int64_t universe = static_cast<std::int64_t>(col_hi) - col_lo + 1;
+  const std::int64_t n = std::min<std::int64_t>(count, universe);
+  if (n <= 0) return;
+  for (const std::int64_t c : sample_distinct_sorted(rng, universe, n)) {
+    coo.add(r, col_lo + static_cast<index_t>(c), random_value(rng));
+  }
+}
+
+}  // namespace
+
+Csr random_uniform(index_t rows, index_t cols, index_t nnz_per_row,
+                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo coo(rows, cols);
+  coo.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(nnz_per_row));
+  for (index_t r = 0; r < rows; ++r) {
+    add_row_uniform(coo, rng, r, 0, cols - 1, nnz_per_row);
+  }
+  return coo.to_csr();
+}
+
+Csr banded(index_t n, index_t half_bandwidth, index_t nnz_per_row,
+           std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo coo(n, n);
+  for (index_t r = 0; r < n; ++r) {
+    const index_t lo = std::max<index_t>(0, r - half_bandwidth);
+    const index_t hi = std::min<index_t>(n - 1, r + half_bandwidth);
+    add_row_uniform(coo, rng, r, lo, hi, nnz_per_row);
+    coo.add(r, r, random_value(rng) + 1.0);  // strong diagonal
+  }
+  return coo.to_csr();
+}
+
+Csr stencil_2d(index_t nx, index_t ny) {
+  Coo coo(nx * ny, nx * ny);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      coo.add(i, i, 4.0);
+      if (x > 0) coo.add(i, i - 1, -1.0);
+      if (x + 1 < nx) coo.add(i, i + 1, -1.0);
+      if (y > 0) coo.add(i, i - nx, -1.0);
+      if (y + 1 < ny) coo.add(i, i + nx, -1.0);
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr stencil_3d(index_t n) {
+  Coo coo(n * n * n, n * n * n);
+  for (index_t z = 0; z < n; ++z) {
+    for (index_t y = 0; y < n; ++y) {
+      for (index_t x = 0; x < n; ++x) {
+        const index_t i = (z * n + y) * n + x;
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const index_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= n || yy < 0 || yy >= n || zz < 0 || zz >= n) continue;
+              const index_t j = (zz * n + yy) * n + xx;
+              coo.add(i, j, i == j ? 26.0 : -1.0);
+            }
+          }
+        }
+      }
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr power_law(index_t rows, index_t cols, index_t avg_degree, double alpha,
+              index_t max_degree, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo coo(rows, cols);
+  // Degrees from a truncated power law, rescaled to hit the average.
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  double total = 0.0;
+  for (auto& d : degrees) {
+    d = static_cast<index_t>(rng.next_power_law(max_degree, alpha));
+    total += d;
+  }
+  const double scale =
+      total > 0.0 ? static_cast<double>(avg_degree) * rows / total : 1.0;
+  // Column popularity: columns near 0 are hubs (quadratic skew).
+  for (index_t r = 0; r < rows; ++r) {
+    const auto want = static_cast<index_t>(std::clamp<double>(
+        std::round(degrees[static_cast<std::size_t>(r)] * scale), 1.0,
+        static_cast<double>(std::min(max_degree, cols))));
+    for (index_t i = 0; i < want; ++i) {
+      const double u = rng.next_double();
+      const auto c = static_cast<index_t>(u * u * (cols - 1));
+      coo.add(r, c, random_value(rng));
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr rmat(int scale, index_t edges_per_vertex, double a, double b, double c,
+         std::uint64_t seed) {
+  SPECK_REQUIRE(scale >= 1 && scale < 30, "rmat scale out of range");
+  SPECK_REQUIRE(a + b + c <= 1.0, "rmat probabilities must sum to <= 1");
+  Xoshiro256 rng(seed);
+  const index_t n = index_t{1} << scale;
+  Coo coo(n, n);
+  const auto edges = static_cast<std::int64_t>(n) * edges_per_vertex;
+  for (std::int64_t e = 0; e < edges; ++e) {
+    index_t row = 0, col = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double u = rng.next_double();
+      row <<= 1;
+      col <<= 1;
+      if (u < a) {
+        // top-left quadrant
+      } else if (u < a + b) {
+        col |= 1;
+      } else if (u < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    coo.add(row, col, random_value(rng));
+  }
+  return coo.to_csr();
+}
+
+Csr block_diagonal(index_t blocks, index_t block_size, double density,
+                   std::uint64_t seed) {
+  SPECK_REQUIRE(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+  Xoshiro256 rng(seed);
+  const index_t n = blocks * block_size;
+  Coo coo(n, n);
+  for (index_t blk = 0; blk < blocks; ++blk) {
+    const index_t base = blk * block_size;
+    for (index_t r = 0; r < block_size; ++r) {
+      const auto want = static_cast<index_t>(
+          std::max(1.0, std::round(density * block_size)));
+      add_row_uniform(coo, rng, base + r, base, base + block_size - 1, want);
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr rectangular_lp(index_t rows, index_t cols, index_t nnz_per_row,
+                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    add_row_uniform(coo, rng, r, 0, cols - 1, nnz_per_row);
+  }
+  return coo.to_csr();
+}
+
+Csr single_entry_mix(index_t rows, index_t cols, double single_fraction,
+                     index_t long_row_nnz, std::uint64_t seed) {
+  SPECK_REQUIRE(single_fraction >= 0.0 && single_fraction <= 1.0,
+                "single_fraction must be in [0,1]");
+  Xoshiro256 rng(seed);
+  Coo coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    if (rng.next_double() < single_fraction) {
+      coo.add(r, static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols))),
+              random_value(rng));
+    } else {
+      add_row_uniform(coo, rng, r, 0, cols - 1, long_row_nnz);
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr skewed_rows(index_t rows, index_t cols, double heavy_fraction,
+                index_t heavy_nnz, index_t light_nnz, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    const bool heavy = rng.next_double() < heavy_fraction;
+    add_row_uniform(coo, rng, r, 0, cols - 1, heavy ? heavy_nnz : light_nnz);
+  }
+  return coo.to_csr();
+}
+
+}  // namespace speck::gen
+
+namespace speck::gen {
+
+Csr kronecker(const Csr& a, const Csr& b) {
+  const auto rows = static_cast<std::int64_t>(a.rows()) * b.rows();
+  const auto cols = static_cast<std::int64_t>(a.cols()) * b.cols();
+  SPECK_REQUIRE(rows <= std::numeric_limits<index_t>::max() &&
+                    cols <= std::numeric_limits<index_t>::max(),
+                "kronecker product dimensions overflow index_t");
+
+  std::vector<offset_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(rows) + 1);
+  offsets.push_back(0);
+  std::vector<index_t> out_cols;
+  out_cols.reserve(static_cast<std::size_t>(a.nnz()) * static_cast<std::size_t>(b.nnz()) /
+                   std::max<std::size_t>(1, static_cast<std::size_t>(a.rows())));
+  std::vector<value_t> out_vals;
+
+  for (index_t ia = 0; ia < a.rows(); ++ia) {
+    const auto a_cols = a.row_cols(ia);
+    const auto a_vals = a.row_vals(ia);
+    for (index_t ib = 0; ib < b.rows(); ++ib) {
+      const auto b_cols = b.row_cols(ib);
+      const auto b_vals = b.row_vals(ib);
+      // Row (ia, ib): blocks ordered by ja, each sorted by jb -> sorted.
+      for (std::size_t i = 0; i < a_cols.size(); ++i) {
+        const auto base = static_cast<std::int64_t>(a_cols[i]) * b.cols();
+        for (std::size_t j = 0; j < b_cols.size(); ++j) {
+          out_cols.push_back(static_cast<index_t>(base + b_cols[j]));
+          out_vals.push_back(a_vals[i] * b_vals[j]);
+        }
+      }
+      offsets.push_back(static_cast<offset_t>(out_cols.size()));
+    }
+  }
+  return Csr(static_cast<index_t>(rows), static_cast<index_t>(cols),
+             std::move(offsets), std::move(out_cols), std::move(out_vals));
+}
+
+}  // namespace speck::gen

@@ -1,0 +1,65 @@
+// Synthetic sparse-matrix generators standing in for the SuiteSparse
+// collection (DESIGN.md §1). Each generator targets one structural family
+// the paper's evaluation exercises; all are deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace speck::gen {
+
+/// Uniformly random columns, `nnz_per_row` per row (clamped to cols).
+Csr random_uniform(index_t rows, index_t cols, index_t nnz_per_row,
+                   std::uint64_t seed);
+
+/// Banded matrix: entries uniformly random within a diagonal band of the
+/// given half-width, `nnz_per_row` per row. FEM-stencil-like locality.
+Csr banded(index_t n, index_t half_bandwidth, index_t nnz_per_row,
+           std::uint64_t seed);
+
+/// 5-point (2D Poisson) stencil on an nx x ny grid.
+Csr stencil_2d(index_t nx, index_t ny);
+
+/// 27-point (3D) stencil on an n^3 grid.
+Csr stencil_3d(index_t n);
+
+/// Scale-free graph: per-row degree follows a truncated power law with the
+/// given exponent; columns drawn with preferential attachment so hub
+/// columns exist too (email/web-graph-like).
+Csr power_law(index_t rows, index_t cols, index_t avg_degree, double alpha,
+              index_t max_degree, std::uint64_t seed);
+
+/// Recursive-matrix (R-MAT) graph: scale gives 2^scale vertices.
+Csr rmat(int scale, index_t edges_per_vertex, double a, double b, double c,
+         std::uint64_t seed);
+
+/// Block-diagonal matrix with dense blocks (power-grid / TSC_OPF-like:
+/// enormous compaction factors).
+Csr block_diagonal(index_t blocks, index_t block_size, double density,
+                   std::uint64_t seed);
+
+/// Rectangular LP-constraint-like matrix: far more columns than rows,
+/// uniformly random short rows (stat96v2-like when multiplied as A*Aᵀ).
+Csr rectangular_lp(index_t rows, index_t cols, index_t nnz_per_row,
+                   std::uint64_t seed);
+
+/// Mix of mostly single-entry rows with a few long rows; exercises the
+/// direct-referencing path (paper §4.3 "Single entry rows of A").
+Csr single_entry_mix(index_t rows, index_t cols, double single_fraction,
+                     index_t long_row_nnz, std::uint64_t seed);
+
+/// Matrix with strongly varying row lengths: `heavy_fraction` of the rows
+/// get `heavy_nnz` entries, the rest get `light_nnz`. Exercises binning.
+Csr skewed_rows(index_t rows, index_t cols, double heavy_fraction,
+                index_t heavy_nnz, index_t light_nnz, std::uint64_t seed);
+
+}  // namespace speck::gen
+
+namespace speck::gen {
+
+/// Kronecker product A ⊗ B: entry ((ia*rowsB+ib), (ja*colsB+jb)) = va*vb.
+/// Generates large structured matrices from small seeds (Kronecker graphs).
+Csr kronecker(const Csr& a, const Csr& b);
+
+}  // namespace speck::gen

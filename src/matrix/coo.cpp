@@ -1,0 +1,48 @@
+#include "matrix/coo.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace speck {
+
+void Coo::add(index_t row, index_t col, value_t value) {
+  SPECK_REQUIRE(row >= 0 && row < rows_, "COO row index out of range");
+  SPECK_REQUIRE(col >= 0 && col < cols_, "COO column index out of range");
+  row_ids_.push_back(row);
+  col_ids_.push_back(col);
+  values_.push_back(value);
+}
+
+Csr Coo::to_csr() const {
+  const std::size_t n = row_ids_.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (row_ids_[a] != row_ids_[b]) return row_ids_[a] < row_ids_[b];
+    return col_ids_[a] < col_ids_[b];
+  });
+
+  std::vector<offset_t> offsets(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  cols.reserve(n);
+  vals.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = perm[i];
+    if (!cols.empty() && !vals.empty() && i > 0) {
+      const std::size_t prev = perm[i - 1];
+      if (row_ids_[p] == row_ids_[prev] && col_ids_[p] == col_ids_[prev]) {
+        vals.back() += values_[p];  // merge duplicate coordinate
+        continue;
+      }
+    }
+    cols.push_back(col_ids_[p]);
+    vals.push_back(values_[p]);
+    ++offsets[static_cast<std::size_t>(row_ids_[p]) + 1];
+  }
+  for (std::size_t r = 1; r < offsets.size(); ++r) offsets[r] += offsets[r - 1];
+  return Csr(rows_, cols_, std::move(offsets), std::move(cols), std::move(vals));
+}
+
+}  // namespace speck

@@ -1,0 +1,43 @@
+// Coordinate-format triplet builder; the assembly format for generators and
+// the Matrix Market reader.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// Mutable triplet list. Duplicates allowed until `to_csr` merges them.
+class Coo {
+ public:
+  Coo(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    SPECK_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t entry_count() const { return row_ids_.size(); }
+
+  void reserve(std::size_t n) {
+    row_ids_.reserve(n);
+    col_ids_.reserve(n);
+    values_.reserve(n);
+  }
+
+  /// Appends one entry. Bounds-checked.
+  void add(index_t row, index_t col, value_t value);
+
+  /// Converts to CSR: sorts by (row, col) and sums duplicate coordinates.
+  Csr to_csr() const;
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<index_t> row_ids_;
+  std::vector<index_t> col_ids_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace speck

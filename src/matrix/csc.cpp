@@ -1,0 +1,71 @@
+#include "matrix/csc.h"
+
+namespace speck {
+
+Csc::Csc(index_t rows, index_t cols, std::vector<offset_t> col_offsets,
+         std::vector<index_t> row_indices, std::vector<value_t> values)
+    : rows_(rows),
+      cols_(cols),
+      col_offsets_(std::move(col_offsets)),
+      row_indices_(std::move(row_indices)),
+      values_(std::move(values)) {
+  SPECK_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  SPECK_REQUIRE(col_offsets_.size() == static_cast<std::size_t>(cols) + 1,
+                "col_offsets must have cols+1 entries");
+  SPECK_REQUIRE(row_indices_.size() == values_.size(),
+                "row_indices and values must have equal length");
+  SPECK_REQUIRE(col_offsets_.front() == 0, "col_offsets must start at 0");
+  SPECK_REQUIRE(col_offsets_.back() == static_cast<offset_t>(row_indices_.size()),
+                "col_offsets must end at nnz");
+  for (std::size_t c = 0; c < col_offsets_.size() - 1; ++c) {
+    SPECK_REQUIRE(col_offsets_[c] <= col_offsets_[c + 1],
+                  "col_offsets must be non-decreasing");
+  }
+  for (const index_t r : row_indices_) {
+    SPECK_REQUIRE(r >= 0 && r < rows, "row index out of range");
+  }
+}
+
+Csc csr_to_csc(const Csr& a) {
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.cols()) + 1, 0);
+  for (const index_t c : a.col_indices()) ++offsets[static_cast<std::size_t>(c) + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<index_t> rows(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<offset_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto row_cols = a.row_cols(r);
+    const auto row_vals = a.row_vals(r);
+    for (std::size_t i = 0; i < row_cols.size(); ++i) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(row_cols[i])]++);
+      rows[slot] = r;
+      vals[slot] = row_vals[i];
+    }
+  }
+  return Csc(a.rows(), a.cols(), std::move(offsets), std::move(rows), std::move(vals));
+}
+
+Csr csc_to_csr(const Csc& a) {
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  for (const index_t r : a.row_indices()) ++offsets[static_cast<std::size_t>(r) + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<index_t> cols(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<offset_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (index_t c = 0; c < a.cols(); ++c) {
+    const auto col_rows = a.col_rows(c);
+    const auto col_vals = a.col_vals(c);
+    for (std::size_t i = 0; i < col_rows.size(); ++i) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(col_rows[i])]++);
+      cols[slot] = c;
+      vals[slot] = col_vals[i];
+    }
+  }
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols), std::move(vals));
+}
+
+}  // namespace speck

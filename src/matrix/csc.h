@@ -1,0 +1,61 @@
+// Compressed Sparse Column matrix. Needed by column-driven algorithms
+// (outer-product SpGEMM) and useful as a transpose-free column view.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// Owning CSC matrix: values stored column-major, row indices sorted within
+/// each column.
+class Csc {
+ public:
+  Csc() : col_offsets_(1, 0) {}
+
+  Csc(index_t rows, index_t cols, std::vector<offset_t> col_offsets,
+      std::vector<index_t> row_indices, std::vector<value_t> values);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const { return static_cast<offset_t>(row_indices_.size()); }
+
+  std::span<const offset_t> col_offsets() const { return col_offsets_; }
+  std::span<const index_t> row_indices() const { return row_indices_; }
+  std::span<const value_t> values() const { return values_; }
+
+  index_t col_length(index_t c) const {
+    return static_cast<index_t>(col_offsets_[static_cast<std::size_t>(c) + 1] -
+                                col_offsets_[static_cast<std::size_t>(c)]);
+  }
+  std::span<const index_t> col_rows(index_t c) const {
+    return std::span<const index_t>(row_indices_)
+        .subspan(static_cast<std::size_t>(col_offsets_[static_cast<std::size_t>(c)]),
+                 static_cast<std::size_t>(col_length(c)));
+  }
+  std::span<const value_t> col_vals(index_t c) const {
+    return std::span<const value_t>(values_)
+        .subspan(static_cast<std::size_t>(col_offsets_[static_cast<std::size_t>(c)]),
+                 static_cast<std::size_t>(col_length(c)));
+  }
+
+  std::size_t byte_size() const {
+    return col_offsets_.size() * sizeof(offset_t) +
+           row_indices_.size() * sizeof(index_t) + values_.size() * sizeof(value_t);
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> col_offsets_;
+  std::vector<index_t> row_indices_;
+  std::vector<value_t> values_;
+};
+
+/// O(nnz) format conversions. Round-trip exact.
+Csc csr_to_csc(const Csr& a);
+Csr csc_to_csr(const Csc& a);
+
+}  // namespace speck

@@ -1,0 +1,95 @@
+#include "matrix/csr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace speck {
+
+Csr::Csr(index_t rows, index_t cols, std::vector<offset_t> row_offsets,
+         std::vector<index_t> col_indices, std::vector<value_t> values)
+    : rows_(rows),
+      cols_(cols),
+      row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)),
+      values_(std::move(values)) {
+  SPECK_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  SPECK_REQUIRE(row_offsets_.size() == static_cast<std::size_t>(rows) + 1,
+                "row_offsets must have rows+1 entries");
+  SPECK_REQUIRE(col_indices_.size() == values_.size(),
+                "col_indices and values must have equal length");
+  SPECK_REQUIRE(row_offsets_.front() == 0, "row_offsets must start at 0");
+  SPECK_REQUIRE(row_offsets_.back() == static_cast<offset_t>(col_indices_.size()),
+                "row_offsets must end at nnz");
+  for (std::size_t r = 0; r < row_offsets_.size() - 1; ++r) {
+    SPECK_REQUIRE(row_offsets_[r] <= row_offsets_[r + 1],
+                  "row_offsets must be non-decreasing");
+  }
+  for (const index_t c : col_indices_) {
+    SPECK_REQUIRE(c >= 0 && c < cols, "column index out of range");
+  }
+}
+
+Csr Csr::zeros(index_t rows, index_t cols) {
+  return Csr(rows, cols, std::vector<offset_t>(static_cast<std::size_t>(rows) + 1, 0),
+             {}, {});
+}
+
+Csr Csr::identity(index_t n) {
+  std::vector<offset_t> offsets(static_cast<std::size_t>(n) + 1);
+  std::iota(offsets.begin(), offsets.end(), offset_t{0});
+  std::vector<index_t> cols(static_cast<std::size_t>(n));
+  std::iota(cols.begin(), cols.end(), index_t{0});
+  std::vector<value_t> vals(static_cast<std::size_t>(n), 1.0);
+  return Csr(n, n, std::move(offsets), std::move(cols), std::move(vals));
+}
+
+bool Csr::sorted_within_rows() const {
+  for (index_t r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      if (cols[i] <= cols[i - 1]) return false;
+    }
+  }
+  return true;
+}
+
+void Csr::sort_rows() {
+  std::vector<std::size_t> perm;
+  for (index_t r = 0; r < rows_; ++r) {
+    const auto begin = static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r)]);
+    const auto len = static_cast<std::size_t>(row_length(r));
+    if (len < 2) continue;
+    perm.resize(len);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return col_indices_[begin + a] < col_indices_[begin + b];
+    });
+    std::vector<index_t> sorted_cols(len);
+    std::vector<value_t> sorted_vals(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      sorted_cols[i] = col_indices_[begin + perm[i]];
+      sorted_vals[i] = values_[begin + perm[i]];
+    }
+    std::copy(sorted_cols.begin(), sorted_cols.end(), col_indices_.begin() + begin);
+    std::copy(sorted_vals.begin(), sorted_vals.end(), values_.begin() + begin);
+  }
+}
+
+bool Csr::coalesced() const {
+  for (index_t r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      if (cols[i] <= cols[i - 1]) return false;
+    }
+  }
+  return true;
+}
+
+std::string Csr::shape_string() const {
+  std::ostringstream os;
+  os << rows_ << 'x' << cols_ << ", nnz=" << nnz();
+  return os.str();
+}
+
+}  // namespace speck

@@ -1,0 +1,93 @@
+// Compressed Sparse Row matrix container.
+//
+// CSR is the input/output format of the paper: values and column indices
+// stored row-major / column-minor, with a row-offsets array of size rows+1.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace speck {
+
+/// Owning CSR matrix. Column indices within a row are sorted ascending
+/// (the CSR specification the paper holds all methods to, and the property
+/// KokkosKernels-like baselines are allowed to violate for their output).
+class Csr {
+ public:
+  Csr() : row_offsets_(1, 0) {}
+
+  /// Takes ownership of pre-built arrays. Validates structure:
+  /// offsets monotone, indices in range. Sortedness is NOT required here;
+  /// use `sorted_within_rows()` / `sort_rows()` as needed.
+  Csr(index_t rows, index_t cols, std::vector<offset_t> row_offsets,
+      std::vector<index_t> col_indices, std::vector<value_t> values);
+
+  /// Empty matrix of the given shape (no non-zeros).
+  static Csr zeros(index_t rows, index_t cols);
+
+  /// Identity matrix of size n.
+  static Csr identity(index_t n);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const { return static_cast<offset_t>(col_indices_.size()); }
+
+  std::span<const offset_t> row_offsets() const { return row_offsets_; }
+  std::span<const index_t> col_indices() const { return col_indices_; }
+  std::span<const value_t> values() const { return values_; }
+
+  std::span<index_t> col_indices_mutable() { return col_indices_; }
+  std::span<value_t> values_mutable() { return values_; }
+
+  /// Length of row r.
+  index_t row_length(index_t r) const {
+    return static_cast<index_t>(row_offsets_[static_cast<std::size_t>(r) + 1] -
+                                row_offsets_[static_cast<std::size_t>(r)]);
+  }
+
+  /// Column indices of row r.
+  std::span<const index_t> row_cols(index_t r) const {
+    return std::span<const index_t>(col_indices_)
+        .subspan(static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r)]),
+                 static_cast<std::size_t>(row_length(r)));
+  }
+
+  /// Values of row r.
+  std::span<const value_t> row_vals(index_t r) const {
+    return std::span<const value_t>(values_)
+        .subspan(static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r)]),
+                 static_cast<std::size_t>(row_length(r)));
+  }
+
+  /// True if every row's column indices are strictly increasing.
+  bool sorted_within_rows() const;
+
+  /// Sorts every row by column index (stable w.r.t. values). Duplicate
+  /// column indices within a row are NOT merged; see `coalesced()`.
+  void sort_rows();
+
+  /// True if sorted and free of duplicate column indices within each row.
+  bool coalesced() const;
+
+  /// Bytes consumed by the three arrays (as they would be on the device).
+  std::size_t byte_size() const {
+    return row_offsets_.size() * sizeof(offset_t) +
+           col_indices_.size() * sizeof(index_t) + values_.size() * sizeof(value_t);
+  }
+
+  /// Human-readable one-line description, e.g. "4096x4096, nnz=81920".
+  std::string shape_string() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> row_offsets_;
+  std::vector<index_t> col_indices_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace speck

@@ -1,0 +1,94 @@
+#include "matrix/io_mtx.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "matrix/coo.h"
+
+namespace speck {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  SPECK_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty matrix market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  SPECK_REQUIRE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  SPECK_REQUIRE(lower(object) == "matrix", "only 'matrix' objects supported");
+  SPECK_REQUIRE(lower(format) == "coordinate", "only coordinate format supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  SPECK_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+                "unsupported field type: " + field);
+  SPECK_REQUIRE(symmetry == "general" || symmetry == "symmetric" ||
+                    symmetry == "skew-symmetric",
+                "unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  do {
+    SPECK_REQUIRE(static_cast<bool>(std::getline(in, line)), "truncated matrix market file");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  SPECK_REQUIRE(rows >= 0 && cols >= 0 && entries >= 0, "bad size line");
+
+  Coo coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  coo.reserve(static_cast<std::size_t>(entries) * (symmetry == "general" ? 1 : 2));
+  const bool pattern = field == "pattern";
+  for (long long i = 0; i < entries; ++i) {
+    SPECK_REQUIRE(static_cast<bool>(std::getline(in, line)), "truncated entry list");
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    entry >> r >> c;
+    if (!pattern) entry >> v;
+    SPECK_REQUIRE(r >= 1 && r <= rows && c >= 1 && c <= cols, "entry out of range");
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    coo.add(ri, ci, v);
+    if (symmetry != "general" && ri != ci) {
+      coo.add(ci, ri, symmetry == "skew-symmetric" ? -v : v);
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  SPECK_REQUIRE(in.good(), "cannot open matrix market file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  out.precision(17);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    const auto vals = m.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      out << (r + 1) << ' ' << (cols[i] + 1) << ' ' << vals[i] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& m) {
+  std::ofstream out(path);
+  SPECK_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, m);
+}
+
+}  // namespace speck

@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// The paper's artifact ships an .mtx reader for SuiteSparse inputs; we provide
+// the same so real matrices can be dropped in when available, while the
+// synthetic corpus covers offline runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// Reads a Matrix Market file. Supports:
+///   * coordinate format, real / integer / pattern fields
+///   * general / symmetric / skew-symmetric symmetry
+/// Pattern entries get value 1.0. Symmetric entries are mirrored.
+/// Throws InvalidArgument on malformed input.
+Csr read_matrix_market(std::istream& in);
+Csr read_matrix_market_file(const std::string& path);
+
+/// Writes coordinate/real/general Matrix Market.
+void write_matrix_market(std::ostream& out, const Csr& m);
+void write_matrix_market_file(const std::string& path, const Csr& m);
+
+}  // namespace speck

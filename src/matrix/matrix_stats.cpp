@@ -1,0 +1,65 @@
+#include "matrix/matrix_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace speck {
+
+offset_t count_products(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  offset_t products = 0;
+  const auto b_offsets = b.row_offsets();
+  for (const index_t k : a.col_indices()) {
+    products += b_offsets[static_cast<std::size_t>(k) + 1] -
+                b_offsets[static_cast<std::size_t>(k)];
+  }
+  return products;
+}
+
+MatrixStats analyze_matrix(const Csr& a) {
+  MatrixStats s;
+  s.rows = a.rows();
+  s.cols = a.cols();
+  s.nnz = a.nnz();
+  std::vector<std::int64_t> lengths(static_cast<std::size_t>(a.rows()));
+  for (index_t r = 0; r < a.rows(); ++r) lengths[static_cast<std::size_t>(r)] = a.row_length(r);
+  s.row_lengths = summarize(std::span<const std::int64_t>(lengths));
+  s.avg_row_length = s.row_lengths.mean;
+  if (a.rows() == a.cols()) {
+    s.products = count_products(a, a);
+  }
+  return s;
+}
+
+std::string ascii_spy(const Csr& a, int grid) {
+  SPECK_REQUIRE(grid > 0, "grid must be positive");
+  const int h = std::min<index_t>(grid, std::max<index_t>(a.rows(), 1));
+  const int w = std::min<index_t>(grid, std::max<index_t>(a.cols(), 1));
+  std::vector<int> cells(static_cast<std::size_t>(h) * static_cast<std::size_t>(w), 0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto gr = static_cast<std::size_t>(
+        static_cast<std::int64_t>(r) * h / std::max<index_t>(a.rows(), 1));
+    for (const index_t c : a.row_cols(r)) {
+      const auto gc = static_cast<std::size_t>(
+          static_cast<std::int64_t>(c) * w / std::max<index_t>(a.cols(), 1));
+      ++cells[gr * static_cast<std::size_t>(w) + gc];
+    }
+  }
+  const int max_count = *std::max_element(cells.begin(), cells.end());
+  static constexpr char kShades[] = " .:-=+*#%@";
+  std::ostringstream os;
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const int v = cells[static_cast<std::size_t>(r) * static_cast<std::size_t>(w) +
+                          static_cast<std::size_t>(c)];
+      const int shade =
+          max_count == 0 ? 0 : 1 + v * 8 / std::max(max_count, 1);
+      os << kShades[v == 0 ? 0 : std::min(shade, 9)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace speck

@@ -1,0 +1,33 @@
+// Offline matrix statistics used by the corpus builder and benchmark tables
+// (Table 4). These are *host-side* diagnostics; the device-side lightweight
+// row analysis lives in speck/row_analysis.h.
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "matrix/csr.h"
+
+namespace speck {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  offset_t nnz = 0;
+  SampleSummary row_lengths;     ///< NNZ per row distribution
+  offset_t products = 0;         ///< intermediate products of A*A (or A*Bᵀ)
+  double avg_row_length = 0.0;
+};
+
+/// Statistics of a single matrix.
+MatrixStats analyze_matrix(const Csr& a);
+
+/// Number of intermediate products of the multiplication a*b
+/// (sum over nz(A) of the referenced B row length).
+offset_t count_products(const Csr& a, const Csr& b);
+
+/// ASCII "spy plot" of the non-zero pattern on a grid of the given size;
+/// used to regenerate Figure 8 in text form.
+std::string ascii_spy(const Csr& a, int grid = 32);
+
+}  // namespace speck

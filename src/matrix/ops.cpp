@@ -1,0 +1,101 @@
+#include "matrix/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "matrix/coo.h"
+
+namespace speck {
+
+Csr transpose(const Csr& a) {
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.cols()) + 1, 0);
+  for (const index_t c : a.col_indices()) ++offsets[static_cast<std::size_t>(c) + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<index_t> cols(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<offset_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto row_cols = a.row_cols(r);
+    const auto row_vals = a.row_vals(r);
+    for (std::size_t i = 0; i < row_cols.size(); ++i) {
+      const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(row_cols[i])]++);
+      cols[slot] = r;
+      vals[slot] = row_vals[i];
+    }
+  }
+  return Csr(a.cols(), a.rows(), std::move(offsets), std::move(cols), std::move(vals));
+}
+
+std::optional<CsrDifference> compare(const Csr& a, const Csr& b, double tolerance) {
+  std::ostringstream os;
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    os << "shape mismatch: " << a.shape_string() << " vs " << b.shape_string();
+    return CsrDifference{os.str()};
+  }
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto ac = a.row_cols(r);
+    const auto bc = b.row_cols(r);
+    if (ac.size() != bc.size()) {
+      os << "row " << r << " length mismatch: " << ac.size() << " vs " << bc.size();
+      return CsrDifference{os.str()};
+    }
+    const auto av = a.row_vals(r);
+    const auto bv = b.row_vals(r);
+    for (std::size_t i = 0; i < ac.size(); ++i) {
+      if (ac[i] != bc[i]) {
+        os << "row " << r << " entry " << i << " column mismatch: " << ac[i] << " vs "
+           << bc[i];
+        return CsrDifference{os.str()};
+      }
+      const double scale = std::max({std::abs(av[i]), std::abs(bv[i]), 1.0});
+      if (std::abs(av[i] - bv[i]) > tolerance * scale) {
+        os << "row " << r << " col " << ac[i] << " value mismatch: " << av[i] << " vs "
+           << bv[i];
+        return CsrDifference{os.str()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<value_t> to_dense(const Csr& a) {
+  std::vector<value_t> dense(static_cast<std::size_t>(a.rows()) *
+                                 static_cast<std::size_t>(a.cols()),
+                             0.0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      dense[static_cast<std::size_t>(r) * static_cast<std::size_t>(a.cols()) +
+            static_cast<std::size_t>(cols[i])] += vals[i];
+    }
+  }
+  return dense;
+}
+
+Csr from_dense(index_t rows, index_t cols, std::span<const value_t> dense) {
+  SPECK_REQUIRE(dense.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                "dense array size must equal rows*cols");
+  Coo coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      const value_t v =
+          dense[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+                static_cast<std::size_t>(c)];
+      if (v != 0.0) coo.add(r, c, v);
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr scaled(const Csr& a, value_t s) {
+  std::vector<offset_t> offsets(a.row_offsets().begin(), a.row_offsets().end());
+  std::vector<index_t> cols(a.col_indices().begin(), a.col_indices().end());
+  std::vector<value_t> vals(a.values().begin(), a.values().end());
+  for (auto& v : vals) v *= s;
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols), std::move(vals));
+}
+
+}  // namespace speck

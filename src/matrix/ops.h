@@ -1,0 +1,34 @@
+// Structural operations on CSR matrices: transpose, comparison, conversion.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// Transpose. O(nnz). Output rows are sorted by construction.
+Csr transpose(const Csr& a);
+
+/// Result of comparing two CSR matrices.
+struct CsrDifference {
+  std::string description;  ///< first detected mismatch, human-readable
+};
+
+/// Compares structure exactly and values within `tolerance` (relative to
+/// the larger magnitude, with an absolute floor). Both inputs must be
+/// sorted within rows. Returns nullopt when equal.
+std::optional<CsrDifference> compare(const Csr& a, const Csr& b,
+                                     double tolerance = 1e-9);
+
+/// Extracts the dense form (row-major). Only for small matrices in tests.
+std::vector<value_t> to_dense(const Csr& a);
+
+/// Builds a CSR from a dense row-major array, dropping exact zeros.
+Csr from_dense(index_t rows, index_t cols, std::span<const value_t> dense);
+
+/// Scales all values by s (returns a copy).
+Csr scaled(const Csr& a, value_t s);
+
+}  // namespace speck

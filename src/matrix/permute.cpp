@@ -1,0 +1,160 @@
+#include "matrix/permute.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/prng.h"
+#include "matrix/coo.h"
+#include "matrix/ops.h"
+
+namespace speck {
+
+bool is_permutation(std::span<const index_t> p) {
+  std::vector<bool> seen(p.size(), false);
+  for (const index_t v : p) {
+    if (v < 0 || static_cast<std::size_t>(v) >= p.size() ||
+        seen[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+Permutation invert_permutation(std::span<const index_t> p) {
+  SPECK_REQUIRE(is_permutation(p), "input is not a permutation");
+  Permutation inverse(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    inverse[static_cast<std::size_t>(p[i])] = static_cast<index_t>(i);
+  }
+  return inverse;
+}
+
+Permutation random_permutation(index_t n, std::uint64_t seed) {
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  Xoshiro256 rng(seed);
+  for (std::size_t i = p.size(); i > 1; --i) {
+    std::swap(p[i - 1], p[rng.next_below(i)]);
+  }
+  return p;
+}
+
+Csr permute_rows(const Csr& a, std::span<const index_t> p) {
+  SPECK_REQUIRE(p.size() == static_cast<std::size_t>(a.rows()),
+                "permutation size must equal rows");
+  SPECK_REQUIRE(is_permutation(p), "input is not a permutation");
+  const Permutation inverse = invert_permutation(p);
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> cols;
+  cols.reserve(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vals;
+  vals.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t new_row = 0; new_row < a.rows(); ++new_row) {
+    const index_t old_row = inverse[static_cast<std::size_t>(new_row)];
+    const auto row_cols = a.row_cols(old_row);
+    const auto row_vals = a.row_vals(old_row);
+    cols.insert(cols.end(), row_cols.begin(), row_cols.end());
+    vals.insert(vals.end(), row_vals.begin(), row_vals.end());
+    offsets[static_cast<std::size_t>(new_row) + 1] =
+        static_cast<offset_t>(cols.size());
+  }
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols), std::move(vals));
+}
+
+Csr permute_cols(const Csr& a, std::span<const index_t> p) {
+  SPECK_REQUIRE(p.size() == static_cast<std::size_t>(a.cols()),
+                "permutation size must equal cols");
+  SPECK_REQUIRE(is_permutation(p), "input is not a permutation");
+  Coo coo(a.rows(), a.cols());
+  coo.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto row_cols = a.row_cols(r);
+    const auto row_vals = a.row_vals(r);
+    for (std::size_t i = 0; i < row_cols.size(); ++i) {
+      coo.add(r, p[static_cast<std::size_t>(row_cols[i])], row_vals[i]);
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr permute_symmetric(const Csr& a, std::span<const index_t> p) {
+  SPECK_REQUIRE(a.rows() == a.cols(), "symmetric permutation needs a square matrix");
+  return permute_cols(permute_rows(a, p), p);
+}
+
+Permutation reverse_cuthill_mckee(const Csr& a) {
+  SPECK_REQUIRE(a.rows() == a.cols(), "RCM needs a square matrix");
+  const index_t n = a.rows();
+  // Symmetrize the structure: adjacency = pattern of A | Aᵀ, no self loops.
+  const Csr at = transpose(a);
+  std::vector<std::vector<index_t>> adjacency(static_cast<std::size_t>(n));
+  for (index_t r = 0; r < n; ++r) {
+    for (const index_t c : a.row_cols(r)) {
+      if (c != r) adjacency[static_cast<std::size_t>(r)].push_back(c);
+    }
+    for (const index_t c : at.row_cols(r)) {
+      if (c != r) adjacency[static_cast<std::size_t>(r)].push_back(c);
+    }
+    auto& neighbours = adjacency[static_cast<std::size_t>(r)];
+    std::sort(neighbours.begin(), neighbours.end());
+    neighbours.erase(std::unique(neighbours.begin(), neighbours.end()),
+                     neighbours.end());
+  }
+  const auto degree = [&](index_t v) {
+    return static_cast<index_t>(adjacency[static_cast<std::size_t>(v)].size());
+  };
+
+  std::vector<index_t> order;  // Cuthill-McKee visitation order
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+  // Seed each component from its minimum-degree unvisited vertex.
+  std::vector<index_t> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), index_t{0});
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](index_t x, index_t y) { return degree(x) < degree(y); });
+
+  std::queue<index_t> frontier;
+  std::vector<index_t> neighbour_buffer;
+  for (const index_t seed : by_degree) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    visited[static_cast<std::size_t>(seed)] = true;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      const index_t v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      neighbour_buffer.clear();
+      for (const index_t w : adjacency[static_cast<std::size_t>(v)]) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          neighbour_buffer.push_back(w);
+        }
+      }
+      std::sort(neighbour_buffer.begin(), neighbour_buffer.end(),
+                [&](index_t x, index_t y) { return degree(x) < degree(y); });
+      for (const index_t w : neighbour_buffer) frontier.push(w);
+    }
+  }
+
+  // Reverse ordering; permutation maps old index -> new position.
+  Permutation p(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    p[static_cast<std::size_t>(order[i])] = static_cast<index_t>(n - 1 - i);
+  }
+  return p;
+}
+
+index_t bandwidth(const Csr& a) {
+  index_t band = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (const index_t c : a.row_cols(r)) {
+      band = std::max(band, static_cast<index_t>(std::abs(r - c)));
+    }
+  }
+  return band;
+}
+
+}  // namespace speck

@@ -1,0 +1,47 @@
+// Row/column permutations and bandwidth-reducing reordering.
+//
+// Matrix ordering controls the NZ locality that spECK's binning exploits
+// (paper §4.2: binning keeps neighbouring rows together because "matrices
+// often show internal structures"). These utilities let experiments destroy
+// (random permutation) or restore (reverse Cuthill-McKee) that locality.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// permutation[i] = new position of row/column i. Must be a bijection.
+using Permutation = std::vector<index_t>;
+
+/// Validates that p is a permutation of [0, n).
+bool is_permutation(std::span<const index_t> p);
+
+/// Inverse permutation: result[p[i]] = i.
+Permutation invert_permutation(std::span<const index_t> p);
+
+/// Uniformly random permutation of [0, n).
+Permutation random_permutation(index_t n, std::uint64_t seed);
+
+/// B[p[i], j] = A[i, j].
+Csr permute_rows(const Csr& a, std::span<const index_t> p);
+
+/// B[i, p[j]] = A[i, j] (rows stay sorted).
+Csr permute_cols(const Csr& a, std::span<const index_t> p);
+
+/// Symmetric permutation B = P A Pᵀ for square A.
+Csr permute_symmetric(const Csr& a, std::span<const index_t> p);
+
+/// Reverse Cuthill-McKee ordering of a square matrix's structure
+/// (treated as an undirected graph A|Aᵀ). Returns the permutation that
+/// clusters the NZ pattern around the diagonal; components are processed
+/// from lowest-degree seed vertices.
+Permutation reverse_cuthill_mckee(const Csr& a);
+
+/// Structural bandwidth: max |i - j| over the non-zeros.
+index_t bandwidth(const Csr& a);
+
+}  // namespace speck

@@ -1,0 +1,28 @@
+#include "matrix/spmv.h"
+
+namespace speck {
+
+std::vector<value_t> spmv(const Csr& a, std::span<const value_t> x) {
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0);
+  spmv(a, x, 1.0, 0.0, y);
+  return y;
+}
+
+void spmv(const Csr& a, std::span<const value_t> x, value_t alpha, value_t beta,
+          std::span<value_t> y) {
+  SPECK_REQUIRE(x.size() == static_cast<std::size_t>(a.cols()),
+                "x must have cols(A) entries");
+  SPECK_REQUIRE(y.size() == static_cast<std::size_t>(a.rows()),
+                "y must have rows(A) entries");
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    value_t dot = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      dot += vals[i] * x[static_cast<std::size_t>(cols[i])];
+    }
+    y[static_cast<std::size_t>(r)] = alpha * dot + beta * y[static_cast<std::size_t>(r)];
+  }
+}
+
+}  // namespace speck

@@ -1,0 +1,20 @@
+// Sparse matrix-vector product. Used by the application examples (power
+// iterations, residual checks) and by tests as an independent consistency
+// probe for SpGEMM: (A*B)*x == A*(B*x).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// y = A*x. x.size() == cols, returns vector of size rows.
+std::vector<value_t> spmv(const Csr& a, std::span<const value_t> x);
+
+/// y = alpha*A*x + beta*y (in place on y).
+void spmv(const Csr& a, std::span<const value_t> x, value_t alpha, value_t beta,
+          std::span<value_t> y);
+
+}  // namespace speck

@@ -1,0 +1,74 @@
+#include "ref/gustavson.h"
+
+#include <algorithm>
+
+#include "common/prefix_sum.h"
+
+namespace speck {
+
+std::vector<index_t> gustavson_symbolic(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  std::vector<index_t> row_nnz(static_cast<std::size_t>(a.rows()), 0);
+  std::vector<index_t> marker(static_cast<std::size_t>(b.cols()), -1);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    index_t count = 0;
+    for (const index_t k : a.row_cols(r)) {
+      for (const index_t c : b.row_cols(k)) {
+        if (marker[static_cast<std::size_t>(c)] != r) {
+          marker[static_cast<std::size_t>(c)] = r;
+          ++count;
+        }
+      }
+    }
+    row_nnz[static_cast<std::size_t>(r)] = count;
+  }
+  return row_nnz;
+}
+
+Csr gustavson_spgemm(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const auto row_nnz = gustavson_symbolic(a, b);
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + row_nnz[static_cast<std::size_t>(r)];
+  }
+  const auto total = static_cast<std::size_t>(offsets.back());
+  std::vector<index_t> out_cols(total);
+  std::vector<value_t> out_vals(total);
+
+  std::vector<value_t> accumulator(static_cast<std::size_t>(b.cols()), 0.0);
+  std::vector<offset_t> marker(static_cast<std::size_t>(b.cols()), -1);
+  std::vector<index_t> touched;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    touched.clear();
+    const auto a_cols = a.row_cols(r);
+    const auto a_vals = a.row_vals(r);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      const index_t k = a_cols[i];
+      const value_t av = a_vals[i];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      for (std::size_t j = 0; j < b_cols.size(); ++j) {
+        const index_t c = b_cols[j];
+        if (marker[static_cast<std::size_t>(c)] != r) {
+          marker[static_cast<std::size_t>(c)] = r;
+          accumulator[static_cast<std::size_t>(c)] = 0.0;
+          touched.push_back(c);
+        }
+        accumulator[static_cast<std::size_t>(c)] += av * b_vals[j];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+    for (const index_t c : touched) {
+      out_cols[cursor] = c;
+      out_vals[cursor] = accumulator[static_cast<std::size_t>(c)];
+      ++cursor;
+    }
+  }
+  return Csr(a.rows(), b.cols(), std::move(offsets), std::move(out_cols),
+             std::move(out_vals));
+}
+
+}  // namespace speck

@@ -1,0 +1,15 @@
+// Exact host-side SpGEMM (Gustavson's algorithm). This is the correctness
+// oracle every simulated algorithm is tested against. No cost simulation.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// C = A*B with a dense scatter accumulator per row. Output rows sorted.
+Csr gustavson_spgemm(const Csr& a, const Csr& b);
+
+/// Row lengths of C = A*B without computing values (exact symbolic pass).
+std::vector<index_t> gustavson_symbolic(const Csr& a, const Csr& b);
+
+}  // namespace speck

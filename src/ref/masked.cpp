@@ -1,0 +1,80 @@
+#include "ref/masked.h"
+
+#include <algorithm>
+
+namespace speck {
+
+Csr masked_spgemm(const Csr& a, const Csr& b, const Csr& mask, bool complement) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SPECK_REQUIRE(mask.rows() == a.rows() && mask.cols() == b.cols(),
+                "mask must have the output shape");
+
+  std::vector<offset_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(a.rows()) + 1);
+  offsets.push_back(0);
+  std::vector<index_t> out_cols;
+  std::vector<value_t> out_vals;
+
+  // Row-wise Gustavson with a mask bitmap per row: only masked columns are
+  // accumulated (the work saving masked SpGEMM exists for).
+  std::vector<offset_t> allowed(static_cast<std::size_t>(b.cols()), -1);
+  std::vector<value_t> accumulator(static_cast<std::size_t>(b.cols()), 0.0);
+  std::vector<offset_t> touched_marker(static_cast<std::size_t>(b.cols()), -1);
+  std::vector<index_t> touched;
+
+  for (index_t r = 0; r < a.rows(); ++r) {
+    if (!complement) {
+      for (const index_t c : mask.row_cols(r)) {
+        allowed[static_cast<std::size_t>(c)] = r;
+      }
+    } else {
+      // Complement masks are handled by flagging the *excluded* columns.
+      // Encoding -(r+2) never collides with the untouched marker (-1) or
+      // with the positive row ids the inclusive mode writes.
+      for (const index_t c : mask.row_cols(r)) {
+        allowed[static_cast<std::size_t>(c)] = -static_cast<offset_t>(r) - 2;
+      }
+    }
+    const auto is_allowed = [&](index_t c) {
+      const offset_t flag = allowed[static_cast<std::size_t>(c)];
+      return complement ? flag != -static_cast<offset_t>(r) - 2 : flag == r;
+    };
+
+    touched.clear();
+    const auto a_cols = a.row_cols(r);
+    const auto a_vals = a.row_vals(r);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      const index_t k = a_cols[i];
+      const value_t av = a_vals[i];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      for (std::size_t j = 0; j < b_cols.size(); ++j) {
+        const index_t c = b_cols[j];
+        if (!is_allowed(c)) continue;
+        if (touched_marker[static_cast<std::size_t>(c)] != r) {
+          touched_marker[static_cast<std::size_t>(c)] = r;
+          accumulator[static_cast<std::size_t>(c)] = 0.0;
+          touched.push_back(c);
+        }
+        accumulator[static_cast<std::size_t>(c)] += av * b_vals[j];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const index_t c : touched) {
+      out_cols.push_back(c);
+      out_vals.push_back(accumulator[static_cast<std::size_t>(c)]);
+    }
+    offsets.push_back(static_cast<offset_t>(out_cols.size()));
+  }
+  return Csr(a.rows(), b.cols(), std::move(offsets), std::move(out_cols),
+             std::move(out_vals));
+}
+
+value_t masked_product_sum(const Csr& a, const Csr& b, const Csr& mask) {
+  const Csr masked = masked_spgemm(a, b, mask);
+  value_t total = 0.0;
+  for (const value_t v : masked.values()) total += v;
+  return total;
+}
+
+}  // namespace speck

@@ -1,0 +1,22 @@
+// Masked SpGEMM: C<M> = A*B computed only at the positions of a mask
+// (GraphBLAS semantics, structural mask). The canonical consumer is
+// triangle counting, where C<A> = A*A touches exactly the wedges that can
+// close into triangles — far less work than the full product.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// C = (A*B) restricted to the structural non-zeros of `mask`
+/// (complement = false) or to its zeros (complement = true).
+/// `mask` must have the shape of C. Output rows sorted.
+Csr masked_spgemm(const Csr& a, const Csr& b, const Csr& mask,
+                  bool complement = false);
+
+/// sum over the masked product's values; with mask = A (an undirected
+/// adjacency pattern), `masked_product_sum(a, a, a) / 6` is the triangle
+/// count.
+value_t masked_product_sum(const Csr& a, const Csr& b, const Csr& mask);
+
+}  // namespace speck

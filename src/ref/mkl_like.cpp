@@ -1,0 +1,35 @@
+#include "ref/mkl_like.h"
+
+#include <algorithm>
+
+#include "matrix/matrix_stats.h"
+#include "ref/gustavson.h"
+
+namespace speck {
+
+SpGemmResult MklLikeCpu::multiply(const Csr& a, const Csr& b) {
+  SpGemmResult result;
+  const offset_t products = count_products(a, b);
+  result.c = gustavson_spgemm(a, b);
+
+  // Compute model: per-product accumulation cost parallelized over cores,
+  // plus streaming the inputs and writing the output once.
+  const double compute_seconds = static_cast<double>(products) *
+                                 cpu_.cycles_per_product /
+                                 (cpu_.cores * cpu_.clock_ghz * 1e9);
+  const double traffic_bytes = static_cast<double>(a.byte_size()) +
+                               static_cast<double>(b.byte_size()) +
+                               static_cast<double>(result.c.byte_size());
+  const double memory_seconds = traffic_bytes / cpu_.memory_bandwidth;
+  result.seconds = std::max(compute_seconds, memory_seconds) +
+                   cpu_.call_overhead_us * 1e-6;
+  result.timeline.add(sim::Stage::kNumeric, result.seconds);
+  // Host memory: inputs + output + one dense accumulator row per core.
+  result.peak_memory_bytes =
+      result.c.byte_size() +
+      static_cast<std::size_t>(cpu_.cores) * static_cast<std::size_t>(b.cols()) *
+          (sizeof(value_t) + sizeof(offset_t));
+  return result;
+}
+
+}  // namespace speck

@@ -1,0 +1,39 @@
+// Intel-MKL-like CPU baseline.
+//
+// The paper uses Intel MKL on an i7-7700 as the CPU reference; it wins for
+// small multiplications (< ~15k products) where GPU launch overheads
+// dominate. We model a 4-core out-of-order CPU running a parallel Gustavson
+// SpGEMM: the result is exact, the time is modeled from the product count
+// and memory traffic so that the GPU/CPU crossover appears at the right
+// scale (Fig. 6).
+#pragma once
+
+#include "ref/spgemm_api.h"
+
+namespace speck {
+
+struct CpuSpec {
+  int cores = 4;
+  double clock_ghz = 3.6;
+  /// Cycles one core spends per intermediate product (hash/heap accumulation
+  /// with irregular access; memory-bound, hence far above 1).
+  double cycles_per_product = 40.0;
+  /// Fixed per-call overhead (threading fork/join, setup), microseconds.
+  double call_overhead_us = 4.0;
+  /// Bytes/s of sustained memory bandwidth shared by all cores.
+  double memory_bandwidth = 30e9;
+};
+
+class MklLikeCpu final : public SpGemmAlgorithm {
+ public:
+  MklLikeCpu(sim::DeviceSpec device, sim::CostModel model, CpuSpec cpu = {})
+      : SpGemmAlgorithm(device, model), cpu_(cpu) {}
+
+  std::string name() const override { return "mkl"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+
+ private:
+  CpuSpec cpu_;
+};
+
+}  // namespace speck

@@ -1,0 +1,137 @@
+#include "ref/parallel_gustavson.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace speck {
+namespace {
+
+/// Work for one thread: rows [begin, end), writing into preallocated output.
+struct RowRange {
+  index_t begin = 0;
+  index_t end = 0;
+};
+
+void count_rows(const Csr& a, const Csr& b, RowRange range,
+                std::vector<index_t>& row_nnz) {
+  std::vector<offset_t> marker(static_cast<std::size_t>(b.cols()), -1);
+  for (index_t r = range.begin; r < range.end; ++r) {
+    index_t count = 0;
+    for (const index_t k : a.row_cols(r)) {
+      for (const index_t c : b.row_cols(k)) {
+        if (marker[static_cast<std::size_t>(c)] != r) {
+          marker[static_cast<std::size_t>(c)] = r;
+          ++count;
+        }
+      }
+    }
+    row_nnz[static_cast<std::size_t>(r)] = count;
+  }
+}
+
+void fill_rows(const Csr& a, const Csr& b, RowRange range,
+               const std::vector<offset_t>& offsets, std::vector<index_t>& out_cols,
+               std::vector<value_t>& out_vals) {
+  std::vector<value_t> accumulator(static_cast<std::size_t>(b.cols()), 0.0);
+  std::vector<offset_t> marker(static_cast<std::size_t>(b.cols()), -1);
+  std::vector<index_t> touched;
+  for (index_t r = range.begin; r < range.end; ++r) {
+    touched.clear();
+    const auto a_cols = a.row_cols(r);
+    const auto a_vals = a.row_vals(r);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      const index_t k = a_cols[i];
+      const value_t av = a_vals[i];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      for (std::size_t j = 0; j < b_cols.size(); ++j) {
+        const index_t c = b_cols[j];
+        if (marker[static_cast<std::size_t>(c)] != r) {
+          marker[static_cast<std::size_t>(c)] = r;
+          accumulator[static_cast<std::size_t>(c)] = 0.0;
+          touched.push_back(c);
+        }
+        accumulator[static_cast<std::size_t>(c)] += av * b_vals[j];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+    for (const index_t c : touched) {
+      out_cols[cursor] = c;
+      out_vals[cursor] = accumulator[static_cast<std::size_t>(c)];
+      ++cursor;
+    }
+  }
+}
+
+/// Contiguous row ranges balanced by NNZ of A (cheap proxy for work).
+std::vector<RowRange> split_rows(const Csr& a, int threads) {
+  std::vector<RowRange> ranges;
+  const offset_t per_thread = a.nnz() / threads + 1;
+  index_t begin = 0;
+  for (int t = 0; t < threads && begin < a.rows(); ++t) {
+    index_t end = begin;
+    offset_t taken = 0;
+    while (end < a.rows() && (taken < per_thread || t + 1 == threads)) {
+      taken += a.row_length(end);
+      ++end;
+      if (t + 1 < threads && taken >= per_thread) break;
+    }
+    if (t + 1 == threads) end = a.rows();
+    ranges.push_back(RowRange{begin, end});
+    begin = end;
+  }
+  return ranges;
+}
+
+}  // namespace
+
+Csr parallel_gustavson_spgemm(const Csr& a, const Csr& b, int threads) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SPECK_REQUIRE(threads >= 0, "thread count must be non-negative");
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::max(1, std::min<int>(threads, std::max<index_t>(a.rows(), 1)));
+  const auto ranges = split_rows(a, threads);
+
+  // Phase 1: symbolic counts per row, one thread per range.
+  std::vector<index_t> row_nnz(static_cast<std::size_t>(a.rows()), 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(ranges.size());
+    for (const RowRange& range : ranges) {
+      workers.emplace_back(count_rows, std::cref(a), std::cref(b), range,
+                           std::ref(row_nnz));
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + row_nnz[static_cast<std::size_t>(r)];
+  }
+  std::vector<index_t> out_cols(static_cast<std::size_t>(offsets.back()));
+  std::vector<value_t> out_vals(static_cast<std::size_t>(offsets.back()));
+
+  // Phase 2: numeric fill; ranges write disjoint output slices.
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(ranges.size());
+    for (const RowRange& range : ranges) {
+      workers.emplace_back(fill_rows, std::cref(a), std::cref(b), range,
+                           std::cref(offsets), std::ref(out_cols),
+                           std::ref(out_vals));
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  return Csr(a.rows(), b.cols(), std::move(offsets), std::move(out_cols),
+             std::move(out_vals));
+}
+
+}  // namespace speck

@@ -1,0 +1,14 @@
+// Multi-threaded host SpGEMM: row-partitioned Gustavson with per-thread
+// dense accumulators (the layout MKL-class CPU libraries use). Exact, and
+// bit-identical to the serial oracle: per-row accumulation order is the
+// same regardless of thread count.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// C = A*B using `threads` worker threads (0 = hardware concurrency).
+Csr parallel_gustavson_spgemm(const Csr& a, const Csr& b, int threads = 0);
+
+}  // namespace speck

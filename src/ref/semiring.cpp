@@ -1,0 +1,59 @@
+#include "ref/semiring.h"
+
+#include "matrix/coo.h"
+
+namespace speck {
+namespace {
+
+template <typename Semiring>
+Csr semiring_add_impl(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "element-wise add needs equal shapes");
+  std::vector<offset_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(a.rows()) + 1);
+  offsets.push_back(0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto ac = a.row_cols(r);
+    const auto av = a.row_vals(r);
+    const auto bc = b.row_cols(r);
+    const auto bv = b.row_vals(r);
+    std::size_t i = 0, j = 0;
+    while (i < ac.size() || j < bc.size()) {
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        cols.push_back(ac[i]);
+        vals.push_back(Semiring::reduce(Semiring::identity, av[i]));
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        cols.push_back(bc[j]);
+        vals.push_back(Semiring::reduce(Semiring::identity, bv[j]));
+        ++j;
+      } else {
+        cols.push_back(ac[i]);
+        vals.push_back(Semiring::reduce(av[i], bv[j]));
+        ++i;
+        ++j;
+      }
+    }
+    offsets.push_back(static_cast<offset_t>(cols.size()));
+  }
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols), std::move(vals));
+}
+
+}  // namespace
+
+template <>
+Csr semiring_add<PlusTimes>(const Csr& a, const Csr& b) {
+  return semiring_add_impl<PlusTimes>(a, b);
+}
+template <>
+Csr semiring_add<MinPlus>(const Csr& a, const Csr& b) {
+  return semiring_add_impl<MinPlus>(a, b);
+}
+template <>
+Csr semiring_add<OrAnd>(const Csr& a, const Csr& b) {
+  return semiring_add_impl<OrAnd>(a, b);
+}
+
+}  // namespace speck

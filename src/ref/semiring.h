@@ -1,0 +1,100 @@
+// Semiring SpGEMM (GraphBLAS-flavoured, paper's graph-processing motivation
+// [12]): C = A ⊕.⊗ B over a configurable semiring. The structure of the
+// computation — and therefore everything spECK's analysis reasons about —
+// is identical to (+,*) SpGEMM; only the scalar operations change.
+//
+// Host implementations, Gustavson-style: these serve the application
+// examples (shortest paths, reachability) and as oracles; the simulated
+// algorithms only implement the standard arithmetic semiring.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+/// The standard arithmetic semiring (+, *, 0).
+struct PlusTimes {
+  static constexpr value_t identity = 0.0;
+  static value_t combine(value_t a, value_t b) { return a * b; }
+  static value_t reduce(value_t acc, value_t v) { return acc + v; }
+};
+
+/// The tropical semiring (min, +, inf): path-length composition.
+/// C_ij = min_k (A_ik + B_kj) — one relaxation step of all-pairs shortest
+/// paths.
+struct MinPlus {
+  static constexpr value_t identity = std::numeric_limits<value_t>::infinity();
+  static value_t combine(value_t a, value_t b) { return a + b; }
+  static value_t reduce(value_t acc, value_t v) { return std::min(acc, v); }
+};
+
+/// The boolean semiring (or, and): reachability composition.
+/// Values are 0.0 / 1.0.
+struct OrAnd {
+  static constexpr value_t identity = 0.0;
+  static value_t combine(value_t a, value_t b) {
+    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  }
+  static value_t reduce(value_t acc, value_t v) {
+    return (acc != 0.0 || v != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+/// Gustavson SpGEMM over the given semiring. The output structure is the
+/// structural product (an entry exists wherever at least one k matches),
+/// matching the structural semantics of the (+,*) implementations.
+template <typename Semiring>
+Csr semiring_spgemm(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  std::vector<offset_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(a.rows()) + 1);
+  offsets.push_back(0);
+  std::vector<index_t> out_cols;
+  std::vector<value_t> out_vals;
+
+  std::vector<value_t> accumulator(static_cast<std::size_t>(b.cols()),
+                                   Semiring::identity);
+  std::vector<offset_t> marker(static_cast<std::size_t>(b.cols()), -1);
+  std::vector<index_t> touched;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    touched.clear();
+    const auto a_cols = a.row_cols(r);
+    const auto a_vals = a.row_vals(r);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      const index_t k = a_cols[i];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      for (std::size_t j = 0; j < b_cols.size(); ++j) {
+        const index_t c = b_cols[j];
+        const value_t product = Semiring::combine(a_vals[i], b_vals[j]);
+        if (marker[static_cast<std::size_t>(c)] != r) {
+          marker[static_cast<std::size_t>(c)] = r;
+          accumulator[static_cast<std::size_t>(c)] =
+              Semiring::reduce(Semiring::identity, product);
+          touched.push_back(c);
+        } else {
+          accumulator[static_cast<std::size_t>(c)] =
+              Semiring::reduce(accumulator[static_cast<std::size_t>(c)], product);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const index_t c : touched) {
+      out_cols.push_back(c);
+      out_vals.push_back(accumulator[static_cast<std::size_t>(c)]);
+    }
+    offsets.push_back(static_cast<offset_t>(out_cols.size()));
+  }
+  return Csr(a.rows(), b.cols(), std::move(offsets), std::move(out_cols),
+             std::move(out_vals));
+}
+
+/// Element-wise ⊕ of two matrices over the semiring (union structure); used
+/// to fold the "stay in place" option into shortest-path iterations.
+template <typename Semiring>
+Csr semiring_add(const Csr& a, const Csr& b);
+
+}  // namespace speck

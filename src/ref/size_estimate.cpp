@@ -1,0 +1,65 @@
+#include "ref/size_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace speck {
+
+SizeEstimate estimate_output_size(const Csr& a, const Csr& b, int rounds,
+                                  std::uint64_t seed) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SPECK_REQUIRE(rounds >= 1, "at least one estimation round required");
+
+  // Per round: draw an Exp(1) label per column of B; propagate minima
+  // backwards: label(row k of B) = min over its columns' labels; then
+  // label(row i of C) = min over referenced B rows. The minimum of n i.i.d.
+  // Exp(1) variables is Exp(n), so 1/label estimates the number of distinct
+  // columns reachable from row i — exactly nnz(row i of C).
+  const auto rows = static_cast<std::size_t>(a.rows());
+  std::vector<double> harmonic_sums(rows, 0.0);
+
+  Xoshiro256 rng(seed);
+  std::vector<double> column_labels(static_cast<std::size_t>(b.cols()));
+  std::vector<double> b_row_minima(static_cast<std::size_t>(b.rows()));
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& label : column_labels) {
+      // Exponential(1) via inverse CDF; next_double() < 1 keeps log finite.
+      label = -std::log(1.0 - rng.next_double());
+    }
+    for (index_t k = 0; k < b.rows(); ++k) {
+      double minimum = kInfinity;
+      for (const index_t c : b.row_cols(k)) {
+        minimum = std::min(minimum, column_labels[static_cast<std::size_t>(c)]);
+      }
+      b_row_minima[static_cast<std::size_t>(k)] = minimum;
+    }
+    for (index_t r = 0; r < a.rows(); ++r) {
+      double minimum = kInfinity;
+      for (const index_t k : a.row_cols(r)) {
+        minimum = std::min(minimum, b_row_minima[static_cast<std::size_t>(k)]);
+      }
+      harmonic_sums[static_cast<std::size_t>(r)] += minimum;
+    }
+  }
+
+  SizeEstimate estimate;
+  estimate.row_nnz.resize(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (std::isinf(harmonic_sums[r]) || harmonic_sums[r] <= 0.0) {
+      estimate.row_nnz[r] = 0.0;  // empty output row
+      continue;
+    }
+    // Unbiased estimator for the rate of a sum of `rounds` exponentials.
+    estimate.row_nnz[r] =
+        static_cast<double>(rounds - 1) / harmonic_sums[r];
+    if (rounds == 1) estimate.row_nnz[r] = 1.0 / harmonic_sums[r];
+    estimate.total_nnz += estimate.row_nnz[r];
+  }
+  return estimate;
+}
+
+}  // namespace speck

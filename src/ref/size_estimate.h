@@ -1,0 +1,27 @@
+// Probabilistic output-size estimation for SpGEMM (Cohen's minimum-label
+// estimator). The paper motivates spECK's conservative product-count bound
+// by noting that "determining the exact size of C is similarly complex as
+// the SpGEMM itself" (§1) — this module implements the classical cheap
+// alternative: an unbiased estimator of nnz(C) from R rounds of random
+// labels, O(R * (nnz(A) + nnz(B))) time and no intermediate products.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace speck {
+
+struct SizeEstimate {
+  /// Estimated NNZ per row of C.
+  std::vector<double> row_nnz;
+  double total_nnz = 0.0;
+};
+
+/// Cohen's estimator with `rounds` independent exponential label rounds.
+/// Standard error of each row estimate is ~ nnz_row / sqrt(rounds).
+SizeEstimate estimate_output_size(const Csr& a, const Csr& b, int rounds,
+                                  std::uint64_t seed);
+
+}  // namespace speck

@@ -1,0 +1,5 @@
+#include "ref/spgemm_api.h"
+
+// Interface-only translation unit; anchors the vtable for SpGemmAlgorithm.
+
+namespace speck {}  // namespace speck

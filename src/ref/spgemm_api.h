@@ -1,0 +1,65 @@
+// Common interface implemented by spECK and every baseline algorithm.
+//
+// `multiply` computes C = A*B exactly (host arithmetic) while simulating the
+// device-side execution: the result carries the modeled time, the per-stage
+// timeline and the peak device-memory footprint — the quantities the paper's
+// evaluation section compares.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+#include "sim/cost_model.h"
+#include "sim/device_spec.h"
+#include "sim/launch.h"
+#include "sim/timeline.h"
+
+namespace speck {
+
+enum class SpGemmStatus {
+  kOk,
+  kOutOfMemory,   ///< simulated device memory exhausted
+  kUnsupported,   ///< matrix shape/feature the method cannot handle
+};
+
+struct SpGemmResult {
+  SpGemmStatus status = SpGemmStatus::kOk;
+  std::string failure_reason;
+  Csr c;
+  /// Simulated end-to-end seconds (excluding the output allocation, which
+  /// the paper excludes since it is identical for every method).
+  double seconds = 0.0;
+  sim::StageTimeline timeline;
+  /// Peak simulated device memory including the output matrix (Fig. 10).
+  std::size_t peak_memory_bytes = 0;
+  /// KokkosKernels-like methods return unsorted rows (violating CSR).
+  bool sorted_output = true;
+
+  bool ok() const { return status == SpGemmStatus::kOk; }
+  /// GFLOPS counting each product as 2 flops (multiply + add), paper §6.
+  double gflops(offset_t products) const {
+    return seconds > 0.0 ? 2.0 * static_cast<double>(products) / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Abstract SpGEMM algorithm bound to a device model.
+class SpGemmAlgorithm {
+ public:
+  SpGemmAlgorithm(sim::DeviceSpec device, sim::CostModel model)
+      : device_(device), model_(model) {}
+  virtual ~SpGemmAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual SpGemmResult multiply(const Csr& a, const Csr& b) = 0;
+
+  const sim::DeviceSpec& device() const { return device_; }
+  const sim::CostModel& cost_model() const { return model_; }
+
+ protected:
+  sim::DeviceSpec device_;
+  sim::CostModel model_;
+};
+
+}  // namespace speck

@@ -1,0 +1,128 @@
+// Per-block cycle cost accounting.
+//
+// Kernels in this repository compute exact results on the host while charging
+// modeled device cycles to a BlockCost. The convention is:
+//
+//   * `issued(ops)` takes the number of *issued thread-operations*, i.e.
+//     including lanes that are masked out or idle. A group of g threads
+//     sweeping a row of length L charges ceil(L/g)*g issued ops — this is
+//     what makes load-imbalance visible in the model (paper §3.2, Fig. 13).
+//   * memory charges count 128-byte transactions: a coalesced sweep of W
+//     contiguous words charges ~W/32 transactions, a scattered access
+//     charges one transaction per word (paper's coalescing argument).
+//   * scratchpad ops and atomics are charged per operation; hash-probe
+//     chains and atomic conflicts charge every probe.
+//
+// The Launch/scheduler layer (launch.h) converts block totals into seconds
+// using SM throughput numbers and occupancy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_utils.h"
+
+namespace speck::sim {
+
+/// Throughput/latency constants. Defaults approximate a Volta-class SM; the
+/// exact values only scale absolute times, not the relative behaviour the
+/// benchmarks reproduce.
+struct CostModel {
+  /// Issued thread-operations an SM retires per cycle (4 schedulers x 32).
+  double issue_width = 128.0;
+  /// Cycles one 128-byte global-memory transaction occupies of an SM's
+  /// share of device bandwidth (all SMs saturated).
+  double cycles_per_global_transaction = 20.0;
+  /// Scratchpad ops an SM services per cycle.
+  double smem_ops_per_cycle = 32.0;
+  /// Scratchpad atomics serviced per cycle (no conflicts).
+  double smem_atomics_per_cycle = 8.0;
+  /// Cycles per global-memory atomic.
+  double cycles_per_global_atomic = 30.0;
+  /// Fixed cycles per block (scheduling, prologue, final sync). Kept low:
+  /// prologues of co-resident blocks overlap on a real SM.
+  double block_overhead_cycles = 200.0;
+  /// Host-side launch overhead per kernel, microseconds.
+  double kernel_launch_overhead_us = 4.0;
+  /// Fixed host-side overhead per device memory allocation, microseconds.
+  double allocation_overhead_us = 8.0;
+};
+
+/// Cycle accumulator for one simulated thread block.
+class BlockCost {
+ public:
+  BlockCost(int threads, std::size_t scratchpad_bytes, const CostModel& model)
+      : threads_(threads), scratchpad_bytes_(scratchpad_bytes), model_(&model) {}
+
+  int threads() const { return threads_; }
+  std::size_t scratchpad_bytes() const { return scratchpad_bytes_; }
+
+  /// Issued thread-operations (including idle lanes), weight = relative
+  /// instruction cost of the operation.
+  void issued(double ops, double weight = 1.0) {
+    cycles_ += ops * weight / model_->issue_width;
+  }
+
+  /// A lockstep phase in which the block's slowest group runs `iterations`
+  /// sequential steps: every thread occupies an issue slot for all of them.
+  void lockstep(double iterations, double weight = 1.0) {
+    issued(iterations * threads_, weight);
+  }
+
+  /// Coalesced global access of `words` contiguous 32-bit words.
+  void global_coalesced(std::size_t words) {
+    transactions_ += static_cast<double>(ceil_div<std::size_t>(words * 4, 128));
+  }
+
+  /// Coalesced global access of `words` contiguous 64-bit words.
+  void global_coalesced64(std::size_t words) {
+    transactions_ += static_cast<double>(ceil_div<std::size_t>(words * 8, 128));
+  }
+
+  /// Scattered global access: one transaction per word.
+  void global_scattered(std::size_t words) {
+    transactions_ += static_cast<double>(words);
+  }
+
+  /// Global access of `words` 32-bit words spread over `segments` distinct
+  /// contiguous regions (e.g. g threads each streaming a different B row).
+  /// Each segment boundary costs one extra 32-byte *sector* (a quarter
+  /// transaction) — the granularity Volta-class memory systems fetch at.
+  /// `cache_factor` discounts gathers from a reused working set that fits
+  /// the L2 (see sim::reuse_cache_factor).
+  void global_segmented(std::size_t words, std::size_t segments,
+                        double cache_factor = 1.0) {
+    const std::size_t full = ceil_div<std::size_t>(words * 4, 128);
+    transactions_ += cache_factor * (static_cast<double>(full) +
+                                     0.25 * static_cast<double>(segments));
+  }
+
+  void smem(double ops) { smem_ops_ += ops; }
+  void smem_atomic(double ops, double avg_probe_or_conflicts = 1.0) {
+    smem_atomic_ops_ += ops * avg_probe_or_conflicts;
+  }
+  void global_atomic(double ops) { global_atomic_ops_ += ops; }
+
+  /// Total modeled cycles for this block.
+  double cycles() const {
+    return model_->block_overhead_cycles + cycles_ +
+           transactions_ * model_->cycles_per_global_transaction +
+           smem_ops_ / model_->smem_ops_per_cycle +
+           smem_atomic_ops_ / model_->smem_atomics_per_cycle +
+           global_atomic_ops_ * model_->cycles_per_global_atomic;
+  }
+
+  double global_transactions() const { return transactions_; }
+
+ private:
+  int threads_;
+  std::size_t scratchpad_bytes_;
+  const CostModel* model_;
+  double cycles_ = 0.0;
+  double transactions_ = 0.0;
+  double smem_ops_ = 0.0;
+  double smem_atomic_ops_ = 0.0;
+  double global_atomic_ops_ = 0.0;
+};
+
+}  // namespace speck::sim

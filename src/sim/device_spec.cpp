@@ -1,0 +1,38 @@
+#include "sim/device_spec.h"
+
+#include <algorithm>
+
+namespace speck::sim {
+
+double reuse_cache_factor(const DeviceSpec& device, std::size_t working_set_bytes) {
+  const double ratio = static_cast<double>(working_set_bytes) /
+                       static_cast<double>(device.l2_cache_bytes);
+  return std::clamp(ratio, device.l2_hit_cost, 1.0);
+}
+
+DeviceSpec DeviceSpec::titan_v() { return DeviceSpec{}; }
+
+DeviceSpec DeviceSpec::pascal_like() {
+  DeviceSpec d;
+  d.num_sms = 28;
+  d.scratchpad_per_sm = 96 * 1024;
+  d.static_scratchpad_per_block = 48 * 1024;
+  d.dynamic_scratchpad_per_block = 48 * 1024;  // no Volta opt-in
+  d.clock_ghz = 1.4;
+  d.global_memory_bytes = std::size_t{11} * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec DeviceSpec::a100_like() {
+  DeviceSpec d;
+  d.num_sms = 108;
+  d.scratchpad_per_sm = 164 * 1024;
+  d.static_scratchpad_per_block = 48 * 1024;
+  d.dynamic_scratchpad_per_block = 160 * 1024;
+  d.l2_cache_bytes = std::size_t{40} * 1024 * 1024;
+  d.clock_ghz = 1.41;
+  d.global_memory_bytes = std::size_t{40} * 1024 * 1024 * 1024;
+  return d;
+}
+
+}  // namespace speck::sim

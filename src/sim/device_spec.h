@@ -1,0 +1,57 @@
+// Simulated GPU device description.
+//
+// The paper evaluates on an NVIDIA TITAN V (Volta): 80 SMs, 96 KB scratchpad
+// per SM with a 48 KB static per-block limit and an opt-in 96 KB dynamic
+// limit (which halves occupancy), 1024 threads per block maximum. We model
+// those resource limits faithfully because spECK's kernel configurations are
+// derived from them (paper §4.2 "Configuration").
+#pragma once
+
+#include <cstddef>
+
+namespace speck::sim {
+
+struct DeviceSpec {
+  int num_sms = 80;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  /// Scratchpad ("shared memory") available on one SM.
+  std::size_t scratchpad_per_sm = 96 * 1024;
+  /// Per-block static scratchpad limit (spECK_STATIC_MEM_PER_BLOCK).
+  std::size_t static_scratchpad_per_block = 48 * 1024;
+  /// Per-block opt-in dynamic limit (spECK_DYNAMIC_MEM_PER_BLOCK on Volta).
+  std::size_t dynamic_scratchpad_per_block = 96 * 1024;
+  /// Last-level cache capacity; repeated gathers from a working set that
+  /// fits here cost a fraction of a DRAM transaction.
+  std::size_t l2_cache_bytes = std::size_t{4608} * 1024;
+  /// Relative cost of an L2 hit vs. a DRAM transaction.
+  double l2_hit_cost = 0.5;
+  /// Core clock; converts modeled cycles into seconds.
+  double clock_ghz = 1.2;
+  /// Device memory capacity (12 GB on TITAN V); multiplications whose
+  /// working set exceeds this are rejected like the paper's OOM failures.
+  std::size_t global_memory_bytes = std::size_t{12} * 1024 * 1024 * 1024;
+  /// Threads an SM must keep resident for full latency hiding. Below this
+  /// the effective throughput of resident blocks degrades.
+  int full_throughput_threads = 1024;
+
+  /// The device used throughout the paper's evaluation.
+  static DeviceSpec titan_v();
+
+  /// A smaller Pascal-like device (no 96 KB opt-in) used in tests to
+  /// exercise the configuration logic under different limits.
+  static DeviceSpec pascal_like();
+
+  /// An Ampere-class device: more SMs, a larger scratchpad opt-in (164 KB)
+  /// and a bigger L2 — exercises the configuration ladder upwards.
+  static DeviceSpec a100_like();
+};
+
+/// Average cost factor for transactions against a working set of the given
+/// size that is re-read many times (row gathers from B): 1.0 when the set
+/// far exceeds the L2, l2_hit_cost when it fits entirely.
+double reuse_cache_factor(const DeviceSpec& device, std::size_t working_set_bytes);
+
+}  // namespace speck::sim

@@ -1,0 +1,82 @@
+#include "sim/launch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace speck::sim {
+
+int blocks_resident_per_sm(const DeviceSpec& device, int threads,
+                           std::size_t scratchpad_bytes) {
+  SPECK_REQUIRE(threads >= 1 && threads <= device.max_threads_per_block,
+                "block thread count out of device range");
+  int by_threads = device.max_threads_per_sm / std::max(threads, device.warp_size);
+  int by_smem = scratchpad_bytes == 0
+                    ? device.max_blocks_per_sm
+                    : static_cast<int>(device.scratchpad_per_sm / scratchpad_bytes);
+  return std::max(1, std::min({by_threads, by_smem, device.max_blocks_per_sm}));
+}
+
+double occupancy_efficiency(const DeviceSpec& device, int resident_threads) {
+  const double ratio = static_cast<double>(resident_threads) /
+                       static_cast<double>(device.full_throughput_threads);
+  return std::clamp(ratio, 0.25, 1.0);
+}
+
+BlockCost Launch::make_block(int threads, std::size_t scratchpad_bytes) const {
+  SPECK_REQUIRE(threads >= 1 && threads <= device_.max_threads_per_block,
+                "threads per block exceeds device limit");
+  SPECK_REQUIRE(scratchpad_bytes <= device_.dynamic_scratchpad_per_block,
+                "scratchpad request exceeds device limit");
+  return BlockCost(threads, scratchpad_bytes, model_);
+}
+
+void Launch::add(const BlockCost& block) {
+  blocks_.push_back(BlockRecord{block.cycles(), block.threads(), block.scratchpad_bytes()});
+}
+
+LaunchResult Launch::finish() const {
+  LaunchResult result;
+  result.name = name_;
+  result.blocks = static_cast<int>(blocks_.size());
+  if (blocks_.empty()) {
+    result.seconds = model_.kernel_launch_overhead_us * 1e-6;
+    return result;
+  }
+
+  result.threads_per_block = blocks_.front().threads;
+  result.scratchpad_per_block = blocks_.front().scratchpad;
+
+  // Greedy dispatch in block order to the least-loaded SM: CUDA dispatches
+  // waves of blocks to SMs as they drain, which this approximates while
+  // preserving the in-order locality spECK's binning relies on.
+  std::vector<double> sm_load(static_cast<std::size_t>(device_.num_sms), 0.0);
+  std::size_t next_sm = 0;
+  for (const BlockRecord& b : blocks_) {
+    const int resident = blocks_resident_per_sm(device_, b.threads, b.scratchpad);
+    const double eff =
+        occupancy_efficiency(device_, std::min(resident * b.threads,
+                                                device_.max_threads_per_sm));
+    // Round-robin with a min-load fallback keeps dispatch O(blocks).
+    std::size_t target = next_sm;
+    next_sm = (next_sm + 1) % sm_load.size();
+    if (sm_load[target] > 1.5 * sm_load[next_sm]) {
+      target = static_cast<std::size_t>(
+          std::min_element(sm_load.begin(), sm_load.end()) - sm_load.begin());
+    }
+    sm_load[target] += b.cycles / eff;
+  }
+  result.makespan_cycles = *std::max_element(sm_load.begin(), sm_load.end());
+
+  const BlockRecord& first = blocks_.front();
+  result.resident_blocks_per_sm =
+      blocks_resident_per_sm(device_, first.threads, first.scratchpad);
+  result.efficiency = occupancy_efficiency(
+      device_, std::min(result.resident_blocks_per_sm * first.threads,
+                         device_.max_threads_per_sm));
+  result.seconds = result.makespan_cycles / (device_.clock_ghz * 1e9) +
+                   model_.kernel_launch_overhead_us * 1e-6;
+  return result;
+}
+
+}  // namespace speck::sim

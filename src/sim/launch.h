@@ -1,0 +1,71 @@
+// Kernel launch simulation: collects per-block costs and schedules the grid
+// onto the device's SMs to obtain a makespan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/device_spec.h"
+
+namespace speck::sim {
+
+/// Result of simulating one kernel launch.
+struct LaunchResult {
+  std::string name;
+  int blocks = 0;
+  int threads_per_block = 0;
+  std::size_t scratchpad_per_block = 0;
+  /// Blocks resident per SM given the resource limits (occupancy).
+  int resident_blocks_per_sm = 0;
+  /// Fraction of full throughput achieved at that occupancy.
+  double efficiency = 1.0;
+  double makespan_cycles = 0.0;
+  double seconds = 0.0;  ///< makespan + launch overhead
+};
+
+/// Accumulates blocks of one simulated kernel launch. Blocks may use
+/// heterogeneous thread counts / scratchpad sizes (spECK merges small rows
+/// into shared blocks but still launches per-bin kernels; baselines vary).
+class Launch {
+ public:
+  Launch(std::string name, const DeviceSpec& device, const CostModel& model)
+      : name_(std::move(name)), device_(device), model_(model) {}
+
+  const CostModel& model() const { return model_; }
+  const DeviceSpec& device() const { return device_; }
+
+  /// Creates a cost accumulator for one block. `threads` must not exceed
+  /// the device block limit; `scratchpad_bytes` must fit the dynamic limit.
+  BlockCost make_block(int threads, std::size_t scratchpad_bytes) const;
+
+  /// Commits a finished block.
+  void add(const BlockCost& block);
+
+  int block_count() const { return static_cast<int>(blocks_.size()); }
+
+  /// Schedules all committed blocks and returns the launch statistics.
+  /// An empty launch costs only the kernel launch overhead.
+  LaunchResult finish() const;
+
+ private:
+  struct BlockRecord {
+    double cycles;
+    int threads;
+    std::size_t scratchpad;
+  };
+
+  std::string name_;
+  DeviceSpec device_;
+  CostModel model_;
+  std::vector<BlockRecord> blocks_;
+};
+
+/// Occupancy: how many blocks with the given resources fit on one SM.
+int blocks_resident_per_sm(const DeviceSpec& device, int threads,
+                           std::size_t scratchpad_bytes);
+
+/// Throughput efficiency at the given number of resident threads per SM.
+double occupancy_efficiency(const DeviceSpec& device, int resident_threads);
+
+}  // namespace speck::sim

@@ -1,0 +1,3 @@
+#include "sim/memory_tracker.h"
+
+// Header-only implementation; this translation unit anchors the library.

@@ -1,0 +1,75 @@
+// Device-memory accounting (drives the paper's peak-memory comparisons,
+// Table 3 m/m_b rows and Fig. 10).
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace speck::sim {
+
+/// Tracks simulated device allocations. Algorithms report every temporary
+/// buffer and the output matrix; the tracker records the running peak.
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Records an allocation; returns false when the device would be out of
+  /// memory (the paper excludes matrices no method can multiply; individual
+  /// methods report failure).
+  [[nodiscard]] bool allocate(std::size_t bytes) {
+    if (current_ + bytes > capacity_) return false;
+    current_ += bytes;
+    peak_ = current_ > peak_ ? current_ : peak_;
+    ++allocation_count_;
+    return true;
+  }
+
+  void release(std::size_t bytes) {
+    SPECK_ASSERT(bytes <= current_, "releasing more device memory than allocated");
+    current_ -= bytes;
+  }
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+  int allocation_count() const { return allocation_count_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+  int allocation_count_ = 0;
+};
+
+/// RAII helper: releases its bytes on destruction.
+class ScopedAllocation {
+ public:
+  ScopedAllocation() = default;
+  ScopedAllocation(MemoryTracker& tracker, std::size_t bytes)
+      : tracker_(&tracker), bytes_(bytes) {}
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+  ScopedAllocation(ScopedAllocation&& other) noexcept { *this = std::move(other); }
+  ScopedAllocation& operator=(ScopedAllocation&& other) noexcept {
+    reset();
+    tracker_ = other.tracker_;
+    bytes_ = other.bytes_;
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+    return *this;
+  }
+  ~ScopedAllocation() { reset(); }
+
+  void reset() {
+    if (tracker_ != nullptr) tracker_->release(bytes_);
+    tracker_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  MemoryTracker* tracker_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace speck::sim

@@ -1,0 +1,30 @@
+#include "sim/timeline.h"
+
+#include <sstream>
+
+namespace speck::sim {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kAnalysis: return "analysis";
+    case Stage::kSymbolicLoadBalance: return "symb. load";
+    case Stage::kSymbolic: return "symb. SpGEMM";
+    case Stage::kNumericLoadBalance: return "num. load";
+    case Stage::kNumeric: return "num. SpGEMM";
+    case Stage::kSorting: return "sorting";
+    case Stage::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::string StageTimeline::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < kStageCount; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    if (seconds(stage) <= 0.0) continue;
+    os << stage_name(stage) << '=' << seconds(stage) * 1e3 << "ms ";
+  }
+  return os.str();
+}
+
+}  // namespace speck::sim

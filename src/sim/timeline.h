@@ -1,0 +1,53 @@
+// Per-stage time accounting for a simulated SpGEMM execution (drives Fig. 11).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace speck::sim {
+
+/// Pipeline stages as reported by the paper's Figure 11.
+enum class Stage {
+  kAnalysis = 0,
+  kSymbolicLoadBalance,
+  kSymbolic,
+  kNumericLoadBalance,
+  kNumeric,
+  kSorting,
+  kOther,
+};
+
+inline constexpr int kStageCount = 7;
+
+const char* stage_name(Stage s);
+
+/// Accumulates simulated seconds per stage.
+class StageTimeline {
+ public:
+  void add(Stage stage, double seconds) {
+    seconds_[static_cast<std::size_t>(stage)] += seconds;
+  }
+
+  double seconds(Stage stage) const {
+    return seconds_[static_cast<std::size_t>(stage)];
+  }
+
+  double total_seconds() const {
+    double total = 0.0;
+    for (const double s : seconds_) total += s;
+    return total;
+  }
+
+  /// Fraction of the total spent in `stage`; 0 when nothing recorded.
+  double share(Stage stage) const {
+    const double total = total_seconds();
+    return total > 0.0 ? seconds(stage) / total : 0.0;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kStageCount> seconds_{};
+};
+
+}  // namespace speck::sim

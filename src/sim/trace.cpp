@@ -1,0 +1,36 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace speck::sim {
+
+int LaunchTrace::total_blocks() const {
+  int total = 0;
+  for (const LaunchResult& launch : launches_) total += launch.blocks;
+  return total;
+}
+
+double LaunchTrace::total_seconds() const {
+  double total = 0.0;
+  for (const LaunchResult& launch : launches_) total += launch.seconds;
+  return total;
+}
+
+std::string LaunchTrace::to_string() const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-24s %8s %8s %10s %6s %10s\n", "launch",
+                "blocks", "threads", "smem(KB)", "occ", "time(us)");
+  os << line;
+  for (const LaunchResult& launch : launches_) {
+    std::snprintf(line, sizeof(line), "%-24s %8d %8d %10.1f %6d %10.2f\n",
+                  launch.name.c_str(), launch.blocks, launch.threads_per_block,
+                  static_cast<double>(launch.scratchpad_per_block) / 1024.0,
+                  launch.resident_blocks_per_sm, launch.seconds * 1e6);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace speck::sim

@@ -1,0 +1,34 @@
+// Execution trace: the sequence of simulated kernel launches of one
+// multiplication, with per-launch statistics. Drives runspeck's trace mode
+// and the occupancy assertions in the tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/launch.h"
+
+namespace speck::sim {
+
+/// Ordered record of every launch in one simulated operation.
+class LaunchTrace {
+ public:
+  void clear() { launches_.clear(); }
+  void record(LaunchResult result) { launches_.push_back(std::move(result)); }
+
+  const std::vector<LaunchResult>& launches() const { return launches_; }
+  bool empty() const { return launches_.empty(); }
+
+  /// Total blocks across all launches.
+  int total_blocks() const;
+  /// Sum of launch seconds (>= makespan of any single launch).
+  double total_seconds() const;
+
+  /// Multi-line human-readable table.
+  std::string to_string() const;
+
+ private:
+  std::vector<LaunchResult> launches_;
+};
+
+}  // namespace speck::sim

@@ -1,0 +1,116 @@
+// spECK kernel configurations and tunable parameters.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/device_spec.h"
+
+namespace speck {
+
+/// One of the six kernel configurations (paper §4.2 "Configuration"):
+/// the largest uses the Volta 96 KB opt-in at 1024 threads (halving
+/// occupancy), then 48 KB/1024, and each successive config halves both
+/// scratchpad and threads.
+struct KernelConfig {
+  int threads = 0;
+  std::size_t scratchpad_bytes = 0;
+  bool reduced_occupancy = false;  ///< the 96 KB opt-in config
+
+  /// Hash-map entries storable in the symbolic pass (index only, 32-bit).
+  std::size_t symbolic_hash_capacity() const {
+    return scratchpad_bytes / sizeof(key32_t);
+  }
+  /// Hash-map entries storable in the numeric pass (32-bit key + 64-bit value).
+  std::size_t numeric_hash_capacity() const {
+    return scratchpad_bytes / (sizeof(key32_t) + sizeof(value_t));
+  }
+  /// Dense-accumulator columns in the symbolic pass (one bit per column).
+  std::size_t dense_symbolic_capacity() const { return scratchpad_bytes * 8; }
+  /// Dense-accumulator columns in the numeric pass (value + occupancy flag).
+  std::size_t dense_numeric_capacity() const {
+    return scratchpad_bytes / (sizeof(value_t) + sizeof(key32_t));
+  }
+};
+
+/// The per-device configuration ladder, smallest first. Six configs on a
+/// Volta-class device, five when there is no scratchpad opt-in.
+std::vector<KernelConfig> kernel_configs(const sim::DeviceSpec& device);
+
+/// Auto-tunable thresholds for the conditional global load balancer
+/// (paper §5, Table 2). The load balancer runs when
+///   m_max/m_avg > ratio  AND  rows_c > min_rows
+/// using the *large-kernel* set when the longest row falls into the largest
+/// kernel configurations, the general set otherwise.
+struct LoadBalanceThresholds {
+  double ratio = 0.0;
+  index_t min_rows = 0;
+};
+
+struct SpeckThresholds {
+  LoadBalanceThresholds symbolic{39.2, 28000};
+  LoadBalanceThresholds symbolic_large{6.0, 5431};
+  LoadBalanceThresholds numeric{10.5, 23006};
+  LoadBalanceThresholds numeric_large{1.3, 1238};
+  /// How many of the largest kernels select the *_large set (paper: three of
+  /// six in symbolic, two of six in numeric).
+  int symbolic_large_kernel_count = 3;
+  int numeric_large_kernel_count = 2;
+};
+
+/// Mode of the global load balancer; kAuto is spECK, the other two modes
+/// exist for the Figure 14 ablation and the auto-tuner's measurements.
+enum class GlobalLbMode { kAuto, kAlwaysOn, kAlwaysOff };
+
+/// Feature toggles for the Figure 12/13/14 ablations.
+struct SpeckFeatures {
+  bool dense_accumulation = true;   ///< Fig. 12: hash vs hash+dense
+  bool direct_rows = true;          ///< Fig. 12: +direct referencing
+  bool dynamic_group_size = true;   ///< Fig. 13: dynamic g vs fixed 32
+  int fixed_group_size = 32;        ///< used when dynamic_group_size is off
+  /// Algorithm 2 block merging of the smallest bin (ablation: without it,
+  /// every small row occupies its own under-filled block).
+  bool block_merge = true;
+  GlobalLbMode global_lb_symbolic = GlobalLbMode::kAuto;  ///< Fig. 14
+  GlobalLbMode global_lb_numeric = GlobalLbMode::kAuto;   ///< Fig. 14
+
+  void set_global_lb(GlobalLbMode mode) {
+    global_lb_symbolic = mode;
+    global_lb_numeric = mode;
+  }
+};
+
+/// Thresholds auto-tuned with bench_table2_tuning over this repository's
+/// reduced-scale synthetic corpus (matrices are ~10-100x smaller than the
+/// SuiteSparse originals, so the `min_rows` gates shrink accordingly; the
+/// ratio gates land close to the paper's). The benchmark suite uses these;
+/// the paper's Table 2 values remain the SpeckThresholds defaults.
+SpeckThresholds reduced_scale_thresholds();
+
+struct SpeckConfig {
+  SpeckThresholds thresholds;
+  SpeckFeatures features;
+  /// Numeric hash maps are sized so that final occupancy stays below this
+  /// fill rate (paper §4.2: 66%).
+  double max_numeric_fill = 0.66;
+  /// Symbolic dense accumulation is only used for rows with more than this
+  /// multiple of the largest hash capacity in products (paper §4.3: 2x).
+  double symbolic_dense_factor = 2.0;
+  /// Numeric rows switch to dense accumulation above this density
+  /// (paper §4.3: 18%, i.e. at most 3 dense window iterations).
+  double dense_density_threshold = 0.18;
+  /// Rows per merged block limit: 5 bits of local row index (paper §4.3).
+  int max_rows_per_block = 32;
+};
+
+/// Validates a configuration; throws InvalidArgument with a description of
+/// the first violated constraint. Called by the Speck constructor.
+void validate(const SpeckConfig& config);
+
+/// One-line-per-field human-readable dump of a configuration.
+std::string describe(const SpeckConfig& config);
+
+}  // namespace speck

@@ -1,0 +1,79 @@
+#include "speck/dense_acc.h"
+
+#include <algorithm>
+
+#include "common/bit_utils.h"
+#include "common/check.h"
+
+namespace speck {
+
+DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
+                                    std::span<const value_t> a_vals, index_t col_min,
+                                    index_t col_max, std::size_t window_columns,
+                                    bool numeric) {
+  SPECK_REQUIRE(window_columns > 0, "dense window must hold at least one column");
+  SPECK_REQUIRE(!numeric || a_vals.size() == a_cols.size(),
+                "numeric mode requires values for every A entry");
+  DenseRowResult result;
+  if (a_cols.empty() || col_max < col_min) {
+    result.passes = 0;
+    return result;
+  }
+
+  const auto range = static_cast<std::size_t>(col_max - col_min) + 1;
+  const auto window = static_cast<index_t>(window_columns);
+
+  // Per referenced B row: cursor of the next unconsumed element. B rows are
+  // sorted by column, so each pass consumes a prefix of the remainder.
+  std::vector<offset_t> cursor(a_cols.size());
+  for (std::size_t i = 0; i < a_cols.size(); ++i) {
+    cursor[i] = b.row_offsets()[static_cast<std::size_t>(a_cols[i])];
+  }
+
+  std::vector<value_t> window_vals(numeric ? window_columns : 0, 0.0);
+  std::vector<bool> occupied(window_columns, false);
+  const auto b_cols = b.col_indices();
+  const auto b_vals = b.values();
+
+  for (index_t window_start = col_min; window_start <= col_max;
+       window_start += window) {
+    const index_t window_end =
+        static_cast<index_t>(std::min<std::int64_t>(
+            static_cast<std::int64_t>(window_start) + window - 1, col_max));
+    ++result.passes;
+
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      const auto row_end = b.row_offsets()[static_cast<std::size_t>(a_cols[i]) + 1];
+      offset_t& cur = cursor[i];
+      while (cur < row_end && b_cols[static_cast<std::size_t>(cur)] <= window_end) {
+        const index_t c = b_cols[static_cast<std::size_t>(cur)];
+        const auto slot = static_cast<std::size_t>(c - window_start);
+        occupied[slot] = true;
+        if (numeric) {
+          window_vals[slot] += a_vals[i] * b_vals[static_cast<std::size_t>(cur)];
+        }
+        ++cur;
+        ++result.element_touches;
+      }
+    }
+
+    // Extraction: compact the occupied window cells in order.
+    const auto cells = static_cast<std::size_t>(window_end - window_start) + 1;
+    result.cells_scanned += static_cast<offset_t>(cells);
+    for (std::size_t s = 0; s < cells; ++s) {
+      if (!occupied[s]) continue;
+      result.cols.push_back(window_start + static_cast<index_t>(s));
+      if (numeric) {
+        result.vals.push_back(window_vals[s]);
+        window_vals[s] = 0.0;
+      }
+      occupied[s] = false;
+    }
+  }
+  SPECK_ASSERT(result.passes ==
+                   static_cast<int>(ceil_div<std::size_t>(range, window_columns)),
+               "dense pass count mismatch");
+  return result;
+}
+
+}  // namespace speck

@@ -1,0 +1,39 @@
+// Windowed dense accumulator (paper §4.3 "Dense Rows of C", Fig. 5).
+//
+// Stores the output row in a dense scratchpad array covering a window of the
+// column range. When [col_min, col_max] exceeds the window, multiple passes
+// sweep successive windows; per-row cursors into B guarantee each
+// intermediate product is visited exactly once across all passes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "matrix/csr.h"
+
+namespace speck {
+
+struct DenseRowResult {
+  /// Sorted output columns (dense accumulation emits in order; no sort pass).
+  std::vector<index_t> cols;
+  /// Accumulated values; empty in symbolic mode.
+  std::vector<value_t> vals;
+  /// Window passes executed (cost model input; 1 when the range fits).
+  int passes = 0;
+  /// B elements touched (equals the row's product count).
+  offset_t element_touches = 0;
+  /// Window cells scanned during extraction (cost model input).
+  offset_t cells_scanned = 0;
+};
+
+/// Accumulates one row of C densely. `a_cols`/`a_vals` describe the row of A;
+/// `window_columns` is the scratchpad window capacity in columns (bitmask
+/// capacity for symbolic mode, value-array capacity for numeric mode).
+/// In symbolic mode (`numeric == false`) values are not computed.
+DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
+                                    std::span<const value_t> a_vals, index_t col_min,
+                                    index_t col_max, std::size_t window_columns,
+                                    bool numeric);
+
+}  // namespace speck

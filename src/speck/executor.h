@@ -1,0 +1,58 @@
+// Inspector-executor interface: reuse the analysis, load-balancing plans and
+// symbolic result across repeated multiplications with identical structure.
+//
+// Iterative applications (AMG cycles, Newton steps, graph iterations)
+// multiply matrices whose *sparsity pattern* is fixed while values change.
+// spECK's row analysis, binning and symbolic pass depend only on the
+// pattern, so inspecting once and executing many times amortizes roughly
+// half of the pipeline (Fig. 11's analysis + symbolic + load-balancing
+// shares).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "ref/spgemm_api.h"
+#include "speck/speck.h"
+
+namespace speck {
+
+/// Frozen pattern-dependent state for one (A, B) structure.
+struct SpeckPlan {
+  RowAnalysis analysis;
+  BinPlan symbolic_plan;
+  BinPlan numeric_plan;
+  std::vector<index_t> row_nnz;  ///< exact NNZ per row of C
+  bool wide_keys = false;
+  /// Structural fingerprint used to detect mismatched executes.
+  index_t a_rows = 0, a_cols = 0, b_cols = 0;
+  offset_t a_nnz = 0, b_nnz = 0;
+  /// Simulated seconds spent inspecting (analysis + LB + symbolic).
+  double inspect_seconds = 0.0;
+};
+
+/// Inspect-once / execute-many wrapper around the spECK pipeline.
+class SpeckExecutor {
+ public:
+  SpeckExecutor(sim::DeviceSpec device, sim::CostModel model,
+                SpeckConfig config = {})
+      : speck_(device, model, config) {}
+
+  /// Runs the pattern-dependent stages and freezes the plan.
+  /// The matrices' *values* are not retained.
+  SpeckPlan inspect(const Csr& a, const Csr& b);
+
+  /// Numeric-only multiplication using a frozen plan. The structure of
+  /// (a, b) must match the plan (checked by fingerprint; a structural
+  /// mismatch throws InvalidArgument). The result's `seconds` covers only
+  /// the numeric + sorting stages.
+  SpGemmResult execute(const SpeckPlan& plan, const Csr& a, const Csr& b);
+
+  const Speck& speck() const { return speck_; }
+  Speck& speck() { return speck_; }
+
+ private:
+  Speck speck_;
+};
+
+}  // namespace speck

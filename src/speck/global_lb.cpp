@@ -1,0 +1,222 @@
+#include "speck/global_lb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bit_utils.h"
+#include "common/check.h"
+
+namespace speck {
+namespace {
+
+offset_t hash_capacity(const KernelConfig& config, bool symbolic) {
+  return static_cast<offset_t>(symbolic ? config.symbolic_hash_capacity()
+                                        : config.numeric_hash_capacity());
+}
+
+struct DemandStats {
+  offset_t max = 0;
+  double avg = 0.0;
+};
+
+DemandStats demand_stats(std::span<const offset_t> entries) {
+  DemandStats s;
+  offset_t total = 0;
+  for (const offset_t e : entries) {
+    s.max = std::max(s.max, e);
+    total += e;
+  }
+  s.avg = entries.empty() ? 0.0
+                          : static_cast<double>(total) / static_cast<double>(entries.size());
+  return s;
+}
+
+}  // namespace
+
+int config_for_entries(const std::vector<KernelConfig>& configs, offset_t entries,
+                       bool symbolic) {
+  SPECK_ASSERT(!configs.empty(), "no kernel configurations");
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (hash_capacity(configs[i], symbolic) >= entries) return static_cast<int>(i);
+  }
+  return static_cast<int>(configs.size()) - 1;
+}
+
+LbDecisionStats lb_decision_stats(const GlobalLbInputs& in,
+                                  const std::vector<KernelConfig>& configs,
+                                  const SpeckConfig& cfg) {
+  LbDecisionStats out;
+  const DemandStats stats = demand_stats(in.entries_per_row);
+  out.rows = static_cast<index_t>(in.entries_per_row.size());
+  out.ratio = stats.avg > 0.0 ? static_cast<double>(stats.max) / stats.avg : 0.0;
+  const int longest_config = config_for_entries(configs, stats.max, in.symbolic);
+  const int large_count = in.symbolic ? cfg.thresholds.symbolic_large_kernel_count
+                                      : cfg.thresholds.numeric_large_kernel_count;
+  out.large_kernel =
+      longest_config >= static_cast<int>(configs.size()) - large_count;
+  return out;
+}
+
+bool lb_decision(const LbDecisionStats& stats,
+                 const LoadBalanceThresholds& general,
+                 const LoadBalanceThresholds& large) {
+  const LoadBalanceThresholds& t = stats.large_kernel ? large : general;
+  return stats.ratio > t.ratio && stats.rows > t.min_rows;
+}
+
+bool should_use_global_lb(const GlobalLbInputs& in,
+                          const std::vector<KernelConfig>& configs,
+                          const SpeckConfig& cfg) {
+  const GlobalLbMode mode = in.symbolic ? cfg.features.global_lb_symbolic
+                                        : cfg.features.global_lb_numeric;
+  switch (mode) {
+    case GlobalLbMode::kAlwaysOn: return true;
+    case GlobalLbMode::kAlwaysOff: return false;
+    case GlobalLbMode::kAuto: break;
+  }
+  const LbDecisionStats stats = lb_decision_stats(in, configs, cfg);
+  if (stats.ratio <= 0.0) return false;
+  return in.symbolic
+             ? lb_decision(stats, cfg.thresholds.symbolic, cfg.thresholds.symbolic_large)
+             : lb_decision(stats, cfg.thresholds.numeric, cfg.thresholds.numeric_large);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> block_merge(
+    std::span<const offset_t> demands, offset_t capacity, int max_rows) {
+  const std::size_t n = demands.size();
+  std::vector<std::pair<std::size_t, std::size_t>> result;
+  if (n == 0) return result;
+
+  // segment_size[k]: combined demand of the segment starting at k when that
+  // segment is a single merged block; `merged_len[k]`: its row count.
+  std::vector<offset_t> segment_size(demands.begin(), demands.end());
+  std::vector<std::size_t> merged_len(n, 1);
+
+  // Algorithm 2: pairwise tree merge with doubling stride. Each level
+  // merges aligned neighbours when their combined demand stays below the
+  // capacity; matches Figure 3 ("neighboring blocks with same row counts").
+  for (std::size_t step = 1;
+       static_cast<int>(step * 2) <= max_rows && step < n; step *= 2) {
+    for (std::size_t k = 0; k + step < n; k += 2 * step) {
+      if (merged_len[k] != step || merged_len[k + step] > step) continue;
+      if (segment_size[k] + segment_size[k + step] >= capacity) continue;
+      segment_size[k] += segment_size[k + step];
+      merged_len[k] += merged_len[k + step];
+    }
+  }
+
+  std::size_t k = 0;
+  while (k < n) {
+    result.emplace_back(k, k + merged_len[k]);
+    k += merged_len[k];
+  }
+  return result;
+}
+
+BinPlan plan_global_lb(const GlobalLbInputs& in,
+                       const std::vector<KernelConfig>& configs,
+                       const SpeckConfig& cfg, sim::Launch& lb_launch) {
+  BinPlan plan;
+  const std::size_t rows = in.entries_per_row.size();
+  plan.row_order.resize(rows);
+  std::iota(plan.row_order.begin(), plan.row_order.end(), index_t{0});
+  if (rows == 0) return plan;
+
+  const DemandStats stats = demand_stats(in.entries_per_row);
+  plan.used_load_balancer = should_use_global_lb(in, configs, cfg);
+
+  if (!plan.used_load_balancer) {
+    // Uniform fallback: one kernel size fitting the longest row, fixed
+    // number of rows per block (paper §4.2 "No load balancing"). The row
+    // count per block is derived from the *average* demand — for the
+    // uniform matrices this path targets, average and maximum coincide;
+    // rare overflowing blocks spill to the global hash map.
+    const int config = config_for_entries(configs, stats.max, in.symbolic);
+    const offset_t capacity = hash_capacity(configs[static_cast<std::size_t>(config)],
+                                            in.symbolic);
+    const offset_t avg = std::max<offset_t>(1, static_cast<offset_t>(stats.avg + 0.5));
+    const auto rows_per_block = static_cast<std::size_t>(std::clamp<offset_t>(
+        stats.max > 0 ? capacity / (2 * avg) : cfg.max_rows_per_block, 1,
+        cfg.max_rows_per_block));
+    for (std::size_t begin = 0; begin < rows; begin += rows_per_block) {
+      plan.blocks.push_back(
+          BinPlan::Block{begin, std::min(rows, begin + rows_per_block), config});
+    }
+    return plan;
+  }
+
+  // Binning: stable partition of rows by target configuration. Emulates the
+  // local prefix-sum binning with a single global append per block.
+  std::vector<std::vector<index_t>> bins(configs.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int config = config_for_entries(configs, in.entries_per_row[r], in.symbolic);
+    bins[static_cast<std::size_t>(config)].push_back(static_cast<index_t>(r));
+  }
+
+  plan.row_order.clear();
+  std::vector<offset_t> smallest_bin_demands;
+  for (std::size_t c = 0; c < bins.size(); ++c) {
+    const std::vector<index_t>& bin = bins[c];
+    if (bin.empty()) continue;
+    const std::size_t bin_begin = plan.row_order.size();
+    plan.row_order.insert(plan.row_order.end(), bin.begin(), bin.end());
+
+    if (c == 0 && cfg.features.block_merge) {
+      // Smallest bin: merge neighbouring rows into shared blocks.
+      smallest_bin_demands.resize(bin.size());
+      for (std::size_t i = 0; i < bin.size(); ++i) {
+        smallest_bin_demands[i] = in.entries_per_row[static_cast<std::size_t>(bin[i])];
+      }
+      const offset_t capacity = hash_capacity(configs[0], in.symbolic);
+      for (const auto& [begin, end] :
+           block_merge(smallest_bin_demands, capacity, cfg.max_rows_per_block)) {
+        plan.blocks.push_back(
+            BinPlan::Block{bin_begin + begin, bin_begin + end, static_cast<int>(c)});
+      }
+    } else {
+      for (std::size_t i = 0; i < bin.size(); ++i) {
+        plan.blocks.push_back(
+            BinPlan::Block{bin_begin + i, bin_begin + i + 1, static_cast<int>(c)});
+      }
+    }
+  }
+
+  // Simulated cost of the balancer: one pass over the per-row demands with
+  // local prefix sums per potentially non-empty bin, then the block-merge
+  // reduction over the smallest bin.
+  const int block_threads = lb_launch.device().max_threads_per_block;
+  int active_bins = 0;
+  for (const auto& bin : bins) active_bins += bin.empty() ? 0 : 1;
+  const std::size_t num_blocks =
+      std::max<std::size_t>(1, ceil_div(rows, static_cast<std::size_t>(block_threads)));
+  std::size_t remaining = rows;
+  for (std::size_t blk = 0; blk < num_blocks; ++blk) {
+    const std::size_t in_block =
+        std::min(remaining, static_cast<std::size_t>(block_threads));
+    remaining -= in_block;
+    auto cost = lb_launch.make_block(block_threads, 8 * 1024);
+    cost.global_coalesced(in_block);  // read demands
+    // One prefix scan per active bin over the block (log T steps each).
+    cost.lockstep(static_cast<double>(std::max(1, active_bins)) *
+                  log2_pow2(static_cast<std::uint64_t>(block_threads)));
+    cost.smem(2.0 * static_cast<double>(in_block));
+    cost.global_atomic(static_cast<double>(std::max(1, active_bins)));  // bin append
+    cost.global_coalesced(in_block);  // write row ids
+    lb_launch.add(cost);
+  }
+  if (!smallest_bin_demands.empty()) {
+    auto cost = lb_launch.make_block(block_threads, 8 * 1024);
+    cost.global_coalesced(smallest_bin_demands.size());
+    cost.lockstep(6.0);  // the six merge rounds of Algorithm 2
+    cost.smem(2.0 * static_cast<double>(smallest_bin_demands.size()));
+    cost.global_coalesced(smallest_bin_demands.size() / 4);
+    lb_launch.add(cost);
+  }
+
+  plan.lb_memory_bytes =
+      rows * sizeof(index_t)          // bin row lists
+      + configs.size() * sizeof(offset_t) * 64;  // bin counters / offsets
+  return plan;
+}
+
+}  // namespace speck

@@ -1,0 +1,85 @@
+// Conditional global load balancer: binning by scratchpad demand plus the
+// parallel block-merge for the smallest bin (paper §4.2, Algorithms 2 / Fig. 3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/launch.h"
+#include "speck/config.h"
+
+namespace speck {
+
+/// Assignment of matrix rows to simulated thread blocks.
+struct BinPlan {
+  /// True when the global load balancer (binning + merge) ran; false when
+  /// the uniform fallback was used.
+  bool used_load_balancer = false;
+
+  /// Rows in execution order: bin by bin, original row order inside a bin.
+  std::vector<index_t> row_order;
+
+  struct Block {
+    std::size_t begin = 0;  ///< range into row_order
+    std::size_t end = 0;
+    int config = 0;  ///< index into kernel_configs(), smallest first
+  };
+  std::vector<Block> blocks;
+
+  /// Temporary device memory the load balancer itself required.
+  std::size_t lb_memory_bytes = 0;
+};
+
+struct GlobalLbInputs {
+  /// Per-row scratchpad demand in hash entries: intermediate products for
+  /// the symbolic pass, exact C row nnz inflated by the fill limit for the
+  /// numeric pass.
+  std::span<const offset_t> entries_per_row;
+  bool symbolic = true;
+};
+
+/// The quantities the Table 2 decision rule inspects; exposed so the
+/// auto-tuner can evaluate candidate thresholds without re-running SpGEMM.
+struct LbDecisionStats {
+  double ratio = 0.0;        ///< m_max / m_avg
+  index_t rows = 0;          ///< rows of C
+  bool large_kernel = false; ///< longest row needs one of the largest kernels
+};
+
+LbDecisionStats lb_decision_stats(const GlobalLbInputs& in,
+                                  const std::vector<KernelConfig>& configs,
+                                  const SpeckConfig& cfg);
+
+/// Pure threshold evaluation: LB runs when ratio and row count both clear
+/// the applicable set.
+bool lb_decision(const LbDecisionStats& stats,
+                 const LoadBalanceThresholds& general,
+                 const LoadBalanceThresholds& large);
+
+/// Decision rule from Table 2: run the balancer when the demand variance
+/// (m_max/m_avg) and the matrix size clear the (auto-tuned) thresholds;
+/// the large-kernel threshold set applies when the longest row needs one of
+/// the largest kernel configurations.
+bool should_use_global_lb(const GlobalLbInputs& in,
+                          const std::vector<KernelConfig>& configs,
+                          const SpeckConfig& cfg);
+
+/// Index of the smallest configuration whose hash capacity fits `entries`;
+/// returns the largest configuration when none does.
+int config_for_entries(const std::vector<KernelConfig>& configs, offset_t entries,
+                       bool symbolic);
+
+/// Builds the block plan. When the balancer runs, its simulated cost
+/// (binning pass + block merge) is charged to `lb_launch`.
+BinPlan plan_global_lb(const GlobalLbInputs& in,
+                       const std::vector<KernelConfig>& configs,
+                       const SpeckConfig& cfg, sim::Launch& lb_launch);
+
+/// Exposed for testing: Algorithm 2 block merge over the given per-row
+/// demands. Returns block sizes as (begin,end) index pairs; merged blocks
+/// never exceed `capacity` entries or `max_rows` rows.
+std::vector<std::pair<std::size_t, std::size_t>> block_merge(
+    std::span<const offset_t> demands, offset_t capacity, int max_rows);
+
+}  // namespace speck

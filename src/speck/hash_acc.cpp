@@ -1,0 +1,78 @@
+#include "speck/hash_acc.h"
+
+namespace speck {
+
+SymbolicHashAccumulator::SymbolicHashAccumulator(std::size_t capacity)
+    : local_(capacity) {}
+
+void SymbolicHashAccumulator::insert(key64_t key) {
+  if (!in_global_) {
+    if (!local_.full()) {
+      local_.insert_key(key);
+      // Preemptively move once completely full: binning sizes maps so this
+      // only happens for the unbounded largest-configuration rows.
+      if (local_.full()) spill();
+      return;
+    }
+    spill();
+  }
+  ++global_inserts_;
+  global_.insert(key);
+}
+
+std::vector<index_t> SymbolicHashAccumulator::row_counts(int rows,
+                                                         bool wide_keys) const {
+  std::vector<index_t> counts(static_cast<std::size_t>(rows), 0);
+  auto count_key = [&](key64_t key) {
+    const int local_row = key_local_row(key, wide_keys);
+    SPECK_ASSERT(local_row < rows, "compound key local row out of range");
+    ++counts[static_cast<std::size_t>(local_row)];
+  };
+  for (const auto& entry : local_.extract()) count_key(entry.key);
+  for (const key64_t key : global_) count_key(key);
+  return counts;
+}
+
+void SymbolicHashAccumulator::spill() {
+  in_global_ = true;
+  for (const auto& entry : local_.extract()) global_.insert(entry.key);
+  moved_entries_ += local_.size();
+  local_.reset();
+  // New keys collect in the global map from here on; the paper re-fills the
+  // local map and bulk-moves, which has the same modeled cost shape (we
+  // charge per-insert global atomics instead).
+}
+
+NumericHashAccumulator::NumericHashAccumulator(std::size_t capacity)
+    : local_(capacity) {}
+
+void NumericHashAccumulator::accumulate(key64_t key, value_t value) {
+  if (!in_global_) {
+    if (!local_.full()) {
+      local_.accumulate(key, value);
+      if (local_.full()) spill();
+      return;
+    }
+    spill();
+  }
+  ++global_inserts_;
+  global_[key] += value;
+}
+
+std::vector<DeviceHashMap::Entry> NumericHashAccumulator::extract() const {
+  std::vector<DeviceHashMap::Entry> entries = local_.extract();
+  entries.reserve(entries.size() + global_.size());
+  for (const auto& [key, value] : global_) {
+    entries.push_back(DeviceHashMap::Entry{key, value});
+  }
+  return entries;
+}
+
+void NumericHashAccumulator::spill() {
+  in_global_ = true;
+  for (const auto& entry : local_.extract()) global_[entry.key] += entry.value;
+  moved_entries_ += local_.size();
+  local_.reset();
+}
+
+}  // namespace speck

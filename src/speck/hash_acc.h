@@ -1,0 +1,67 @@
+// Scratchpad hash accumulators with global-memory spill (paper §4.3
+// "Sparse Rows of C"). Wraps the linear-probing DeviceHashMap: when the
+// local map fills — only possible for rows the binning could not bound,
+// i.e. largest-configuration rows — all entries move to a global-memory
+// map and accumulation continues there. Both flavours count the operations
+// the cost model charges (probes, moved entries, global inserts).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "speck/hash_map.h"
+
+namespace speck {
+
+/// Symbolic accumulator: tracks distinct compound keys only.
+class SymbolicHashAccumulator {
+ public:
+  explicit SymbolicHashAccumulator(std::size_t capacity);
+
+  void insert(key64_t key);
+
+  /// NNZ per local row (indexed by the compound key's local row field).
+  std::vector<index_t> row_counts(int rows, bool wide_keys) const;
+
+  bool spilled() const { return in_global_; }
+  std::size_t probes() const { return local_.probes(); }
+  std::size_t moved_entries() const { return moved_entries_; }
+  std::size_t global_inserts() const { return global_inserts_; }
+  std::size_t unique_keys() const { return in_global_ ? global_.size() : local_.size(); }
+
+ private:
+  void spill();
+
+  DeviceHashMap local_;
+  bool in_global_ = false;
+  std::unordered_set<key64_t> global_;
+  std::size_t moved_entries_ = 0;
+  std::size_t global_inserts_ = 0;
+};
+
+/// Numeric accumulator: sums values per compound key.
+class NumericHashAccumulator {
+ public:
+  explicit NumericHashAccumulator(std::size_t capacity);
+
+  void accumulate(key64_t key, value_t value);
+
+  /// All (key, value) pairs, unsorted.
+  std::vector<DeviceHashMap::Entry> extract() const;
+
+  bool spilled() const { return in_global_; }
+  std::size_t probes() const { return local_.probes(); }
+  std::size_t moved_entries() const { return moved_entries_; }
+  std::size_t global_inserts() const { return global_inserts_; }
+
+ private:
+  void spill();
+
+  DeviceHashMap local_;
+  bool in_global_ = false;
+  std::unordered_map<key64_t, value_t> global_;
+  std::size_t moved_entries_ = 0;
+  std::size_t global_inserts_ = 0;
+};
+
+}  // namespace speck

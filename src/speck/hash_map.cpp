@@ -1,0 +1,64 @@
+#include "speck/hash_map.h"
+
+namespace speck {
+
+DeviceHashMap::DeviceHashMap(std::size_t capacity) : slots_(capacity) {
+  SPECK_REQUIRE(capacity > 0, "hash map capacity must be positive");
+}
+
+bool DeviceHashMap::insert_key(key64_t key) {
+  SPECK_ASSERT(key != kEmpty, "reserved empty key");
+  std::size_t slot = hash(key);
+  for (std::size_t step = 0; step < slots_.size(); ++step) {
+    ++probes_;
+    Slot& s = slots_[slot];
+    if (s.key == key) return false;
+    if (s.key == kEmpty) {
+      s.key = key;
+      ++size_;
+      return true;
+    }
+    slot = slot + 1 == slots_.size() ? 0 : slot + 1;
+  }
+  overflowed_ = true;
+  return false;
+}
+
+bool DeviceHashMap::accumulate(key64_t key, value_t value) {
+  SPECK_ASSERT(key != kEmpty, "reserved empty key");
+  std::size_t slot = hash(key);
+  for (std::size_t step = 0; step < slots_.size(); ++step) {
+    ++probes_;
+    Slot& s = slots_[slot];
+    if (s.key == key) {
+      s.value += value;
+      return true;
+    }
+    if (s.key == kEmpty) {
+      s.key = key;
+      s.value = value;
+      ++size_;
+      return true;
+    }
+    slot = slot + 1 == slots_.size() ? 0 : slot + 1;
+  }
+  overflowed_ = true;
+  return false;
+}
+
+std::vector<DeviceHashMap::Entry> DeviceHashMap::extract() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  for (const Slot& s : slots_) {
+    if (s.key != kEmpty) out.push_back(Entry{s.key, s.value});
+  }
+  return out;
+}
+
+void DeviceHashMap::reset() {
+  for (Slot& s : slots_) s = Slot{};
+  size_ = 0;
+  overflowed_ = false;
+}
+
+}  // namespace speck

@@ -1,0 +1,90 @@
+// Emulation of the scratchpad hash map with linear probing (paper §4.3,
+// Fig. 4). The map computes exact contents while counting probes so that
+// the cost model charges real collision behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace speck {
+
+/// Builds the compound key: 5 bits of local row index, 27 bits of column.
+inline key64_t compound_key(int local_row, index_t col, bool wide_keys) {
+  if (wide_keys) {
+    return (static_cast<key64_t>(static_cast<std::uint32_t>(local_row)) << 32) |
+           static_cast<std::uint32_t>(col);
+  }
+  return (static_cast<key64_t>(static_cast<std::uint32_t>(local_row)) << 27) |
+         static_cast<std::uint32_t>(col);
+}
+
+inline index_t key_column(key64_t key, bool wide_keys) {
+  return wide_keys ? static_cast<index_t>(key & 0xFFFFFFFFull)
+                   : static_cast<index_t>(key & ((key64_t{1} << 27) - 1));
+}
+
+inline int key_local_row(key64_t key, bool wide_keys) {
+  return wide_keys ? static_cast<int>(key >> 32) : static_cast<int>(key >> 27);
+}
+
+/// Open-addressing hash map with linear probing. Capacity is fixed at
+/// construction (it models a scratchpad array). Tracks the number of probes
+/// performed so the simulated cost reflects the actual fill rate.
+class DeviceHashMap {
+ public:
+  explicit DeviceHashMap(std::size_t capacity);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  bool full() const { return size_ == capacity(); }
+  double fill_rate() const {
+    return capacity() == 0 ? 1.0 : static_cast<double>(size_) / static_cast<double>(capacity());
+  }
+
+  /// Total linear-probing steps performed since construction/reset.
+  std::size_t probes() const { return probes_; }
+
+  /// Symbolic insert: adds the key if absent. Returns true when the key was
+  /// new. Returns false with `overflow()` set when the map is full and the
+  /// key absent.
+  bool insert_key(key64_t key);
+
+  /// Numeric insert: accumulates `value` into the slot for `key`,
+  /// creating it if needed. Returns false on overflow.
+  bool accumulate(key64_t key, value_t value);
+
+  bool overflowed() const { return overflowed_; }
+
+  /// Extraction: occupied (key, value) pairs in slot order (unsorted).
+  struct Entry {
+    key64_t key;
+    value_t value;
+  };
+  std::vector<Entry> extract() const;
+
+  /// Clears contents (keeps capacity); models the reset before moving
+  /// entries to a global map.
+  void reset();
+
+ private:
+  struct Slot {
+    key64_t key = kEmpty;
+    value_t value = 0.0;
+  };
+  static constexpr key64_t kEmpty = ~key64_t{0};
+
+  /// Multiplicative hash (paper: index times a prime, modulo capacity).
+  std::size_t hash(key64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) % slots_.size());
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t probes_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace speck

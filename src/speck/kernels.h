@@ -1,0 +1,80 @@
+// Symbolic and numeric SpGEMM kernel execution over a block plan
+// (paper §4.3). Results are exact; device cycles are charged per block.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+#include "sim/launch.h"
+#include "sim/trace.h"
+#include "speck/config.h"
+#include "speck/global_lb.h"
+#include "speck/row_analysis.h"
+
+namespace speck {
+
+/// Everything the kernels need; non-owning.
+struct KernelContext {
+  const Csr* a = nullptr;
+  const Csr* b = nullptr;
+  const RowAnalysis* analysis = nullptr;
+  const SpeckConfig* cfg = nullptr;
+  const std::vector<KernelConfig>* configs = nullptr;
+  const sim::DeviceSpec* device = nullptr;
+  const sim::CostModel* model = nullptr;
+  /// True when B has more than 2^27 columns and 64-bit keys are required.
+  bool wide_keys = false;
+  /// Optional: every simulated launch is recorded here (may be null).
+  sim::LaunchTrace* trace = nullptr;
+};
+
+/// Accumulation method chosen for a row (paper: direct referencing, dense
+/// accumulation, or hashing).
+enum class RowMethod { kDirect, kDense, kHash };
+
+/// Per-pass statistics shared by the symbolic and numeric outcomes.
+struct PassStats {
+  double seconds = 0.0;
+  offset_t direct_rows = 0;
+  offset_t dense_rows = 0;
+  offset_t hash_rows = 0;
+  /// Blocks that spilled their hash map to global memory.
+  int global_hash_blocks = 0;
+  /// Bytes pre-allocated for the global hash-map pool.
+  std::size_t global_pool_bytes = 0;
+  /// Total linear-probing steps over all scratchpad hash maps.
+  std::size_t hash_probes = 0;
+};
+
+struct SymbolicOutcome {
+  /// Exact NNZ of every row of C.
+  std::vector<index_t> row_nnz;
+  PassStats stats;
+};
+
+/// Runs the symbolic pass over the given block plan.
+SymbolicOutcome run_symbolic(const KernelContext& ctx, const BinPlan& plan);
+
+struct NumericOutcome {
+  Csr c;
+  PassStats stats;
+  /// Simulated seconds of the separate radix-sort pass for rows the large
+  /// hash kernels emitted unsorted (0 when no such rows exist).
+  double sorting_seconds = 0.0;
+  /// Elements that went through the separate radix pass.
+  offset_t radix_sorted_elements = 0;
+};
+
+/// Runs the numeric pass; `row_nnz` comes from the symbolic outcome.
+NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
+                           std::span<const index_t> row_nnz);
+
+/// Method selection, exposed for tests.
+RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,
+                                 bool merged_block, const KernelConfig& config);
+RowMethod choose_numeric_method(const KernelContext& ctx, index_t row,
+                                index_t row_nnz, bool merged_block,
+                                int config_index);
+
+}  // namespace speck

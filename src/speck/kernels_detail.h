@@ -1,0 +1,128 @@
+// Internal helpers shared by the symbolic and numeric pass translation
+// units. Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_utils.h"
+#include "common/check.h"
+#include "speck/hash_acc.h"
+#include "speck/kernels.h"
+#include "speck/local_lb.h"
+
+namespace speck::detail {
+
+
+/// Row statistics for the local load balancer, gathered from the analysis.
+inline BlockRowStats block_stats(const KernelContext& ctx, std::span<const index_t> rows) {
+  BlockRowStats s;
+  for (const index_t r : rows) {
+    s.nnz_a += ctx.a->row_length(r);
+    s.products += ctx.analysis->products[static_cast<std::size_t>(r)];
+    s.max_b_row_len =
+        std::max(s.max_b_row_len, ctx.analysis->longest_b_row[static_cast<std::size_t>(r)]);
+  }
+  return s;
+}
+
+/// Charges the cost of sweeping the referenced B rows with groups of g
+/// threads (shared by the symbolic and numeric hash paths).
+///
+/// Compute is charged per *reference* (idle lanes included), but memory is
+/// charged per *unique* referenced row of B: spECK's binning keeps
+/// neighbouring rows of A in the same block, so their (overlapping, nearby)
+/// B rows hit in L1/L2 after the first fetch. This locality is exactly what
+/// the paper's ordered binning preserves (§4.2 "Binning").
+inline void charge_row_sweep(sim::BlockCost& cost, const KernelContext& ctx,
+                      std::span<const index_t> rows, int group_size, bool numeric) {
+  // Compute cost: the block's k groups take successive references in order
+  // (Fig. 1); the block runs until its *slowest* group finishes, so idle
+  // groups (too few references) and oversubscribed groups (g too small for
+  // a long row) both show up as lockstep iterations — the effect Fig. 13
+  // measures. Weight 10: address calculation, bounds check, compound-key
+  // build, hash multiply/modulo and the probe-loop issue per visited
+  // element and lane (collision-dependent probe *traffic* is charged
+  // separately via smem_atomic).
+  const int groups = std::max(1, cost.threads() / group_size);
+  std::vector<std::size_t> group_iterations(static_cast<std::size_t>(groups), 0);
+  std::size_t next_group = 0;
+
+  std::vector<index_t> referenced;
+  for (const index_t r : rows) {
+    const auto a_cols = ctx.a->row_cols(r);
+    for (const index_t k : a_cols) {
+      const auto len = static_cast<std::size_t>(ctx.b->row_length(k));
+      if (len == 0) continue;
+      group_iterations[next_group] +=
+          ceil_div<std::size_t>(len, static_cast<std::size_t>(group_size));
+      next_group = next_group + 1 == static_cast<std::size_t>(groups) ? 0 : next_group + 1;
+      referenced.push_back(k);
+    }
+    cost.global_coalesced(a_cols.size());                  // A columns
+    if (numeric) cost.global_coalesced64(a_cols.size());   // A values
+  }
+  const std::size_t critical_iterations =
+      *std::max_element(group_iterations.begin(), group_iterations.end());
+  cost.lockstep(static_cast<double>(critical_iterations), 10.0);
+
+  // Memory cost: every unique referenced row of B is fetched once per block
+  // (spECK's ordered binning keeps neighbouring rows of A together, so their
+  // overlapping B rows hit in L1/L2 after the first fetch, §4.2 "Binning").
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
+  std::size_t words = 0;
+  for (const index_t k : referenced) {
+    words += static_cast<std::size_t>(ctx.b->row_length(k));
+  }
+  const double cache = sim::reuse_cache_factor(*ctx.device, ctx.b->byte_size());
+  cost.global_segmented(words * (ctx.wide_keys ? 2 : 1), referenced.size(), cache);
+  if (numeric) cost.global_segmented(words * 2, referenced.size(), cache);
+}
+
+/// Charges hash accumulator activity common to both passes.
+template <typename Accumulator>
+void charge_hash_activity(sim::BlockCost& cost, const Accumulator& acc,
+                          PassStats& stats) {
+  cost.smem_atomic(static_cast<double>(acc.probes()));
+  stats.hash_probes += acc.probes();
+  if (acc.spilled()) {
+    ++stats.global_hash_blocks;
+    cost.global_atomic(static_cast<double>(acc.moved_entries()));
+    cost.global_atomic(1.5 * static_cast<double>(acc.global_inserts()));
+  }
+}
+
+/// Size of the pre-allocated global hash map pool for rows that may not fit
+/// the largest scratchpad map (paper §4.3 "Sparse Rows of C").
+inline std::size_t global_pool_bytes(const KernelContext& ctx, const BinPlan& plan,
+                              bool symbolic) {
+  const KernelConfig& largest = ctx.configs->back();
+  const auto capacity = static_cast<offset_t>(
+      symbolic ? largest.symbolic_hash_capacity() : largest.numeric_hash_capacity());
+  offset_t candidates = 0;
+  offset_t worst = 0;
+  for (const BinPlan::Block& block : plan.blocks) {
+    if (block.config != static_cast<int>(ctx.configs->size()) - 1) continue;
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      const index_t row = plan.row_order[i];
+      const offset_t products = ctx.analysis->products[static_cast<std::size_t>(row)];
+      if (products > capacity) {
+        ++candidates;
+        worst = std::max(worst, products);
+      }
+    }
+  }
+  if (candidates == 0) return 0;
+  const int concurrent = ctx.device->num_sms;  // one 96 KB block per SM
+  const auto pool_maps = static_cast<std::size_t>(
+      std::min<offset_t>(candidates, concurrent));
+  const std::size_t entry_bytes =
+      symbolic ? sizeof(key32_t) : sizeof(key32_t) + sizeof(value_t);
+  return pool_maps * static_cast<std::size_t>(next_pow2(static_cast<std::uint64_t>(worst))) *
+         entry_bytes;
+}
+
+
+}  // namespace speck::detail

@@ -1,0 +1,61 @@
+#include "speck/local_lb.h"
+
+#include <algorithm>
+
+#include "common/bit_utils.h"
+#include "common/check.h"
+
+namespace speck {
+
+LocalLbDecision choose_group_size(int block_threads, const BlockRowStats& stats,
+                                  const SpeckFeatures& features) {
+  SPECK_REQUIRE(block_threads >= 1 && is_pow2(static_cast<std::uint64_t>(block_threads)),
+                "block threads must be a positive power of two");
+  LocalLbDecision d;
+  if (!features.dynamic_group_size) {
+    // nsparse-style fixed assignment (Fig. 13 baseline).
+    d.group_size = std::min(features.fixed_group_size, block_threads);
+    d.groups = block_threads / d.group_size;
+    return d;
+  }
+  if (stats.nnz_a <= 0 || stats.products <= 0) {
+    d.group_size = block_threads;
+    d.groups = 1;
+    return d;
+  }
+
+  const double avg_len =
+      static_cast<double>(stats.products) / static_cast<double>(stats.nnz_a);
+  double g = std::max(1.0, avg_len);
+
+  // Rebalance: compare the iterations the longest row needs against the
+  // number of rows each group processes (paper §4.3).
+  const auto iter_max = [&](double group) {
+    return static_cast<double>(stats.max_b_row_len) / group;
+  };
+  const auto n_rows = [&](double group) {
+    const double k = static_cast<double>(block_threads) / group;
+    return static_cast<double>(stats.nnz_a) / std::max(k, 1.0);
+  };
+
+  const double im = iter_max(g);
+  const double nr = n_rows(g);
+  if (im > 2.0 * nr && nr > 0.0) {
+    g = g * im / (2.0 * nr);
+  } else if (nr > 2.0 * im && im > 0.0) {
+    g = g * im / nr;
+  }
+
+  // Ensure there are not more groups than NZ of A to work on.
+  const double min_g =
+      static_cast<double>(block_threads) / static_cast<double>(stats.nnz_a);
+  g = std::max(g, min_g);
+
+  d.group_size = static_cast<int>(
+      std::clamp<std::uint64_t>(round_pow2(static_cast<std::uint64_t>(std::max(1.0, g))),
+                                1, static_cast<std::uint64_t>(block_threads)));
+  d.groups = block_threads / d.group_size;
+  return d;
+}
+
+}  // namespace speck

@@ -1,0 +1,30 @@
+// Local load balancer: chooses g, the number of threads assigned to each
+// referenced row of B within a block (paper §3.2 / §4.3, Fig. 1 & 13).
+#pragma once
+
+#include "common/types.h"
+#include "speck/config.h"
+
+namespace speck {
+
+struct LocalLbDecision {
+  int group_size = 1;  ///< g: threads cooperating on one row of B
+  int groups = 1;      ///< k = threads / g
+};
+
+/// Statistics of the rows of B referenced by one block, gathered from the
+/// row analysis (no per-row inspection, paper §3.2).
+struct BlockRowStats {
+  offset_t nnz_a = 0;        ///< NZ entries of A handled by this block
+  offset_t products = 0;     ///< total products => avg B row length
+  index_t max_b_row_len = 0; ///< longest referenced row of B
+};
+
+/// Selects g for one block of `block_threads` threads. Implements the
+/// paper's heuristic: start at the average referenced-row length, then
+/// rebalance when max iterations and rows-per-group are out of proportion,
+/// finally round to a power of two and ensure every group has work.
+LocalLbDecision choose_group_size(int block_threads, const BlockRowStats& stats,
+                                  const SpeckFeatures& features);
+
+}  // namespace speck

@@ -1,0 +1,245 @@
+#include "speck/kernels.h"
+
+#include <algorithm>
+
+#include "common/bit_utils.h"
+#include "common/sorting.h"
+#include "speck/dense_acc.h"
+#include "speck/hash_acc.h"
+#include "speck/kernels_detail.h"
+#include "speck/local_lb.h"
+
+namespace speck {
+
+using detail::block_stats;
+using detail::charge_hash_activity;
+using detail::charge_row_sweep;
+using detail::global_pool_bytes;
+
+RowMethod choose_numeric_method(const KernelContext& ctx, index_t row,
+                                index_t row_nnz, bool merged_block,
+                                int config_index) {
+  const auto r = static_cast<std::size_t>(row);
+  if (ctx.cfg->features.direct_rows && ctx.a->row_length(row) == 1) {
+    return RowMethod::kDirect;
+  }
+  if (merged_block || !ctx.cfg->features.dense_accumulation || row_nnz == 0) {
+    return RowMethod::kHash;
+  }
+  // Rows needing the largest kernel always accumulate densely: the largest
+  // hash kernel would require slow global sorting (paper §4.3).
+  if (config_index == static_cast<int>(ctx.configs->size()) - 1) {
+    return RowMethod::kDense;
+  }
+  const double range = static_cast<double>(ctx.analysis->col_max[r]) -
+                       static_cast<double>(ctx.analysis->col_min[r]) + 1.0;
+  const double density = static_cast<double>(row_nnz) / range;
+  return density >= ctx.cfg->dense_density_threshold ? RowMethod::kDense
+                                                     : RowMethod::kHash;
+}
+
+NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
+                           std::span<const index_t> row_nnz) {
+  NumericOutcome out;
+  out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/false);
+
+  // Output allocation: offsets from the symbolic row counts.
+  std::vector<offset_t> offsets(static_cast<std::size_t>(ctx.a->rows()) + 1, 0);
+  for (index_t r = 0; r < ctx.a->rows(); ++r) {
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + row_nnz[static_cast<std::size_t>(r)];
+  }
+  std::vector<index_t> out_cols(static_cast<std::size_t>(offsets.back()));
+  std::vector<value_t> out_vals(static_cast<std::size_t>(offsets.back()));
+
+  offset_t radix_elements = 0;
+  index_t radix_max_col = 0;
+
+  for (std::size_t c = 0; c < ctx.configs->size(); ++c) {
+    const KernelConfig& config = (*ctx.configs)[c];
+    sim::Launch launch("numeric/" + std::to_string(config.threads), *ctx.device,
+                       *ctx.model);
+    for (const BinPlan::Block& block : plan.blocks) {
+      if (block.config != static_cast<int>(c)) continue;
+      const std::span<const index_t> rows(plan.row_order.data() + block.begin,
+                                          block.end - block.begin);
+      const bool merged = rows.size() > 1;
+      auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
+      const BlockRowStats stats = block_stats(ctx, rows);
+      const LocalLbDecision lb =
+          choose_group_size(config.threads, stats, ctx.cfg->features);
+
+      bool all_direct = ctx.cfg->features.direct_rows;
+      for (const index_t r : rows) all_direct = all_direct && ctx.a->row_length(r) == 1;
+
+      if (all_direct && !rows.empty()) {
+        // Direct referencing: stream each referenced B row to the output,
+        // scaled by the single A value. Reads are one segment per row;
+        // writes land contiguously in C across the block's rows (CSR order),
+        // i.e. one coalesced stream.
+        std::size_t total_words = 0;
+        std::size_t segments = 0;
+        for (const index_t r : rows) {
+          const auto a_cols = ctx.a->row_cols(r);
+          if (a_cols.empty()) continue;
+          const value_t av = ctx.a->row_vals(r).front();
+          const index_t k = a_cols.front();
+          const auto b_cols = ctx.b->row_cols(k);
+          const auto b_vals = ctx.b->row_vals(k);
+          auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+          for (std::size_t i = 0; i < b_cols.size(); ++i) {
+            out_cols[cursor] = b_cols[i];
+            out_vals[cursor] = av * b_vals[i];
+            ++cursor;
+          }
+          total_words += b_cols.size();
+          ++segments;
+          ++out.stats.direct_rows;
+        }
+        const double cache = sim::reuse_cache_factor(*ctx.device, ctx.b->byte_size());
+        cost.global_segmented(total_words, segments, cache);       // B columns
+        cost.global_segmented(total_words * 2, segments, cache);   // B values
+        cost.global_coalesced(total_words);                        // C columns
+        cost.global_coalesced64(total_words);                      // C values
+        cost.lockstep(static_cast<double>(
+            ceil_div<std::size_t>(std::max<std::size_t>(total_words, 1),
+                                  static_cast<std::size_t>(config.threads))));
+        launch.add(cost);
+        continue;
+      }
+
+      const RowMethod single_method =
+          rows.empty() ? RowMethod::kHash
+                       : choose_numeric_method(
+                             ctx, rows.front(),
+                             row_nnz[static_cast<std::size_t>(rows.front())], merged,
+                             block.config);
+
+      if (!merged && single_method == RowMethod::kDense) {
+        const index_t r = rows.front();
+        const auto result = dense_accumulate_row(
+            *ctx.b, ctx.a->row_cols(r), ctx.a->row_vals(r),
+            ctx.analysis->col_min[static_cast<std::size_t>(r)],
+            ctx.analysis->col_max[static_cast<std::size_t>(r)],
+            config.dense_numeric_capacity(), /*numeric=*/true);
+        SPECK_ASSERT(static_cast<index_t>(result.cols.size()) ==
+                         row_nnz[static_cast<std::size_t>(r)],
+                     "dense numeric row count disagrees with symbolic pass");
+        auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+        for (std::size_t i = 0; i < result.cols.size(); ++i) {
+          out_cols[cursor] = result.cols[i];
+          out_vals[cursor] = result.vals[i];
+          ++cursor;
+        }
+        ++out.stats.dense_rows;
+        charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
+        cost.smem(2.0 * static_cast<double>(result.element_touches));
+        cost.issued(static_cast<double>(result.element_touches), 2.0);
+        cost.issued(static_cast<double>(result.cells_scanned));
+        cost.smem(static_cast<double>(result.cells_scanned));
+        // Per-pass compaction prefix sum + output write.
+        cost.lockstep(static_cast<double>(result.passes) *
+                      log2_pow2(static_cast<std::uint64_t>(config.threads)));
+        cost.global_coalesced(result.cols.size());
+        cost.global_coalesced64(result.vals.size());
+        launch.add(cost);
+        continue;
+      }
+
+      // Hash path with values.
+      NumericHashAccumulator acc(config.numeric_hash_capacity());
+      for (std::size_t local = 0; local < rows.size(); ++local) {
+        const index_t r = rows[local];
+        const auto a_cols = ctx.a->row_cols(r);
+        const auto a_vals = ctx.a->row_vals(r);
+        for (std::size_t i = 0; i < a_cols.size(); ++i) {
+          const index_t k = a_cols[i];
+          const auto b_cols = ctx.b->row_cols(k);
+          const auto b_vals = ctx.b->row_vals(k);
+          for (std::size_t j = 0; j < b_cols.size(); ++j) {
+            acc.accumulate(compound_key(static_cast<int>(local), b_cols[j], ctx.wide_keys),
+                           a_vals[i] * b_vals[j]);
+          }
+        }
+      }
+      // Extraction: bucket entries per local row, sort, then write out.
+      std::vector<DeviceHashMap::Entry> entries = acc.extract();
+      std::vector<std::vector<DeviceHashMap::Entry>> per_row(rows.size());
+      for (const auto& entry : entries) {
+        per_row[static_cast<std::size_t>(key_local_row(entry.key, ctx.wide_keys))]
+            .push_back(entry);
+      }
+      for (std::size_t local = 0; local < rows.size(); ++local) {
+        const index_t r = rows[local];
+        auto& row_entries = per_row[local];
+        std::sort(row_entries.begin(), row_entries.end(),
+                  [](const auto& x, const auto& y) { return x.key < y.key; });
+        SPECK_ASSERT(static_cast<index_t>(row_entries.size()) ==
+                         row_nnz[static_cast<std::size_t>(r)],
+                     "hash numeric row count disagrees with symbolic pass");
+        auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+        for (const auto& entry : row_entries) {
+          out_cols[cursor] = key_column(entry.key, ctx.wide_keys);
+          out_vals[cursor] = entry.value;
+          ++cursor;
+        }
+        ++out.stats.hash_rows;
+      }
+      charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
+      charge_hash_activity(cost, acc, out.stats);
+      const auto total_entries = static_cast<double>(entries.size());
+      if (c <= 2) {
+        // Rank sort in scratchpad (O(n^2) issued work, paper §4.3).
+        cost.issued(total_entries * total_entries);
+        cost.smem(2.0 * total_entries);
+      } else {
+        // Compact unsorted to global memory; radix-sorted in a later pass.
+        radix_elements += static_cast<offset_t>(entries.size());
+        for (const auto& entry : entries) {
+          radix_max_col = std::max(radix_max_col, key_column(entry.key, ctx.wide_keys));
+        }
+      }
+      cost.issued(static_cast<double>(config.numeric_hash_capacity()));
+      cost.smem(static_cast<double>(config.numeric_hash_capacity()));
+      cost.global_coalesced(entries.size());
+      cost.global_coalesced64(entries.size());
+      launch.add(cost);
+    }
+    if (launch.block_count() > 0) {
+      sim::LaunchResult finished = launch.finish();
+      out.stats.seconds += finished.seconds;
+      if (ctx.trace != nullptr) ctx.trace->record(std::move(finished));
+    }
+  }
+
+  // Device radix sort pass over the rows emitted unsorted.
+  if (radix_elements > 0) {
+    sim::Launch sort_launch("radix_sort", *ctx.device, *ctx.model);
+    const int passes = radix_pass_count(static_cast<std::uint32_t>(radix_max_col));
+    const int threads = ctx.device->max_threads_per_block;
+    const auto elements_per_block = static_cast<offset_t>(threads) * 8;
+    const offset_t blocks = ceil_div<offset_t>(radix_elements, elements_per_block);
+    for (offset_t blk = 0; blk < blocks; ++blk) {
+      const offset_t elems = std::min<offset_t>(elements_per_block,
+                                                radix_elements - blk * elements_per_block);
+      auto cost = sort_launch.make_block(threads, 32 * 1024);
+      // Each pass reads and writes keys (32-bit) and values (64-bit).
+      cost.global_coalesced(static_cast<std::size_t>(elems) * passes * 2);
+      cost.global_coalesced64(static_cast<std::size_t>(elems) * passes * 2);
+      cost.issued(static_cast<double>(elems) * passes, 4.0);
+      cost.smem(static_cast<double>(elems) * passes * 2);
+      sort_launch.add(cost);
+    }
+    sim::LaunchResult finished = sort_launch.finish();
+    out.sorting_seconds = finished.seconds;
+    if (ctx.trace != nullptr) ctx.trace->record(std::move(finished));
+    out.radix_sorted_elements = radix_elements;
+  }
+
+  out.c = Csr(ctx.a->rows(), ctx.b->cols(), std::move(offsets), std::move(out_cols),
+              std::move(out_vals));
+  return out;
+}
+
+
+}  // namespace speck

@@ -1,0 +1,147 @@
+#include "speck/partial.h"
+
+#include <algorithm>
+
+#include "matrix/matrix_stats.h"
+
+namespace speck {
+
+std::vector<std::pair<index_t, index_t>> plan_panels(
+    std::span<const offset_t> row_products, offset_t max_products_per_panel) {
+  SPECK_REQUIRE(max_products_per_panel > 0, "panel budget must be positive");
+  std::vector<std::pair<index_t, index_t>> panels;
+  const auto rows = static_cast<index_t>(row_products.size());
+  index_t begin = 0;
+  offset_t running = 0;
+  for (index_t r = 0; r < rows; ++r) {
+    const offset_t p = row_products[static_cast<std::size_t>(r)];
+    if (r > begin && running + p > max_products_per_panel) {
+      panels.emplace_back(begin, r);
+      begin = r;
+      running = 0;
+    }
+    running += p;
+  }
+  if (begin < rows) panels.emplace_back(begin, rows);
+  return panels;
+}
+
+Csr extract_row_panel(const Csr& a, index_t begin, index_t end) {
+  SPECK_REQUIRE(begin >= 0 && begin <= end && end <= a.rows(),
+                "panel range out of bounds");
+  const auto offsets = a.row_offsets();
+  const auto first = static_cast<std::size_t>(offsets[static_cast<std::size_t>(begin)]);
+  const auto last = static_cast<std::size_t>(offsets[static_cast<std::size_t>(end)]);
+
+  std::vector<offset_t> panel_offsets(static_cast<std::size_t>(end - begin) + 1);
+  for (index_t r = begin; r <= end; ++r) {
+    panel_offsets[static_cast<std::size_t>(r - begin)] =
+        offsets[static_cast<std::size_t>(r)] - static_cast<offset_t>(first);
+  }
+  std::vector<index_t> cols(a.col_indices().begin() + first,
+                            a.col_indices().begin() + last);
+  std::vector<value_t> vals(a.values().begin() + first, a.values().begin() + last);
+  return Csr(end - begin, a.cols(), std::move(panel_offsets), std::move(cols),
+             std::move(vals));
+}
+
+Csr concat_row_panels(std::span<const Csr> panels) {
+  SPECK_REQUIRE(!panels.empty(), "cannot concatenate zero panels");
+  const index_t cols = panels.front().cols();
+  index_t rows = 0;
+  offset_t nnz = 0;
+  for (const Csr& panel : panels) {
+    SPECK_REQUIRE(panel.cols() == cols, "panel column counts must match");
+    rows += panel.rows();
+    nnz += panel.nnz();
+  }
+  std::vector<offset_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(rows) + 1);
+  offsets.push_back(0);
+  std::vector<index_t> out_cols;
+  out_cols.reserve(static_cast<std::size_t>(nnz));
+  std::vector<value_t> out_vals;
+  out_vals.reserve(static_cast<std::size_t>(nnz));
+  offset_t base = 0;
+  for (const Csr& panel : panels) {
+    const auto panel_offsets = panel.row_offsets();
+    for (index_t r = 0; r < panel.rows(); ++r) {
+      offsets.push_back(base + panel_offsets[static_cast<std::size_t>(r) + 1]);
+    }
+    out_cols.insert(out_cols.end(), panel.col_indices().begin(),
+                    panel.col_indices().end());
+    out_vals.insert(out_vals.end(), panel.values().begin(), panel.values().end());
+    base += panel.nnz();
+  }
+  return Csr(rows, cols, std::move(offsets), std::move(out_cols), std::move(out_vals));
+}
+
+SpGemmResult PartialSpeck::multiply(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  diagnostics_ = PartialDiagnostics{};
+
+  // Panel planning needs products per row; this is the same O(NNZ_A) scan
+  // the per-panel row analysis performs, so the planning cost is charged as
+  // one extra analysis-like pass.
+  std::vector<offset_t> row_products(static_cast<std::size_t>(a.rows()), 0);
+  const auto b_offsets = b.row_offsets();
+  for (index_t r = 0; r < a.rows(); ++r) {
+    offset_t p = 0;
+    for (const index_t k : a.row_cols(r)) {
+      p += b_offsets[static_cast<std::size_t>(k) + 1] -
+           b_offsets[static_cast<std::size_t>(k)];
+    }
+    row_products[static_cast<std::size_t>(r)] = p;
+  }
+  const auto panels = plan_panels(row_products, config_.max_products_per_panel);
+
+  SpGemmResult result;
+  std::vector<Csr> panel_results;
+  panel_results.reserve(panels.size());
+  std::size_t peak_panel_memory = 0;
+  Speck panel_speck(device_, model_, config_.speck);
+  for (const auto& [begin, end] : panels) {
+    const Csr panel = extract_row_panel(a, begin, end);
+    SpGemmResult panel_result = panel_speck.multiply(panel, b);
+    if (!panel_result.ok()) {
+      result.status = panel_result.status;
+      result.failure_reason = "panel [" + std::to_string(begin) + ", " +
+                              std::to_string(end) + "): " +
+                              panel_result.failure_reason;
+      return result;
+    }
+    for (int stage = 0; stage < sim::kStageCount; ++stage) {
+      result.timeline.add(static_cast<sim::Stage>(stage),
+                          panel_result.timeline.seconds(static_cast<sim::Stage>(stage)));
+    }
+    peak_panel_memory = std::max(peak_panel_memory, panel_result.peak_memory_bytes);
+
+    offset_t panel_products = 0;
+    for (index_t r = begin; r < end; ++r) {
+      panel_products += row_products[static_cast<std::size_t>(r)];
+    }
+    diagnostics_.largest_panel_products =
+        std::max(diagnostics_.largest_panel_products, panel_products);
+    diagnostics_.largest_panel_rows =
+        std::max(diagnostics_.largest_panel_rows, end - begin);
+    panel_results.push_back(std::move(panel_result.c));
+  }
+  diagnostics_.panels = static_cast<int>(panels.size());
+
+  result.c = concat_row_panels(panel_results);
+  if (config_.stream_output_to_host) {
+    // Finished panels leave the device before the next panel starts: the
+    // device peak is one panel's working set; the transfers cost PCIe time.
+    result.timeline.add(sim::Stage::kOther,
+                        static_cast<double>(result.c.byte_size()) /
+                            config_.pcie_bandwidth);
+    result.peak_memory_bytes = peak_panel_memory;
+  } else {
+    // Output accumulates on the device alongside the running panel.
+    result.peak_memory_bytes = peak_panel_memory + result.c.byte_size();
+  }
+  result.seconds = result.timeline.total_seconds();
+  return result;
+}
+
+}  // namespace speck

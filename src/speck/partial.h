@@ -1,0 +1,69 @@
+// Partial (panel-wise) SpGEMM — the paper's stated future work (§7):
+// "partial multiplications of large matrices on single GPUs".
+//
+// C = A*B is computed in horizontal panels of A: each panel multiplication
+// needs only the panel's analysis buffers and temporaries, so the device
+// memory high-water mark is bounded by max(panel working set) + inputs +
+// output instead of the full-matrix working set. Panels are chosen from the
+// row analysis so that every panel's intermediate-product volume stays under
+// a budget.
+#pragma once
+
+#include "ref/spgemm_api.h"
+#include "speck/speck.h"
+
+namespace speck {
+
+struct PartialConfig {
+  /// Maximum intermediate products per panel. Panels are cut greedily; a
+  /// single row whose products exceed the budget forms its own panel.
+  offset_t max_products_per_panel = 1 << 22;
+  /// Evacuate each finished output panel to host memory before starting the
+  /// next one. This is the point of partial multiplication: the device
+  /// high-water mark stays at inputs + one panel's working set, at the cost
+  /// of a PCIe transfer per panel.
+  bool stream_output_to_host = true;
+  /// Host-interconnect bandwidth for the evacuations (PCIe 3.0 x16).
+  double pcie_bandwidth = 12e9;
+  /// Inner spECK configuration used for every panel.
+  SpeckConfig speck;
+};
+
+struct PartialDiagnostics {
+  int panels = 0;
+  offset_t largest_panel_products = 0;
+  index_t largest_panel_rows = 0;
+};
+
+/// spECK run panel-by-panel. Produces bit-identical results to Speck (the
+/// per-row computations are unchanged); simulated time adds the per-panel
+/// launch overheads, and peak memory drops to the panel bound.
+class PartialSpeck final : public SpGemmAlgorithm {
+ public:
+  PartialSpeck(sim::DeviceSpec device, sim::CostModel model, PartialConfig config = {})
+      : SpGemmAlgorithm(device, model), config_(config) {}
+
+  std::string name() const override { return "speck-partial"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+
+  const PartialConfig& config() const { return config_; }
+  PartialConfig& config() { return config_; }
+  const PartialDiagnostics& last_diagnostics() const { return diagnostics_; }
+
+ private:
+  PartialConfig config_;
+  PartialDiagnostics diagnostics_;
+};
+
+/// Splits [0, rows) into panels with bounded product volume.
+/// Exposed for tests.
+std::vector<std::pair<index_t, index_t>> plan_panels(
+    std::span<const offset_t> row_products, offset_t max_products_per_panel);
+
+/// Extracts the row panel [begin, end) of a as its own CSR matrix.
+Csr extract_row_panel(const Csr& a, index_t begin, index_t end);
+
+/// Vertically concatenates panels (matching column counts).
+Csr concat_row_panels(std::span<const Csr> panels);
+
+}  // namespace speck

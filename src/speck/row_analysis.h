@@ -1,0 +1,33 @@
+// Lightweight O(NNZ_A) row analysis (paper §4.1, Algorithm 1).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "matrix/csr.h"
+#include "sim/launch.h"
+
+namespace speck {
+
+/// Per-row and aggregate features extracted by the analysis kernel.
+struct RowAnalysis {
+  /// Per row of A: total intermediate products (upper bound for C row nnz).
+  std::vector<offset_t> products;
+  /// Per row of A: length of the longest referenced row of B.
+  std::vector<index_t> longest_b_row;
+  /// Per row of A: min / max column index over all referenced rows of B
+  /// (and thus the column range of the C row). Undefined for empty rows.
+  std::vector<index_t> col_min;
+  std::vector<index_t> col_max;
+
+  offset_t total_products = 0;
+  offset_t max_products = 0;  ///< maximum over the rows of A
+  double avg_products = 0.0;  ///< total / rows
+
+  index_t rows = 0;
+};
+
+/// Runs the analysis, charging its simulated cost to `launch`.
+RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch);
+
+}  // namespace speck

@@ -1,0 +1,164 @@
+#include "speck/speck.h"
+
+#include <algorithm>
+
+#include "common/bit_utils.h"
+#include "matrix/matrix_stats.h"
+#include "sim/memory_tracker.h"
+
+namespace speck {
+
+SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  SpGemmResult result;
+  diagnostics_ = SpeckDiagnostics{};
+  diagnostics_.wide_keys = b.cols() > kMaxColumns32Bit;
+  trace_.clear();
+
+  sim::MemoryTracker memory(device_.global_memory_bytes);
+  // Input matrices are resident for the duration of the multiplication
+  // (the paper lists this as spECK's limitation, §7).
+  if (!memory.allocate(a.byte_size() + b.byte_size())) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "input matrices exceed device memory";
+    return result;
+  }
+
+  KernelContext ctx;
+  ctx.a = &a;
+  ctx.b = &b;
+  ctx.cfg = &config_;
+  ctx.configs = &kernel_configs_;
+  ctx.device = &device_;
+  ctx.model = &model_;
+  ctx.wide_keys = diagnostics_.wide_keys;
+  ctx.trace = &trace_;
+
+  // Stage 1: lightweight row analysis (Algorithm 1).
+  sim::Launch analysis_launch("row_analysis", device_, model_);
+  const RowAnalysis analysis = analyze_rows(a, b, analysis_launch);
+  ctx.analysis = &analysis;
+  diagnostics_.products = analysis.total_products;
+  {
+    sim::LaunchResult finished = analysis_launch.finish();
+    result.timeline.add(sim::Stage::kAnalysis, finished.seconds);
+    trace_.record(std::move(finished));
+  }
+  const std::size_t analysis_bytes =
+      static_cast<std::size_t>(a.rows()) *
+      (sizeof(offset_t) + 3 * sizeof(index_t));
+  if (!memory.allocate(analysis_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "row analysis buffers exceed device memory";
+    return result;
+  }
+
+  // Stage 2: conditional global load balancing for the symbolic pass,
+  // binning on the conservative product counts.
+  sim::Launch symbolic_lb_launch("symbolic_lb", device_, model_);
+  const GlobalLbInputs symbolic_inputs{std::span<const offset_t>(analysis.products),
+                                       /*symbolic=*/true};
+  const BinPlan symbolic_plan =
+      plan_global_lb(symbolic_inputs, kernel_configs_, config_, symbolic_lb_launch);
+  diagnostics_.symbolic_decision =
+      lb_decision_stats(symbolic_inputs, kernel_configs_, config_);
+  diagnostics_.symbolic_lb_used = symbolic_plan.used_load_balancer;
+  diagnostics_.symbolic_blocks = static_cast<int>(symbolic_plan.blocks.size());
+  if (symbolic_plan.used_load_balancer) {
+    sim::LaunchResult finished = symbolic_lb_launch.finish();
+    result.timeline.add(sim::Stage::kSymbolicLoadBalance, finished.seconds);
+    trace_.record(std::move(finished));
+    if (!memory.allocate(symbolic_plan.lb_memory_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "load balancer buffers exceed device memory";
+      return result;
+    }
+  }
+
+  // Stage 3: symbolic SpGEMM (exact C row sizes).
+  SymbolicOutcome symbolic = run_symbolic(ctx, symbolic_plan);
+  diagnostics_.symbolic = symbolic.stats;
+  result.timeline.add(sim::Stage::kSymbolic, symbolic.stats.seconds);
+  if (symbolic.stats.global_pool_bytes > 0 &&
+      !memory.allocate(symbolic.stats.global_pool_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "global hash pool exceeds device memory";
+    return result;
+  }
+  if (symbolic.stats.global_pool_bytes > 0) {
+    memory.release(symbolic.stats.global_pool_bytes);
+  }
+
+  // Output row offsets via exclusive prefix sum; the C allocation itself is
+  // not timed (identical for every method) but counts towards peak memory.
+  offset_t c_nnz = 0;
+  for (const index_t nnz : symbolic.row_nnz) c_nnz += nnz;
+  const std::size_t c_bytes =
+      (static_cast<std::size_t>(a.rows()) + 1) * sizeof(offset_t) +
+      static_cast<std::size_t>(c_nnz) * (sizeof(index_t) + sizeof(value_t));
+  if (!memory.allocate(c_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "output matrix exceeds device memory";
+    return result;
+  }
+
+  // Stage 4: conditional global load balancing for the numeric pass, using
+  // the exact row sizes inflated by the hash fill limit (66%).
+  std::vector<offset_t> numeric_entries(symbolic.row_nnz.size());
+  for (std::size_t r = 0; r < symbolic.row_nnz.size(); ++r) {
+    numeric_entries[r] = static_cast<offset_t>(
+        static_cast<double>(symbolic.row_nnz[r]) / config_.max_numeric_fill + 1.0);
+  }
+  sim::Launch numeric_lb_launch("numeric_lb", device_, model_);
+  const GlobalLbInputs numeric_inputs{std::span<const offset_t>(numeric_entries),
+                                      /*symbolic=*/false};
+  const BinPlan numeric_plan =
+      plan_global_lb(numeric_inputs, kernel_configs_, config_, numeric_lb_launch);
+  diagnostics_.numeric_decision =
+      lb_decision_stats(numeric_inputs, kernel_configs_, config_);
+  diagnostics_.numeric_lb_used = numeric_plan.used_load_balancer;
+  diagnostics_.numeric_blocks = static_cast<int>(numeric_plan.blocks.size());
+  if (numeric_plan.used_load_balancer) {
+    sim::LaunchResult finished = numeric_lb_launch.finish();
+    result.timeline.add(sim::Stage::kNumericLoadBalance, finished.seconds);
+    trace_.record(std::move(finished));
+    if (!memory.allocate(numeric_plan.lb_memory_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "load balancer buffers exceed device memory";
+      return result;
+    }
+  }
+
+  // Stage 5 + 6: numeric SpGEMM and the sorting pass.
+  NumericOutcome numeric = run_numeric(ctx, numeric_plan, symbolic.row_nnz);
+  diagnostics_.numeric = numeric.stats;
+  diagnostics_.radix_sorted_elements = numeric.radix_sorted_elements;
+  result.timeline.add(sim::Stage::kNumeric, numeric.stats.seconds);
+  result.timeline.add(sim::Stage::kSorting, numeric.sorting_seconds);
+  if (numeric.stats.global_pool_bytes > 0) {
+    if (!memory.allocate(numeric.stats.global_pool_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "global hash pool exceeds device memory";
+      return result;
+    }
+    memory.release(numeric.stats.global_pool_bytes);
+  }
+  if (numeric.radix_sorted_elements > 0) {
+    // Double-buffer for the device radix sort.
+    const auto sort_bytes = static_cast<std::size_t>(numeric.radix_sorted_elements) *
+                            (sizeof(index_t) + sizeof(value_t));
+    if (!memory.allocate(sort_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "radix sort buffers exceed device memory";
+      return result;
+    }
+    memory.release(sort_bytes);
+  }
+
+  result.c = std::move(numeric.c);
+  result.seconds = result.timeline.total_seconds();
+  result.peak_memory_bytes = memory.peak_bytes();
+  return result;
+}
+
+}  // namespace speck

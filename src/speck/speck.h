@@ -1,0 +1,72 @@
+// Public entry point: the spECK SpGEMM algorithm (paper §4, Fig. 2).
+//
+// Pipeline: row analysis -> (conditional) global load balancing -> symbolic
+// SpGEMM -> (conditional) global load balancing -> numeric SpGEMM -> sorting.
+#pragma once
+
+#include "ref/spgemm_api.h"
+#include "speck/config.h"
+#include "speck/kernels.h"
+
+namespace speck {
+
+/// Per-run diagnostics beyond the common SpGemmResult (used by tests and
+/// the ablation benchmarks).
+struct SpeckDiagnostics {
+  bool symbolic_lb_used = false;
+  bool numeric_lb_used = false;
+  /// Inputs to the Table 2 decision rule (consumed by the auto-tuner).
+  LbDecisionStats symbolic_decision;
+  LbDecisionStats numeric_decision;
+  PassStats symbolic;
+  PassStats numeric;
+  offset_t products = 0;
+  offset_t radix_sorted_elements = 0;
+  int symbolic_blocks = 0;
+  int numeric_blocks = 0;
+  bool wide_keys = false;
+};
+
+class Speck final : public SpGemmAlgorithm {
+ public:
+  Speck(sim::DeviceSpec device, sim::CostModel model, SpeckConfig config = {})
+      : SpGemmAlgorithm(device, model),
+        config_(config),
+        kernel_configs_(kernel_configs(device)) {
+    validate(config_);
+  }
+
+  std::string name() const override { return "speck"; }
+  SpGemmResult multiply(const Csr& a, const Csr& b) override;
+
+  const SpeckConfig& config() const { return config_; }
+  SpeckConfig& config() { return config_; }
+  const std::vector<KernelConfig>& configs() const { return kernel_configs_; }
+
+  /// Diagnostics of the most recent multiply() call.
+  const SpeckDiagnostics& last_diagnostics() const { return diagnostics_; }
+
+  /// Launch-by-launch execution trace of the most recent multiply() call.
+  const sim::LaunchTrace& last_trace() const { return trace_; }
+
+ private:
+  SpeckConfig config_;
+  std::vector<KernelConfig> kernel_configs_;
+  SpeckDiagnostics diagnostics_;
+  sim::LaunchTrace trace_;
+};
+
+/// Symbolic-only estimate: the exact NNZ of C = A*B plus the simulated cost
+/// of obtaining it (analysis + symbolic pass). Lets applications size output
+/// buffers or decide between algorithms before committing to the numeric
+/// work (the same information spECK's numeric load balancer consumes).
+struct SymbolicEstimate {
+  std::vector<index_t> row_nnz;
+  offset_t c_nnz = 0;
+  offset_t products = 0;
+  double seconds = 0.0;
+};
+
+SymbolicEstimate symbolic_estimate(Speck& speck, const Csr& a, const Csr& b);
+
+}  // namespace speck

@@ -1,0 +1,150 @@
+#include "speck/tuner.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "common/prng.h"
+
+namespace speck {
+namespace {
+
+/// Which of the four combinations a threshold set selects for a sample.
+std::pair<int, int> decide(const TuningSample& sample, const SpeckThresholds& t) {
+  const bool symbolic =
+      lb_decision(sample.symbolic_decision, t.symbolic, t.symbolic_large);
+  const bool numeric =
+      lb_decision(sample.numeric_decision, t.numeric, t.numeric_large);
+  return {symbolic ? 1 : 0, numeric ? 1 : 0};
+}
+
+double best_seconds(const TuningSample& sample) {
+  double best = sample.seconds[0][0];
+  for (int s = 0; s < 2; ++s) {
+    for (int n = 0; n < 2; ++n) best = std::min(best, sample.seconds[s][n]);
+  }
+  return best;
+}
+
+/// Candidate values for the line search.
+const std::array<double, 12> kRatioGrid = {1.0, 1.3,  2.0,  3.0,  4.0,  6.0,
+                                           8.0, 10.5, 16.0, 25.0, 39.2, 64.0};
+const std::array<index_t, 10> kRowsGrid = {0,    500,   1000,  2000,  5431,
+                                           10000, 15000, 23006, 28000, 50000};
+
+}  // namespace
+
+TuningSample measure_tuning_sample(Speck& speck, const Csr& a, const Csr& b) {
+  TuningSample sample;
+  const SpeckFeatures saved = speck.config().features;
+  for (int s = 0; s < 2; ++s) {
+    for (int n = 0; n < 2; ++n) {
+      speck.config().features.global_lb_symbolic =
+          s == 1 ? GlobalLbMode::kAlwaysOn : GlobalLbMode::kAlwaysOff;
+      speck.config().features.global_lb_numeric =
+          n == 1 ? GlobalLbMode::kAlwaysOn : GlobalLbMode::kAlwaysOff;
+      const SpGemmResult result = speck.multiply(a, b);
+      SPECK_REQUIRE(result.ok(), "tuning sample multiplication failed");
+      sample.seconds[s][n] = result.seconds;
+      sample.symbolic_decision = speck.last_diagnostics().symbolic_decision;
+      sample.numeric_decision = speck.last_diagnostics().numeric_decision;
+    }
+  }
+  speck.config().features = saved;
+  return sample;
+}
+
+double tuning_loss(std::span<const TuningSample> samples,
+                   const SpeckThresholds& thresholds) {
+  if (samples.empty()) return 1.0;
+  double total = 0.0;
+  for (const TuningSample& sample : samples) {
+    const auto [s, n] = decide(sample, thresholds);
+    total += sample.seconds[s][n] / best_seconds(sample);
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+TuningResult tune_thresholds(std::span<const TuningSample> samples,
+                             SpeckThresholds start, int sweeps) {
+  SpeckThresholds current = start;
+  double current_loss = tuning_loss(samples, current);
+
+  // The four threshold pairs. Ratio and row-count gate the decision jointly
+  // (both must clear), so each pair is line-searched over the joint grid —
+  // independent coordinate sweeps stall in local minima.
+  const std::array<LoadBalanceThresholds*, 4> pairs = {
+      &current.symbolic, &current.symbolic_large, &current.numeric,
+      &current.numeric_large};
+  const std::array<const LoadBalanceThresholds*, 4> priors = {
+      &start.symbolic, &start.symbolic_large, &start.numeric,
+      &start.numeric_large};
+
+  // Tie-break: when two grid points give the same loss (the training set is
+  // uninformative in that region), prefer the one closest to the starting
+  // point, i.e. keep the prior. Distances are measured in log-ratio and
+  // sqrt-rows space.
+  const auto distance = [](const LoadBalanceThresholds& x,
+                           const LoadBalanceThresholds& y) {
+    const double dr = std::log(x.ratio + 1.0) - std::log(y.ratio + 1.0);
+    const double dn = std::sqrt(static_cast<double>(x.min_rows)) -
+                      std::sqrt(static_cast<double>(y.min_rows));
+    return dr * dr + dn * dn * 1e-4;
+  };
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      LoadBalanceThresholds* pair = pairs[p];
+      const LoadBalanceThresholds prior = *priors[p];
+      LoadBalanceThresholds best_value = *pair;
+      double best_distance = distance(best_value, prior);
+      for (const double ratio : kRatioGrid) {
+        for (const index_t min_rows : kRowsGrid) {
+          *pair = LoadBalanceThresholds{ratio, min_rows};
+          const double loss = tuning_loss(samples, current);
+          const double d = distance(*pair, prior);
+          if (loss < current_loss - 1e-12 ||
+              (loss < current_loss + 1e-12 && d < best_distance)) {
+            current_loss = std::min(current_loss, loss);
+            best_value = *pair;
+            best_distance = d;
+          }
+        }
+      }
+      *pair = best_value;
+    }
+  }
+
+  TuningResult result;
+  result.thresholds = current;
+  result.mean_slowdown = current_loss;
+  int best_picks = 0;
+  for (const TuningSample& sample : samples) {
+    const auto [s, n] = decide(sample, current);
+    if (sample.seconds[s][n] <= best_seconds(sample) * (1.0 + 1e-12)) ++best_picks;
+  }
+  result.best_pick_fraction =
+      samples.empty() ? 0.0
+                      : static_cast<double>(best_picks) /
+                            static_cast<double>(samples.size());
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> k_folds(std::size_t count, int k,
+                                              std::uint64_t seed) {
+  SPECK_REQUIRE(k > 0, "k must be positive");
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Xoshiro256 rng(seed);
+  for (std::size_t i = count; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < count; ++i) {
+    folds[i % static_cast<std::size_t>(k)].push_back(order[i]);
+  }
+  return folds;
+}
+
+}  // namespace speck

@@ -1,0 +1,53 @@
+// Auto-tuner for the global load-balancing thresholds (paper §5, Table 2).
+//
+// For every training matrix we measure the four on/off combinations of the
+// symbolic and numeric balancer, then run a coordinate line search over the
+// eight threshold parameters minimizing the *average slowdown* relative to
+// the per-matrix best combination — exactly the loss the paper optimizes.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+#include "speck/speck.h"
+
+namespace speck {
+
+/// Measurements for one training matrix.
+struct TuningSample {
+  /// seconds[s][n]: symbolic LB s in {off=0, on=1}, numeric LB n likewise.
+  double seconds[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  LbDecisionStats symbolic_decision;
+  LbDecisionStats numeric_decision;
+};
+
+/// Runs spECK four times on the matrix and collects the sample.
+TuningSample measure_tuning_sample(Speck& speck, const Csr& a, const Csr& b);
+
+struct TuningResult {
+  SpeckThresholds thresholds;
+  /// Mean slowdown over the training set with the tuned thresholds
+  /// (1.0 = always picking the best combination).
+  double mean_slowdown = 1.0;
+  /// Fraction of matrices where the tuned rule selects the fastest of the
+  /// four combinations.
+  double best_pick_fraction = 0.0;
+};
+
+/// Loss of a candidate threshold set over a sample set.
+double tuning_loss(std::span<const TuningSample> samples,
+                   const SpeckThresholds& thresholds);
+
+/// Coordinate line search from the given starting point. `sweeps` full
+/// passes over the eight parameters.
+TuningResult tune_thresholds(std::span<const TuningSample> samples,
+                             SpeckThresholds start = {}, int sweeps = 3);
+
+/// K-fold split helper for the paper's inverse 3-fold cross validation
+/// (train on one fold, evaluate on the other two).
+std::vector<std::vector<std::size_t>> k_folds(std::size_t count, int k,
+                                              std::uint64_t seed);
+
+}  // namespace speck

@@ -1,0 +1,246 @@
+// Integration tests for the baseline algorithms: exact results, failure
+// modes, and the qualitative properties the paper's Table 1/3 attribute to
+// each family.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/kokkos_like.h"
+#include "matrix/coo.h"
+#include "baselines/suite.h"
+#include "gen/corpus.h"
+#include "gen/generators.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "ref/mkl_like.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+const sim::DeviceSpec kDevice = sim::DeviceSpec::titan_v();
+const sim::CostModel kModel;
+
+/// (algorithm index, corpus index) sweep: every baseline must be exact on
+/// every test matrix (or report a typed failure).
+class BaselineCorpus
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BaselineCorpus, ExactOrTypedFailure) {
+  const auto [algo_index, corpus_index] = GetParam();
+  const auto algorithms = baselines::make_all_algorithms(kDevice, kModel);
+  ASSERT_LT(algo_index, algorithms.size());
+  const auto corpus = gen::test_corpus();
+  const auto& entry = corpus[corpus_index];
+
+  const SpGemmResult result = algorithms[algo_index]->multiply(entry.a, entry.b);
+  if (!result.ok()) {
+    EXPECT_FALSE(result.failure_reason.empty());
+    return;
+  }
+  const Csr expected = gustavson_spgemm(entry.a, entry.b);
+  const auto diff = compare(result.c, expected);
+  EXPECT_FALSE(diff.has_value())
+      << algorithms[algo_index]->name() << " on " << entry.name << ": "
+      << diff->description;
+  if (count_products(entry.a, entry.b) > 0) {
+    EXPECT_GT(result.seconds, 0.0);
+  }
+  EXPECT_GT(result.peak_memory_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BaselineCorpus,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 9),
+                       ::testing::Range<std::size_t>(0, 13)));
+
+TEST(BaselineSuite, ContainsAllPaperCompetitors) {
+  const auto algorithms = baselines::make_all_algorithms(kDevice, kModel);
+  std::vector<std::string> names;
+  for (const auto& algorithm : algorithms) names.push_back(algorithm->name());
+  const std::vector<std::string> expected{"cusparse", "ac",    "nsparse",
+                                          "rmerge",   "bhsparse", "cusp",
+                                          "speck",    "kokkos", "mkl"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(BaselineSuite, GpuSuiteExcludesMkl) {
+  const auto algorithms = baselines::make_gpu_algorithms(kDevice, kModel);
+  for (const auto& algorithm : algorithms) EXPECT_NE(algorithm->name(), "mkl");
+  EXPECT_EQ(algorithms.size(), 8u);
+}
+
+TEST(Kokkos, FailsOnOversizedRows) {
+  baselines::KokkosLike kokkos(kDevice, kModel);
+  // One row of A references every row of B: products = nnz(B) > limit.
+  Coo heavy_coo(2000, 2000);
+  for (index_t c = 0; c < 2000; ++c) heavy_coo.add(0, c, 1.0);
+  for (index_t r = 1; r < 2000; ++r) {
+    for (index_t i = 0; i < 100; ++i) heavy_coo.add(r, (r * 31 + i * 7) % 2000, 1.0);
+  }
+  const Csr heavy = heavy_coo.to_csr();
+  const SpGemmResult result = kokkos.multiply(heavy, heavy);
+  EXPECT_EQ(result.status, SpGemmStatus::kUnsupported);
+}
+
+TEST(Kokkos, ReportsUnsortedOutput) {
+  baselines::KokkosLike kokkos(kDevice, kModel);
+  const Csr a = gen::random_uniform(200, 200, 5, 701);
+  const SpGemmResult result = kokkos.multiply(a, a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.sorted_output) << "KokkosKernels violates CSR ordering";
+}
+
+TEST(Memory, HashMethodsUseLessThanEsc) {
+  // Paper Table 3: hash-based methods (speck, cusparse, nsparse) have far
+  // lower peak memory than ESC/merging (ac, cusp, rmerge, bhsparse).
+  const Csr a = gen::random_uniform(3000, 3000, 16, 703);
+  const auto algorithms = baselines::make_all_algorithms(kDevice, kModel);
+  std::map<std::string, std::size_t> memory;
+  for (const auto& algorithm : algorithms) {
+    const SpGemmResult result = algorithm->multiply(a, a);
+    if (result.ok()) memory[algorithm->name()] = result.peak_memory_bytes;
+  }
+  EXPECT_LT(memory["speck"], memory["cusp"]);
+  EXPECT_LT(memory["speck"], memory["ac"]);
+  EXPECT_LT(memory["speck"], memory["rmerge"]);
+  EXPECT_LT(memory["nsparse"], memory["cusp"]);
+}
+
+TEST(Timing, EscScalesWithProductsNotOutput) {
+  // High-compaction input: products >> nnz(C). ESC must be much slower than
+  // spECK there (paper: ESC "fast for low compaction" only).
+  const Csr dense_blocks = gen::block_diagonal(6, 100, 0.9, 705);
+  const auto algorithms = baselines::make_all_algorithms(kDevice, kModel);
+  std::map<std::string, double> seconds;
+  for (const auto& algorithm : algorithms) {
+    const SpGemmResult result = algorithm->multiply(dense_blocks, dense_blocks);
+    if (result.ok()) seconds[algorithm->name()] = result.seconds;
+  }
+  EXPECT_GT(seconds["cusp"], seconds["speck"] * 2.0)
+      << "ESC should lose badly on high-compaction matrices";
+}
+
+TEST(Timing, MklWinsTinyMatrices) {
+  // Below ~15k products the GPU launch overheads dominate (paper Fig. 6).
+  const Csr tiny = gen::random_uniform(100, 100, 4, 707);
+  ASSERT_LT(count_products(tiny, tiny), 15000);
+  MklLikeCpu mkl(kDevice, kModel);
+  Speck speck(kDevice, kModel);
+  const double mkl_seconds = mkl.multiply(tiny, tiny).seconds;
+  const double speck_seconds = speck.multiply(tiny, tiny).seconds;
+  EXPECT_LT(mkl_seconds, speck_seconds);
+}
+
+TEST(Timing, GpuWinsLargeMatrices) {
+  const Csr big = gen::random_uniform(20000, 20000, 16, 709);
+  ASSERT_GT(count_products(big, big), 1000000);
+  MklLikeCpu mkl(kDevice, kModel);
+  Speck speck(kDevice, kModel);
+  const double mkl_seconds = mkl.multiply(big, big).seconds;
+  const double speck_seconds = speck.multiply(big, big).seconds;
+  EXPECT_GT(mkl_seconds, speck_seconds);
+}
+
+TEST(Timing, AllGpuMethodsReportTimelines) {
+  const Csr a = gen::random_uniform(800, 800, 8, 711);
+  for (const auto& algorithm : baselines::make_gpu_algorithms(kDevice, kModel)) {
+    const SpGemmResult result = algorithm->multiply(a, a);
+    if (!result.ok()) continue;
+    EXPECT_NEAR(result.timeline.total_seconds(), result.seconds, 1e-12)
+        << algorithm->name();
+  }
+}
+
+TEST(Baselines, RejectDimensionMismatch) {
+  const Csr a = Csr::zeros(4, 5);
+  for (const auto& algorithm : baselines::make_all_algorithms(kDevice, kModel)) {
+    EXPECT_THROW(algorithm->multiply(a, a), InvalidArgument) << algorithm->name();
+  }
+}
+
+TEST(Baselines, HandleEmptyMatrices) {
+  const Csr z = Csr::zeros(64, 64);
+  for (const auto& algorithm : baselines::make_all_algorithms(kDevice, kModel)) {
+    const SpGemmResult result = algorithm->multiply(z, z);
+    ASSERT_TRUE(result.ok()) << algorithm->name() << ": " << result.failure_reason;
+    EXPECT_EQ(result.c.nnz(), 0) << algorithm->name();
+  }
+}
+
+}  // namespace
+}  // namespace speck
+
+namespace speck {
+namespace {
+
+TEST(BaselineOom, MemoryHungryMethodsFailOnTinyDevice) {
+  // A device whose memory fits the inputs and output but not the ESC/merge
+  // expansion buffers: hash methods succeed, expansion methods report OOM.
+  const Csr a = gen::block_diagonal(6, 100, 0.9, 2203);  // high compaction
+  sim::DeviceSpec tiny = sim::DeviceSpec::titan_v();
+  tiny.global_memory_bytes = 24 * 1024 * 1024;  // 24 MB
+  const auto algorithms = baselines::make_all_algorithms(tiny, sim::CostModel{});
+  std::map<std::string, SpGemmStatus> status;
+  for (const auto& algorithm : algorithms) {
+    status[algorithm->name()] = algorithm->multiply(a, a).status;
+  }
+  EXPECT_EQ(status["speck"], SpGemmStatus::kOk);
+  EXPECT_EQ(status["cusparse"], SpGemmStatus::kOk);
+  EXPECT_EQ(status["cusp"], SpGemmStatus::kOutOfMemory);
+  EXPECT_EQ(status["ac"], SpGemmStatus::kOutOfMemory);
+  EXPECT_EQ(status["rmerge"], SpGemmStatus::kOutOfMemory);
+}
+
+TEST(BaselineDevices, AllAlgorithmsRunOnEveryDevice) {
+  const Csr a = gen::random_uniform(400, 400, 6, 2207);
+  for (const sim::DeviceSpec& device :
+       {sim::DeviceSpec::titan_v(), sim::DeviceSpec::pascal_like(),
+        sim::DeviceSpec::a100_like()}) {
+    for (const auto& algorithm :
+         baselines::make_all_algorithms(device, sim::CostModel{})) {
+      const SpGemmResult result = algorithm->multiply(a, a);
+      EXPECT_TRUE(result.ok()) << algorithm->name();
+    }
+  }
+}
+
+TEST(BaselineDevices, BiggerDeviceIsFaster) {
+  const Csr a = gen::random_uniform(20000, 20000, 12, 2211);
+  SpeckConfig config;
+  config.thresholds = reduced_scale_thresholds();
+  Speck small(sim::DeviceSpec::pascal_like(), sim::CostModel{}, config);
+  Speck big(sim::DeviceSpec::a100_like(), sim::CostModel{}, config);
+  EXPECT_GT(small.multiply(a, a).seconds, big.multiply(a, a).seconds);
+}
+
+}  // namespace
+}  // namespace speck
+
+namespace speck {
+namespace {
+
+TEST(AlgorithmFactory, BuildsEveryName) {
+  const Csr a = gen::random_uniform(120, 120, 4, 2301);
+  const Csr expected = gustavson_spgemm(a, a);
+  for (const std::string& name : baselines::algorithm_names()) {
+    const auto algorithm =
+        baselines::make_algorithm(name, kDevice, sim::CostModel{});
+    ASSERT_NE(algorithm, nullptr) << name;
+    EXPECT_EQ(algorithm->name() == "speck" ? "speck" : algorithm->name(),
+              name == "speck" ? "speck" : algorithm->name());
+    const SpGemmResult result = algorithm->multiply(a, a);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.failure_reason;
+    const auto diff = compare(result.c, expected);
+    EXPECT_FALSE(diff.has_value()) << name << ": " << diff->description;
+  }
+}
+
+TEST(AlgorithmFactory, RejectsUnknownName) {
+  EXPECT_THROW(baselines::make_algorithm("nope", kDevice, sim::CostModel{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace speck

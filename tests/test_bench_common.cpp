@@ -1,0 +1,101 @@
+// Tests for the benchmark-harness library itself: suite runner with
+// verification, CSV export, table/chart rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.h"
+
+namespace speck::bench {
+namespace {
+
+std::vector<gen::CorpusEntry> tiny_corpus() {
+  auto corpus = gen::test_corpus();
+  corpus.resize(4);  // keep the harness test fast
+  return corpus;
+}
+
+TEST(RunSuite, ProducesOneMeasurementPerPair) {
+  const auto corpus = tiny_corpus();
+  const auto algorithms = baselines::make_all_algorithms(
+      sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const auto measurements = run_suite(corpus, algorithms);
+  EXPECT_EQ(measurements.size(), corpus.size() * algorithms.size());
+  for (const Measurement& m : measurements) {
+    EXPECT_FALSE(m.algorithm.empty());
+    EXPECT_FALSE(m.matrix.empty());
+    if (m.status == SpGemmStatus::kOk && m.products > 0) {
+      EXPECT_GT(m.seconds, 0.0);
+      EXPECT_GT(m.gflops, 0.0);
+    }
+  }
+}
+
+TEST(RunSuite, VerifiesResultsAgainstOracle) {
+  // The harness aborts on a wrong result — all shipped algorithms pass.
+  const auto corpus = tiny_corpus();
+  const auto algorithms = baselines::make_gpu_algorithms(
+      sim::DeviceSpec::titan_v(), sim::CostModel{});
+  EXPECT_NO_THROW(run_suite(corpus, algorithms, /*verify=*/true));
+}
+
+TEST(BestSeconds, PicksMinimumPerMatrix) {
+  std::vector<Measurement> measurements(3);
+  measurements[0] = {"a", "m1", 10, SpGemmStatus::kOk, 2.0, 0, 0, {}};
+  measurements[1] = {"b", "m1", 10, SpGemmStatus::kOk, 1.0, 0, 0, {}};
+  measurements[2] = {"c", "m1", 10, SpGemmStatus::kOutOfMemory, 0.1, 0, 0, {}};
+  const auto best = best_seconds_per_matrix(measurements);
+  EXPECT_DOUBLE_EQ(best.at("m1"), 1.0);  // the OOM run does not count
+}
+
+TEST(Csv, RoundTripsMeasurements) {
+  std::vector<Measurement> measurements(2);
+  measurements[0] = {"speck", "m1", 1000, SpGemmStatus::kOk, 0.5, 4.0, 2048, {}};
+  measurements[1] = {"cusp", "m2", 500, SpGemmStatus::kOutOfMemory, 0, 0, 0, {}};
+  const std::string path = "/tmp/speck_test_csv.csv";
+  write_csv(path, measurements);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "algorithm,matrix,products,status,seconds,gflops,peak_memory_bytes");
+  std::getline(in, line);
+  EXPECT_NE(line.find("speck,m1,1000,ok,0.5,4,2048"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find("cusp,m2,500,oom"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsUnwritablePath) {
+  EXPECT_THROW(write_csv("/nonexistent/dir/out.csv", {}), InvalidArgument);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(format_double(1.2345, 2), "1.23");
+  EXPECT_EQ(format_double(10.0, 0), "10");
+  EXPECT_EQ(format_bytes_mb(2 * 1024 * 1024), "2.0");
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  const std::vector<std::string> names{"up", "down"};
+  const std::vector<std::vector<double>> series{{1, 2, 4, 8, 16},
+                                                {16, 8, 4, 2, 1}};
+  const std::string chart = ascii_chart(names, series, 8, true);
+  EXPECT_NE(chart.find("legend: *=up o=down"), std::string::npos);
+  EXPECT_NE(chart.find("16.00"), std::string::npos);
+  EXPECT_NE(chart.find("1.00"), std::string::npos);
+  // 8 grid rows between the two axis lines.
+  int lines = 0;
+  for (const char c : chart) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 8 + 3);
+}
+
+TEST(AsciiChart, HandlesDegenerateInput) {
+  EXPECT_EQ(ascii_chart({}, {}, 8, true), "(no data)\n");
+  EXPECT_EQ(ascii_chart({"flat"}, {{5, 5, 5}}, 8, true), "(no data)\n");
+  EXPECT_THROW(ascii_chart({"a"}, {{1, 2}, {3}}, 8, true), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace speck::bench

@@ -1,0 +1,281 @@
+// Unit tests for src/common: prng, bit utilities, prefix sums, sorting,
+// statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bit_utils.h"
+#include "common/prefix_sum.h"
+#include "common/prng.h"
+#include "common/sorting.h"
+#include "common/stats.h"
+
+namespace speck {
+namespace {
+
+TEST(BitUtils, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div<std::int64_t>(1'000'000'007, 3), 333'333'336);
+}
+
+TEST(BitUtils, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(BitUtils, PrevPow2) {
+  EXPECT_EQ(prev_pow2(0), 1u);
+  EXPECT_EQ(prev_pow2(1), 1u);
+  EXPECT_EQ(prev_pow2(3), 2u);
+  EXPECT_EQ(prev_pow2(1024), 1024u);
+  EXPECT_EQ(prev_pow2(1500), 1024u);
+}
+
+TEST(BitUtils, RoundPow2PicksClosest) {
+  EXPECT_EQ(round_pow2(1), 1u);
+  EXPECT_EQ(round_pow2(2), 2u);
+  EXPECT_EQ(round_pow2(3), 4u);  // tie rounds up
+  EXPECT_EQ(round_pow2(5), 4u);
+  EXPECT_EQ(round_pow2(6), 8u);  // tie rounds up
+  EXPECT_EQ(round_pow2(7), 8u);
+  EXPECT_EQ(round_pow2(24), 32u);
+  EXPECT_EQ(round_pow2(23), 16u);
+}
+
+TEST(BitUtils, Log2AndIsPow2) {
+  EXPECT_EQ(log2_pow2(1), 0);
+  EXPECT_EQ(log2_pow2(1024), 10);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(24));
+}
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Prng, NextIntInclusiveBounds) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, NormalMoments) {
+  Xoshiro256 rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.1);
+}
+
+TEST(Prng, PowerLawBoundsAndSkew) {
+  Xoshiro256 rng(13);
+  std::int64_t max_seen = 0;
+  int ones = 0;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = rng.next_power_law(1000, 2.0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+    max_seen = std::max(max_seen, v);
+    ones += v == 1 ? 1 : 0;
+  }
+  EXPECT_GT(max_seen, 50);          // heavy tail reaches far
+  EXPECT_GT(ones, kSamples / 4);    // but most mass sits at the bottom
+}
+
+TEST(Prng, SampleDistinctSortedProperties) {
+  Xoshiro256 rng(17);
+  for (const std::int64_t universe : {10, 100, 1000}) {
+    for (const std::int64_t count : {0L, 1L, universe / 2, universe}) {
+      const auto sample = sample_distinct_sorted(rng, universe, count);
+      ASSERT_EQ(static_cast<std::int64_t>(sample.size()), count);
+      EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+      EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) == sample.end());
+      for (const auto v : sample) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, universe);
+      }
+    }
+  }
+}
+
+TEST(PrefixSum, ExclusiveInPlace) {
+  std::vector<int> v{3, 1, 4, 1, 5};
+  const int total = exclusive_prefix_sum(std::span<int>(v));
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, InclusiveInPlace) {
+  std::vector<int> v{3, 1, 4};
+  const int total = inclusive_prefix_sum(std::span<int>(v));
+  EXPECT_EQ(total, 8);
+  EXPECT_EQ(v, (std::vector<int>{3, 4, 8}));
+}
+
+TEST(PrefixSum, EmptyInput) {
+  std::vector<int> v;
+  EXPECT_EQ(exclusive_prefix_sum(std::span<int>(v)), 0);
+}
+
+TEST(PrefixSum, OffsetsFromCounts) {
+  const std::vector<std::int64_t> counts{2, 0, 3};
+  const auto offsets = offsets_from_counts(std::span<const std::int64_t>(counts));
+  EXPECT_EQ(offsets, (std::vector<std::int64_t>{0, 2, 2, 5}));
+}
+
+TEST(Sorting, RankSortPairs) {
+  std::vector<std::uint32_t> keys{5, 1, 4, 1, 3};
+  std::vector<double> vals{50, 10, 40, 11, 30};
+  rank_sort_pairs(std::span<std::uint32_t>(keys), std::span<double>(vals));
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{1, 1, 3, 4, 5}));
+  EXPECT_EQ(vals, (std::vector<double>{10, 11, 30, 40, 50}));  // stable
+}
+
+TEST(Sorting, RadixSortMatchesStdSort) {
+  Xoshiro256 rng(23);
+  std::vector<std::uint64_t> keys(5000);
+  std::vector<int> vals(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.next_u64() >> (i % 3 == 0 ? 0 : 40);
+    vals[i] = static_cast<int>(i);
+  }
+  auto expected_keys = keys;
+  radix_sort_pairs(keys, vals);
+  std::sort(expected_keys.begin(), expected_keys.end());
+  EXPECT_EQ(keys, expected_keys);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] == keys[i - 1]) EXPECT_LT(vals[i - 1], vals[i]);  // stability
+  }
+}
+
+TEST(Sorting, RadixSortTiny) {
+  std::vector<std::uint32_t> keys{2};
+  std::vector<int> vals{1};
+  radix_sort_pairs(keys, vals);
+  EXPECT_EQ(keys[0], 2u);
+  keys.clear();
+  vals.clear();
+  radix_sort_pairs(keys, vals);  // empty input is a no-op
+}
+
+TEST(Sorting, RadixPassCount) {
+  EXPECT_EQ(radix_pass_count<std::uint32_t>(0), 1);
+  EXPECT_EQ(radix_pass_count<std::uint32_t>(255), 1);
+  EXPECT_EQ(radix_pass_count<std::uint32_t>(256), 2);
+  EXPECT_EQ(radix_pass_count<std::uint32_t>(1u << 27), 4);
+}
+
+TEST(Stats, Summarize) {
+  const std::vector<std::int64_t> v{1, 2, 3, 4, 10};
+  const SampleSummary s = summarize(std::span<const std::int64_t>(v));
+  EXPECT_EQ(s.count, 5);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 10);
+  EXPECT_EQ(s.total, 20);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_GT(s.stddev, 3.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const std::vector<std::int64_t> v;
+  const SampleSummary s = summarize(std::span<const std::int64_t>(v));
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.total, 0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
+  EXPECT_EQ(geometric_mean(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace speck
+
+namespace speck {
+namespace {
+
+TEST(Bitonic, MatchesStdSort) {
+  Xoshiro256 rng(2301);
+  for (const std::size_t n : {0u, 1u, 2u, 5u, 64u, 100u, 1000u}) {
+    std::vector<std::uint32_t> keys(n);
+    std::vector<int> vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<std::uint32_t>(rng.next_below(1000));
+      vals[i] = static_cast<int>(i);
+    }
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    bitonic_sort_pairs(keys, vals);
+    ASSERT_EQ(keys.size(), n);
+    EXPECT_EQ(keys, expected) << "n=" << n;
+  }
+}
+
+TEST(Bitonic, PayloadFollowsKeys) {
+  std::vector<std::uint32_t> keys{4, 1, 3, 2};
+  std::vector<int> vals{40, 10, 30, 20};
+  bitonic_sort_pairs(keys, vals);
+  EXPECT_EQ(vals, (std::vector<int>{10, 20, 30, 40}));
+}
+
+TEST(Bitonic, CompareCount) {
+  // n=8 -> 3 stages -> 8/2 * 6 = 24 compares.
+  EXPECT_EQ(bitonic_compare_count(8), 24u);
+  EXPECT_EQ(bitonic_compare_count(5), 24u);  // padded to 8
+  EXPECT_EQ(bitonic_compare_count(2), 1u);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,92 @@
+// Tests for the CSC format and the outer-product extension baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/outer_product.h"
+#include "gen/corpus.h"
+#include "gen/generators.h"
+#include "matrix/csc.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+
+namespace speck {
+namespace {
+
+TEST(Csc, RoundTripThroughCsr) {
+  const Csr a = gen::random_uniform(60, 80, 5, 1701);
+  const Csc csc = csr_to_csc(a);
+  EXPECT_EQ(csc.rows(), 60);
+  EXPECT_EQ(csc.cols(), 80);
+  EXPECT_EQ(csc.nnz(), a.nnz());
+  const Csr back = csc_to_csr(csc);
+  const auto diff = compare(back, a, 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(Csc, ColumnsMatchTransposedRows) {
+  const Csr a = gen::banded(50, 6, 4, 1703);
+  const Csc csc = csr_to_csc(a);
+  const Csr at = transpose(a);
+  for (index_t c = 0; c < a.cols(); ++c) {
+    const auto csc_rows = csc.col_rows(c);
+    const auto t_cols = at.row_cols(c);
+    ASSERT_EQ(csc_rows.size(), t_cols.size()) << "column " << c;
+    for (std::size_t i = 0; i < csc_rows.size(); ++i) {
+      EXPECT_EQ(csc_rows[i], t_cols[i]);
+      EXPECT_EQ(csc.col_vals(c)[i], at.row_vals(c)[i]);
+    }
+  }
+}
+
+TEST(Csc, RowIndicesSortedWithinColumns) {
+  const Csr a = gen::power_law(80, 80, 6, 1.8, 30, 1707);
+  const Csc csc = csr_to_csc(a);
+  for (index_t c = 0; c < csc.cols(); ++c) {
+    const auto rows = csc.col_rows(c);
+    EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end())) << "column " << c;
+  }
+}
+
+TEST(Csc, EmptyMatrix) {
+  const Csc csc = csr_to_csc(Csr::zeros(5, 7));
+  EXPECT_EQ(csc.nnz(), 0);
+  EXPECT_EQ(csc.col_length(3), 0);
+  EXPECT_EQ(csc_to_csr(csc).nnz(), 0);
+}
+
+TEST(Csc, ValidatesStructure) {
+  EXPECT_THROW(Csc(2, 2, {0, 1}, {0}, {1.0}), InvalidArgument);        // offsets size
+  EXPECT_THROW(Csc(2, 2, {0, 1, 1}, {5}, {1.0}), InvalidArgument);     // row range
+  EXPECT_THROW(Csc(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}), InvalidArgument);  // decreasing
+}
+
+TEST(OuterProduct, ExactOnCorpus) {
+  baselines::OuterProduct outer(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  for (const auto& entry : gen::test_corpus()) {
+    const SpGemmResult result = outer.multiply(entry.a, entry.b);
+    ASSERT_TRUE(result.ok()) << entry.name << ": " << result.failure_reason;
+    const auto diff = compare(result.c, gustavson_spgemm(entry.a, entry.b));
+    EXPECT_FALSE(diff.has_value()) << entry.name << ": " << diff->description;
+  }
+}
+
+TEST(OuterProduct, MemoryScalesWithProducts) {
+  baselines::OuterProduct outer(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  // High-compaction input: expansion buffer far exceeds the output.
+  const Csr dense_blocks = gen::block_diagonal(4, 80, 0.9, 1711);
+  const SpGemmResult result = outer.multiply(dense_blocks, dense_blocks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.peak_memory_bytes, 8 * result.c.byte_size())
+      << "outer product must pay the full expansion";
+}
+
+TEST(OuterProduct, ReportsTimeline) {
+  baselines::OuterProduct outer(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::random_uniform(500, 500, 8, 1713);
+  const SpGemmResult result = outer.multiply(a, a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.timeline.seconds(sim::Stage::kSorting), 0.0);
+  EXPECT_NEAR(result.timeline.total_seconds(), result.seconds, 1e-12);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,132 @@
+// Unit tests for the windowed dense accumulator (paper Fig. 5 semantics).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "ref/gustavson.h"
+#include "speck/dense_acc.h"
+
+namespace speck {
+namespace {
+
+/// Runs the accumulator on row `r` of A against the oracle row of C = A*B.
+void check_row(const Csr& a, const Csr& b, index_t r, std::size_t window) {
+  index_t col_min = b.cols(), col_max = -1;
+  for (const index_t k : a.row_cols(r)) {
+    const auto cols = b.row_cols(k);
+    if (cols.empty()) continue;
+    col_min = std::min(col_min, cols.front());
+    col_max = std::max(col_max, cols.back());
+  }
+  if (col_max < 0) {
+    col_min = 0;
+    col_max = 0;
+  }
+  const auto result = dense_accumulate_row(b, a.row_cols(r), a.row_vals(r), col_min,
+                                           col_max, window, /*numeric=*/true);
+  const Csr expected = gustavson_spgemm(a, b);
+  const auto exp_cols = expected.row_cols(r);
+  const auto exp_vals = expected.row_vals(r);
+  ASSERT_EQ(result.cols.size(), exp_cols.size()) << "row " << r;
+  for (std::size_t i = 0; i < exp_cols.size(); ++i) {
+    EXPECT_EQ(result.cols[i], exp_cols[i]);
+    EXPECT_NEAR(result.vals[i], exp_vals[i], 1e-9);
+  }
+}
+
+TEST(DenseAcc, SingleWindowMatchesOracle) {
+  const Csr a = gen::random_uniform(40, 40, 6, 301);
+  for (index_t r = 0; r < a.rows(); ++r) check_row(a, a, r, 4096);
+}
+
+TEST(DenseAcc, MultiWindowMatchesOracle) {
+  const Csr a = gen::random_uniform(40, 40, 6, 303);
+  for (index_t r = 0; r < a.rows(); ++r) check_row(a, a, r, 7);  // tiny windows
+}
+
+TEST(DenseAcc, WindowOfOneColumn) {
+  const Csr a = gen::random_uniform(12, 12, 4, 305);
+  for (index_t r = 0; r < a.rows(); ++r) check_row(a, a, r, 1);
+}
+
+TEST(DenseAcc, PassCountMatchesRange) {
+  const Csr b = Csr::identity(100);
+  Coo a_coo(1, 100);
+  a_coo.add(0, 0, 1.0);
+  a_coo.add(0, 99, 1.0);
+  const Csr a = a_coo.to_csr();
+  const auto result = dense_accumulate_row(b, a.row_cols(0), a.row_vals(0), 0, 99, 25,
+                                           /*numeric=*/true);
+  EXPECT_EQ(result.passes, 4);  // range 100 / window 25
+  EXPECT_EQ(result.cols.size(), 2u);
+}
+
+TEST(DenseAcc, ElementTouchesEqualProducts) {
+  const Csr a = gen::banded(60, 6, 4, 307);
+  for (index_t r = 0; r < 10; ++r) {
+    offset_t products = 0;
+    for (const index_t k : a.row_cols(r)) products += a.row_length(k);
+    index_t col_min = a.cols(), col_max = -1;
+    for (const index_t k : a.row_cols(r)) {
+      const auto cols = a.row_cols(k);
+      if (cols.empty()) continue;
+      col_min = std::min(col_min, cols.front());
+      col_max = std::max(col_max, cols.back());
+    }
+    if (col_max < 0) continue;
+    const auto result = dense_accumulate_row(a, a.row_cols(r), a.row_vals(r), col_min,
+                                             col_max, 16, /*numeric=*/true);
+    EXPECT_EQ(result.element_touches, products) << "each product visited exactly once";
+  }
+}
+
+TEST(DenseAcc, SymbolicCountsOnly) {
+  const Csr a = gen::random_uniform(30, 30, 5, 309);
+  const Csr expected = gustavson_spgemm(a, a);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    index_t col_min = a.cols(), col_max = -1;
+    for (const index_t k : a.row_cols(r)) {
+      const auto cols = a.row_cols(k);
+      if (cols.empty()) continue;
+      col_min = std::min(col_min, cols.front());
+      col_max = std::max(col_max, cols.back());
+    }
+    if (col_max < 0) continue;
+    const auto result = dense_accumulate_row(a, a.row_cols(r), {}, col_min, col_max,
+                                             64, /*numeric=*/false);
+    EXPECT_EQ(static_cast<index_t>(result.cols.size()), expected.row_length(r));
+    EXPECT_TRUE(result.vals.empty());
+  }
+}
+
+TEST(DenseAcc, EmptyRow) {
+  const Csr b = Csr::identity(10);
+  const auto result = dense_accumulate_row(b, {}, {}, 0, 9, 16, /*numeric=*/true);
+  EXPECT_EQ(result.passes, 0);
+  EXPECT_TRUE(result.cols.empty());
+}
+
+TEST(DenseAcc, OutputSorted) {
+  const Csr a = gen::power_law(50, 50, 8, 1.8, 30, 311);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    index_t col_min = a.cols(), col_max = -1;
+    for (const index_t k : a.row_cols(r)) {
+      const auto cols = a.row_cols(k);
+      if (cols.empty()) continue;
+      col_min = std::min(col_min, cols.front());
+      col_max = std::max(col_max, cols.back());
+    }
+    if (col_max < 0) continue;
+    const auto result = dense_accumulate_row(a, a.row_cols(r), a.row_vals(r), col_min,
+                                             col_max, 8, /*numeric=*/true);
+    EXPECT_TRUE(std::is_sorted(result.cols.begin(), result.cols.end()));
+  }
+}
+
+TEST(DenseAcc, RejectsZeroWindow) {
+  const Csr b = Csr::identity(4);
+  EXPECT_THROW(dense_accumulate_row(b, {}, {}, 0, 3, 0, true), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace speck

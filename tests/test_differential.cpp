@@ -1,0 +1,119 @@
+// Randomized differential testing: seeded sweeps over generator parameters,
+// every algorithm against the exact oracle. Complements the corpus tests
+// with broader random coverage of shapes, densities and structures.
+#include <gtest/gtest.h>
+
+#include "baselines/suite.h"
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "matrix/permute.h"
+#include "ref/gustavson.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+const sim::DeviceSpec kDevice = sim::DeviceSpec::titan_v();
+const sim::CostModel kModel;
+
+/// Builds a random matrix whose shape/structure are derived from the seed.
+Csr random_matrix(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto rows = static_cast<index_t>(20 + rng.next_below(600));
+  switch (rng.next_below(6)) {
+    case 0:
+      return gen::random_uniform(rows, rows,
+                                 static_cast<index_t>(1 + rng.next_below(12)), seed);
+    case 1:
+      return gen::banded(rows, static_cast<index_t>(2 + rng.next_below(20)),
+                         static_cast<index_t>(1 + rng.next_below(8)), seed);
+    case 2:
+      return gen::power_law(rows, rows, static_cast<index_t>(2 + rng.next_below(8)),
+                            1.5 + rng.next_double(), rows / 2 + 1, seed);
+    case 3:
+      return gen::block_diagonal(static_cast<index_t>(1 + rng.next_below(6)),
+                                 static_cast<index_t>(8 + rng.next_below(40)),
+                                 0.2 + 0.6 * rng.next_double(), seed);
+    case 4:
+      return gen::single_entry_mix(rows, rows, rng.next_double(),
+                                   static_cast<index_t>(2 + rng.next_below(10)), seed);
+    default:
+      return gen::skewed_rows(rows, rows, 0.05,
+                              static_cast<index_t>(16 + rng.next_below(200)),
+                              static_cast<index_t>(1 + rng.next_below(4)), seed);
+  }
+}
+
+class DifferentialSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSweep, AllAlgorithmsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  const Csr a = random_matrix(seed);
+  const Csr b = random_matrix(seed + 1000000);
+  // Make shapes compatible: multiply A by a matrix with rows == A.cols().
+  const Csr b_fit = a.cols() == b.rows()
+                        ? b
+                        : gen::random_uniform(a.cols(), a.cols(), 4, seed + 7);
+  const Csr expected = gustavson_spgemm(a, b_fit);
+
+  for (const auto& algorithm : baselines::make_all_algorithms(kDevice, kModel)) {
+    const SpGemmResult result = algorithm->multiply(a, b_fit);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status, SpGemmStatus::kUnsupported) << algorithm->name();
+      continue;
+    }
+    const auto diff = compare(result.c, expected, 1e-8);
+    EXPECT_FALSE(diff.has_value())
+        << algorithm->name() << " seed " << seed << ": " << diff->description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/// spECK must be permutation-consistent: P(AB)Pᵀ == (PAPᵀ)(PBPᵀ).
+class PermutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationSweep, SpeckCommutesWithSymmetricPermutation) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  const auto n = static_cast<index_t>(50 + rng.next_below(300));
+  const Csr a = gen::random_uniform(n, n, 5, seed + 3);
+  const Csr b = gen::banded(n, 8, 4, seed + 5);
+  const Permutation p = random_permutation(n, seed + 11);
+
+  Speck speck(kDevice, kModel);
+  const SpGemmResult plain = speck.multiply(a, b);
+  ASSERT_TRUE(plain.ok());
+  const SpGemmResult permuted =
+      speck.multiply(permute_symmetric(a, p), permute_symmetric(b, p));
+  ASSERT_TRUE(permuted.ok());
+  const auto diff = compare(permuted.c, permute_symmetric(plain.c, p), 1e-9);
+  EXPECT_FALSE(diff.has_value()) << "seed " << seed << ": " << diff->description;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationSweep,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+/// Scaling linearity: (alpha A)(B) == alpha (A B).
+class ScalingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingSweep, SpeckIsLinearInA) {
+  const std::uint64_t seed = GetParam();
+  const Csr a = gen::power_law(200, 200, 6, 1.8, 60, seed);
+  const Csr b = gen::random_uniform(200, 200, 4, seed + 13);
+  Speck speck(kDevice, kModel);
+  const SpGemmResult base = speck.multiply(a, b);
+  ASSERT_TRUE(base.ok());
+  const SpGemmResult scaled_run = speck.multiply(scaled(a, -2.5), b);
+  ASSERT_TRUE(scaled_run.ok());
+  const auto diff = compare(scaled_run.c, scaled(base.c, -2.5), 1e-9);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingSweep,
+                         ::testing::Range<std::uint64_t>(200, 206));
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,258 @@
+// Unit tests for the synthetic matrix generators and corpora.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/corpus.h"
+#include "gen/generators.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+
+namespace speck::gen {
+namespace {
+
+TEST(Generators, RandomUniformShapeAndDegree) {
+  const Csr m = random_uniform(200, 300, 7, 1);
+  EXPECT_EQ(m.rows(), 200);
+  EXPECT_EQ(m.cols(), 300);
+  for (index_t r = 0; r < m.rows(); ++r) EXPECT_EQ(m.row_length(r), 7);
+  EXPECT_TRUE(m.coalesced());
+}
+
+TEST(Generators, Deterministic) {
+  const Csr a = random_uniform(100, 100, 5, 9);
+  const Csr b = random_uniform(100, 100, 5, 9);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_TRUE(std::equal(a.col_indices().begin(), a.col_indices().end(),
+                         b.col_indices().begin()));
+}
+
+TEST(Generators, BandedStaysInBand) {
+  const index_t half = 15;
+  const Csr m = banded(500, half, 6, 3);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (const index_t c : m.row_cols(r)) {
+      EXPECT_GE(c, std::max<index_t>(0, r - half));
+      EXPECT_LE(c, std::min<index_t>(499, r + half));
+    }
+  }
+}
+
+TEST(Generators, BandedHasDiagonal) {
+  const Csr m = banded(100, 5, 3, 5);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    bool diag = false;
+    for (const index_t c : m.row_cols(r)) diag = diag || c == r;
+    EXPECT_TRUE(diag) << "row " << r;
+  }
+}
+
+TEST(Generators, Stencil2dStructure) {
+  const Csr m = stencil_2d(10, 8);
+  EXPECT_EQ(m.rows(), 80);
+  // Interior point has 5 entries; corner 3.
+  EXPECT_EQ(m.row_length(0), 3);
+  EXPECT_EQ(m.row_length(11), 5);  // (1,1) interior
+  // Symmetric structure.
+  EXPECT_EQ(m.nnz() % 2, 80 % 2 ? 1 : 0);
+}
+
+TEST(Generators, Stencil3dDegrees) {
+  const Csr m = stencil_3d(4);
+  EXPECT_EQ(m.rows(), 64);
+  // Corner: 8 neighbours; interior: 27.
+  EXPECT_EQ(m.row_length(0), 8);
+  const index_t interior = (1 * 4 + 1) * 4 + 1;
+  EXPECT_EQ(m.row_length(interior), 27);
+}
+
+TEST(Generators, PowerLawIsSkewed) {
+  const Csr m = power_law(2000, 2000, 8, 1.8, 500, 7);
+  index_t max_len = 0;
+  for (index_t r = 0; r < m.rows(); ++r) max_len = std::max(max_len, m.row_length(r));
+  const double avg = static_cast<double>(m.nnz()) / m.rows();
+  EXPECT_GT(max_len, 5 * avg) << "power-law corpus must have heavy rows";
+  EXPECT_GT(avg, 1.0);
+}
+
+TEST(Generators, RmatShape) {
+  const Csr m = rmat(8, 4, 0.5, 0.2, 0.2, 11);
+  EXPECT_EQ(m.rows(), 256);
+  EXPECT_EQ(m.cols(), 256);
+  EXPECT_GT(m.nnz(), 500);
+  EXPECT_LE(m.nnz(), 1024);  // duplicates merged
+}
+
+TEST(Generators, BlockDiagonalStaysInBlocks) {
+  const index_t block_size = 32;
+  const Csr m = block_diagonal(4, block_size, 0.5, 13);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const index_t block = r / block_size;
+    for (const index_t c : m.row_cols(r)) {
+      EXPECT_EQ(c / block_size, block);
+    }
+  }
+}
+
+TEST(Generators, BlockDiagonalHighCompaction) {
+  const Csr m = block_diagonal(4, 64, 0.8, 15);
+  const offset_t products = count_products(m, m);
+  const offset_t max_output = static_cast<offset_t>(m.rows()) * 64;
+  EXPECT_GT(products, 4 * max_output) << "dense blocks must compact strongly";
+}
+
+TEST(Generators, SingleEntryMixFractions) {
+  const Csr m = single_entry_mix(1000, 1000, 0.7, 10, 17);
+  int singles = 0;
+  for (index_t r = 0; r < m.rows(); ++r) singles += m.row_length(r) == 1 ? 1 : 0;
+  EXPECT_GT(singles, 600);
+  EXPECT_LT(singles, 800);
+}
+
+TEST(Generators, SkewedRowsTwoPopulations) {
+  const Csr m = skewed_rows(1000, 1000, 0.05, 200, 3, 19);
+  int heavy = 0;
+  for (index_t r = 0; r < m.rows(); ++r) {
+    if (m.row_length(r) > 100) ++heavy;
+  }
+  EXPECT_GT(heavy, 20);
+  EXPECT_LT(heavy, 120);
+}
+
+TEST(Corpus, CommonCorpusNamesMatchTable4) {
+  const auto corpus = common_corpus();
+  ASSERT_EQ(corpus.size(), 11u);
+  const std::vector<std::string> expected{
+      "webbase", "hugebubbles", "mario002",   "stat96v2", "email-Enron", "cage13",
+      "144",     "poisson3Da",  "QCD",        "harbor",   "TSC_OPF"};
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus[i].name, expected[i]);
+  }
+}
+
+TEST(Corpus, CommonCorpusStructuralContracts) {
+  for (const auto& entry : common_corpus()) {
+    EXPECT_EQ(entry.a.cols(), entry.b.rows()) << entry.name;
+    EXPECT_GT(entry.a.nnz(), 0) << entry.name;
+    EXPECT_GT(entry.products(), 0) << entry.name;
+    if (entry.square) {
+      EXPECT_EQ(entry.a.rows(), entry.a.cols()) << entry.name;
+    }
+  }
+}
+
+TEST(Corpus, TscOpfHasHighestCompaction) {
+  // Table 4: TSC_OPF's defining feature is an extreme product count
+  // relative to the output size.
+  const auto corpus = common_corpus();
+  const auto& tsc = corpus.back();
+  ASSERT_EQ(tsc.name, "TSC_OPF");
+  const double compaction =
+      static_cast<double>(tsc.products()) /
+      static_cast<double>(std::max<offset_t>(tsc.a.nnz(), 1));
+  EXPECT_GT(compaction, 50.0);
+}
+
+TEST(Corpus, Stat96v2HasShortBRows) {
+  // The paper attributes nsparse's stat96v2 slowdown to very short B rows.
+  for (const auto& entry : common_corpus()) {
+    if (entry.name != "stat96v2") continue;
+    const double avg_b_row =
+        static_cast<double>(entry.b.nnz()) / entry.b.rows();
+    EXPECT_LT(avg_b_row, 8.0);
+    EXPECT_FALSE(entry.square);
+  }
+}
+
+TEST(Corpus, EvaluationCollectionDiverse) {
+  const auto corpus = evaluation_collection();
+  EXPECT_GT(corpus.size(), 60u);
+  std::set<std::string> names;
+  offset_t min_products = std::numeric_limits<offset_t>::max();
+  offset_t max_products = 0;
+  for (const auto& entry : corpus) {
+    EXPECT_TRUE(names.insert(entry.name).second) << "duplicate " << entry.name;
+    const offset_t p = entry.products();
+    min_products = std::min(min_products, p);
+    max_products = std::max(max_products, p);
+  }
+  EXPECT_LT(min_products, 20000);
+  EXPECT_GT(max_products, 1000000);
+}
+
+TEST(Corpus, TestCorpusIncludesEdgeCases) {
+  const auto corpus = test_corpus();
+  bool has_empty = false, has_identity = false, has_rect = false;
+  for (const auto& entry : corpus) {
+    has_empty = has_empty || entry.a.nnz() == 0;
+    has_identity = has_identity || entry.name == "identity";
+    has_rect = has_rect || !entry.square;
+  }
+  EXPECT_TRUE(has_empty);
+  EXPECT_TRUE(has_identity);
+  EXPECT_TRUE(has_rect);
+}
+
+}  // namespace
+}  // namespace speck::gen
+
+namespace speck::gen {
+namespace {
+
+TEST(Kronecker, MatchesDenseDefinition) {
+  const Csr a = random_uniform(5, 4, 2, 1901);
+  const Csr b = random_uniform(3, 6, 2, 1903);
+  const Csr k = kronecker(a, b);
+  ASSERT_EQ(k.rows(), 15);
+  ASSERT_EQ(k.cols(), 24);
+  const auto da = to_dense(a);
+  const auto db = to_dense(b);
+  const auto dk = to_dense(k);
+  for (index_t ia = 0; ia < 5; ++ia) {
+    for (index_t ja = 0; ja < 4; ++ja) {
+      for (index_t ib = 0; ib < 3; ++ib) {
+        for (index_t jb = 0; jb < 6; ++jb) {
+          const value_t expected =
+              da[static_cast<std::size_t>(ia) * 4 + static_cast<std::size_t>(ja)] *
+              db[static_cast<std::size_t>(ib) * 6 + static_cast<std::size_t>(jb)];
+          const value_t actual =
+              dk[static_cast<std::size_t>(ia * 3 + ib) * 24 +
+                 static_cast<std::size_t>(ja * 6 + jb)];
+          ASSERT_DOUBLE_EQ(actual, expected);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kronecker, MixedProductProperty) {
+  // (A ⊗ B)(C ⊗ D) == (AC) ⊗ (BD)
+  const Csr a = random_uniform(4, 4, 2, 1905);
+  const Csr b = random_uniform(3, 3, 2, 1907);
+  const Csr c = random_uniform(4, 4, 2, 1909);
+  const Csr d = random_uniform(3, 3, 2, 1911);
+  const Csr lhs = gustavson_spgemm(kronecker(a, b), kronecker(c, d));
+  const Csr rhs = kronecker(gustavson_spgemm(a, c), gustavson_spgemm(b, d));
+  const auto diff = compare(lhs, rhs, 1e-9);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(Kronecker, SortedAndIdentity) {
+  const Csr a = banded(10, 3, 2, 1913);
+  const Csr k = kronecker(a, Csr::identity(4));
+  EXPECT_TRUE(k.sorted_within_rows());
+  EXPECT_EQ(k.nnz(), a.nnz() * 4);
+  const Csr k2 = kronecker(Csr::identity(1), a);
+  const auto diff = compare(k2, a, 0.0);
+  EXPECT_FALSE(diff.has_value());
+}
+
+TEST(Kronecker, EmptyFactor) {
+  const Csr k = kronecker(Csr::zeros(3, 3), random_uniform(4, 4, 2, 1915));
+  EXPECT_EQ(k.nnz(), 0);
+  EXPECT_EQ(k.rows(), 12);
+}
+
+}  // namespace
+}  // namespace speck::gen

@@ -1,0 +1,292 @@
+// Unit tests for the global load balancer: kernel configurations, the
+// Table 2 decision rule, binning and the Algorithm 2 block merge.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "speck/config.h"
+#include "speck/global_lb.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+sim::DeviceSpec titan() { return sim::DeviceSpec::titan_v(); }
+
+TEST(KernelConfigs, TitanVHasSixConfigs) {
+  const auto configs = kernel_configs(titan());
+  ASSERT_EQ(configs.size(), 6u);
+  // Smallest first: 3 KB / 64 threads ... 48 KB / 1024, then 96 KB opt-in.
+  EXPECT_EQ(configs.front().threads, 64);
+  EXPECT_EQ(configs.front().scratchpad_bytes, 3u * 1024);
+  EXPECT_EQ(configs[4].threads, 1024);
+  EXPECT_EQ(configs[4].scratchpad_bytes, 48u * 1024);
+  EXPECT_EQ(configs.back().scratchpad_bytes, 96u * 1024);
+  EXPECT_TRUE(configs.back().reduced_occupancy);
+  EXPECT_FALSE(configs[4].reduced_occupancy);
+}
+
+TEST(KernelConfigs, PascalHasFive) {
+  const auto configs = kernel_configs(sim::DeviceSpec::pascal_like());
+  EXPECT_EQ(configs.size(), 5u);
+  EXPECT_FALSE(configs.back().reduced_occupancy);
+}
+
+TEST(KernelConfigs, CapacitiesMatchPaper) {
+  const auto configs = kernel_configs(titan());
+  // Paper §4.3: ~24k hash entries symbolically in the largest config,
+  // >500k dense-bitmask entries.
+  EXPECT_EQ(configs.back().symbolic_hash_capacity(), 24576u);
+  EXPECT_EQ(configs.back().dense_symbolic_capacity(), 786432u);
+  EXPECT_GT(configs.back().dense_symbolic_capacity(), 500000u);
+  // Numeric entries carry a 64-bit value: a third of the symbolic count
+  // (paper: "the symbolic step can store three times as many elements").
+  EXPECT_EQ(configs.back().symbolic_hash_capacity(),
+            3 * configs.back().numeric_hash_capacity());
+}
+
+TEST(ConfigForEntries, PicksSmallestFitting) {
+  const auto configs = kernel_configs(titan());
+  EXPECT_EQ(config_for_entries(configs, 1, true), 0);
+  EXPECT_EQ(config_for_entries(configs, 768, true), 0);   // 3KB/4B = 768
+  EXPECT_EQ(config_for_entries(configs, 769, true), 1);
+  EXPECT_EQ(config_for_entries(configs, 24576, true), 5);
+  // Too large for every config: still the largest.
+  EXPECT_EQ(config_for_entries(configs, 1 << 20, true), 5);
+}
+
+TEST(LbDecision, ThresholdSemantics) {
+  LbDecisionStats stats;
+  stats.ratio = 40.0;
+  stats.rows = 30000;
+  stats.large_kernel = false;
+  const LoadBalanceThresholds general{39.2, 28000};
+  const LoadBalanceThresholds large{6.0, 5431};
+  EXPECT_TRUE(lb_decision(stats, general, large));
+  stats.ratio = 39.0;
+  EXPECT_FALSE(lb_decision(stats, general, large));
+  stats.ratio = 40.0;
+  stats.rows = 28000;
+  EXPECT_FALSE(lb_decision(stats, general, large));
+  // The large-kernel set is much more permissive.
+  stats.large_kernel = true;
+  stats.ratio = 7.0;
+  stats.rows = 6000;
+  EXPECT_TRUE(lb_decision(stats, general, large));
+}
+
+TEST(ShouldUseGlobalLb, UniformMatrixSkipsBalancer) {
+  const auto configs = kernel_configs(titan());
+  const SpeckConfig cfg;
+  std::vector<offset_t> entries(50000, 100);  // perfectly uniform
+  const GlobalLbInputs in{entries, true};
+  EXPECT_FALSE(should_use_global_lb(in, configs, cfg));
+}
+
+TEST(ShouldUseGlobalLb, SkewedLargeMatrixUsesBalancer) {
+  const auto configs = kernel_configs(titan());
+  const SpeckConfig cfg;
+  std::vector<offset_t> entries(50000, 100);
+  entries[7] = 100000;  // one giant row -> large-kernel thresholds apply
+  const GlobalLbInputs in{entries, true};
+  const LbDecisionStats stats = lb_decision_stats(in, configs, cfg);
+  EXPECT_TRUE(stats.large_kernel);
+  EXPECT_TRUE(should_use_global_lb(in, configs, cfg));
+}
+
+TEST(ShouldUseGlobalLb, SmallMatrixSkipsEvenWhenSkewed) {
+  const auto configs = kernel_configs(titan());
+  const SpeckConfig cfg;
+  std::vector<offset_t> entries(100, 10);
+  entries[0] = 500;  // skewed but tiny
+  const GlobalLbInputs in{entries, true};
+  EXPECT_FALSE(should_use_global_lb(in, configs, cfg));
+}
+
+TEST(ShouldUseGlobalLb, ForcedModes) {
+  const auto configs = kernel_configs(titan());
+  SpeckConfig cfg;
+  std::vector<offset_t> entries(10, 1);
+  const GlobalLbInputs in{entries, true};
+  cfg.features.global_lb_symbolic = GlobalLbMode::kAlwaysOn;
+  EXPECT_TRUE(should_use_global_lb(in, configs, cfg));
+  cfg.features.global_lb_symbolic = GlobalLbMode::kAlwaysOff;
+  EXPECT_FALSE(should_use_global_lb(in, configs, cfg));
+}
+
+TEST(BlockMerge, MergesSmallNeighbours) {
+  // Figure 3's example: 16 unit blocks, capacity 16.
+  const std::vector<offset_t> demands{7, 8, 3, 0, 1, 5, 4, 3,
+                                      5, 2, 2, 3, 0, 0, 1, 2};
+  const auto blocks = block_merge(demands, 16, 32);
+  // The paper's reduction reaches 4 blocks: {7,8}, {3,0,1,5,4,3}=16? No:
+  // 3+0=3, 1+5=6 -> 3+6=9 -> 9+? ... verify the invariants instead of the
+  // exact partition, then check the count is small.
+  offset_t covered = 0;
+  for (const auto& [begin, end] : blocks) {
+    offset_t sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += demands[i];
+    EXPECT_TRUE(end - begin == 1 || sum < 16) << "merged block exceeds capacity";
+    EXPECT_LE(end - begin, 32u);
+    covered += static_cast<offset_t>(end - begin);
+  }
+  EXPECT_EQ(covered, 16);
+  EXPECT_LE(blocks.size(), 5u);
+}
+
+TEST(BlockMerge, PreservesOrderAndCoverage) {
+  const std::vector<offset_t> demands{1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const auto blocks = block_merge(demands, 100, 32);
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : blocks) {
+    EXPECT_EQ(begin, expected_begin) << "blocks must tile consecutively";
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, demands.size());
+}
+
+TEST(BlockMerge, RespectsRowLimit) {
+  const std::vector<offset_t> demands(64, 1);
+  const auto blocks = block_merge(demands, 1 << 20, 32);
+  for (const auto& [begin, end] : blocks) EXPECT_LE(end - begin, 32u);
+  EXPECT_EQ(blocks.size(), 2u);  // 64 rows / 32 max
+}
+
+TEST(BlockMerge, NothingFitsNothingMerges) {
+  const std::vector<offset_t> demands{10, 10, 10};
+  const auto blocks = block_merge(demands, 15, 32);
+  EXPECT_EQ(blocks.size(), 3u);
+}
+
+TEST(BlockMerge, WithinFactorTwoOfOptimal) {
+  // Paper: the greedy pairwise merge is within 50% of full utilization —
+  // if two neighbours cannot merge, their average fill exceeds 50%.
+  const std::vector<offset_t> demands{9, 9, 9, 9, 9, 9, 9, 9};
+  const auto blocks = block_merge(demands, 16, 32);
+  EXPECT_EQ(blocks.size(), 8u);  // 9+9 > 16: nothing merges, all >50% full
+}
+
+TEST(BlockMerge, EmptyInput) {
+  EXPECT_TRUE(block_merge({}, 16, 32).empty());
+}
+
+TEST(PlanGlobalLb, UniformFallbackChunksRows) {
+  const auto configs = kernel_configs(titan());
+  const SpeckConfig cfg;
+  sim::CostModel model;
+  sim::Launch launch("lb", titan(), model);
+  std::vector<offset_t> entries(1000, 50);
+  const BinPlan plan = plan_global_lb({entries, true}, configs, cfg, launch);
+  EXPECT_FALSE(plan.used_load_balancer);
+  // Identity order, full coverage, uniform config.
+  std::size_t covered = 0;
+  for (const auto& block : plan.blocks) {
+    covered += block.end - block.begin;
+    EXPECT_EQ(block.config, plan.blocks.front().config);
+    EXPECT_LE(block.end - block.begin,
+              static_cast<std::size_t>(cfg.max_rows_per_block));
+  }
+  EXPECT_EQ(covered, entries.size());
+  EXPECT_EQ(launch.block_count(), 0) << "no LB cost when the balancer is off";
+}
+
+TEST(PlanGlobalLb, BinnedPlanCoversEveryRowOnce) {
+  const auto configs = kernel_configs(titan());
+  SpeckConfig cfg;
+  cfg.features.global_lb_symbolic = GlobalLbMode::kAlwaysOn;
+  sim::CostModel model;
+  sim::Launch launch("lb", titan(), model);
+  std::vector<offset_t> entries(5000);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i] = static_cast<offset_t>(1 + (i * 37) % 20000);
+  }
+  const BinPlan plan = plan_global_lb({entries, true}, configs, cfg, launch);
+  EXPECT_TRUE(plan.used_load_balancer);
+  EXPECT_GT(launch.block_count(), 0);
+
+  std::vector<int> seen(entries.size(), 0);
+  for (const auto& block : plan.blocks) {
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      ++seen[static_cast<std::size_t>(plan.row_order[i])];
+    }
+    // Every row in the block fits the block's configuration.
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      const offset_t demand = entries[static_cast<std::size_t>(plan.row_order[i])];
+      const int needed = config_for_entries(configs, demand, true);
+      EXPECT_LE(needed, block.config);
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(PlanGlobalLb, BinKeepsRowOrder) {
+  const auto configs = kernel_configs(titan());
+  SpeckConfig cfg;
+  cfg.features.global_lb_symbolic = GlobalLbMode::kAlwaysOn;
+  sim::CostModel model;
+  sim::Launch launch("lb", titan(), model);
+  std::vector<offset_t> entries(512, 10);  // all in the smallest bin
+  const BinPlan plan = plan_global_lb({entries, true}, configs, cfg, launch);
+  EXPECT_TRUE(std::is_sorted(plan.row_order.begin(), plan.row_order.end()))
+      << "binning must preserve CSR row order within a bin";
+}
+
+TEST(PlanGlobalLb, EmptyMatrix) {
+  const auto configs = kernel_configs(titan());
+  const SpeckConfig cfg;
+  sim::CostModel model;
+  sim::Launch launch("lb", titan(), model);
+  const BinPlan plan = plan_global_lb({{}, true}, configs, cfg, launch);
+  EXPECT_TRUE(plan.blocks.empty());
+}
+
+}  // namespace
+}  // namespace speck
+
+namespace speck {
+namespace {
+
+TEST(ConfigValidate, DefaultsAreValid) {
+  EXPECT_NO_THROW(validate(SpeckConfig{}));
+  SpeckConfig tuned;
+  tuned.thresholds = reduced_scale_thresholds();
+  EXPECT_NO_THROW(validate(tuned));
+}
+
+TEST(ConfigValidate, RejectsBadValues) {
+  SpeckConfig config;
+  config.max_numeric_fill = 0.0;
+  EXPECT_THROW(validate(config), InvalidArgument);
+  config = SpeckConfig{};
+  config.max_rows_per_block = 33;  // exceeds the 5-bit local row index
+  EXPECT_THROW(validate(config), InvalidArgument);
+  config = SpeckConfig{};
+  config.features.fixed_group_size = 24;  // not a power of two
+  EXPECT_THROW(validate(config), InvalidArgument);
+  config = SpeckConfig{};
+  config.symbolic_dense_factor = 0.5;
+  EXPECT_THROW(validate(config), InvalidArgument);
+  config = SpeckConfig{};
+  config.thresholds.symbolic.ratio = -1.0;
+  EXPECT_THROW(validate(config), InvalidArgument);
+}
+
+TEST(ConfigValidate, SpeckConstructorValidates) {
+  SpeckConfig bad;
+  bad.max_rows_per_block = 0;
+  EXPECT_THROW(Speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, bad),
+               InvalidArgument);
+}
+
+TEST(ConfigDescribe, MentionsEveryKnob) {
+  const std::string text = describe(SpeckConfig{});
+  for (const char* key :
+       {"thresholds.symbolic", "dense_accumulation", "direct_rows",
+        "dynamic_group_size", "block_merge", "global_lb", "max_numeric_fill",
+        "dense_density_threshold", "max_rows_per_block"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace speck

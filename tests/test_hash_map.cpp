@@ -1,0 +1,114 @@
+// Unit tests for the scratchpad hash-map emulation (keys, probing, overflow).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "speck/hash_map.h"
+
+namespace speck {
+namespace {
+
+TEST(CompoundKey, RoundTrip32) {
+  for (const int row : {0, 5, 31}) {
+    for (const index_t col : {0, 1, 12345, (index_t{1} << 27) - 1}) {
+      const key64_t key = compound_key(row, col, /*wide=*/false);
+      EXPECT_EQ(key_local_row(key, false), row);
+      EXPECT_EQ(key_column(key, false), col);
+    }
+  }
+}
+
+TEST(CompoundKey, RoundTrip64) {
+  for (const int row : {0, 31}) {
+    for (const index_t col : {0, (index_t{1} << 27), (index_t{1} << 30)}) {
+      const key64_t key = compound_key(row, col, /*wide=*/true);
+      EXPECT_EQ(key_local_row(key, true), row);
+      EXPECT_EQ(key_column(key, true), col);
+    }
+  }
+}
+
+TEST(CompoundKey, DistinctRowsDistinctKeys) {
+  EXPECT_NE(compound_key(1, 100, false), compound_key(2, 100, false));
+  EXPECT_NE(compound_key(0, 100, false), compound_key(0, 101, false));
+}
+
+TEST(DeviceHashMap, InsertAndCount) {
+  DeviceHashMap map(64);
+  EXPECT_TRUE(map.insert_key(10));
+  EXPECT_FALSE(map.insert_key(10));  // duplicate
+  EXPECT_TRUE(map.insert_key(11));
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_FALSE(map.overflowed());
+}
+
+TEST(DeviceHashMap, AccumulateSums) {
+  DeviceHashMap map(16);
+  EXPECT_TRUE(map.accumulate(3, 1.5));
+  EXPECT_TRUE(map.accumulate(3, 2.5));
+  EXPECT_TRUE(map.accumulate(4, 1.0));
+  const auto entries = map.extract();
+  ASSERT_EQ(entries.size(), 2u);
+  double total = 0.0;
+  for (const auto& entry : entries) total += entry.value;
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(DeviceHashMap, ExtractMatchesInserted) {
+  DeviceHashMap map(128);
+  std::set<key64_t> expected;
+  for (key64_t k = 1; k <= 100; k += 3) {
+    map.insert_key(k);
+    expected.insert(k);
+  }
+  std::set<key64_t> seen;
+  for (const auto& entry : map.extract()) seen.insert(entry.key);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DeviceHashMap, ProbesGrowWithFill) {
+  DeviceHashMap sparse(1024);
+  DeviceHashMap dense(70);
+  for (key64_t k = 1; k <= 64; ++k) {
+    sparse.insert_key(k * 7919);
+    dense.insert_key(k * 7919);
+  }
+  const double sparse_per_insert = static_cast<double>(sparse.probes()) / 64.0;
+  const double dense_per_insert = static_cast<double>(dense.probes()) / 64.0;
+  EXPECT_LT(sparse_per_insert, 1.5);
+  EXPECT_GT(dense_per_insert, sparse_per_insert);
+}
+
+TEST(DeviceHashMap, OverflowDetected) {
+  DeviceHashMap map(8);
+  for (key64_t k = 1; k <= 8; ++k) EXPECT_TRUE(map.insert_key(k));
+  EXPECT_TRUE(map.full());
+  EXPECT_FALSE(map.insert_key(99));
+  EXPECT_TRUE(map.overflowed());
+  // Existing key still found even when full.
+  EXPECT_FALSE(map.insert_key(4));
+}
+
+TEST(DeviceHashMap, ResetClears) {
+  DeviceHashMap map(8);
+  map.insert_key(1);
+  map.insert_key(2);
+  map.reset();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.overflowed());
+  EXPECT_TRUE(map.insert_key(1));
+}
+
+TEST(DeviceHashMap, FillRate) {
+  DeviceHashMap map(10);
+  map.insert_key(1);
+  map.insert_key(2);
+  EXPECT_DOUBLE_EQ(map.fill_rate(), 0.2);
+}
+
+TEST(DeviceHashMap, RejectsZeroCapacity) {
+  EXPECT_THROW(DeviceHashMap(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,93 @@
+// Tests for the INI configuration reader used by the runspeck tool.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/ini.h"
+
+namespace speck {
+namespace {
+
+IniConfig parse(const std::string& text) {
+  std::istringstream in(text);
+  return IniConfig::parse(in);
+}
+
+TEST(Ini, BasicKeyValues) {
+  const IniConfig c = parse(
+      "TrackCompleteTimes = true\n"
+      "IterationsExecution = 10\n"
+      "InputFile = /tmp/m.mtx\n");
+  EXPECT_TRUE(c.get_bool("TrackCompleteTimes", false));
+  EXPECT_EQ(c.get_int("IterationsExecution", 0), 10);
+  EXPECT_EQ(c.get_string("InputFile", ""), "/tmp/m.mtx");
+}
+
+TEST(Ini, DefaultsWhenMissing) {
+  const IniConfig c = parse("");
+  EXPECT_FALSE(c.get_bool("Missing", false));
+  EXPECT_TRUE(c.get_bool("Missing", true));
+  EXPECT_EQ(c.get_int("Missing", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("Missing", 2.5), 2.5);
+  EXPECT_EQ(c.get_string("Missing", "x"), "x");
+}
+
+TEST(Ini, CommentsAndBlankLines) {
+  const IniConfig c = parse(
+      "# a comment\n"
+      "\n"
+      "; another comment\n"
+      "key = value\n");
+  EXPECT_EQ(c.values().size(), 1u);
+  EXPECT_EQ(c.get_string("key", ""), "value");
+}
+
+TEST(Ini, SectionsFlatten) {
+  const IniConfig c = parse(
+      "[device]\n"
+      "sms = 80\n"
+      "[run]\n"
+      "iterations = 3\n");
+  EXPECT_EQ(c.get_int("device.sms", 0), 80);
+  EXPECT_EQ(c.get_int("run.iterations", 0), 3);
+  EXPECT_FALSE(c.contains("sms"));
+}
+
+TEST(Ini, BooleanSpellings) {
+  const IniConfig c = parse(
+      "a = TRUE\nb = Yes\nc = on\nd = 1\ne = False\nf = NO\ng = off\nh = 0\n");
+  for (const char* key : {"a", "b", "c", "d"}) EXPECT_TRUE(c.get_bool(key, false));
+  for (const char* key : {"e", "f", "g", "h"}) EXPECT_FALSE(c.get_bool(key, true));
+}
+
+TEST(Ini, WhitespaceTrimmed) {
+  const IniConfig c = parse("   spaced   =    out value   \n");
+  EXPECT_EQ(c.get_string("spaced", ""), "out value");
+}
+
+TEST(Ini, Doubles) {
+  const IniConfig c = parse("ratio = 39.2\n");
+  EXPECT_DOUBLE_EQ(c.get_double("ratio", 0.0), 39.2);
+}
+
+TEST(Ini, MalformedInputThrows) {
+  EXPECT_THROW(parse("just a line without equals\n"), InvalidArgument);
+  EXPECT_THROW(parse("[unterminated\n"), InvalidArgument);
+  EXPECT_THROW(parse("= novalue\n"), InvalidArgument);
+  const IniConfig c = parse("key = notabool\n");
+  EXPECT_THROW(c.get_bool("key", false), InvalidArgument);
+  EXPECT_THROW(c.get_int("key", 0), InvalidArgument);
+}
+
+TEST(Ini, MissingFileThrows) {
+  EXPECT_THROW(IniConfig::parse_file("/nonexistent/config.ini"), InvalidArgument);
+}
+
+TEST(Ini, LastValueWins) {
+  const IniConfig c = parse("k = 1\nk = 2\n");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace speck

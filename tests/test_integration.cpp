@@ -1,0 +1,140 @@
+// Cross-module integration tests: multi-stage application pipelines built on
+// the public API (the scenarios the examples demonstrate).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+Speck make_speck() { return Speck(sim::DeviceSpec::titan_v(), sim::CostModel{}); }
+
+TEST(Integration, MatrixPowersStayExact) {
+  // A^4 via repeated squaring: errors would compound across multiplies.
+  Speck speck = make_speck();
+  const Csr a = gen::banded(200, 6, 3, 1101);
+  const SpGemmResult a2 = speck.multiply(a, a);
+  ASSERT_TRUE(a2.ok());
+  const SpGemmResult a4 = speck.multiply(a2.c, a2.c);
+  ASSERT_TRUE(a4.ok());
+  const Csr expected = gustavson_spgemm(gustavson_spgemm(a, a),
+                                        gustavson_spgemm(a, a));
+  const auto diff = compare(a4.c, expected, 1e-6);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(Integration, GalerkinTripleProduct) {
+  // AMG coarsening: A_coarse = R * A * P with P piecewise-constant
+  // aggregation and R = Pᵀ.
+  Speck speck = make_speck();
+  const Csr a = gen::stencil_2d(24, 24);
+  const index_t fine = a.rows();
+  const index_t coarse = fine / 4;
+  Coo p_coo(fine, coarse);
+  for (index_t i = 0; i < fine; ++i) p_coo.add(i, std::min(i / 4, coarse - 1), 1.0);
+  const Csr p = p_coo.to_csr();
+  const Csr r = transpose(p);
+
+  const SpGemmResult ap = speck.multiply(a, p);
+  ASSERT_TRUE(ap.ok());
+  const SpGemmResult rap = speck.multiply(r, ap.c);
+  ASSERT_TRUE(rap.ok());
+  EXPECT_EQ(rap.c.rows(), coarse);
+  EXPECT_EQ(rap.c.cols(), coarse);
+
+  const Csr expected = gustavson_spgemm(r, gustavson_spgemm(a, p));
+  const auto diff = compare(rap.c, expected, 1e-9);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+
+  // Row sums of R*A*P equal the aggregated row sums of the Poisson matrix
+  // (constant vectors are preserved by piecewise-constant transfer).
+  double fine_total = 0.0;
+  for (const value_t v : a.values()) fine_total += v;
+  double coarse_total = 0.0;
+  for (const value_t v : rap.c.values()) coarse_total += v;
+  EXPECT_NEAR(fine_total, coarse_total, 1e-6);
+}
+
+TEST(Integration, TriangleCountingViaA2) {
+  // Triangles of an undirected graph: sum(A .* A^2) / 6.
+  // Build a graph with known triangle count: two disjoint K4s (4 each).
+  Coo coo(8, 8);
+  auto add_edge = [&](index_t u, index_t v) {
+    coo.add(u, v, 1.0);
+    coo.add(v, u, 1.0);
+  };
+  for (index_t base : {0, 4}) {
+    for (index_t i = 0; i < 4; ++i) {
+      for (index_t j = i + 1; j < 4; ++j) add_edge(base + i, base + j);
+    }
+  }
+  const Csr a = coo.to_csr();
+  Speck speck = make_speck();
+  const SpGemmResult a2 = speck.multiply(a, a);
+  ASSERT_TRUE(a2.ok());
+
+  double triangle_paths = 0.0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto a2_cols = a2.c.row_cols(r);
+    const auto a2_vals = a2.c.row_vals(r);
+    std::size_t j = 0;
+    for (const index_t c : cols) {
+      while (j < a2_cols.size() && a2_cols[j] < c) ++j;
+      if (j < a2_cols.size() && a2_cols[j] == c) triangle_paths += a2_vals[j];
+    }
+  }
+  EXPECT_NEAR(triangle_paths / 6.0, 8.0, 1e-9);  // two K4s: 2 * C(4,3) = 8
+}
+
+TEST(Integration, MarkovReachability) {
+  // Two steps of a random-walk transition matrix: rows remain stochastic.
+  const index_t n = 500;
+  const Csr raw = gen::random_uniform(n, n, 4, 1103);
+  // Normalize rows to sum 1.
+  std::vector<offset_t> offsets(raw.row_offsets().begin(), raw.row_offsets().end());
+  std::vector<index_t> cols(raw.col_indices().begin(), raw.col_indices().end());
+  std::vector<value_t> vals(raw.values().begin(), raw.values().end());
+  for (index_t r = 0; r < n; ++r) {
+    value_t sum = 0.0;
+    for (const value_t v : raw.row_vals(r)) sum += v;
+    if (sum == 0.0) continue;
+    for (offset_t i = offsets[static_cast<std::size_t>(r)];
+         i < offsets[static_cast<std::size_t>(r) + 1]; ++i) {
+      vals[static_cast<std::size_t>(i)] /= sum;
+    }
+  }
+  const Csr p = Csr(n, n, std::move(offsets), std::move(cols), std::move(vals));
+  Speck speck = make_speck();
+  const SpGemmResult p2 = speck.multiply(p, p);
+  ASSERT_TRUE(p2.ok());
+  for (index_t r = 0; r < n; ++r) {
+    value_t sum = 0.0;
+    for (const value_t v : p2.c.row_vals(r)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << r;
+  }
+}
+
+TEST(Integration, MixedAlgorithmsAgree) {
+  // spECK's output feeds a second multiply computed by the oracle and vice
+  // versa; both orders agree.
+  Speck speck = make_speck();
+  const Csr a = gen::power_law(300, 300, 6, 1.9, 80, 1105);
+  const Csr b = gen::banded(300, 12, 5, 1107);
+  const SpGemmResult ab_speck = speck.multiply(a, b);
+  ASSERT_TRUE(ab_speck.ok());
+  const Csr ab_ref = gustavson_spgemm(a, b);
+  const SpGemmResult chain1 = speck.multiply(ab_speck.c, a);
+  ASSERT_TRUE(chain1.ok());
+  const Csr chain2 = gustavson_spgemm(ab_ref, a);
+  const auto diff = compare(chain1.c, chain2, 1e-8);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+}  // namespace
+}  // namespace speck

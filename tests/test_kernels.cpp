@@ -1,0 +1,222 @@
+// Unit tests for the symbolic/numeric kernels: method selection, per-method
+// correctness, global-hash fallback and the radix-sort stage accounting.
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/kernels.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+struct Fixture {
+  sim::DeviceSpec device = sim::DeviceSpec::titan_v();
+  sim::CostModel model;
+  SpeckConfig cfg;
+  std::vector<KernelConfig> configs = kernel_configs(device);
+  RowAnalysis analysis;
+
+  KernelContext context(const Csr& a, const Csr& b) {
+    sim::Launch launch("analysis", device, model);
+    analysis = analyze_rows(a, b, launch);
+    KernelContext ctx;
+    ctx.a = &a;
+    ctx.b = &b;
+    ctx.analysis = &analysis;
+    ctx.cfg = &cfg;
+    ctx.configs = &configs;
+    ctx.device = &device;
+    ctx.model = &model;
+    ctx.wide_keys = b.cols() > kMaxColumns32Bit;
+    return ctx;
+  }
+
+  BinPlan plan(const KernelContext& ctx, bool symbolic,
+               std::span<const offset_t> entries) {
+    sim::Launch launch("lb", device, model);
+    return plan_global_lb({entries, symbolic}, configs, cfg, launch);
+  }
+};
+
+TEST(Kernels, SymbolicMatchesOracleAllPaths) {
+  Fixture f;
+  const Csr a = gen::skewed_rows(500, 500, 0.02, 300, 3, 801);
+  auto ctx = f.context(a, a);
+  const BinPlan plan = f.plan(ctx, true, f.analysis.products);
+  const SymbolicOutcome symbolic = run_symbolic(ctx, plan);
+  const auto expected = gustavson_symbolic(a, a);
+  ASSERT_EQ(symbolic.row_nnz.size(), expected.size());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(symbolic.row_nnz[r], expected[r]) << "row " << r;
+  }
+  EXPECT_GT(symbolic.stats.seconds, 0.0);
+  EXPECT_GT(symbolic.stats.hash_probes, 0u);
+}
+
+TEST(Kernels, NumericMatchesOracle) {
+  Fixture f;
+  const Csr a = gen::power_law(400, 400, 8, 1.8, 120, 803);
+  auto ctx = f.context(a, a);
+  const BinPlan splan = f.plan(ctx, true, f.analysis.products);
+  const SymbolicOutcome symbolic = run_symbolic(ctx, splan);
+  std::vector<offset_t> numeric_entries(symbolic.row_nnz.begin(),
+                                        symbolic.row_nnz.end());
+  const BinPlan nplan = f.plan(ctx, false, numeric_entries);
+  const NumericOutcome numeric = run_numeric(ctx, nplan, symbolic.row_nnz);
+  const Csr expected = gustavson_spgemm(a, a);
+  const auto diff = compare(numeric.c, expected);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(Kernels, SymbolicMethodSelection) {
+  Fixture f;
+  // Row 0: single entry -> direct. Other rows: normal -> hash.
+  Coo coo(4, 4);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 2, 1.0);
+  coo.add(2, 1, 1.0);
+  coo.add(2, 3, 1.0);
+  coo.add(3, 3, 1.0);
+  const Csr a = coo.to_csr();
+  auto ctx = f.context(a, a);
+  EXPECT_EQ(choose_symbolic_method(ctx, 0, false, f.configs[0]), RowMethod::kDirect);
+  EXPECT_EQ(choose_symbolic_method(ctx, 1, false, f.configs[0]), RowMethod::kHash);
+  // Disabling the direct path falls back to hash.
+  f.cfg.features.direct_rows = false;
+  EXPECT_EQ(choose_symbolic_method(ctx, 0, false, f.configs[0]), RowMethod::kHash);
+}
+
+TEST(Kernels, SymbolicDenseOnlyForGiantRows) {
+  Fixture f;
+  // A row whose product count exceeds 2x the largest symbolic hash capacity
+  // (2 * 24576) must use the dense bitmask path.
+  const index_t n = 60000;
+  Coo coo(n, n);
+  for (index_t c = 0; c < 120; ++c) coo.add(0, c * 7 % n, 1.0);
+  for (index_t r = 1; r < n; r += 1) coo.add(r, (r * 13) % n, 1.0);
+  // Make the rows referenced by row 0 long: each of those 120 rows gets
+  // ~500 entries -> 60000 products.
+  for (index_t c = 0; c < 120; ++c) {
+    const index_t target = c * 7 % n;
+    for (index_t i = 0; i < 500; ++i) coo.add(target, (i * 101) % n, 1.0);
+  }
+  const Csr a = coo.to_csr();
+  auto ctx = f.context(a, a);
+  ASSERT_GT(f.analysis.products[0], 2 * 24576);
+  EXPECT_EQ(choose_symbolic_method(ctx, 0, false, f.configs.back()),
+            RowMethod::kDense);
+  EXPECT_EQ(choose_symbolic_method(ctx, 0, true, f.configs.back()),
+            RowMethod::kHash)
+      << "merged blocks always hash";
+}
+
+TEST(Kernels, NumericDenseForDenseRows) {
+  Fixture f;
+  const Csr a = gen::block_diagonal(2, 80, 0.9, 805);
+  auto ctx = f.context(a, a);
+  // Block rows produce ~80 NNZ over a range of 80: density 1.0 >= 18%.
+  const index_t nnz = 72;
+  EXPECT_EQ(choose_numeric_method(ctx, 0, nnz, false, 1), RowMethod::kDense);
+  // Largest config: always dense.
+  EXPECT_EQ(choose_numeric_method(ctx, 0, 1, false,
+                                  static_cast<int>(f.configs.size()) - 1),
+            RowMethod::kDense);
+  // Sparse row in a small config: hash.
+  EXPECT_EQ(choose_numeric_method(ctx, 0, 2, false, 1), RowMethod::kHash);
+  // Feature off: hash everywhere.
+  f.cfg.features.dense_accumulation = false;
+  EXPECT_EQ(choose_numeric_method(ctx, 0, nnz, false, 1), RowMethod::kHash);
+}
+
+TEST(Kernels, GlobalHashFallbackEngages) {
+  Fixture f;
+  f.cfg.features.dense_accumulation = false;  // force hashing of giant rows
+  // One row with products above the largest symbolic hash capacity and no
+  // compaction (distinct columns) must spill to the global map.
+  const index_t n = 40000;
+  Coo coo(n, n);
+  for (index_t c = 0; c < 100; ++c) coo.add(0, c, 1.0);
+  for (index_t r = 0; r < 100; ++r) {
+    for (index_t i = 0; i < 300; ++i) coo.add(r, 100 + (r * 300 + i), 1.0);
+  }
+  for (index_t r = 100; r < n; ++r) coo.add(r, r, 1.0);
+  const Csr a = coo.to_csr();
+  auto ctx = f.context(a, a);
+  ASSERT_GT(f.analysis.products[0], 24576);
+  const BinPlan plan = f.plan(ctx, true, f.analysis.products);
+  const SymbolicOutcome symbolic = run_symbolic(ctx, plan);
+  EXPECT_GT(symbolic.stats.global_hash_blocks, 0);
+  EXPECT_GT(symbolic.stats.global_pool_bytes, 0u);
+  // Counts stay exact despite the spill.
+  const auto expected = gustavson_symbolic(a, a);
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(symbolic.row_nnz[r], expected[r]) << "row " << r;
+  }
+}
+
+TEST(Kernels, RadixStageOnlyForLargeHashRows) {
+  Fixture f;
+  // Small uniform matrix: every row lands in small kernels -> scratch sort,
+  // no radix elements.
+  const Csr small = gen::random_uniform(300, 300, 4, 807);
+  auto ctx = f.context(small, small);
+  const BinPlan splan = f.plan(ctx, true, f.analysis.products);
+  const SymbolicOutcome symbolic = run_symbolic(ctx, splan);
+  std::vector<offset_t> entries(symbolic.row_nnz.begin(), symbolic.row_nnz.end());
+  const BinPlan nplan = f.plan(ctx, false, entries);
+  const NumericOutcome numeric = run_numeric(ctx, nplan, symbolic.row_nnz);
+  EXPECT_EQ(numeric.radix_sorted_elements, 0);
+  EXPECT_DOUBLE_EQ(numeric.sorting_seconds, 0.0);
+}
+
+TEST(Kernels, WideKeysForHugeColumnCounts) {
+  Fixture f;
+  // Columns beyond 2^27 force 64-bit keys; result must stay exact.
+  const index_t cols = (index_t{1} << 27) + 1000;
+  Coo a_coo(40, cols);
+  Xoshiro256 rng(809);
+  for (index_t r = 0; r < 40; ++r) {
+    for (int i = 0; i < 6; ++i) {
+      a_coo.add(r, static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(40))), 1.0);
+    }
+    a_coo.add(r, cols - 1 - r, 2.0);  // far-right columns
+  }
+  const Csr a = a_coo.to_csr();
+  // B: 40 rows of the wide matrix... use A itself is invalid (cols != rows);
+  // build B = [40 x cols] accessed via A's first 40 columns.
+  Coo b_coo(cols, cols);
+  for (index_t r = 0; r < 40; ++r) {
+    b_coo.add(r, cols - 10 + (r % 10), 1.0);
+    b_coo.add(r, r, 1.0);
+  }
+  const Csr b = b_coo.to_csr();
+  auto ctx = f.context(a, b);
+  EXPECT_TRUE(ctx.wide_keys);
+  const BinPlan splan = f.plan(ctx, true, f.analysis.products);
+  const SymbolicOutcome symbolic = run_symbolic(ctx, splan);
+  const auto expected = gustavson_symbolic(a, b);
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(symbolic.row_nnz[r], expected[r]) << "row " << r;
+  }
+}
+
+TEST(Kernels, EmptyPlanProducesEmptyResult) {
+  Fixture f;
+  const Csr a = Csr::zeros(16, 16);
+  auto ctx = f.context(a, a);
+  const BinPlan plan = f.plan(ctx, true, f.analysis.products);
+  const SymbolicOutcome symbolic = run_symbolic(ctx, plan);
+  for (const index_t nnz : symbolic.row_nnz) EXPECT_EQ(nnz, 0);
+  std::vector<offset_t> entries(symbolic.row_nnz.begin(), symbolic.row_nnz.end());
+  const BinPlan nplan = f.plan(ctx, false, entries);
+  const NumericOutcome numeric = run_numeric(ctx, nplan, symbolic.row_nnz);
+  EXPECT_EQ(numeric.c.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace speck

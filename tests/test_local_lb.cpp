@@ -1,0 +1,163 @@
+// Unit tests for the local load balancer's group-size selection
+// (paper §4.3, Fig. 1 / Fig. 13).
+#include <gtest/gtest.h>
+
+#include "common/bit_utils.h"
+#include "speck/local_lb.h"
+
+namespace speck {
+namespace {
+
+SpeckFeatures dynamic_features() { return SpeckFeatures{}; }
+
+TEST(LocalLb, GroupTimesGroupsEqualsThreads) {
+  const SpeckFeatures features = dynamic_features();
+  for (const int threads : {64, 128, 256, 512, 1024}) {
+    for (const offset_t nnz : {1, 7, 100}) {
+      for (const offset_t products : {1, 50, 5000}) {
+        BlockRowStats stats;
+        stats.nnz_a = nnz;
+        stats.products = products;
+        stats.max_b_row_len = static_cast<index_t>(products);
+        const LocalLbDecision d = choose_group_size(threads, stats, features);
+        EXPECT_EQ(d.group_size * d.groups, threads);
+        EXPECT_TRUE(is_pow2(static_cast<std::uint64_t>(d.group_size)));
+      }
+    }
+  }
+}
+
+TEST(LocalLb, StartsAtAverageRowLength) {
+  BlockRowStats stats;
+  stats.nnz_a = 64;         // enough rows that every group has work
+  stats.products = 64 * 8;  // avg B row length 8
+  stats.max_b_row_len = 8;  // perfectly uniform
+  const LocalLbDecision d = choose_group_size(256, stats, dynamic_features());
+  EXPECT_EQ(d.group_size, 8);
+}
+
+TEST(LocalLb, ShortRowsGetSmallGroups) {
+  BlockRowStats stats;
+  stats.nnz_a = 512;
+  stats.products = 512 * 2;  // avg length 2
+  stats.max_b_row_len = 2;
+  const LocalLbDecision d = choose_group_size(1024, stats, dynamic_features());
+  EXPECT_LE(d.group_size, 4) << "short rows must not waste 32-thread groups";
+}
+
+TEST(LocalLb, LongRowsGetLargeGroups) {
+  BlockRowStats stats;
+  stats.nnz_a = 2;
+  stats.products = 2 * 4096;
+  stats.max_b_row_len = 4096;
+  const LocalLbDecision d = choose_group_size(1024, stats, dynamic_features());
+  EXPECT_GE(d.group_size, 512);
+}
+
+TEST(LocalLb, SkewIncreasesGroupSize) {
+  // Uniform average 4, but one row of 4096: iter_max (1024) far exceeds
+  // rows-per-group, so g grows beyond the average.
+  BlockRowStats stats;
+  stats.nnz_a = 64;
+  stats.products = 64 * 4;
+  stats.max_b_row_len = 4096;
+  const LocalLbDecision d = choose_group_size(256, stats, dynamic_features());
+  EXPECT_GT(d.group_size, 4);
+}
+
+TEST(LocalLb, ManyRowsReduceGroupSize) {
+  // avg length 64 but thousands of rows per group: nrows >> iter_max, so g
+  // shrinks to expose more parallelism across rows.
+  BlockRowStats stats;
+  stats.nnz_a = 4096;
+  stats.products = 4096 * 64;
+  stats.max_b_row_len = 64;
+  const LocalLbDecision d = choose_group_size(256, stats, dynamic_features());
+  EXPECT_LT(d.group_size, 64);
+}
+
+TEST(LocalLb, NoMoreGroupsThanWork) {
+  BlockRowStats stats;
+  stats.nnz_a = 3;  // only three rows of B to process
+  stats.products = 3;
+  stats.max_b_row_len = 1;
+  const LocalLbDecision d = choose_group_size(1024, stats, dynamic_features());
+  EXPECT_LE(d.groups, 4) << "k must shrink towards NNZ_A";
+}
+
+TEST(LocalLb, EmptyBlockUsesWholeBlock) {
+  BlockRowStats stats;  // all zero
+  const LocalLbDecision d = choose_group_size(256, stats, dynamic_features());
+  EXPECT_EQ(d.group_size, 256);
+  EXPECT_EQ(d.groups, 1);
+}
+
+TEST(LocalLb, FixedModeMatchesNsparse) {
+  SpeckFeatures features;
+  features.dynamic_group_size = false;
+  BlockRowStats stats;
+  stats.nnz_a = 100;
+  stats.products = 200;
+  stats.max_b_row_len = 2;
+  const LocalLbDecision d = choose_group_size(256, stats, features);
+  EXPECT_EQ(d.group_size, 32);
+  EXPECT_EQ(d.groups, 8);
+}
+
+TEST(LocalLb, FixedModeClampedToBlock) {
+  SpeckFeatures features;
+  features.dynamic_group_size = false;
+  features.fixed_group_size = 64;
+  BlockRowStats stats;
+  stats.nnz_a = 10;
+  stats.products = 10;
+  stats.max_b_row_len = 1;
+  const LocalLbDecision d = choose_group_size(32, stats, features);
+  EXPECT_EQ(d.group_size, 32);
+}
+
+TEST(LocalLb, GroupNeverExceedsBlock) {
+  BlockRowStats stats;
+  stats.nnz_a = 1;
+  stats.products = 1 << 20;
+  stats.max_b_row_len = 1 << 20;
+  const LocalLbDecision d = choose_group_size(64, stats, dynamic_features());
+  EXPECT_EQ(d.group_size, 64);
+}
+
+TEST(LocalLb, RejectsNonPow2Threads) {
+  BlockRowStats stats;
+  EXPECT_THROW(choose_group_size(100, stats, dynamic_features()), InvalidArgument);
+}
+
+/// Property sweep: the chosen g never needs more total iterations than both
+/// extreme static choices (g=1 and g=threads) — i.e. the heuristic is sane.
+class LocalLbSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LocalLbSweep, ChosenGBeatsWorstStaticChoice) {
+  const auto [threads, avg_len, max_len] = GetParam();
+  BlockRowStats stats;
+  stats.nnz_a = 256;
+  stats.products = static_cast<offset_t>(256) * avg_len;
+  stats.max_b_row_len = std::max(avg_len, max_len);
+  const LocalLbDecision d = choose_group_size(threads, stats, dynamic_features());
+
+  // Model iterations: ceil(rows/k) * ceil(avg_len/g) lockstep sweeps.
+  const auto iterations = [&](int g) {
+    const int k = threads / g;
+    return ceil_div<offset_t>(stats.nnz_a, k) *
+           ceil_div<offset_t>(std::max<offset_t>(avg_len, 1), g);
+  };
+  const offset_t chosen = iterations(d.group_size);
+  const offset_t worst = std::max(iterations(1), iterations(threads));
+  EXPECT_LE(chosen, worst);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LocalLbSweep,
+    ::testing::Combine(::testing::Values(64, 256, 1024),
+                       ::testing::Values(1, 4, 32, 300),
+                       ::testing::Values(1, 64, 4096)));
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,127 @@
+// Tests for masked SpGEMM and the probabilistic output-size estimator.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "ref/masked.h"
+#include "ref/size_estimate.h"
+
+namespace speck {
+namespace {
+
+TEST(Masked, EqualsFilteredFullProduct) {
+  const Csr a = gen::random_uniform(60, 60, 5, 2401);
+  const Csr b = gen::banded(60, 8, 4, 2403);
+  const Csr mask = gen::random_uniform(60, 60, 10, 2405);
+  const Csr masked = masked_spgemm(a, b, mask);
+
+  // Reference: full product, then keep only masked positions.
+  const Csr full = gustavson_spgemm(a, b);
+  Coo filtered(60, 60);
+  for (index_t r = 0; r < full.rows(); ++r) {
+    const auto mask_cols = mask.row_cols(r);
+    const auto cols = full.row_cols(r);
+    const auto vals = full.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (std::binary_search(mask_cols.begin(), mask_cols.end(), cols[i])) {
+        filtered.add(r, cols[i], vals[i]);
+      }
+    }
+  }
+  const auto diff = compare(masked, filtered.to_csr(), 1e-12);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(Masked, ComplementMaskIsTheRest) {
+  const Csr a = gen::random_uniform(50, 50, 4, 2407);
+  const Csr mask = gen::random_uniform(50, 50, 8, 2409);
+  const Csr inside = masked_spgemm(a, a, mask, /*complement=*/false);
+  const Csr outside = masked_spgemm(a, a, mask, /*complement=*/true);
+  const Csr full = gustavson_spgemm(a, a);
+  EXPECT_EQ(inside.nnz() + outside.nnz(), full.nnz());
+}
+
+TEST(Masked, TriangleCountViaMask) {
+  // Two disjoint K4s: 8 triangles; each triangle counted 6 times in
+  // sum(A .* A^2).
+  Coo coo(8, 8);
+  for (index_t base : {0, 4}) {
+    for (index_t i = 0; i < 4; ++i) {
+      for (index_t j = 0; j < 4; ++j) {
+        if (i != j) coo.add(base + i, base + j, 1.0);
+      }
+    }
+  }
+  const Csr k4s = coo.to_csr();
+  EXPECT_NEAR(masked_product_sum(k4s, k4s, k4s) / 6.0, 8.0, 1e-9);
+}
+
+TEST(Masked, MaskedOutputNeverExceedsMask) {
+  const Csr a = gen::power_law(80, 80, 6, 1.8, 30, 2411);
+  const Csr mask = gen::random_uniform(80, 80, 3, 2413);
+  const Csr masked = masked_spgemm(a, a, mask);
+  EXPECT_LE(masked.nnz(), mask.nnz());
+}
+
+TEST(Masked, RejectsWrongMaskShape) {
+  const Csr a = gen::random_uniform(10, 10, 2, 2417);
+  EXPECT_THROW(masked_spgemm(a, a, Csr::zeros(10, 9)), InvalidArgument);
+}
+
+TEST(SizeEstimate, AccurateOnRandomMatrices) {
+  const Csr a = gen::random_uniform(400, 400, 8, 2419);
+  const auto symbolic = gustavson_symbolic(a, a);
+  offset_t exact = 0;
+  for (const index_t nnz : symbolic) exact += nnz;
+
+  const SizeEstimate estimate = estimate_output_size(a, a, /*rounds=*/64, 2421);
+  EXPECT_NEAR(estimate.total_nnz, static_cast<double>(exact),
+              0.15 * static_cast<double>(exact))
+      << "64 rounds should land within ~15%";
+}
+
+TEST(SizeEstimate, PerRowWithinStatisticalError) {
+  const Csr a = gen::banded(200, 20, 6, 2423);
+  const auto symbolic = gustavson_symbolic(a, a);
+  const SizeEstimate estimate = estimate_output_size(a, a, 128, 2427);
+  int far_off = 0;
+  for (std::size_t r = 0; r < symbolic.size(); ++r) {
+    const double exact = symbolic[r];
+    if (exact < 8) continue;  // relative error meaningless for tiny rows
+    if (std::abs(estimate.row_nnz[r] - exact) > 0.5 * exact) ++far_off;
+  }
+  EXPECT_LT(far_off, static_cast<int>(symbolic.size()) / 20)
+      << "fewer than 5% of rows may deviate >50% at 128 rounds";
+}
+
+TEST(SizeEstimate, EmptyRowsEstimateZero) {
+  Coo coo(4, 4);
+  coo.add(1, 2, 1.0);
+  const Csr a = coo.to_csr();
+  const SizeEstimate estimate = estimate_output_size(a, a, 16, 2429);
+  EXPECT_DOUBLE_EQ(estimate.row_nnz[0], 0.0);
+  EXPECT_DOUBLE_EQ(estimate.row_nnz[3], 0.0);
+}
+
+TEST(SizeEstimate, MoreRoundsTightens) {
+  const Csr a = gen::power_law(300, 300, 8, 1.8, 80, 2431);
+  const auto symbolic = gustavson_symbolic(a, a);
+  offset_t exact = 0;
+  for (const index_t nnz : symbolic) exact += nnz;
+  const double err4 = std::abs(
+      estimate_output_size(a, a, 4, 2433).total_nnz - static_cast<double>(exact));
+  const double err256 = std::abs(
+      estimate_output_size(a, a, 256, 2433).total_nnz - static_cast<double>(exact));
+  EXPECT_LT(err256, err4);
+}
+
+TEST(SizeEstimate, RejectsBadArguments) {
+  const Csr a = Csr::zeros(3, 3);
+  EXPECT_THROW(estimate_output_size(a, a, 0, 1), InvalidArgument);
+  EXPECT_THROW(estimate_output_size(Csr::zeros(3, 4), a, 4, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,151 @@
+// Tests for the simulated multi-GPU execution (paper §7 future work:
+// shared matrix storage in multi-GPU setups).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/multi_gpu.h"
+
+namespace speck {
+namespace {
+
+TEST(PartitionRows, BalancedByProducts) {
+  // 100 rows of weight 1 plus one of weight 100 at the front: the heavy row
+  // should land in its own (first) part.
+  std::vector<offset_t> products(101, 1);
+  products[0] = 100;
+  const auto parts = partition_rows_balanced(products, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].first, 0);
+  EXPECT_LE(parts[0].second - parts[0].first, 2);
+  EXPECT_EQ(parts.back().second, 101);
+}
+
+TEST(PartitionRows, CoversContiguously) {
+  std::vector<offset_t> products(997, 3);
+  const auto parts = partition_rows_balanced(products, 8);
+  ASSERT_EQ(parts.size(), 8u);
+  index_t begin = 0;
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_EQ(lo, begin);
+    begin = hi;
+  }
+  EXPECT_EQ(begin, 997);
+  // Near-even split for uniform weights.
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_NEAR(hi - lo, 997.0 / 8.0, 2.0);
+  }
+}
+
+TEST(PartitionRows, MorePartsThanRows) {
+  std::vector<offset_t> products(3, 5);
+  const auto parts = partition_rows_balanced(products, 8);
+  ASSERT_EQ(parts.size(), 8u);
+  EXPECT_EQ(parts.back().second, 3);
+}
+
+TEST(MultiGpu, MatchesSingleDeviceResult) {
+  MultiGpuConfig config;
+  config.gpus = 4;
+  MultiGpuSpeck multi(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const Csr a = gen::power_law(800, 800, 8, 1.9, 200, 211);
+  const SpGemmResult result = multi.multiply(a, a);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  const auto diff = compare(result.c, gustavson_spgemm(a, a));
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(MultiGpu, ScalesDownMakespan) {
+  const Csr a = gen::random_uniform(20000, 20000, 12, 223);
+  double previous_seconds = 0.0;
+  for (const int gpus : {1, 2, 4, 8}) {
+    MultiGpuConfig config;
+    config.gpus = gpus;
+    MultiGpuSpeck multi(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+    const SpGemmResult result = multi.multiply(a, a);
+    ASSERT_TRUE(result.ok());
+    if (gpus > 1) {
+      EXPECT_LT(result.seconds, previous_seconds)
+          << gpus << " GPUs should beat " << gpus / 2;
+    }
+    previous_seconds = result.seconds;
+  }
+}
+
+TEST(MultiGpu, ReplicatedBHasNoRemoteReferences) {
+  MultiGpuConfig config;
+  config.gpus = 4;
+  config.replicate_b = true;
+  MultiGpuSpeck multi(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const Csr a = gen::banded(1000, 20, 6, 227);
+  ASSERT_TRUE(multi.multiply(a, a).ok());
+  EXPECT_DOUBLE_EQ(multi.last_diagnostics().remote_reference_fraction, 0.0);
+}
+
+TEST(MultiGpu, SharedStoragePaysForRemoteRows) {
+  // Uniform random references: with 4 devices, ~75% of references are
+  // remote under row-partitioned shared storage.
+  const Csr a = gen::random_uniform(4000, 4000, 8, 229);
+  MultiGpuConfig shared;
+  shared.gpus = 4;
+  shared.replicate_b = false;
+  MultiGpuSpeck shared_multi(sim::DeviceSpec::titan_v(), sim::CostModel{}, shared);
+  const SpGemmResult shared_result = shared_multi.multiply(a, a);
+  ASSERT_TRUE(shared_result.ok());
+  EXPECT_NEAR(shared_multi.last_diagnostics().remote_reference_fraction, 0.75, 0.05);
+
+  MultiGpuConfig replicated = shared;
+  replicated.replicate_b = true;
+  MultiGpuSpeck replicated_multi(sim::DeviceSpec::titan_v(), sim::CostModel{},
+                                 replicated);
+  const SpGemmResult replicated_result = replicated_multi.multiply(a, a);
+  ASSERT_TRUE(replicated_result.ok());
+  EXPECT_GT(shared_result.seconds, replicated_result.seconds)
+      << "remote streaming must cost time";
+  // Results identical either way.
+  const auto diff = compare(shared_result.c, replicated_result.c);
+  EXPECT_FALSE(diff.has_value());
+}
+
+TEST(MultiGpu, BandedMatrixHasFewRemoteReferences) {
+  // Banded structure keeps references near the diagonal, i.e. mostly on the
+  // owning device — shared storage is nearly free there.
+  const Csr a = gen::banded(4000, 30, 6, 233);
+  MultiGpuConfig config;
+  config.gpus = 4;
+  config.replicate_b = false;
+  MultiGpuSpeck multi(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  ASSERT_TRUE(multi.multiply(a, a).ok());
+  EXPECT_LT(multi.last_diagnostics().remote_reference_fraction, 0.1);
+}
+
+TEST(MultiGpu, DiagnosticsConsistent) {
+  MultiGpuConfig config;
+  config.gpus = 3;
+  MultiGpuSpeck multi(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const Csr a = gen::random_uniform(900, 900, 6, 239);
+  const SpGemmResult result = multi.multiply(a, a);
+  ASSERT_TRUE(result.ok());
+  const MultiGpuDiagnostics& d = multi.last_diagnostics();
+  ASSERT_EQ(d.device_seconds.size(), 3u);
+  double max_seconds = 0.0;
+  for (const double s : d.device_seconds) max_seconds = std::max(max_seconds, s);
+  EXPECT_DOUBLE_EQ(result.seconds, max_seconds);
+  EXPECT_GT(d.parallel_efficiency, 0.3);
+  EXPECT_LE(d.parallel_efficiency, 1.0 + 1e-9);
+}
+
+TEST(MultiGpu, SingleGpuEqualsSpeckTimes) {
+  MultiGpuConfig config;
+  config.gpus = 1;
+  MultiGpuSpeck multi(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  Speck single(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::banded(600, 15, 5, 241);
+  const double multi_seconds = multi.multiply(a, a).seconds;
+  const double single_seconds = single.multiply(a, a).seconds;
+  EXPECT_NEAR(multi_seconds, single_seconds, single_seconds * 1e-9);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,67 @@
+// Tests for the multi-threaded host oracle.
+#include <gtest/gtest.h>
+
+#include "gen/corpus.h"
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "ref/parallel_gustavson.h"
+
+namespace speck {
+namespace {
+
+class ParallelThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelThreads, MatchesSerialOracleExactly) {
+  const int threads = GetParam();
+  const Csr a = gen::power_law(500, 500, 8, 1.8, 100, 1601);
+  const Csr parallel = parallel_gustavson_spgemm(a, a, threads);
+  const Csr serial = gustavson_spgemm(a, a);
+  // Bit-identical: same per-row accumulation order regardless of threads.
+  ASSERT_EQ(parallel.nnz(), serial.nnz());
+  for (std::size_t i = 0; i < static_cast<std::size_t>(serial.nnz()); ++i) {
+    ASSERT_EQ(parallel.col_indices()[i], serial.col_indices()[i]);
+    ASSERT_EQ(parallel.values()[i], serial.values()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelThreads,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(ParallelGustavson, WholeTestCorpus) {
+  for (const auto& entry : gen::test_corpus()) {
+    const Csr parallel = parallel_gustavson_spgemm(entry.a, entry.b, 4);
+    const Csr serial = gustavson_spgemm(entry.a, entry.b);
+    const auto diff = compare(parallel, serial, 0.0);
+    EXPECT_FALSE(diff.has_value()) << entry.name << ": " << diff->description;
+  }
+}
+
+TEST(ParallelGustavson, MoreThreadsThanRows) {
+  const Csr a = gen::random_uniform(3, 3, 2, 1607);
+  const Csr c = parallel_gustavson_spgemm(a, a, 64);
+  const auto diff = compare(c, gustavson_spgemm(a, a), 0.0);
+  EXPECT_FALSE(diff.has_value());
+}
+
+TEST(ParallelGustavson, DefaultThreadCount) {
+  const Csr a = gen::banded(200, 10, 4, 1609);
+  const Csr c = parallel_gustavson_spgemm(a, a, 0);  // hardware concurrency
+  const auto diff = compare(c, gustavson_spgemm(a, a), 0.0);
+  EXPECT_FALSE(diff.has_value());
+}
+
+TEST(ParallelGustavson, EmptyMatrix) {
+  const Csr z = Csr::zeros(16, 16);
+  EXPECT_EQ(parallel_gustavson_spgemm(z, z, 4).nnz(), 0);
+}
+
+TEST(ParallelGustavson, RejectsBadArguments) {
+  const Csr a = Csr::zeros(3, 4);
+  EXPECT_THROW(parallel_gustavson_spgemm(a, a, 2), InvalidArgument);
+  const Csr sq = Csr::zeros(3, 3);
+  EXPECT_THROW(parallel_gustavson_spgemm(sq, sq, -1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,148 @@
+// Tests for the panel-wise (partial) multiplication — the paper's §7
+// future-work extension for matrices exceeding device memory.
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/partial.h"
+
+namespace speck {
+namespace {
+
+TEST(PlanPanels, RespectsBudget) {
+  const std::vector<offset_t> products{10, 10, 10, 10, 10, 10};
+  const auto panels = plan_panels(products, 25);
+  // Greedy: panels of two rows (10+10 <= 25, +10 exceeds).
+  ASSERT_EQ(panels.size(), 3u);
+  for (const auto& [begin, end] : panels) EXPECT_EQ(end - begin, 2);
+}
+
+TEST(PlanPanels, GiantRowGetsOwnPanel) {
+  const std::vector<offset_t> products{5, 1000, 5};
+  const auto panels = plan_panels(products, 100);
+  ASSERT_EQ(panels.size(), 3u);
+  EXPECT_EQ(panels[1].first, 1);
+  EXPECT_EQ(panels[1].second, 2);
+}
+
+TEST(PlanPanels, CoversAllRowsExactlyOnce) {
+  Xoshiro256 rng(71);
+  std::vector<offset_t> products(500);
+  for (auto& p : products) p = static_cast<offset_t>(rng.next_below(200));
+  const auto panels = plan_panels(products, 1000);
+  index_t expected_begin = 0;
+  for (const auto& [begin, end] : panels) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LT(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 500);
+}
+
+TEST(PlanPanels, EmptyInput) { EXPECT_TRUE(plan_panels({}, 100).empty()); }
+
+TEST(ExtractPanel, RoundTripsThroughConcat) {
+  const Csr a = gen::random_uniform(120, 90, 7, 73);
+  std::vector<Csr> panels;
+  panels.push_back(extract_row_panel(a, 0, 40));
+  panels.push_back(extract_row_panel(a, 40, 41));
+  panels.push_back(extract_row_panel(a, 41, 120));
+  const Csr rebuilt = concat_row_panels(panels);
+  const auto diff = compare(rebuilt, a);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(ExtractPanel, EmptyPanel) {
+  const Csr a = gen::random_uniform(10, 10, 2, 79);
+  const Csr panel = extract_row_panel(a, 5, 5);
+  EXPECT_EQ(panel.rows(), 0);
+  EXPECT_EQ(panel.cols(), 10);
+  EXPECT_EQ(panel.nnz(), 0);
+}
+
+TEST(ExtractPanel, RejectsBadRange) {
+  const Csr a = gen::random_uniform(10, 10, 2, 83);
+  EXPECT_THROW(extract_row_panel(a, 5, 3), InvalidArgument);
+  EXPECT_THROW(extract_row_panel(a, 0, 11), InvalidArgument);
+}
+
+TEST(PartialSpeck, MatchesFullMultiplication) {
+  PartialConfig config;
+  config.max_products_per_panel = 4000;  // force many panels
+  PartialSpeck partial(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const Csr a = gen::power_law(600, 600, 8, 1.9, 150, 89);
+  const SpGemmResult result = partial.multiply(a, a);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  const auto diff = compare(result.c, gustavson_spgemm(a, a));
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+  EXPECT_GT(partial.last_diagnostics().panels, 5);
+  EXPECT_LE(partial.last_diagnostics().largest_panel_rows, 600);
+}
+
+TEST(PartialSpeck, SinglePanelWhenBudgetLarge) {
+  PartialConfig config;
+  config.max_products_per_panel = 1 << 30;
+  PartialSpeck partial(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const Csr a = gen::banded(300, 10, 4, 97);
+  ASSERT_TRUE(partial.multiply(a, a).ok());
+  EXPECT_EQ(partial.last_diagnostics().panels, 1);
+}
+
+TEST(PartialSpeck, BoundsPeakMemory) {
+  // A matrix whose full-run temporaries exceed a tiny panel's: panelled
+  // execution must report a lower high-water mark than the whole-matrix run
+  // would need for its analysis + bin arrays.
+  const Csr a = gen::random_uniform(4000, 4000, 10, 101);
+  Speck full(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const SpGemmResult full_result = full.multiply(a, a);
+  ASSERT_TRUE(full_result.ok());
+
+  PartialConfig config;
+  config.max_products_per_panel = 50000;
+  PartialSpeck partial(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const SpGemmResult partial_result = partial.multiply(a, a);
+  ASSERT_TRUE(partial_result.ok());
+  // With output streaming (the default) the device never holds more than
+  // the inputs plus one panel's working set.
+  EXPECT_LT(partial_result.peak_memory_bytes,
+            full_result.peak_memory_bytes * 8 / 10);
+  // Correctness unchanged.
+  const auto diff = compare(partial_result.c, full_result.c);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(PartialSpeck, TimeOverheadIsModest) {
+  const Csr a = gen::banded(3000, 30, 8, 103);
+  Speck full(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const double full_seconds = full.multiply(a, a).seconds;
+  PartialConfig config;
+  config.max_products_per_panel = 40000;
+  config.stream_output_to_host = false;  // isolate the panelling overhead
+  PartialSpeck partial(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const double partial_seconds = partial.multiply(a, a).seconds;
+  EXPECT_GT(partial_seconds, full_seconds) << "panelling adds launch overhead";
+  EXPECT_LT(partial_seconds, full_seconds * 5.0) << "but should stay in range";
+
+  // Streaming the output over PCIe adds the transfer on top.
+  config.stream_output_to_host = true;
+  PartialSpeck streaming(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  EXPECT_GT(streaming.multiply(a, a).seconds, partial_seconds);
+}
+
+TEST(PartialSpeck, RectangularInputs) {
+  PartialConfig config;
+  config.max_products_per_panel = 2000;
+  PartialSpeck partial(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const Csr a = gen::rectangular_lp(150, 900, 8, 107);
+  const Csr b = transpose(a);
+  const SpGemmResult result = partial.multiply(a, b);
+  ASSERT_TRUE(result.ok());
+  const auto diff = compare(result.c, gustavson_spgemm(a, b));
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,171 @@
+// Tests for permutations, RCM reordering and SpMV.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "matrix/permute.h"
+#include "matrix/spmv.h"
+#include "ref/gustavson.h"
+
+namespace speck {
+namespace {
+
+TEST(Permutation, IsPermutationChecks) {
+  EXPECT_TRUE(is_permutation(std::vector<index_t>{2, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 3, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, -1, 1}));
+  EXPECT_TRUE(is_permutation(std::vector<index_t>{}));
+}
+
+TEST(Permutation, InvertRoundTrip) {
+  const Permutation p = random_permutation(50, 9);
+  const Permutation inverse = invert_permutation(p);
+  for (index_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(inverse[static_cast<std::size_t>(p[static_cast<std::size_t>(i)])], i);
+  }
+}
+
+TEST(Permutation, RandomIsValidAndDeterministic) {
+  const Permutation a = random_permutation(100, 7);
+  const Permutation b = random_permutation(100, 7);
+  EXPECT_TRUE(is_permutation(a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, random_permutation(100, 8));
+}
+
+TEST(PermuteRows, MovesRows) {
+  const Csr m = gen::random_uniform(30, 40, 4, 11);
+  const Permutation p = random_permutation(30, 13);
+  const Csr permuted = permute_rows(m, p);
+  for (index_t r = 0; r < 30; ++r) {
+    const index_t new_row = p[static_cast<std::size_t>(r)];
+    ASSERT_EQ(permuted.row_length(new_row), m.row_length(r));
+    const auto expected = m.row_cols(r);
+    const auto actual = permuted.row_cols(new_row);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), actual.begin()));
+  }
+}
+
+TEST(PermuteRows, IdentityIsNoop) {
+  const Csr m = gen::banded(40, 5, 3, 17);
+  Permutation identity(40);
+  std::iota(identity.begin(), identity.end(), index_t{0});
+  const auto diff = compare(permute_rows(m, identity), m);
+  EXPECT_FALSE(diff.has_value());
+}
+
+TEST(PermuteCols, MovesColumnsAndStaysSorted) {
+  const Csr m = gen::random_uniform(25, 25, 5, 19);
+  const Permutation p = random_permutation(25, 23);
+  const Csr permuted = permute_cols(m, p);
+  EXPECT_TRUE(permuted.sorted_within_rows());
+  // Entry check via dense comparison.
+  const auto dense_before = to_dense(m);
+  const auto dense_after = to_dense(permuted);
+  for (index_t r = 0; r < 25; ++r) {
+    for (index_t c = 0; c < 25; ++c) {
+      EXPECT_DOUBLE_EQ(
+          dense_after[static_cast<std::size_t>(r) * 25 +
+                      static_cast<std::size_t>(p[static_cast<std::size_t>(c)])],
+          dense_before[static_cast<std::size_t>(r) * 25 + static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+TEST(PermuteSymmetric, PreservesSpGemmUpToPermutation) {
+  // (P A Pᵀ)(P B Pᵀ) == P (A B) Pᵀ — validates the permutation algebra and
+  // gives SpGEMM an independent consistency probe.
+  const Csr a = gen::random_uniform(60, 60, 5, 29);
+  const Csr b = gen::banded(60, 8, 4, 31);
+  const Permutation p = random_permutation(60, 37);
+  const Csr lhs = gustavson_spgemm(permute_symmetric(a, p), permute_symmetric(b, p));
+  const Csr rhs = permute_symmetric(gustavson_spgemm(a, b), p);
+  const auto diff = compare(lhs, rhs, 1e-9);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledBandedMatrix) {
+  const Csr banded_matrix = gen::banded(400, 6, 4, 41);
+  const index_t original_band = bandwidth(banded_matrix);
+  const Csr shuffled =
+      permute_symmetric(banded_matrix, random_permutation(400, 43));
+  const index_t shuffled_band = bandwidth(shuffled);
+  ASSERT_GT(shuffled_band, original_band * 3) << "shuffle must destroy locality";
+
+  const Permutation rcm = reverse_cuthill_mckee(shuffled);
+  EXPECT_TRUE(is_permutation(rcm));
+  const Csr restored = permute_symmetric(shuffled, rcm);
+  EXPECT_LT(bandwidth(restored), shuffled_band / 4)
+      << "RCM must recover most of the bandwidth";
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  const Csr m = gen::block_diagonal(4, 25, 0.3, 47);
+  const Permutation p = reverse_cuthill_mckee(m);
+  EXPECT_TRUE(is_permutation(p));
+  EXPECT_LE(bandwidth(permute_symmetric(m, p)), bandwidth(m));
+}
+
+TEST(Rcm, EmptyAndIdentityMatrices) {
+  EXPECT_TRUE(is_permutation(reverse_cuthill_mckee(Csr::zeros(10, 10))));
+  EXPECT_TRUE(is_permutation(reverse_cuthill_mckee(Csr::identity(10))));
+}
+
+TEST(Spmv, MatchesDense) {
+  const Csr m = gen::random_uniform(30, 20, 4, 53);
+  Xoshiro256 rng(59);
+  std::vector<value_t> x(20);
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  const auto y = spmv(m, x);
+  const auto dense = to_dense(m);
+  for (index_t r = 0; r < 30; ++r) {
+    value_t expected = 0.0;
+    for (index_t c = 0; c < 20; ++c) {
+      expected += dense[static_cast<std::size_t>(r) * 20 + static_cast<std::size_t>(c)] *
+                  x[static_cast<std::size_t>(c)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(r)], expected, 1e-12);
+  }
+}
+
+TEST(Spmv, AlphaBetaForm) {
+  const Csr m = Csr::identity(5);
+  std::vector<value_t> x{1, 2, 3, 4, 5};
+  std::vector<value_t> y{10, 10, 10, 10, 10};
+  spmv(m, x, 2.0, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 1 + 5.0);
+  EXPECT_DOUBLE_EQ(y[4], 2.0 * 5 + 5.0);
+}
+
+TEST(Spmv, SpGemmAssociativityProbe) {
+  // (A*B)*x == A*(B*x) with the SpGEMM result from the oracle.
+  const Csr a = gen::power_law(80, 80, 6, 1.9, 30, 61);
+  const Csr b = gen::banded(80, 10, 4, 67);
+  Xoshiro256 rng(71);
+  std::vector<value_t> x(80);
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  const Csr ab = gustavson_spgemm(a, b);
+  const auto lhs = spmv(ab, x);
+  const auto rhs = spmv(a, spmv(b, x));
+  for (std::size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-9);
+}
+
+TEST(Spmv, RejectsBadSizes) {
+  const Csr m = Csr::zeros(4, 6);
+  std::vector<value_t> wrong(5);
+  EXPECT_THROW(spmv(m, wrong), InvalidArgument);
+}
+
+TEST(Bandwidth, KnownValues) {
+  EXPECT_EQ(bandwidth(Csr::identity(10)), 0);
+  EXPECT_EQ(bandwidth(Csr::zeros(10, 10)), 0);
+  const Csr grid = gen::stencil_2d(8, 8);
+  EXPECT_EQ(bandwidth(grid), 8);  // +-nx coupling
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,129 @@
+// Unit tests for the lightweight row analysis (paper Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+#include "speck/row_analysis.h"
+
+namespace speck {
+namespace {
+
+RowAnalysis analyze(const Csr& a, const Csr& b) {
+  sim::CostModel model;
+  sim::Launch launch("analysis", sim::DeviceSpec::titan_v(), model);
+  return analyze_rows(a, b, launch);
+}
+
+TEST(RowAnalysis, ProductsMatchOracle) {
+  const Csr a = gen::random_uniform(120, 120, 6, 401);
+  const RowAnalysis r = analyze(a, a);
+  EXPECT_EQ(r.total_products, count_products(a, a));
+  offset_t sum = 0, max = 0;
+  for (const offset_t p : r.products) {
+    sum += p;
+    max = std::max(max, p);
+  }
+  EXPECT_EQ(sum, r.total_products);
+  EXPECT_EQ(max, r.max_products);
+  EXPECT_NEAR(r.avg_products, static_cast<double>(sum) / a.rows(), 1e-12);
+}
+
+TEST(RowAnalysis, PerRowValuesHandComputed) {
+  // A = [[x x .]    B row lengths: 2, 1, 3
+  //      [. . x]]
+  Coo a_coo(2, 3);
+  a_coo.add(0, 0, 1.0);
+  a_coo.add(0, 1, 1.0);
+  a_coo.add(1, 2, 1.0);
+  const Csr a = a_coo.to_csr();
+  Coo b_coo(3, 5);
+  b_coo.add(0, 1, 1.0);
+  b_coo.add(0, 4, 1.0);
+  b_coo.add(1, 2, 1.0);
+  b_coo.add(2, 0, 1.0);
+  b_coo.add(2, 2, 1.0);
+  b_coo.add(2, 3, 1.0);
+  const Csr b = b_coo.to_csr();
+
+  const RowAnalysis r = analyze(a, b);
+  EXPECT_EQ(r.products[0], 3);           // 2 + 1
+  EXPECT_EQ(r.products[1], 3);           // 3
+  EXPECT_EQ(r.longest_b_row[0], 2);
+  EXPECT_EQ(r.longest_b_row[1], 3);
+  EXPECT_EQ(r.col_min[0], 1);
+  EXPECT_EQ(r.col_max[0], 4);
+  EXPECT_EQ(r.col_min[1], 0);
+  EXPECT_EQ(r.col_max[1], 3);
+  EXPECT_EQ(r.max_products, 3);
+}
+
+TEST(RowAnalysis, ColumnRangeBoundsOutput) {
+  // For every row of C = A*B, all output columns lie in [col_min, col_max].
+  const Csr a = gen::banded(80, 8, 4, 403);
+  const RowAnalysis r = analyze(a, a);
+  for (index_t row = 0; row < a.rows(); ++row) {
+    for (const index_t k : a.row_cols(row)) {
+      for (const index_t c : a.row_cols(k)) {
+        EXPECT_GE(c, r.col_min[static_cast<std::size_t>(row)]);
+        EXPECT_LE(c, r.col_max[static_cast<std::size_t>(row)]);
+      }
+    }
+  }
+}
+
+TEST(RowAnalysis, EmptyRowsAreZero) {
+  Coo coo(4, 4);
+  coo.add(1, 2, 1.0);
+  const Csr a = coo.to_csr();
+  const RowAnalysis r = analyze(a, a);
+  EXPECT_EQ(r.products[0], 0);
+  EXPECT_EQ(r.products[2], 0);
+  EXPECT_EQ(r.longest_b_row[0], 0);
+  // Row 1 references row 2 of B, which is empty.
+  EXPECT_EQ(r.products[1], 0);
+}
+
+TEST(RowAnalysis, EmptyMatrix) {
+  const Csr a = Csr::zeros(10, 10);
+  const RowAnalysis r = analyze(a, a);
+  EXPECT_EQ(r.total_products, 0);
+  EXPECT_EQ(r.max_products, 0);
+  EXPECT_EQ(r.rows, 10);
+}
+
+TEST(RowAnalysis, ChargesCost) {
+  const Csr a = gen::random_uniform(1000, 1000, 8, 405);
+  sim::CostModel model;
+  sim::Launch launch("analysis", sim::DeviceSpec::titan_v(), model);
+  analyze_rows(a, a, launch);
+  EXPECT_GT(launch.block_count(), 0);
+  EXPECT_GT(launch.finish().seconds, 0.0);
+}
+
+TEST(RowAnalysis, CostIsLinearInNnz) {
+  // O(NNZ_A): doubling the matrix roughly doubles the analysis time.
+  sim::CostModel model;
+  const auto seconds_for = [&](index_t rows) {
+    const Csr a = gen::random_uniform(rows, rows, 8, 407);
+    sim::Launch launch("analysis", sim::DeviceSpec::titan_v(), model);
+    analyze_rows(a, a, launch);
+    return launch.finish().seconds;
+  };
+  const double t1 = seconds_for(20000);
+  const double t2 = seconds_for(40000);
+  EXPECT_GT(t2, t1 * 1.5);
+  EXPECT_LT(t2, t1 * 3.0);
+}
+
+TEST(RowAnalysis, RectangularInputs) {
+  const Csr a = gen::rectangular_lp(50, 400, 10, 409);
+  const Csr b = transpose(a);
+  const RowAnalysis r = analyze(a, b);
+  EXPECT_EQ(r.total_products, count_products(a, b));
+  EXPECT_EQ(static_cast<index_t>(r.products.size()), a.rows());
+}
+
+}  // namespace
+}  // namespace speck

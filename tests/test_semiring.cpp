@@ -1,0 +1,178 @@
+// Tests for the semiring SpGEMM layer: plus-times equivalence with the
+// oracle, min-plus shortest paths against Dijkstra, boolean reachability
+// against BFS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "ref/semiring.h"
+
+namespace speck {
+namespace {
+
+TEST(Semiring, PlusTimesMatchesGustavson) {
+  const Csr a = gen::random_uniform(70, 70, 5, 1501);
+  const Csr b = gen::banded(70, 8, 4, 1503);
+  const Csr via_semiring = semiring_spgemm<PlusTimes>(a, b);
+  const Csr via_oracle = gustavson_spgemm(a, b);
+  const auto diff = compare(via_semiring, via_oracle, 1e-12);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+/// Small weighted digraph with known shortest paths.
+Csr path_graph() {
+  // 0 -> 1 (1), 1 -> 2 (1), 0 -> 2 (5): shortest 0->2 is 2 via 1.
+  Coo coo(3, 3);
+  for (index_t v = 0; v < 3; ++v) coo.add(v, v, 0.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 2, 1.0);
+  coo.add(0, 2, 5.0);
+  return coo.to_csr();
+}
+
+TEST(Semiring, MinPlusRelaxesPaths) {
+  const Csr d = path_graph();
+  const Csr squared = semiring_spgemm<MinPlus>(d, d);
+  // Entry (0,2) must now be the relaxed 2.0 (0->1->2), not the direct 5.0.
+  bool found = false;
+  const auto cols = squared.row_cols(0);
+  const auto vals = squared.row_vals(0);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == 2) {
+      EXPECT_DOUBLE_EQ(vals[i], 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+/// Dijkstra reference on an adjacency CSR with 0-weight self loops.
+std::vector<value_t> dijkstra(const Csr& g, index_t source) {
+  std::vector<value_t> dist(static_cast<std::size_t>(g.rows()),
+                            std::numeric_limits<value_t>::infinity());
+  using Item = std::pair<value_t, index_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  queue.emplace(0.0, source);
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    const auto cols = g.row_cols(v);
+    const auto vals = g.row_vals(v);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const value_t candidate = d + vals[i];
+      if (candidate < dist[static_cast<std::size_t>(cols[i])]) {
+        dist[static_cast<std::size_t>(cols[i])] = candidate;
+        queue.emplace(candidate, cols[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(Semiring, ApspMatchesDijkstra) {
+  // Random weighted digraph, repeated tropical squaring until fixpoint.
+  const index_t n = 60;
+  Xoshiro256 rng(1507);
+  Coo coo(n, n);
+  for (index_t v = 0; v < n; ++v) {
+    coo.add(v, v, 0.0);
+    for (int e = 0; e < 3; ++e) {
+      coo.add(v, static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(n))),
+              rng.next_double(0.5, 4.0));
+    }
+  }
+  Csr graph = coo.to_csr();
+  Csr dist = graph;
+  for (int step = 0; step < 7; ++step) {  // 2^7 > 60 hops
+    dist = semiring_add<MinPlus>(dist, semiring_spgemm<MinPlus>(dist, dist));
+  }
+  for (const index_t source : {index_t{0}, index_t{17}, index_t{59}}) {
+    const auto expected = dijkstra(graph, source);
+    const auto cols = dist.row_cols(source);
+    const auto vals = dist.row_vals(source);
+    std::vector<value_t> measured(static_cast<std::size_t>(n),
+                                  std::numeric_limits<value_t>::infinity());
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      measured[static_cast<std::size_t>(cols[i])] = vals[i];
+    }
+    for (index_t v = 0; v < n; ++v) {
+      if (std::isinf(expected[static_cast<std::size_t>(v)])) {
+        EXPECT_TRUE(std::isinf(measured[static_cast<std::size_t>(v)]))
+            << "source " << source << " target " << v;
+      } else {
+        EXPECT_NEAR(measured[static_cast<std::size_t>(v)],
+                    expected[static_cast<std::size_t>(v)], 1e-9)
+            << "source " << source << " target " << v;
+      }
+    }
+  }
+}
+
+TEST(Semiring, BooleanReachabilityMatchesBfs) {
+  const index_t n = 80;
+  Xoshiro256 rng(1511);
+  Coo coo(n, n);
+  for (index_t v = 0; v < n; ++v) {
+    coo.add(v, v, 1.0);
+    coo.add(v, static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(n))), 1.0);
+  }
+  const Csr graph = coo.to_csr();
+  Csr reach = graph;
+  for (int step = 0; step < 7; ++step) {
+    reach = semiring_add<OrAnd>(reach, semiring_spgemm<OrAnd>(reach, reach));
+  }
+  // BFS reference from vertex 0.
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::queue<index_t> frontier;
+  visited[0] = true;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const index_t v = frontier.front();
+    frontier.pop();
+    for (const index_t w : graph.row_cols(v)) {
+      if (!visited[static_cast<std::size_t>(w)]) {
+        visited[static_cast<std::size_t>(w)] = true;
+        frontier.push(w);
+      }
+    }
+  }
+  std::vector<bool> reachable(static_cast<std::size_t>(n), false);
+  for (const index_t c : reach.row_cols(0)) reachable[static_cast<std::size_t>(c)] = true;
+  for (index_t v = 0; v < n; ++v) {
+    EXPECT_EQ(reachable[static_cast<std::size_t>(v)],
+              visited[static_cast<std::size_t>(v)])
+        << "vertex " << v;
+  }
+  // Boolean values stay 0/1.
+  for (const value_t v : reach.values()) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(Semiring, AddUnionStructure) {
+  Coo a_coo(2, 3);
+  a_coo.add(0, 0, 3.0);
+  a_coo.add(1, 2, 4.0);
+  Coo b_coo(2, 3);
+  b_coo.add(0, 0, 1.0);
+  b_coo.add(0, 1, 7.0);
+  const Csr sum = semiring_add<MinPlus>(a_coo.to_csr(), b_coo.to_csr());
+  EXPECT_EQ(sum.nnz(), 3);
+  EXPECT_DOUBLE_EQ(sum.row_vals(0)[0], 1.0);  // min(3, 1)
+  EXPECT_DOUBLE_EQ(sum.row_vals(0)[1], 7.0);
+  EXPECT_DOUBLE_EQ(sum.row_vals(1)[0], 4.0);
+}
+
+TEST(Semiring, AddRejectsShapeMismatch) {
+  EXPECT_THROW(semiring_add<MinPlus>(Csr::zeros(2, 2), Csr::zeros(2, 3)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,138 @@
+// Shape-regression tests: the paper's qualitative evaluation claims, encoded
+// as assertions on a small workload subset. These guard the cost model —
+// if a refactor flips who wins where, these fail before the benchmark
+// binaries ever run. (EXPERIMENTS.md documents the full-corpus versions.)
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/suite.h"
+#include "gen/generators.h"
+#include "matrix/matrix_stats.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+const sim::DeviceSpec kDevice = sim::DeviceSpec::titan_v();
+const sim::CostModel kModel;
+
+std::map<std::string, SpGemmResult> run_all(const Csr& a) {
+  std::map<std::string, SpGemmResult> results;
+  for (const auto& algorithm : baselines::make_all_algorithms(kDevice, kModel)) {
+    results[algorithm->name()] = algorithm->multiply(a, a);
+  }
+  return results;
+}
+
+TEST(Shapes, SpeckNeverFarFromBest) {
+  // Paper Fig. 7: spECK is "always close to the best performing method".
+  const std::vector<Csr> workloads = {
+      gen::random_uniform(5000, 5000, 8, 2001),
+      gen::banded(8000, 80, 10, 2003),
+      gen::stencil_2d(80, 80),
+      gen::block_diagonal(6, 80, 0.8, 2005),
+      gen::skewed_rows(6000, 6000, 0.01, 1024, 3, 2007),
+  };
+  for (const Csr& a : workloads) {
+    const auto results = run_all(a);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [name, result] : results) {
+      if (result.ok()) best = std::min(best, result.seconds);
+    }
+    ASSERT_TRUE(results.at("speck").ok());
+    EXPECT_LT(results.at("speck").seconds, 5.0 * best)
+        << "speck must never be >5x from the best (paper: 0.1% of matrices)";
+  }
+}
+
+TEST(Shapes, SpeckBeatsEscOnHighCompaction) {
+  // Paper §2: ESC sorts every intermediate product, so high-compaction
+  // matrices favour hashing.
+  const Csr dense_blocks = gen::block_diagonal(6, 100, 0.9, 2011);
+  const auto results = run_all(dense_blocks);
+  EXPECT_LT(results.at("speck").seconds * 2.0, results.at("cusp").seconds);
+  EXPECT_LT(results.at("speck").seconds * 1.5, results.at("ac").seconds);
+}
+
+TEST(Shapes, SpeckHasLowestMemoryOnCommonWorkload) {
+  // Paper Table 3: spECK's peak memory is the baseline every method is
+  // measured against (m/m_b >= 1 for all).
+  const Csr a = gen::random_uniform(4000, 4000, 12, 2013);
+  const auto results = run_all(a);
+  const auto speck_memory = results.at("speck").peak_memory_bytes;
+  for (const char* name : {"ac", "cusp", "rmerge", "bhsparse"}) {
+    ASSERT_TRUE(results.at(name).ok()) << name;
+    EXPECT_GT(results.at(name).peak_memory_bytes, speck_memory) << name;
+  }
+}
+
+TEST(Shapes, MklCrossoverExists) {
+  // Paper Fig. 6: MKL wins tiny multiplications, GPU methods win large ones.
+  const Csr tiny = gen::random_uniform(80, 80, 3, 2017);
+  ASSERT_LT(count_products(tiny, tiny), 15000);
+  const auto tiny_results = run_all(tiny);
+  EXPECT_LT(tiny_results.at("mkl").seconds, tiny_results.at("speck").seconds);
+
+  const Csr large = gen::random_uniform(10000, 10000, 16, 2019);
+  ASSERT_GT(count_products(large, large), 1000000);
+  const auto large_results = run_all(large);
+  EXPECT_GT(large_results.at("mkl").seconds,
+            5.0 * large_results.at("speck").seconds);
+}
+
+TEST(Shapes, NsparseSuffersOnShortBRows) {
+  // Paper §6.2 (stat96v2): fixed g=32 on B rows shorter than 8 wastes
+  // three quarters of nsparse's lanes; spECK adapts.
+  const Csr a = gen::random_uniform(8000, 8000, 3, 2023);  // B rows of 3
+  const auto results = run_all(a);
+  EXPECT_LT(results.at("speck").seconds * 1.5, results.at("nsparse").seconds);
+}
+
+TEST(Shapes, GlobalHashAvoidanceViaDense) {
+  // Paper Fig. 12: rows beyond the largest scratchpad map collapse the
+  // hash-only variant; dense accumulation avoids the global map.
+  const Csr a = gen::skewed_rows(30000, 30000, 0.0005, 12000, 3, 2029);
+  SpeckConfig with_dense;
+  with_dense.thresholds = reduced_scale_thresholds();
+  SpeckConfig hash_only = with_dense;
+  hash_only.features.dense_accumulation = false;
+  Speck dense_speck(kDevice, kModel, with_dense);
+  Speck hash_speck(kDevice, kModel, hash_only);
+  const double dense_seconds = dense_speck.multiply(a, a).seconds;
+  const double hash_seconds = hash_speck.multiply(a, a).seconds;
+  EXPECT_GT(hash_seconds, 1.5 * dense_seconds);
+}
+
+TEST(Shapes, AutoLbDecisionNearBest) {
+  // Paper Fig. 14 / §6.3: the automatic decision stays within a few percent
+  // of the better of always-on/always-off.
+  const std::vector<Csr> workloads = {
+      gen::random_uniform(1000, 1000, 4, 2031),            // small: off wins
+      gen::skewed_rows(20000, 20000, 0.01, 2048, 3, 2033),  // skewed: on wins
+  };
+  for (const Csr& a : workloads) {
+    double seconds[3];
+    const GlobalLbMode modes[3] = {GlobalLbMode::kAlwaysOff,
+                                   GlobalLbMode::kAlwaysOn, GlobalLbMode::kAuto};
+    for (int v = 0; v < 3; ++v) {
+      SpeckConfig config;
+      config.thresholds = reduced_scale_thresholds();
+      config.features.set_global_lb(modes[v]);
+      Speck speck(kDevice, kModel, config);
+      seconds[v] = speck.multiply(a, a).seconds;
+    }
+    EXPECT_LT(seconds[2], 1.15 * std::min(seconds[0], seconds[1]));
+  }
+}
+
+TEST(Shapes, CuSparseSlowAcrossTheBoard) {
+  // Paper Table 3: the generic global-hash approach trails by ~an order of
+  // magnitude on medium matrices.
+  const Csr a = gen::banded(10000, 100, 12, 2037);
+  const auto results = run_all(a);
+  EXPECT_GT(results.at("cusparse").seconds, 4.0 * results.at("speck").seconds);
+}
+
+}  // namespace
+}  // namespace speck

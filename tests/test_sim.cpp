@@ -1,0 +1,270 @@
+// Unit tests for the simulated device: specs, cost accounting, occupancy,
+// scheduling, memory tracking, stage timeline.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/device_spec.h"
+#include "sim/launch.h"
+#include "sim/memory_tracker.h"
+#include "sim/timeline.h"
+#include "sim/trace.h"
+
+namespace speck::sim {
+namespace {
+
+TEST(DeviceSpec, TitanVDefaults) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  EXPECT_EQ(d.num_sms, 80);
+  EXPECT_EQ(d.max_threads_per_block, 1024);
+  EXPECT_EQ(d.static_scratchpad_per_block, 48u * 1024);
+  EXPECT_EQ(d.dynamic_scratchpad_per_block, 96u * 1024);
+}
+
+TEST(DeviceSpec, PascalHasNoOptIn) {
+  const DeviceSpec d = DeviceSpec::pascal_like();
+  EXPECT_EQ(d.dynamic_scratchpad_per_block, d.static_scratchpad_per_block);
+}
+
+TEST(BlockCost, OverheadOnly) {
+  const CostModel model;
+  BlockCost cost(256, 0, model);
+  EXPECT_DOUBLE_EQ(cost.cycles(), model.block_overhead_cycles);
+}
+
+TEST(BlockCost, IssuedOpsScaleWithIssueWidth) {
+  CostModel model;
+  model.block_overhead_cycles = 0.0;
+  BlockCost cost(256, 0, model);
+  cost.issued(1280.0);
+  EXPECT_DOUBLE_EQ(cost.cycles(), 1280.0 / model.issue_width);
+}
+
+TEST(BlockCost, LockstepChargesAllThreads) {
+  CostModel model;
+  model.block_overhead_cycles = 0.0;
+  BlockCost a(128, 0, model);
+  a.lockstep(10.0);
+  BlockCost b(1024, 0, model);
+  b.lockstep(10.0);
+  EXPECT_LT(a.cycles(), b.cycles());
+}
+
+TEST(BlockCost, CoalescedVsScattered) {
+  CostModel model;
+  model.block_overhead_cycles = 0.0;
+  BlockCost coalesced(256, 0, model);
+  coalesced.global_coalesced(1024);  // 1024 words -> 32 transactions
+  BlockCost scattered(256, 0, model);
+  scattered.global_scattered(1024);  // 1024 transactions
+  EXPECT_DOUBLE_EQ(coalesced.global_transactions(), 32.0);
+  EXPECT_DOUBLE_EQ(scattered.global_transactions(), 1024.0);
+  EXPECT_LT(coalesced.cycles(), scattered.cycles() / 10.0);
+}
+
+TEST(BlockCost, SegmentedAddsPartialSectors) {
+  CostModel model;
+  BlockCost cost(256, 0, model);
+  cost.global_segmented(320, 10);
+  // 320 words = 10 full transactions, plus a quarter-transaction (32-byte
+  // sector) per segment boundary.
+  EXPECT_DOUBLE_EQ(cost.global_transactions(), 10.0 + 2.5);
+}
+
+TEST(BlockCost, AtomicsAreExpensive) {
+  CostModel model;
+  model.block_overhead_cycles = 0.0;
+  BlockCost smem(256, 0, model);
+  smem.smem_atomic(1000.0);
+  BlockCost global(256, 0, model);
+  global.global_atomic(1000.0);
+  EXPECT_LT(smem.cycles() * 10.0, global.cycles());
+}
+
+TEST(Occupancy, LimitedByThreads) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  EXPECT_EQ(blocks_resident_per_sm(d, 1024, 0), 2);
+  EXPECT_EQ(blocks_resident_per_sm(d, 512, 0), 4);
+  EXPECT_EQ(blocks_resident_per_sm(d, 64, 0), 32);  // capped by max blocks
+}
+
+TEST(Occupancy, LimitedByScratchpad) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  // 96 KB per block on a 96 KB SM: one resident block (paper: the opt-in
+  // config halves occupancy relative to 48 KB).
+  EXPECT_EQ(blocks_resident_per_sm(d, 1024, 96 * 1024), 1);
+  EXPECT_EQ(blocks_resident_per_sm(d, 1024, 48 * 1024), 2);
+}
+
+TEST(Occupancy, EfficiencyClamps) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(d, 2048), 1.0);
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(d, 1024), 1.0);
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(d, 512), 0.5);
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(d, 1), 0.25);
+}
+
+TEST(Launch, EmptyLaunchCostsOnlyOverhead) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  Launch launch("empty", d, model);
+  const LaunchResult r = launch.finish();
+  EXPECT_EQ(r.blocks, 0);
+  EXPECT_DOUBLE_EQ(r.seconds, model.kernel_launch_overhead_us * 1e-6);
+}
+
+TEST(Launch, MakespanScalesWithBlocks) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  auto run = [&](int blocks) {
+    Launch launch("n", d, model);
+    for (int i = 0; i < blocks; ++i) {
+      auto cost = launch.make_block(256, 1024);
+      cost.issued(1e6);
+      launch.add(cost);
+    }
+    return launch.finish().makespan_cycles;
+  };
+  const double t80 = run(80);       // one block per SM
+  const double t160 = run(160);     // two waves
+  const double t8000 = run(8000);
+  EXPECT_NEAR(t160 / t80, 2.0, 0.3);
+  EXPECT_NEAR(t8000 / t80, 100.0, 15.0);
+}
+
+TEST(Launch, SingleBlockNotFasterThanItsCycles) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  Launch launch("one", d, model);
+  auto cost = launch.make_block(1024, 0);
+  cost.issued(1.28e8);  // 1e6 cycles of issue
+  const double cycles = cost.cycles();
+  launch.add(cost);
+  const LaunchResult r = launch.finish();
+  EXPECT_GE(r.makespan_cycles, cycles);
+}
+
+TEST(Launch, LowOccupancyInflatesTime) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  auto run = [&](int threads, std::size_t smem) {
+    Launch launch("occ", d, model);
+    for (int i = 0; i < 80; ++i) {
+      auto cost = launch.make_block(threads, smem);
+      cost.issued(1e6);
+      launch.add(cost);
+    }
+    return launch.finish().seconds;
+  };
+  // Same per-block work, but 64-thread blocks with huge scratchpad demand
+  // leave the SM underfilled.
+  EXPECT_GT(run(64, 48 * 1024), run(1024, 48 * 1024));
+}
+
+TEST(Launch, RejectsOversizedBlocks) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  Launch launch("bad", d, model);
+  EXPECT_THROW(launch.make_block(2048, 0), InvalidArgument);
+  EXPECT_THROW(launch.make_block(256, 128 * 1024), InvalidArgument);
+}
+
+TEST(MemoryTracker, PeakTracking) {
+  MemoryTracker tracker(1000);
+  EXPECT_TRUE(tracker.allocate(400));
+  EXPECT_TRUE(tracker.allocate(500));
+  EXPECT_EQ(tracker.peak_bytes(), 900u);
+  tracker.release(500);
+  EXPECT_EQ(tracker.current_bytes(), 400u);
+  EXPECT_EQ(tracker.peak_bytes(), 900u);
+  EXPECT_TRUE(tracker.allocate(600));
+  EXPECT_EQ(tracker.peak_bytes(), 1000u);
+}
+
+TEST(MemoryTracker, RejectsOverCapacity) {
+  MemoryTracker tracker(100);
+  EXPECT_FALSE(tracker.allocate(101));
+  EXPECT_TRUE(tracker.allocate(100));
+  EXPECT_FALSE(tracker.allocate(1));
+}
+
+TEST(MemoryTracker, ScopedAllocationReleases) {
+  MemoryTracker tracker(100);
+  ASSERT_TRUE(tracker.allocate(40));
+  {
+    ScopedAllocation scoped(tracker, 40);
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+TEST(Timeline, SharesSumToOne) {
+  StageTimeline t;
+  t.add(Stage::kAnalysis, 1.0);
+  t.add(Stage::kNumeric, 3.0);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(t.share(Stage::kAnalysis), 0.25);
+  EXPECT_DOUBLE_EQ(t.share(Stage::kNumeric), 0.75);
+  EXPECT_DOUBLE_EQ(t.share(Stage::kSorting), 0.0);
+}
+
+TEST(Timeline, StageNames) {
+  EXPECT_STREQ(stage_name(Stage::kSymbolic), "symb. SpGEMM");
+  EXPECT_STREQ(stage_name(Stage::kSorting), "sorting");
+}
+
+}  // namespace
+}  // namespace speck::sim
+
+namespace speck::sim {
+namespace {
+
+TEST(ReuseCacheFactor, FitsInL2IsDiscounted) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  EXPECT_DOUBLE_EQ(reuse_cache_factor(d, 0), d.l2_hit_cost);
+  EXPECT_DOUBLE_EQ(reuse_cache_factor(d, d.l2_cache_bytes / 4), d.l2_hit_cost);
+}
+
+TEST(ReuseCacheFactor, ExceedsL2IsFullCost) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  EXPECT_DOUBLE_EQ(reuse_cache_factor(d, d.l2_cache_bytes * 10), 1.0);
+}
+
+TEST(ReuseCacheFactor, InterpolatesBetween) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const double half = reuse_cache_factor(d, d.l2_cache_bytes * 3 / 4);
+  EXPECT_GT(half, d.l2_hit_cost);
+  EXPECT_LT(half, 1.0);
+}
+
+TEST(BlockCost, SegmentedCacheFactorScalesTransactions) {
+  CostModel model;
+  BlockCost full(256, 0, model);
+  full.global_segmented(320, 8, 1.0);
+  BlockCost cached(256, 0, model);
+  cached.global_segmented(320, 8, 0.5);
+  EXPECT_DOUBLE_EQ(cached.global_transactions(), full.global_transactions() / 2.0);
+}
+
+TEST(LaunchTrace, RecordsAndSummarizes) {
+  LaunchTrace trace;
+  EXPECT_TRUE(trace.empty());
+  LaunchResult a;
+  a.name = "k1";
+  a.blocks = 10;
+  a.seconds = 1e-4;
+  LaunchResult b;
+  b.name = "k2";
+  b.blocks = 5;
+  b.seconds = 2e-4;
+  trace.record(a);
+  trace.record(b);
+  EXPECT_EQ(trace.total_blocks(), 15);
+  EXPECT_NEAR(trace.total_seconds(), 3e-4, 1e-12);
+  const std::string text = trace.to_string();
+  EXPECT_NE(text.find("k1"), std::string::npos);
+  EXPECT_NE(text.find("k2"), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace speck::sim

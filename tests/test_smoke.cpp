@@ -1,0 +1,25 @@
+// End-to-end smoke test: spECK against the exact oracle on a small matrix.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+TEST(Smoke, SpeckMatchesOracle) {
+  const Csr a = gen::random_uniform(200, 200, 6, 42);
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const SpGemmResult result = speck.multiply(a, a);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  const Csr expected = gustavson_spgemm(a, a);
+  const auto diff = compare(result.c, expected);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.peak_memory_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace speck

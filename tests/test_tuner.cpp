@@ -1,0 +1,105 @@
+// Tests for the auto-tuner (paper §5 / Table 2).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "speck/tuner.h"
+
+namespace speck {
+namespace {
+
+TuningSample synthetic_sample(double off_off, double off_on, double on_off,
+                              double on_on, double ratio, index_t rows,
+                              bool large = false) {
+  TuningSample s;
+  s.seconds[0][0] = off_off;
+  s.seconds[0][1] = off_on;
+  s.seconds[1][0] = on_off;
+  s.seconds[1][1] = on_on;
+  s.symbolic_decision = {ratio, rows, large};
+  s.numeric_decision = {ratio, rows, large};
+  return s;
+}
+
+TEST(Tuner, LossIsOneWhenDecisionOptimal) {
+  // LB always helps and the default thresholds turn it on for this profile.
+  std::vector<TuningSample> samples{
+      synthetic_sample(2.0, 1.5, 1.5, 1.0, 50.0, 100000)};
+  const SpeckThresholds defaults;
+  EXPECT_DOUBLE_EQ(tuning_loss(samples, defaults), 1.0);
+}
+
+TEST(Tuner, LossPenalizesWrongDecision) {
+  // LB hurts (off is best) but a ratio of 50 with many rows turns it on.
+  std::vector<TuningSample> samples{
+      synthetic_sample(1.0, 2.0, 2.0, 4.0, 50.0, 100000)};
+  const SpeckThresholds defaults;
+  EXPECT_DOUBLE_EQ(tuning_loss(samples, defaults), 4.0);
+}
+
+TEST(Tuner, LineSearchFindsSeparatingThreshold) {
+  // Construct a training set where LB pays off exactly when ratio > 8:
+  // the tuner must discover a ratio threshold in that region.
+  std::vector<TuningSample> samples;
+  for (const double ratio : {2.0, 4.0, 6.0}) {
+    samples.push_back(synthetic_sample(1.0, 3.0, 3.0, 9.0, ratio, 50000));
+  }
+  for (const double ratio : {16.0, 32.0, 64.0}) {
+    samples.push_back(synthetic_sample(9.0, 3.0, 3.0, 1.0, ratio, 50000));
+  }
+  SpeckThresholds bad_start;
+  bad_start.symbolic = {1.0, 0};   // always on
+  bad_start.numeric = {1.0, 0};
+  bad_start.symbolic_large = {1.0, 0};
+  bad_start.numeric_large = {1.0, 0};
+  const TuningResult result = tune_thresholds(samples, bad_start, 3);
+  EXPECT_DOUBLE_EQ(result.mean_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(result.best_pick_fraction, 1.0);
+  // Any threshold in [6, 16) separates the two populations (the decision
+  // uses a strict comparison, so 6.0 itself works).
+  EXPECT_GE(result.thresholds.symbolic.ratio, 6.0);
+  EXPECT_LT(result.thresholds.symbolic.ratio, 16.0);
+}
+
+TEST(Tuner, LargeKernelSamplesUseLargeThresholds) {
+  // Large-kernel samples want LB at low ratios; general samples do not.
+  std::vector<TuningSample> samples;
+  samples.push_back(synthetic_sample(5.0, 1.0, 1.0, 1.0, 2.0, 50000, true));
+  samples.push_back(synthetic_sample(1.0, 5.0, 5.0, 5.0, 2.0, 50000, false));
+  SpeckThresholds start;
+  const TuningResult result = tune_thresholds(samples, start, 3);
+  EXPECT_DOUBLE_EQ(result.mean_slowdown, 1.0);
+}
+
+TEST(Tuner, MeasureSampleRunsAllFourCombos) {
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::skewed_rows(2000, 2000, 0.01, 500, 3, 1001);
+  const TuningSample sample = measure_tuning_sample(speck, a, a);
+  for (int s = 0; s < 2; ++s) {
+    for (int n = 0; n < 2; ++n) EXPECT_GT(sample.seconds[s][n], 0.0);
+  }
+  EXPECT_GT(sample.symbolic_decision.ratio, 1.0);
+  EXPECT_EQ(sample.symbolic_decision.rows, 2000);
+  // measure_tuning_sample must restore the feature flags.
+  EXPECT_EQ(speck.config().features.global_lb_symbolic, GlobalLbMode::kAuto);
+}
+
+TEST(Tuner, KFoldsPartition) {
+  const auto folds = k_folds(100, 3, 7);
+  ASSERT_EQ(folds.size(), 3u);
+  std::vector<int> seen(100, 0);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 33u);
+    EXPECT_LE(fold.size(), 34u);
+    for (const std::size_t i : fold) ++seen[i];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Tuner, EmptySamples) {
+  EXPECT_DOUBLE_EQ(tuning_loss({}, SpeckThresholds{}), 1.0);
+  const TuningResult result = tune_thresholds({}, SpeckThresholds{}, 1);
+  EXPECT_DOUBLE_EQ(result.mean_slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,40 @@
+// make_corpus — writes the synthetic corpora to disk as Matrix Market files
+// so they can be fed to runspeck or external tools.
+//
+//   make_corpus <output-dir> [common|eval|test]
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "gen/corpus.h"
+#include "matrix/io_mtx.h"
+
+int main(int argc, char** argv) {
+  using namespace speck;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <output-dir> [common|eval|test]\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path dir = argv[1];
+  const std::string which = argc > 2 ? argv[2] : "common";
+
+  std::vector<gen::CorpusEntry> corpus;
+  if (which == "common") {
+    corpus = gen::common_corpus();
+  } else if (which == "eval") {
+    corpus = gen::evaluation_collection();
+  } else if (which == "test") {
+    corpus = gen::test_corpus();
+  } else {
+    std::fprintf(stderr, "unknown corpus '%s'\n", which.c_str());
+    return 2;
+  }
+
+  std::filesystem::create_directories(dir);
+  for (const auto& entry : corpus) {
+    const auto path = dir / (entry.name + ".mtx");
+    write_matrix_market_file(path.string(), entry.a);
+    std::printf("wrote %s (%s)\n", path.c_str(), entry.a.shape_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// runspeck — the command-line driver matching the paper artifact's
+// runspECK executable (Appendix A.2):
+//
+//   runspeck <path-to-matrix.mtx> [config.ini]
+//
+// Recognized config.ini options (all optional, artifact-compatible names):
+//   TrackCompleteTimes   = true|false   print end-to-end timing (default on)
+//   TrackIndividualTimes = true|false   print the per-stage breakdown
+//   CompareResult        = true|false   validate against the cuSPARSE-like
+//                                       baseline, error on mismatch
+//   TraceLaunches        = true|false   print the per-launch execution trace
+//   IterationsWarmUp     = <n>          warm-up iterations (default 1)
+//   IterationsExecution  = <n>          timed iterations (default 5)
+//   InputFile            = <path>       overrides the command-line matrix
+#include <cstdio>
+
+#include "baselines/cusparse_like.h"
+#include "baselines/suite.h"
+#include "common/ini.h"
+#include "matrix/io_mtx.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/ops.h"
+#include "speck/speck.h"
+
+int main(int argc, char** argv) {
+  using namespace speck;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path-to-matrix.mtx> [config.ini]\n", argv[0]);
+    return 2;
+  }
+
+  IniConfig config;
+  if (argc > 2) config = IniConfig::parse_file(argv[2]);
+  const std::string input = config.get_string("InputFile", argv[1]);
+  const bool track_complete = config.get_bool("TrackCompleteTimes", true);
+  const bool track_individual = config.get_bool("TrackIndividualTimes", false);
+  const bool compare_result = config.get_bool("CompareResult", false);
+  const bool trace_launches = config.get_bool("TraceLaunches", false);
+  const auto warmup = static_cast<int>(config.get_int("IterationsWarmUp", 1));
+  const auto iterations = static_cast<int>(config.get_int("IterationsExecution", 5));
+
+  std::printf("reading %s ...\n", input.c_str());
+  Csr a = read_matrix_market_file(input);
+  Csr b;
+  if (a.rows() == a.cols()) {
+    b = a;  // C = A*A
+  } else {
+    std::printf("rectangular input: computing C = A*A^T\n");
+    b = transpose(a);
+  }
+  const offset_t products = count_products(a, b);
+  std::printf("A: %s, products: %lld\n", a.shape_string().c_str(),
+              static_cast<long long>(products));
+
+  const std::string algorithm_name = config.get_string("Algorithm", "speck");
+  const auto algorithm = baselines::make_algorithm(
+      algorithm_name, sim::DeviceSpec::titan_v(), sim::CostModel{});
+  // The launch trace is a Speck-specific diagnostic.
+  auto* speck_ptr = dynamic_cast<Speck*>(algorithm.get());
+  std::printf("algorithm: %s\n", algorithm_name.c_str());
+  for (int i = 0; i < warmup; ++i) (void)algorithm->multiply(a, b);
+
+  double total_seconds = 0.0;
+  SpGemmResult last;
+  for (int i = 0; i < std::max(iterations, 1); ++i) {
+    last = algorithm->multiply(a, b);
+    if (!last.ok()) {
+      std::fprintf(stderr, "multiplication failed: %s\n",
+                   last.failure_reason.c_str());
+      return 1;
+    }
+    total_seconds += last.seconds;
+  }
+  const double seconds = total_seconds / std::max(iterations, 1);
+
+  std::printf("C: %s\n", last.c.shape_string().c_str());
+  if (track_complete) {
+    std::printf("simulated time: %.3f ms (%.2f GFLOPS), peak memory %.1f MB\n",
+                seconds * 1e3,
+                2.0 * static_cast<double>(products) / seconds * 1e-9,
+                static_cast<double>(last.peak_memory_bytes) / (1024.0 * 1024.0));
+  }
+  if (track_individual) {
+    std::printf("stage breakdown: %s\n", last.timeline.to_string().c_str());
+  }
+  if (trace_launches && speck_ptr != nullptr) {
+    std::printf("\n%s", speck_ptr->last_trace().to_string().c_str());
+  }
+  if (compare_result) {
+    baselines::CusparseLike reference(sim::DeviceSpec::titan_v(), sim::CostModel{});
+    const SpGemmResult expected = reference.multiply(a, b);
+    const auto diff = compare(last.c, expected.c);
+    if (diff.has_value()) {
+      std::fprintf(stderr, "ERROR: column indices do not match the reference: %s\n",
+                   diff->description.c_str());
+      return 1;
+    }
+    std::printf("result matches the cuSPARSE-like reference\n");
+  }
+  return 0;
+}
