@@ -1,12 +1,15 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
+#include "common/thread_pool.h"
 #include "matrix/matrix_stats.h"
 #include "matrix/ops.h"
 #include "ref/gustavson.h"
@@ -68,6 +71,25 @@ std::string format_double(double v, int precision) {
 
 std::string format_bytes_mb(std::size_t bytes) {
   return format_double(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+}
+
+int apply_thread_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      const int threads = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
+      SPECK_REQUIRE(threads >= 1, "--threads requires a positive integer");
+      set_global_thread_count(threads);
+      return threads;
+    }
+  }
+  return default_thread_count();
+}
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
 }
 
 std::map<std::string, double> best_seconds_per_matrix(

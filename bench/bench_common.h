@@ -43,6 +43,16 @@ std::string format_bytes_mb(std::size_t bytes);
 std::map<std::string, double> best_seconds_per_matrix(
     const std::vector<Measurement>& measurements);
 
+/// Handles the `--threads N` flag shared by the benchmark binaries: resizes
+/// the process-wide host thread pool and returns the thread count now in
+/// effect (the SPECK_THREADS/hardware default when the flag is absent).
+/// Results are bit-identical for every thread count; only host wall-clock
+/// changes.
+int apply_thread_flag(int argc, char** argv);
+
+/// Host wall-clock of `fn()` in seconds (monotonic clock).
+double wall_seconds(const std::function<void()>& fn);
+
 }  // namespace speck::bench
 
 namespace speck::bench {

@@ -1,27 +1,68 @@
 #include "ref/gustavson.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/prefix_sum.h"
+#include "common/thread_pool.h"
 
 namespace speck {
+namespace {
+
+/// Rows per parallel chunk. Fixed so chunk boundaries never depend on the
+/// thread count; every row writes only its own output slots, which keeps
+/// the oracle bit-identical to the single-threaded sweep.
+constexpr std::size_t kRowChunk = 64;
+
+/// Per-worker scratch for the dense-marker row sweep. Markers store the row
+/// id they were touched by; row ids are globally unique, so one marker array
+/// per worker is safely reused across chunks without re-initialization.
+struct GustavsonScratch {
+  std::vector<value_t> accumulator;
+  std::vector<offset_t> marker;
+  std::vector<index_t> touched;
+
+  explicit GustavsonScratch(std::size_t cols, bool numeric)
+      : accumulator(numeric ? cols : 0, 0.0), marker(cols, -1) {}
+};
+
+/// Lazily creates the calling worker's scratch (each worker id runs at most
+/// one chunk at a time, so slot `worker` is never accessed concurrently).
+GustavsonScratch& worker_scratch(
+    std::vector<std::unique_ptr<GustavsonScratch>>& scratch, int worker,
+    std::size_t cols, bool numeric) {
+  auto& slot = scratch[static_cast<std::size_t>(worker)];
+  if (!slot) slot = std::make_unique<GustavsonScratch>(cols, numeric);
+  return *slot;
+}
+
+}  // namespace
 
 std::vector<index_t> gustavson_symbolic(const Csr& a, const Csr& b) {
   SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
   std::vector<index_t> row_nnz(static_cast<std::size_t>(a.rows()), 0);
-  std::vector<index_t> marker(static_cast<std::size_t>(b.cols()), -1);
-  for (index_t r = 0; r < a.rows(); ++r) {
-    index_t count = 0;
-    for (const index_t k : a.row_cols(r)) {
-      for (const index_t c : b.row_cols(k)) {
-        if (marker[static_cast<std::size_t>(c)] != r) {
-          marker[static_cast<std::size_t>(c)] = r;
-          ++count;
+  ThreadPool& pool = global_pool();
+  std::vector<std::unique_ptr<GustavsonScratch>> scratch(
+      static_cast<std::size_t>(pool.thread_count()));
+  pool.parallel_for(
+      static_cast<std::size_t>(a.rows()), kRowChunk,
+      [&](std::size_t begin, std::size_t end, int worker) {
+        GustavsonScratch& s = worker_scratch(
+            scratch, worker, static_cast<std::size_t>(b.cols()), /*numeric=*/false);
+        for (std::size_t ri = begin; ri < end; ++ri) {
+          const auto r = static_cast<index_t>(ri);
+          index_t count = 0;
+          for (const index_t k : a.row_cols(r)) {
+            for (const index_t c : b.row_cols(k)) {
+              if (s.marker[static_cast<std::size_t>(c)] != r) {
+                s.marker[static_cast<std::size_t>(c)] = r;
+                ++count;
+              }
+            }
+          }
+          row_nnz[ri] = count;
         }
-      }
-    }
-    row_nnz[static_cast<std::size_t>(r)] = count;
-  }
+      });
   return row_nnz;
 }
 
@@ -37,36 +78,46 @@ Csr gustavson_spgemm(const Csr& a, const Csr& b) {
   std::vector<index_t> out_cols(total);
   std::vector<value_t> out_vals(total);
 
-  std::vector<value_t> accumulator(static_cast<std::size_t>(b.cols()), 0.0);
-  std::vector<offset_t> marker(static_cast<std::size_t>(b.cols()), -1);
-  std::vector<index_t> touched;
-  for (index_t r = 0; r < a.rows(); ++r) {
-    touched.clear();
-    const auto a_cols = a.row_cols(r);
-    const auto a_vals = a.row_vals(r);
-    for (std::size_t i = 0; i < a_cols.size(); ++i) {
-      const index_t k = a_cols[i];
-      const value_t av = a_vals[i];
-      const auto b_cols = b.row_cols(k);
-      const auto b_vals = b.row_vals(k);
-      for (std::size_t j = 0; j < b_cols.size(); ++j) {
-        const index_t c = b_cols[j];
-        if (marker[static_cast<std::size_t>(c)] != r) {
-          marker[static_cast<std::size_t>(c)] = r;
-          accumulator[static_cast<std::size_t>(c)] = 0.0;
-          touched.push_back(c);
+  // Numeric fill: each row accumulates serially (same order as the serial
+  // sweep) and writes into its preallocated [offsets[r], offsets[r+1])
+  // slice — disjoint across rows, so chunks need no synchronization.
+  ThreadPool& pool = global_pool();
+  std::vector<std::unique_ptr<GustavsonScratch>> scratch(
+      static_cast<std::size_t>(pool.thread_count()));
+  pool.parallel_for(
+      static_cast<std::size_t>(a.rows()), kRowChunk,
+      [&](std::size_t begin, std::size_t end, int worker) {
+        GustavsonScratch& s = worker_scratch(
+            scratch, worker, static_cast<std::size_t>(b.cols()), /*numeric=*/true);
+        for (std::size_t ri = begin; ri < end; ++ri) {
+          const auto r = static_cast<index_t>(ri);
+          s.touched.clear();
+          const auto a_cols = a.row_cols(r);
+          const auto a_vals = a.row_vals(r);
+          for (std::size_t i = 0; i < a_cols.size(); ++i) {
+            const index_t k = a_cols[i];
+            const value_t av = a_vals[i];
+            const auto b_cols = b.row_cols(k);
+            const auto b_vals = b.row_vals(k);
+            for (std::size_t j = 0; j < b_cols.size(); ++j) {
+              const index_t c = b_cols[j];
+              if (s.marker[static_cast<std::size_t>(c)] != r) {
+                s.marker[static_cast<std::size_t>(c)] = r;
+                s.accumulator[static_cast<std::size_t>(c)] = 0.0;
+                s.touched.push_back(c);
+              }
+              s.accumulator[static_cast<std::size_t>(c)] += av * b_vals[j];
+            }
+          }
+          std::sort(s.touched.begin(), s.touched.end());
+          auto cursor = static_cast<std::size_t>(offsets[ri]);
+          for (const index_t c : s.touched) {
+            out_cols[cursor] = c;
+            out_vals[cursor] = s.accumulator[static_cast<std::size_t>(c)];
+            ++cursor;
+          }
         }
-        accumulator[static_cast<std::size_t>(c)] += av * b_vals[j];
-      }
-    }
-    std::sort(touched.begin(), touched.end());
-    auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
-    for (const index_t c : touched) {
-      out_cols[cursor] = c;
-      out_vals[cursor] = accumulator[static_cast<std::size_t>(c)];
-      ++cursor;
-    }
-  }
+      });
   return Csr(a.rows(), b.cols(), std::move(offsets), std::move(out_cols),
              std::move(out_vals));
 }

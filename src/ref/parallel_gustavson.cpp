@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace speck {
 namespace {
@@ -98,17 +99,19 @@ Csr parallel_gustavson_spgemm(const Csr& a, const Csr& b, int threads) {
   threads = std::max(1, std::min<int>(threads, std::max<index_t>(a.rows(), 1)));
   const auto ranges = split_rows(a, threads);
 
-  // Phase 1: symbolic counts per row, one thread per range.
+  // One pool task per NNZ-balanced range; the pool replaces the raw
+  // std::thread batches this oracle used before the pipeline got a shared
+  // host thread pool. Each range still writes disjoint output only.
+  ThreadPool pool(threads);
+
+  // Phase 1: symbolic counts per row, one task per range.
   std::vector<index_t> row_nnz(static_cast<std::size_t>(a.rows()), 0);
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(ranges.size());
-    for (const RowRange& range : ranges) {
-      workers.emplace_back(count_rows, std::cref(a), std::cref(b), range,
-                           std::ref(row_nnz));
-    }
-    for (std::thread& worker : workers) worker.join();
-  }
+  pool.parallel_for(ranges.size(), 1,
+                    [&](std::size_t begin, std::size_t end, int) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        count_rows(a, b, ranges[i], row_nnz);
+                      }
+                    });
 
   std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
   for (index_t r = 0; r < a.rows(); ++r) {
@@ -119,16 +122,12 @@ Csr parallel_gustavson_spgemm(const Csr& a, const Csr& b, int threads) {
   std::vector<value_t> out_vals(static_cast<std::size_t>(offsets.back()));
 
   // Phase 2: numeric fill; ranges write disjoint output slices.
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(ranges.size());
-    for (const RowRange& range : ranges) {
-      workers.emplace_back(fill_rows, std::cref(a), std::cref(b), range,
-                           std::cref(offsets), std::ref(out_cols),
-                           std::ref(out_vals));
-    }
-    for (std::thread& worker : workers) worker.join();
-  }
+  pool.parallel_for(ranges.size(), 1,
+                    [&](std::size_t begin, std::size_t end, int) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        fill_rows(a, b, ranges[i], offsets, out_cols, out_vals);
+                      }
+                    });
 
   return Csr(a.rows(), b.cols(), std::move(offsets), std::move(out_cols),
              std::move(out_vals));

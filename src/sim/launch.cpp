@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace speck::sim {
+namespace {
+
+/// Below this block count the per-block weight computation stays serial:
+/// the work is two divisions per block and the pool hand-off would dominate.
+constexpr std::size_t kParallelFinishThreshold = 2048;
+constexpr std::size_t kFinishChunk = 512;
+
+}  // namespace
 
 int blocks_resident_per_sm(const DeviceSpec& device, int threads,
                            std::size_t scratchpad_bytes) {
@@ -40,23 +49,51 @@ LaunchResult Launch::finish() const {
   result.name = name_;
   result.blocks = static_cast<int>(blocks_.size());
   if (blocks_.empty()) {
+    // Empty launch: only the host-side overhead; the first-block summary
+    // fields keep their zero defaults (there is no block to describe).
     result.seconds = model_.kernel_launch_overhead_us * 1e-6;
     return result;
   }
 
-  result.threads_per_block = blocks_.front().threads;
-  result.scratchpad_per_block = blocks_.front().scratchpad;
+  const BlockRecord& first = blocks_.front();
+  result.threads_per_block = first.threads;
+  result.scratchpad_per_block = first.scratchpad;
+  for (const BlockRecord& b : blocks_) {
+    if (b.threads != first.threads || b.scratchpad != first.scratchpad) {
+      result.heterogeneous = true;
+      break;
+    }
+  }
+
+  // Per-block effective cycles (cycles inflated by that block's own
+  // occupancy). Blocks are independent here, so large launches compute the
+  // weights through the host thread pool; each weight lands in its own slot
+  // and the result is identical to the serial loop for any thread count.
+  std::vector<double> weight(blocks_.size(), 0.0);
+  const auto compute_weights = [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const BlockRecord& b = blocks_[i];
+      const int resident = blocks_resident_per_sm(device_, b.threads, b.scratchpad);
+      const double eff =
+          occupancy_efficiency(device_, std::min(resident * b.threads,
+                                                  device_.max_threads_per_sm));
+      weight[i] = b.cycles / eff;
+    }
+  };
+  if (blocks_.size() >= kParallelFinishThreshold) {
+    global_pool().parallel_for(blocks_.size(), kFinishChunk, compute_weights);
+  } else {
+    compute_weights(0, blocks_.size(), 0);
+  }
 
   // Greedy dispatch in block order to the least-loaded SM: CUDA dispatches
   // waves of blocks to SMs as they drain, which this approximates while
-  // preserving the in-order locality spECK's binning relies on.
+  // preserving the in-order locality spECK's binning relies on. This part
+  // is inherently sequential (each placement depends on the loads so far)
+  // but is O(blocks) cheap once the weights are precomputed.
   std::vector<double> sm_load(static_cast<std::size_t>(device_.num_sms), 0.0);
   std::size_t next_sm = 0;
-  for (const BlockRecord& b : blocks_) {
-    const int resident = blocks_resident_per_sm(device_, b.threads, b.scratchpad);
-    const double eff =
-        occupancy_efficiency(device_, std::min(resident * b.threads,
-                                                device_.max_threads_per_sm));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
     // Round-robin with a min-load fallback keeps dispatch O(blocks).
     std::size_t target = next_sm;
     next_sm = (next_sm + 1) % sm_load.size();
@@ -64,11 +101,10 @@ LaunchResult Launch::finish() const {
       target = static_cast<std::size_t>(
           std::min_element(sm_load.begin(), sm_load.end()) - sm_load.begin());
     }
-    sm_load[target] += b.cycles / eff;
+    sm_load[target] += weight[i];
   }
   result.makespan_cycles = *std::max_element(sm_load.begin(), sm_load.end());
 
-  const BlockRecord& first = blocks_.front();
   result.resident_blocks_per_sm =
       blocks_resident_per_sm(device_, first.threads, first.scratchpad);
   result.efficiency = occupancy_efficiency(

@@ -14,12 +14,18 @@ namespace speck::sim {
 struct LaunchResult {
   std::string name;
   int blocks = 0;
+  /// Shape of the launch's *first* block. When `heterogeneous` is set the
+  /// launch mixed block shapes (spECK merges small rows into shared blocks;
+  /// baselines vary); the makespan accounts for every block's own occupancy,
+  /// but these three summary fields describe only the first block.
   int threads_per_block = 0;
   std::size_t scratchpad_per_block = 0;
   /// Blocks resident per SM given the resource limits (occupancy).
   int resident_blocks_per_sm = 0;
   /// Fraction of full throughput achieved at that occupancy.
   double efficiency = 1.0;
+  /// True when the launch contained blocks of differing shapes.
+  bool heterogeneous = false;
   double makespan_cycles = 0.0;
   double seconds = 0.0;  ///< makespan + launch overhead
 };

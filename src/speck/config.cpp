@@ -56,6 +56,8 @@ void validate(const SpeckConfig& config) {
   SPECK_REQUIRE(config.features.fixed_group_size >= 1 &&
                     is_pow2(static_cast<std::uint64_t>(config.features.fixed_group_size)),
                 "fixed_group_size must be a positive power of two");
+  SPECK_REQUIRE(config.host_threads >= 0,
+                "host_threads must be >= 0 (0 = process-wide default)");
 }
 
 std::string describe(const SpeckConfig& config) {
@@ -92,6 +94,8 @@ std::string describe(const SpeckConfig& config) {
   out += "dense_density_threshold    = " +
          std::to_string(config.dense_density_threshold) + "\n";
   out += "max_rows_per_block         = " + std::to_string(config.max_rows_per_block) + "\n";
+  out += "host_threads               = " + std::to_string(config.host_threads) +
+         (config.host_threads == 0 ? " (process default)" : "") + "\n";
   return out;
 }
 

@@ -104,6 +104,10 @@ struct SpeckConfig {
   double dense_density_threshold = 0.18;
   /// Rows per merged block limit: 5 bits of local row index (paper §4.3).
   int max_rows_per_block = 32;
+  /// Host threads the pipeline stages run on. 0 defers to the process-wide
+  /// pool (SPECK_THREADS env or hardware concurrency); any value produces
+  /// bit-identical results (see docs/tutorial.md "Parallel execution").
+  int host_threads = 0;
 };
 
 /// Validates a configuration; throws InvalidArgument with a description of

@@ -30,10 +30,11 @@ SpeckPlan SpeckExecutor::inspect(const Csr& a, const Csr& b) {
   ctx.device = &speck_.device();
   ctx.model = &speck_.cost_model();
   ctx.wide_keys = plan.wide_keys;
+  ctx.pool = speck_.host_pool();
 
   // Analysis.
   sim::Launch analysis_launch("row_analysis", speck_.device(), speck_.cost_model());
-  plan.analysis = analyze_rows(a, b, analysis_launch);
+  plan.analysis = analyze_rows(a, b, analysis_launch, ctx.pool);
   ctx.analysis = &plan.analysis;
   plan.inspect_seconds += analysis_launch.finish().seconds;
 
@@ -79,6 +80,7 @@ SpGemmResult SpeckExecutor::execute(const SpeckPlan& plan, const Csr& a,
   ctx.device = &speck_.device();
   ctx.model = &speck_.cost_model();
   ctx.wide_keys = plan.wide_keys;
+  ctx.pool = speck_.host_pool();
 
   SpGemmResult result;
   NumericOutcome numeric = run_numeric(ctx, plan.numeric_plan, plan.row_nnz);

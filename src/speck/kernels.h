@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "matrix/csr.h"
 #include "sim/launch.h"
 #include "sim/trace.h"
@@ -27,6 +28,8 @@ struct KernelContext {
   bool wide_keys = false;
   /// Optional: every simulated launch is recorded here (may be null).
   sim::LaunchTrace* trace = nullptr;
+  /// Host thread pool the passes parallelize over (global pool when null).
+  ThreadPool* pool = nullptr;
 };
 
 /// Accumulation method chosen for a row (paper: direct referencing, dense

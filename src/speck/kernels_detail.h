@@ -13,6 +13,20 @@
 
 namespace speck::detail {
 
+/// Blocks per parallel chunk in the symbolic/numeric passes. Fixed — never
+/// derived from the thread count — so the chunk boundaries (and with them
+/// every per-block result slot) are identical at any parallelism level.
+constexpr std::size_t kBlockChunk = 4;
+
+/// Merges the per-block counters of `from` into the pass totals. Seconds
+/// and pool bytes are launch-level quantities and are accumulated elsewhere.
+inline void merge_pass_counters(PassStats& into, const PassStats& from) {
+  into.direct_rows += from.direct_rows;
+  into.dense_rows += from.dense_rows;
+  into.hash_rows += from.hash_rows;
+  into.global_hash_blocks += from.global_hash_blocks;
+  into.hash_probes += from.hash_probes;
+}
 
 /// Row statistics for the local load balancer, gathered from the analysis.
 inline BlockRowStats block_stats(const KernelContext& ctx, std::span<const index_t> rows) {

@@ -1,6 +1,7 @@
 #include "speck/kernels.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/bit_utils.h"
 #include "common/sorting.h"
@@ -15,6 +16,8 @@ using detail::block_stats;
 using detail::charge_hash_activity;
 using detail::charge_row_sweep;
 using detail::global_pool_bytes;
+using detail::kBlockChunk;
+using detail::merge_pass_counters;
 
 RowMethod choose_numeric_method(const KernelContext& ctx, index_t row,
                                 index_t row_nnz, bool merged_block,
@@ -38,10 +41,176 @@ RowMethod choose_numeric_method(const KernelContext& ctx, index_t row,
                                                      : RowMethod::kHash;
 }
 
+namespace {
+
+/// Per-block contribution to the post-pass radix sort (merged serially in
+/// plan order; sums and maxima are order-independent anyway).
+struct RadixContribution {
+  offset_t elements = 0;
+  index_t max_col = 0;
+};
+
+/// Executes one numeric block: writes the block's rows of C into their
+/// preallocated output slots (disjoint across blocks — no atomics), counts
+/// methods into `stats` and returns the block's simulated cost.
+sim::BlockCost run_numeric_block(const KernelContext& ctx,
+                                 const sim::Launch& launch,
+                                 const KernelConfig& config, int config_index,
+                                 bool largest_sorts_via_radix,
+                                 std::span<const index_t> rows,
+                                 std::span<const index_t> row_nnz,
+                                 const std::vector<offset_t>& offsets,
+                                 std::vector<index_t>& out_cols,
+                                 std::vector<value_t>& out_vals,
+                                 PassStats& stats, RadixContribution& radix) {
+  const bool merged = rows.size() > 1;
+  auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
+  const BlockRowStats row_stats = block_stats(ctx, rows);
+  const LocalLbDecision lb =
+      choose_group_size(config.threads, row_stats, ctx.cfg->features);
+
+  bool all_direct = ctx.cfg->features.direct_rows;
+  for (const index_t r : rows) all_direct = all_direct && ctx.a->row_length(r) == 1;
+
+  if (all_direct && !rows.empty()) {
+    // Direct referencing: stream each referenced B row to the output,
+    // scaled by the single A value. Reads are one segment per row;
+    // writes land contiguously in C across the block's rows (CSR order),
+    // i.e. one coalesced stream.
+    std::size_t total_words = 0;
+    std::size_t segments = 0;
+    for (const index_t r : rows) {
+      const auto a_cols = ctx.a->row_cols(r);
+      if (a_cols.empty()) continue;
+      const value_t av = ctx.a->row_vals(r).front();
+      const index_t k = a_cols.front();
+      const auto b_cols = ctx.b->row_cols(k);
+      const auto b_vals = ctx.b->row_vals(k);
+      auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+      for (std::size_t i = 0; i < b_cols.size(); ++i) {
+        out_cols[cursor] = b_cols[i];
+        out_vals[cursor] = av * b_vals[i];
+        ++cursor;
+      }
+      total_words += b_cols.size();
+      ++segments;
+      ++stats.direct_rows;
+    }
+    const double cache = sim::reuse_cache_factor(*ctx.device, ctx.b->byte_size());
+    cost.global_segmented(total_words, segments, cache);       // B columns
+    cost.global_segmented(total_words * 2, segments, cache);   // B values
+    cost.global_coalesced(total_words);                        // C columns
+    cost.global_coalesced64(total_words);                      // C values
+    cost.lockstep(static_cast<double>(
+        ceil_div<std::size_t>(std::max<std::size_t>(total_words, 1),
+                              static_cast<std::size_t>(config.threads))));
+    return cost;
+  }
+
+  const RowMethod single_method =
+      rows.empty() ? RowMethod::kHash
+                   : choose_numeric_method(
+                         ctx, rows.front(),
+                         row_nnz[static_cast<std::size_t>(rows.front())], merged,
+                         config_index);
+
+  if (!merged && single_method == RowMethod::kDense) {
+    const index_t r = rows.front();
+    const auto result = dense_accumulate_row(
+        *ctx.b, ctx.a->row_cols(r), ctx.a->row_vals(r),
+        ctx.analysis->col_min[static_cast<std::size_t>(r)],
+        ctx.analysis->col_max[static_cast<std::size_t>(r)],
+        config.dense_numeric_capacity(), /*numeric=*/true);
+    SPECK_ASSERT(static_cast<index_t>(result.cols.size()) ==
+                     row_nnz[static_cast<std::size_t>(r)],
+                 "dense numeric row count disagrees with symbolic pass");
+    auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+    for (std::size_t i = 0; i < result.cols.size(); ++i) {
+      out_cols[cursor] = result.cols[i];
+      out_vals[cursor] = result.vals[i];
+      ++cursor;
+    }
+    ++stats.dense_rows;
+    charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
+    cost.smem(2.0 * static_cast<double>(result.element_touches));
+    cost.issued(static_cast<double>(result.element_touches), 2.0);
+    cost.issued(static_cast<double>(result.cells_scanned));
+    cost.smem(static_cast<double>(result.cells_scanned));
+    // Per-pass compaction prefix sum + output write.
+    cost.lockstep(static_cast<double>(result.passes) *
+                  log2_pow2(static_cast<std::uint64_t>(config.threads)));
+    cost.global_coalesced(result.cols.size());
+    cost.global_coalesced64(result.vals.size());
+    return cost;
+  }
+
+  // Hash path with values.
+  NumericHashAccumulator acc(config.numeric_hash_capacity());
+  for (std::size_t local = 0; local < rows.size(); ++local) {
+    const index_t r = rows[local];
+    const auto a_cols = ctx.a->row_cols(r);
+    const auto a_vals = ctx.a->row_vals(r);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      const index_t k = a_cols[i];
+      const auto b_cols = ctx.b->row_cols(k);
+      const auto b_vals = ctx.b->row_vals(k);
+      for (std::size_t j = 0; j < b_cols.size(); ++j) {
+        acc.accumulate(compound_key(static_cast<int>(local), b_cols[j], ctx.wide_keys),
+                       a_vals[i] * b_vals[j]);
+      }
+    }
+  }
+  // Extraction: bucket entries per local row, sort, then write out.
+  std::vector<DeviceHashMap::Entry> entries = acc.extract();
+  std::vector<std::vector<DeviceHashMap::Entry>> per_row(rows.size());
+  for (const auto& entry : entries) {
+    per_row[static_cast<std::size_t>(key_local_row(entry.key, ctx.wide_keys))]
+        .push_back(entry);
+  }
+  for (std::size_t local = 0; local < rows.size(); ++local) {
+    const index_t r = rows[local];
+    auto& row_entries = per_row[local];
+    std::sort(row_entries.begin(), row_entries.end(),
+              [](const auto& x, const auto& y) { return x.key < y.key; });
+    SPECK_ASSERT(static_cast<index_t>(row_entries.size()) ==
+                     row_nnz[static_cast<std::size_t>(r)],
+                 "hash numeric row count disagrees with symbolic pass");
+    auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+    for (const auto& entry : row_entries) {
+      out_cols[cursor] = key_column(entry.key, ctx.wide_keys);
+      out_vals[cursor] = entry.value;
+      ++cursor;
+    }
+    ++stats.hash_rows;
+  }
+  charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
+  charge_hash_activity(cost, acc, stats);
+  const auto total_entries = static_cast<double>(entries.size());
+  if (!largest_sorts_via_radix) {
+    // Rank sort in scratchpad (O(n^2) issued work, paper §4.3).
+    cost.issued(total_entries * total_entries);
+    cost.smem(2.0 * total_entries);
+  } else {
+    // Compact unsorted to global memory; radix-sorted in a later pass.
+    radix.elements += static_cast<offset_t>(entries.size());
+    for (const auto& entry : entries) {
+      radix.max_col = std::max(radix.max_col, key_column(entry.key, ctx.wide_keys));
+    }
+  }
+  cost.issued(static_cast<double>(config.numeric_hash_capacity()));
+  cost.smem(static_cast<double>(config.numeric_hash_capacity()));
+  cost.global_coalesced(entries.size());
+  cost.global_coalesced64(entries.size());
+  return cost;
+}
+
+}  // namespace
+
 NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
                            std::span<const index_t> row_nnz) {
   NumericOutcome out;
   out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/false);
+  ThreadPool& pool = pool_or_global(ctx.pool);
 
   // Output allocation: offsets from the symbolic row counts.
   std::vector<offset_t> offsets(static_cast<std::size_t>(ctx.a->rows()) + 1, 0);
@@ -59,152 +228,42 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
     const KernelConfig& config = (*ctx.configs)[c];
     sim::Launch launch("numeric/" + std::to_string(config.threads), *ctx.device,
                        *ctx.model);
+    // This config's blocks, in plan order.
+    std::vector<const BinPlan::Block*> blocks;
     for (const BinPlan::Block& block : plan.blocks) {
-      if (block.config != static_cast<int>(c)) continue;
-      const std::span<const index_t> rows(plan.row_order.data() + block.begin,
-                                          block.end - block.begin);
-      const bool merged = rows.size() > 1;
-      auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
-      const BlockRowStats stats = block_stats(ctx, rows);
-      const LocalLbDecision lb =
-          choose_group_size(config.threads, stats, ctx.cfg->features);
-
-      bool all_direct = ctx.cfg->features.direct_rows;
-      for (const index_t r : rows) all_direct = all_direct && ctx.a->row_length(r) == 1;
-
-      if (all_direct && !rows.empty()) {
-        // Direct referencing: stream each referenced B row to the output,
-        // scaled by the single A value. Reads are one segment per row;
-        // writes land contiguously in C across the block's rows (CSR order),
-        // i.e. one coalesced stream.
-        std::size_t total_words = 0;
-        std::size_t segments = 0;
-        for (const index_t r : rows) {
-          const auto a_cols = ctx.a->row_cols(r);
-          if (a_cols.empty()) continue;
-          const value_t av = ctx.a->row_vals(r).front();
-          const index_t k = a_cols.front();
-          const auto b_cols = ctx.b->row_cols(k);
-          const auto b_vals = ctx.b->row_vals(k);
-          auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
-          for (std::size_t i = 0; i < b_cols.size(); ++i) {
-            out_cols[cursor] = b_cols[i];
-            out_vals[cursor] = av * b_vals[i];
-            ++cursor;
-          }
-          total_words += b_cols.size();
-          ++segments;
-          ++out.stats.direct_rows;
-        }
-        const double cache = sim::reuse_cache_factor(*ctx.device, ctx.b->byte_size());
-        cost.global_segmented(total_words, segments, cache);       // B columns
-        cost.global_segmented(total_words * 2, segments, cache);   // B values
-        cost.global_coalesced(total_words);                        // C columns
-        cost.global_coalesced64(total_words);                      // C values
-        cost.lockstep(static_cast<double>(
-            ceil_div<std::size_t>(std::max<std::size_t>(total_words, 1),
-                                  static_cast<std::size_t>(config.threads))));
-        launch.add(cost);
-        continue;
-      }
-
-      const RowMethod single_method =
-          rows.empty() ? RowMethod::kHash
-                       : choose_numeric_method(
-                             ctx, rows.front(),
-                             row_nnz[static_cast<std::size_t>(rows.front())], merged,
-                             block.config);
-
-      if (!merged && single_method == RowMethod::kDense) {
-        const index_t r = rows.front();
-        const auto result = dense_accumulate_row(
-            *ctx.b, ctx.a->row_cols(r), ctx.a->row_vals(r),
-            ctx.analysis->col_min[static_cast<std::size_t>(r)],
-            ctx.analysis->col_max[static_cast<std::size_t>(r)],
-            config.dense_numeric_capacity(), /*numeric=*/true);
-        SPECK_ASSERT(static_cast<index_t>(result.cols.size()) ==
-                         row_nnz[static_cast<std::size_t>(r)],
-                     "dense numeric row count disagrees with symbolic pass");
-        auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
-        for (std::size_t i = 0; i < result.cols.size(); ++i) {
-          out_cols[cursor] = result.cols[i];
-          out_vals[cursor] = result.vals[i];
-          ++cursor;
-        }
-        ++out.stats.dense_rows;
-        charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
-        cost.smem(2.0 * static_cast<double>(result.element_touches));
-        cost.issued(static_cast<double>(result.element_touches), 2.0);
-        cost.issued(static_cast<double>(result.cells_scanned));
-        cost.smem(static_cast<double>(result.cells_scanned));
-        // Per-pass compaction prefix sum + output write.
-        cost.lockstep(static_cast<double>(result.passes) *
-                      log2_pow2(static_cast<std::uint64_t>(config.threads)));
-        cost.global_coalesced(result.cols.size());
-        cost.global_coalesced64(result.vals.size());
-        launch.add(cost);
-        continue;
-      }
-
-      // Hash path with values.
-      NumericHashAccumulator acc(config.numeric_hash_capacity());
-      for (std::size_t local = 0; local < rows.size(); ++local) {
-        const index_t r = rows[local];
-        const auto a_cols = ctx.a->row_cols(r);
-        const auto a_vals = ctx.a->row_vals(r);
-        for (std::size_t i = 0; i < a_cols.size(); ++i) {
-          const index_t k = a_cols[i];
-          const auto b_cols = ctx.b->row_cols(k);
-          const auto b_vals = ctx.b->row_vals(k);
-          for (std::size_t j = 0; j < b_cols.size(); ++j) {
-            acc.accumulate(compound_key(static_cast<int>(local), b_cols[j], ctx.wide_keys),
-                           a_vals[i] * b_vals[j]);
-          }
-        }
-      }
-      // Extraction: bucket entries per local row, sort, then write out.
-      std::vector<DeviceHashMap::Entry> entries = acc.extract();
-      std::vector<std::vector<DeviceHashMap::Entry>> per_row(rows.size());
-      for (const auto& entry : entries) {
-        per_row[static_cast<std::size_t>(key_local_row(entry.key, ctx.wide_keys))]
-            .push_back(entry);
-      }
-      for (std::size_t local = 0; local < rows.size(); ++local) {
-        const index_t r = rows[local];
-        auto& row_entries = per_row[local];
-        std::sort(row_entries.begin(), row_entries.end(),
-                  [](const auto& x, const auto& y) { return x.key < y.key; });
-        SPECK_ASSERT(static_cast<index_t>(row_entries.size()) ==
-                         row_nnz[static_cast<std::size_t>(r)],
-                     "hash numeric row count disagrees with symbolic pass");
-        auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
-        for (const auto& entry : row_entries) {
-          out_cols[cursor] = key_column(entry.key, ctx.wide_keys);
-          out_vals[cursor] = entry.value;
-          ++cursor;
-        }
-        ++out.stats.hash_rows;
-      }
-      charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
-      charge_hash_activity(cost, acc, out.stats);
-      const auto total_entries = static_cast<double>(entries.size());
-      if (c <= 2) {
-        // Rank sort in scratchpad (O(n^2) issued work, paper §4.3).
-        cost.issued(total_entries * total_entries);
-        cost.smem(2.0 * total_entries);
-      } else {
-        // Compact unsorted to global memory; radix-sorted in a later pass.
-        radix_elements += static_cast<offset_t>(entries.size());
-        for (const auto& entry : entries) {
-          radix_max_col = std::max(radix_max_col, key_column(entry.key, ctx.wide_keys));
-        }
-      }
-      cost.issued(static_cast<double>(config.numeric_hash_capacity()));
-      cost.smem(static_cast<double>(config.numeric_hash_capacity()));
-      cost.global_coalesced(entries.size());
-      cost.global_coalesced64(entries.size());
-      launch.add(cost);
+      if (block.config == static_cast<int>(c)) blocks.push_back(&block);
     }
+    if (blocks.empty()) continue;
+
+    // Blocks partition the rows of C: every block writes its rows into
+    // disjoint [offsets[r], offsets[r+1]) output slots and its own
+    // cost/stats slot. Costs are committed to the launch serially in plan
+    // order afterwards, so the simulated schedule — and `seconds` — is
+    // identical to the single-threaded run.
+    std::vector<std::optional<sim::BlockCost>> costs(blocks.size());
+    std::vector<PassStats> block_counters(blocks.size());
+    std::vector<RadixContribution> block_radix(blocks.size());
+    pool.parallel_for(
+        blocks.size(), kBlockChunk,
+        [&](std::size_t begin, std::size_t end, int) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::span<const index_t> rows(
+                plan.row_order.data() + blocks[i]->begin,
+                blocks[i]->end - blocks[i]->begin);
+            costs[i] = run_numeric_block(ctx, launch, config,
+                                         static_cast<int>(c),
+                                         /*largest_sorts_via_radix=*/c > 2, rows,
+                                         row_nnz, offsets, out_cols, out_vals,
+                                         block_counters[i], block_radix[i]);
+          }
+        });
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      launch.add(*costs[i]);
+      merge_pass_counters(out.stats, block_counters[i]);
+      radix_elements += block_radix[i].elements;
+      radix_max_col = std::max(radix_max_col, block_radix[i].max_col);
+    }
+
     if (launch.block_count() > 0) {
       sim::LaunchResult finished = launch.finish();
       out.stats.seconds += finished.seconds;

@@ -6,7 +6,17 @@
 
 namespace speck {
 
-RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch) {
+namespace {
+
+/// Rows per parallel chunk. Fixed (never derived from the thread count) so
+/// chunk boundaries — and with them every per-row result — are identical at
+/// any parallelism level.
+constexpr std::size_t kRowChunk = 256;
+
+}  // namespace
+
+RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch,
+                         ThreadPool* pool) {
   RowAnalysis out;
   out.rows = a.rows();
   out.products.assign(static_cast<std::size_t>(a.rows()), 0);
@@ -23,26 +33,36 @@ RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch) {
   const std::size_t num_blocks =
       std::max<std::size_t>(1, ceil_div(nnz_a, static_cast<std::size_t>(block_threads)));
 
-  for (index_t r = 0; r < a.rows(); ++r) {
-    offset_t prod_r = 0;
-    index_t longest = 0;
-    index_t cmin = b.cols();
-    index_t cmax = -1;
-    for (const index_t col_a : a.row_cols(r)) {
-      const offset_t id0 = b_offsets[static_cast<std::size_t>(col_a)];
-      const offset_t idn = b_offsets[static_cast<std::size_t>(col_a) + 1];
-      const auto len = static_cast<index_t>(idn - id0);
-      if (len > 0) {
-        cmin = std::min(cmin, b_cols[static_cast<std::size_t>(id0)]);
-        cmax = std::max(cmax, b_cols[static_cast<std::size_t>(idn - 1)]);
-      }
-      prod_r += len;
-      longest = std::max(longest, len);
-    }
-    out.products[static_cast<std::size_t>(r)] = prod_r;
-    out.longest_b_row[static_cast<std::size_t>(r)] = longest;
-    out.col_min[static_cast<std::size_t>(r)] = cmin == b.cols() ? 0 : cmin;
-    out.col_max[static_cast<std::size_t>(r)] = cmax < 0 ? 0 : cmax;
+  // Each row writes only its own preallocated slots, so the rows can be
+  // scanned in parallel chunks; the totals are reduced from the per-row
+  // results afterwards (integer sum/max — order-independent).
+  pool_or_global(pool).parallel_for(
+      static_cast<std::size_t>(a.rows()), kRowChunk,
+      [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t ri = begin; ri < end; ++ri) {
+          const auto r = static_cast<index_t>(ri);
+          offset_t prod_r = 0;
+          index_t longest = 0;
+          index_t cmin = b.cols();
+          index_t cmax = -1;
+          for (const index_t col_a : a.row_cols(r)) {
+            const offset_t id0 = b_offsets[static_cast<std::size_t>(col_a)];
+            const offset_t idn = b_offsets[static_cast<std::size_t>(col_a) + 1];
+            const auto len = static_cast<index_t>(idn - id0);
+            if (len > 0) {
+              cmin = std::min(cmin, b_cols[static_cast<std::size_t>(id0)]);
+              cmax = std::max(cmax, b_cols[static_cast<std::size_t>(idn - 1)]);
+            }
+            prod_r += len;
+            longest = std::max(longest, len);
+          }
+          out.products[ri] = prod_r;
+          out.longest_b_row[ri] = longest;
+          out.col_min[ri] = cmin == b.cols() ? 0 : cmin;
+          out.col_max[ri] = cmax < 0 ? 0 : cmax;
+        }
+      });
+  for (const offset_t prod_r : out.products) {
     out.total_products += prod_r;
     out.max_products = std::max(out.max_products, prod_r);
   }

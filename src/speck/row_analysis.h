@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "matrix/csr.h"
 #include "sim/launch.h"
@@ -27,7 +28,10 @@ struct RowAnalysis {
   index_t rows = 0;
 };
 
-/// Runs the analysis, charging its simulated cost to `launch`.
-RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch);
+/// Runs the analysis, charging its simulated cost to `launch`. The per-row
+/// scan is parallelized over `pool` (the global pool when null); results
+/// are bit-identical for every thread count.
+RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch,
+                         ThreadPool* pool = nullptr);
 
 }  // namespace speck

@@ -8,6 +8,17 @@
 
 namespace speck {
 
+ThreadPool* Speck::host_pool() {
+  if (config_.host_threads == 0) {
+    pool_.reset();
+    return nullptr;
+  }
+  if (!pool_ || pool_->thread_count() != config_.host_threads) {
+    pool_ = std::make_unique<ThreadPool>(config_.host_threads);
+  }
+  return pool_.get();
+}
+
 SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
   SpGemmResult result;
@@ -33,10 +44,11 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   ctx.model = &model_;
   ctx.wide_keys = diagnostics_.wide_keys;
   ctx.trace = &trace_;
+  ctx.pool = host_pool();
 
   // Stage 1: lightweight row analysis (Algorithm 1).
   sim::Launch analysis_launch("row_analysis", device_, model_);
-  const RowAnalysis analysis = analyze_rows(a, b, analysis_launch);
+  const RowAnalysis analysis = analyze_rows(a, b, analysis_launch, ctx.pool);
   ctx.analysis = &analysis;
   diagnostics_.products = analysis.total_products;
   {

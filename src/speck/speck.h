@@ -4,6 +4,9 @@
 // SpGEMM -> (conditional) global load balancing -> numeric SpGEMM -> sorting.
 #pragma once
 
+#include <memory>
+
+#include "common/thread_pool.h"
 #include "ref/spgemm_api.h"
 #include "speck/config.h"
 #include "speck/kernels.h"
@@ -49,11 +52,18 @@ class Speck final : public SpGemmAlgorithm {
   /// Launch-by-launch execution trace of the most recent multiply() call.
   const sim::LaunchTrace& last_trace() const { return trace_; }
 
+  /// The pool this instance parallelizes host stages over: a private pool
+  /// of `config().host_threads` threads when that is non-zero, else null
+  /// (the stages then use the process-wide pool). Rebuilt lazily when the
+  /// configured count changes.
+  ThreadPool* host_pool();
+
  private:
   SpeckConfig config_;
   std::vector<KernelConfig> kernel_configs_;
   SpeckDiagnostics diagnostics_;
   sim::LaunchTrace trace_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Symbolic-only estimate: the exact NNZ of C = A*B plus the simulated cost

@@ -1,6 +1,7 @@
 #include "speck/kernels.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/bit_utils.h"
 #include "speck/dense_acc.h"
@@ -14,6 +15,8 @@ using detail::block_stats;
 using detail::charge_hash_activity;
 using detail::charge_row_sweep;
 using detail::global_pool_bytes;
+using detail::kBlockChunk;
+using detail::merge_pass_counters;
 
 RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,
                                  bool merged_block, const KernelConfig& config) {
@@ -33,96 +36,135 @@ RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,
   return RowMethod::kHash;
 }
 
+namespace {
+
+/// Executes one symbolic block: fills `out_row_nnz` for the block's rows
+/// (disjoint across blocks), counts methods into `stats` (merged into the
+/// pass totals serially afterwards) and returns the block's simulated cost.
+sim::BlockCost run_symbolic_block(const KernelContext& ctx,
+                                  const sim::Launch& launch,
+                                  const KernelConfig& config,
+                                  std::span<const index_t> rows,
+                                  std::vector<index_t>& out_row_nnz,
+                                  PassStats& stats) {
+  const bool merged = rows.size() > 1;
+  auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
+  const BlockRowStats row_stats = block_stats(ctx, rows);
+  const LocalLbDecision lb =
+      choose_group_size(config.threads, row_stats, ctx.cfg->features);
+
+  // A block either runs the shared hash map over all of its rows, or —
+  // for single-row blocks — may use dense / direct instead.
+  bool all_direct = ctx.cfg->features.direct_rows;
+  for (const index_t r : rows) all_direct = all_direct && ctx.a->row_length(r) == 1;
+
+  if (all_direct && !rows.empty()) {
+    // Count via B row offsets only; no element access needed. The two
+    // offsets of a row are adjacent — one 32-byte sector per row.
+    for (const index_t r : rows) {
+      const auto a_cols = ctx.a->row_cols(r);
+      index_t nnz = 0;
+      if (!a_cols.empty()) nnz = ctx.b->row_length(a_cols.front());
+      out_row_nnz[static_cast<std::size_t>(r)] = nnz;
+      cost.global_segmented(2, 1);
+      ++stats.direct_rows;
+    }
+    cost.issued(static_cast<double>(rows.size()), 2.0);
+    cost.global_coalesced(rows.size());
+    return cost;
+  }
+
+  if (!merged && !rows.empty() &&
+      choose_symbolic_method(ctx, rows.front(), merged, config) ==
+          RowMethod::kDense) {
+    const index_t r = rows.front();
+    const auto a_cols = ctx.a->row_cols(r);
+    const auto result = dense_accumulate_row(
+        *ctx.b, a_cols, {}, ctx.analysis->col_min[static_cast<std::size_t>(r)],
+        ctx.analysis->col_max[static_cast<std::size_t>(r)],
+        config.dense_symbolic_capacity(), /*numeric=*/false);
+    out_row_nnz[static_cast<std::size_t>(r)] =
+        static_cast<index_t>(result.cols.size());
+    ++stats.dense_rows;
+    charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false);
+    cost.smem_atomic(static_cast<double>(result.element_touches));  // atomicOr
+    cost.issued(static_cast<double>(result.element_touches));
+    cost.issued(static_cast<double>(result.cells_scanned) / 32.0, 2.0);
+    cost.smem(static_cast<double>(result.cells_scanned) / 32.0);
+    cost.issued(static_cast<double>(result.passes) *
+                static_cast<double>(a_cols.size()));
+    cost.global_coalesced(static_cast<std::size_t>(result.cols.size()) / 32 + 1);
+    return cost;
+  }
+
+  // Hash path: one shared map with compound keys for all rows of the
+  // block (5-bit local row | 27-bit column).
+  SymbolicHashAccumulator acc(config.symbolic_hash_capacity());
+  for (std::size_t local = 0; local < rows.size(); ++local) {
+    const index_t r = rows[local];
+    for (const index_t k : ctx.a->row_cols(r)) {
+      for (const index_t col : ctx.b->row_cols(k)) {
+        acc.insert(compound_key(static_cast<int>(local), col, ctx.wide_keys));
+      }
+    }
+  }
+  const std::vector<index_t> counts =
+      acc.row_counts(static_cast<int>(rows.size()), ctx.wide_keys);
+  for (std::size_t local = 0; local < rows.size(); ++local) {
+    out_row_nnz[static_cast<std::size_t>(rows[local])] = counts[local];
+    ++stats.hash_rows;
+  }
+  charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false);
+  charge_hash_activity(cost, acc, stats);
+  // Extraction: scan the whole map to count per-row NNZ.
+  cost.issued(static_cast<double>(config.symbolic_hash_capacity()));
+  cost.smem(static_cast<double>(config.symbolic_hash_capacity()));
+  cost.global_coalesced(rows.size());
+  return cost;
+}
+
+}  // namespace
+
 SymbolicOutcome run_symbolic(const KernelContext& ctx, const BinPlan& plan) {
   SymbolicOutcome out;
   out.row_nnz.assign(static_cast<std::size_t>(ctx.a->rows()), 0);
   out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/true);
+  ThreadPool& pool = pool_or_global(ctx.pool);
 
   for (std::size_t c = 0; c < ctx.configs->size(); ++c) {
     const KernelConfig& config = (*ctx.configs)[c];
     sim::Launch launch("symbolic/" + std::to_string(config.threads), *ctx.device,
                        *ctx.model);
+    // This config's blocks, in plan order.
+    std::vector<const BinPlan::Block*> blocks;
     for (const BinPlan::Block& block : plan.blocks) {
-      if (block.config != static_cast<int>(c)) continue;
-      const std::span<const index_t> rows(plan.row_order.data() + block.begin,
-                                          block.end - block.begin);
-      const bool merged = rows.size() > 1;
-      auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
-      const BlockRowStats stats = block_stats(ctx, rows);
-      const LocalLbDecision lb =
-          choose_group_size(config.threads, stats, ctx.cfg->features);
-
-      // A block either runs the shared hash map over all of its rows, or —
-      // for single-row blocks — may use dense / direct instead.
-      bool all_direct = ctx.cfg->features.direct_rows;
-      for (const index_t r : rows) all_direct = all_direct && ctx.a->row_length(r) == 1;
-
-      if (all_direct && !rows.empty()) {
-        // Count via B row offsets only; no element access needed. The two
-        // offsets of a row are adjacent — one 32-byte sector per row.
-        for (const index_t r : rows) {
-          const auto a_cols = ctx.a->row_cols(r);
-          index_t nnz = 0;
-          if (!a_cols.empty()) nnz = ctx.b->row_length(a_cols.front());
-          out.row_nnz[static_cast<std::size_t>(r)] = nnz;
-          cost.global_segmented(2, 1);
-          ++out.stats.direct_rows;
-        }
-        cost.issued(static_cast<double>(rows.size()), 2.0);
-        cost.global_coalesced(rows.size());
-        launch.add(cost);
-        continue;
-      }
-
-      if (!merged && !rows.empty() &&
-          choose_symbolic_method(ctx, rows.front(), merged, config) ==
-              RowMethod::kDense) {
-        const index_t r = rows.front();
-        const auto a_cols = ctx.a->row_cols(r);
-        const auto result = dense_accumulate_row(
-            *ctx.b, a_cols, {}, ctx.analysis->col_min[static_cast<std::size_t>(r)],
-            ctx.analysis->col_max[static_cast<std::size_t>(r)],
-            config.dense_symbolic_capacity(), /*numeric=*/false);
-        out.row_nnz[static_cast<std::size_t>(r)] =
-            static_cast<index_t>(result.cols.size());
-        ++out.stats.dense_rows;
-        charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false);
-        cost.smem_atomic(static_cast<double>(result.element_touches));  // atomicOr
-        cost.issued(static_cast<double>(result.element_touches));
-        cost.issued(static_cast<double>(result.cells_scanned) / 32.0, 2.0);
-        cost.smem(static_cast<double>(result.cells_scanned) / 32.0);
-        cost.issued(static_cast<double>(result.passes) *
-                    static_cast<double>(a_cols.size()));
-        cost.global_coalesced(static_cast<std::size_t>(result.cols.size()) / 32 + 1);
-        launch.add(cost);
-        continue;
-      }
-
-      // Hash path: one shared map with compound keys for all rows of the
-      // block (5-bit local row | 27-bit column).
-      SymbolicHashAccumulator acc(config.symbolic_hash_capacity());
-      for (std::size_t local = 0; local < rows.size(); ++local) {
-        const index_t r = rows[local];
-        for (const index_t k : ctx.a->row_cols(r)) {
-          for (const index_t col : ctx.b->row_cols(k)) {
-            acc.insert(compound_key(static_cast<int>(local), col, ctx.wide_keys));
-          }
-        }
-      }
-      const std::vector<index_t> counts =
-          acc.row_counts(static_cast<int>(rows.size()), ctx.wide_keys);
-      for (std::size_t local = 0; local < rows.size(); ++local) {
-        out.row_nnz[static_cast<std::size_t>(rows[local])] = counts[local];
-        ++out.stats.hash_rows;
-      }
-      charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false);
-      charge_hash_activity(cost, acc, out.stats);
-      // Extraction: scan the whole map to count per-row NNZ.
-      cost.issued(static_cast<double>(config.symbolic_hash_capacity()));
-      cost.smem(static_cast<double>(config.symbolic_hash_capacity()));
-      cost.global_coalesced(rows.size());
-      launch.add(cost);
+      if (block.config == static_cast<int>(c)) blocks.push_back(&block);
     }
+    if (blocks.empty()) continue;
+
+    // Blocks partition the rows, so each one fills disjoint row_nnz slots
+    // and its own cost/stats slot; committing the costs to the launch (and
+    // merging the counters) happens serially in plan order below, which
+    // keeps the simulated schedule — and thus `seconds` — identical to the
+    // single-threaded run.
+    std::vector<std::optional<sim::BlockCost>> costs(blocks.size());
+    std::vector<PassStats> block_counters(blocks.size());
+    pool.parallel_for(
+        blocks.size(), kBlockChunk,
+        [&](std::size_t begin, std::size_t end, int) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::span<const index_t> rows(
+                plan.row_order.data() + blocks[i]->begin,
+                blocks[i]->end - blocks[i]->begin);
+            costs[i] = run_symbolic_block(ctx, launch, config, rows, out.row_nnz,
+                                          block_counters[i]);
+          }
+        });
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      launch.add(*costs[i]);
+      merge_pass_counters(out.stats, block_counters[i]);
+    }
+
     if (launch.block_count() > 0) {
       sim::LaunchResult finished = launch.finish();
       out.stats.seconds += finished.seconds;

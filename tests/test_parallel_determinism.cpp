@@ -1,0 +1,104 @@
+// The headline guarantee of the host thread pool: running the full spECK
+// pipeline at 1, 2 or 8 threads produces bit-identical CSR output and
+// bit-identical simulated seconds. Chunk boundaries are a pure function of
+// the range, every chunk writes only its own slots, and block costs are
+// committed in plan order — so nothing may depend on the thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gen/corpus.h"
+#include "ref/gustavson.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+struct PipelineRun {
+  Csr c;
+  double seconds = 0.0;
+  std::size_t peak_memory = 0;
+};
+
+PipelineRun run_speck(const gen::CorpusEntry& entry, int threads) {
+  SpeckConfig config;
+  config.host_threads = threads;
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  SpGemmResult result = speck.multiply(entry.a, entry.b);
+  EXPECT_TRUE(result.ok()) << entry.name << ": " << result.failure_reason;
+  return PipelineRun{std::move(result.c), result.seconds, result.peak_memory_bytes};
+}
+
+void expect_identical(const PipelineRun& serial, const PipelineRun& parallel,
+                      const std::string& name, int threads) {
+  SCOPED_TRACE(name + " at " + std::to_string(threads) + " threads");
+  // Structure: bit-identical offsets and column indices.
+  ASSERT_EQ(parallel.c.rows(), serial.c.rows());
+  ASSERT_EQ(parallel.c.nnz(), serial.c.nnz());
+  const auto so = serial.c.row_offsets();
+  const auto po = parallel.c.row_offsets();
+  ASSERT_TRUE(std::equal(so.begin(), so.end(), po.begin()));
+  const auto sc = serial.c.col_indices();
+  const auto pc = parallel.c.col_indices();
+  ASSERT_TRUE(std::equal(sc.begin(), sc.end(), pc.begin()));
+  // Values: exactly equal, not approximately — the parallel path must run
+  // the same per-row accumulation in the same order.
+  const auto sv = serial.c.values();
+  const auto pv = parallel.c.values();
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    ASSERT_EQ(sv[i], pv[i]) << "value " << i;
+  }
+  // The simulated cost model charges identical work regardless of how the
+  // host computed it.
+  EXPECT_EQ(parallel.seconds, serial.seconds);
+  EXPECT_EQ(parallel.peak_memory, serial.peak_memory);
+}
+
+TEST(ParallelDeterminism, CommonCorpusIdenticalAcrossThreadCounts) {
+  for (const gen::CorpusEntry& entry : gen::common_corpus()) {
+    const PipelineRun serial = run_speck(entry, 1);
+    for (const int threads : {2, 8}) {
+      expect_identical(serial, run_speck(entry, threads), entry.name, threads);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, GlobalPoolPathMatchesPerInstancePool) {
+  // host_threads == 0 routes through the process-wide pool; the result must
+  // still match the single-threaded run exactly.
+  const auto corpus = gen::test_corpus();
+  ASSERT_FALSE(corpus.empty());
+  const gen::CorpusEntry& entry = corpus.front();
+  const PipelineRun serial = run_speck(entry, 1);
+  set_global_thread_count(8);
+  const PipelineRun pooled = run_speck(entry, 0);
+  set_global_thread_count(0);
+  expect_identical(serial, pooled, entry.name, 8);
+}
+
+TEST(ParallelDeterminism, ReferenceGustavsonIdenticalAcrossThreadCounts) {
+  // The oracle itself is parallel over the global pool; it must stay exact.
+  for (const gen::CorpusEntry& entry : gen::test_corpus()) {
+    set_global_thread_count(1);
+    const Csr serial = gustavson_spgemm(entry.a, entry.b);
+    for (const int threads : {2, 8}) {
+      set_global_thread_count(threads);
+      const Csr parallel = gustavson_spgemm(entry.a, entry.b);
+      SCOPED_TRACE(entry.name + " at " + std::to_string(threads) + " threads");
+      ASSERT_EQ(parallel.nnz(), serial.nnz());
+      const auto sc = serial.col_indices();
+      const auto pc = parallel.col_indices();
+      ASSERT_TRUE(std::equal(sc.begin(), sc.end(), pc.begin()));
+      const auto sv = serial.values();
+      const auto pv = parallel.values();
+      for (std::size_t i = 0; i < sv.size(); ++i) {
+        ASSERT_EQ(sv[i], pv[i]) << "value " << i;
+      }
+    }
+  }
+  set_global_thread_count(0);
+}
+
+}  // namespace
+}  // namespace speck

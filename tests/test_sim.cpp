@@ -2,6 +2,7 @@
 // scheduling, memory tracking, stage timeline.
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "sim/cost_model.h"
 #include "sim/device_spec.h"
 #include "sim/launch.h"
@@ -158,6 +159,99 @@ TEST(Launch, LowOccupancyInflatesTime) {
   // Same per-block work, but 64-thread blocks with huge scratchpad demand
   // leave the SM underfilled.
   EXPECT_GT(run(64, 48 * 1024), run(1024, 48 * 1024));
+}
+
+TEST(Launch, EmptyLaunchLeavesSummaryFieldsAtDefaults) {
+  // Regression: finish() must not read blocks_.front() on an empty launch.
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  Launch launch("empty", d, model);
+  const LaunchResult r = launch.finish();
+  EXPECT_EQ(r.blocks, 0);
+  EXPECT_EQ(r.threads_per_block, 0);
+  EXPECT_EQ(r.scratchpad_per_block, 0u);
+  EXPECT_EQ(r.resident_blocks_per_sm, 0);
+  EXPECT_FALSE(r.heterogeneous);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 0.0);
+}
+
+TEST(Launch, SingleBlockSummaryDescribesThatBlock) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  Launch launch("one", d, model);
+  auto cost = launch.make_block(512, 4096);
+  cost.issued(1000.0);
+  launch.add(cost);
+  const LaunchResult r = launch.finish();
+  EXPECT_EQ(r.blocks, 1);
+  EXPECT_EQ(r.threads_per_block, 512);
+  EXPECT_EQ(r.scratchpad_per_block, 4096u);
+  EXPECT_FALSE(r.heterogeneous);
+  EXPECT_EQ(r.resident_blocks_per_sm, blocks_resident_per_sm(d, 512, 4096));
+  EXPECT_GT(r.makespan_cycles, 0.0);
+}
+
+TEST(Launch, HeterogeneousBlocksAreFlaggedAndSummaryIsFirstBlock) {
+  // spECK merges small rows into shared blocks, so a launch can mix block
+  // shapes. The summary fields describe the *first* block by contract; the
+  // makespan must still account for every block's own occupancy.
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  Launch launch("hetero", d, model);
+  auto big = launch.make_block(1024, 48 * 1024);
+  big.issued(1e6);
+  launch.add(big);
+  auto small = launch.make_block(64, 0);
+  small.issued(1e6);
+  launch.add(small);
+  const LaunchResult r = launch.finish();
+  EXPECT_TRUE(r.heterogeneous);
+  EXPECT_EQ(r.threads_per_block, 1024);
+  EXPECT_EQ(r.scratchpad_per_block, 48u * 1024);
+  EXPECT_EQ(r.resident_blocks_per_sm, blocks_resident_per_sm(d, 1024, 48 * 1024));
+
+  // Sanity: a homogeneous launch of the same two shapes brackets the
+  // heterogeneous makespan from below (it is at least the serial max).
+  EXPECT_GT(r.makespan_cycles, 0.0);
+  EXPECT_GE(r.seconds, model.kernel_launch_overhead_us * 1e-6);
+}
+
+TEST(Launch, SingleHeterogeneousPairNotFlaggedWhenShapesMatch) {
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  Launch launch("same", d, model);
+  for (int i = 0; i < 2; ++i) {
+    auto cost = launch.make_block(256, 1024);
+    cost.issued(100.0);
+    launch.add(cost);
+  }
+  EXPECT_FALSE(launch.finish().heterogeneous);
+}
+
+TEST(Launch, FinishIsIdenticalAcrossThreadCounts) {
+  // Large launches compute per-block weights through the host pool; the
+  // resulting makespan must be bit-identical to the serial computation.
+  const DeviceSpec d = DeviceSpec::titan_v();
+  const CostModel model;
+  auto build = [&]() {
+    Launch launch("big", d, model);
+    for (int i = 0; i < 5000; ++i) {  // above the parallel threshold
+      auto cost = launch.make_block(i % 3 == 0 ? 128 : 256,
+                                    static_cast<std::size_t>(i % 5) * 1024);
+      cost.issued(100.0 + i);
+      launch.add(cost);
+    }
+    return launch;
+  };
+  set_global_thread_count(1);
+  const LaunchResult serial = build().finish();
+  set_global_thread_count(8);
+  const LaunchResult parallel = build().finish();
+  set_global_thread_count(0);
+  EXPECT_TRUE(serial.heterogeneous);
+  EXPECT_EQ(parallel.blocks, serial.blocks);
+  EXPECT_EQ(parallel.makespan_cycles, serial.makespan_cycles);
+  EXPECT_EQ(parallel.seconds, serial.seconds);
 }
 
 TEST(Launch, RejectsOversizedBlocks) {

@@ -1,7 +1,11 @@
 // runspeck — the command-line driver matching the paper artifact's
 // runspECK executable (Appendix A.2):
 //
-//   runspeck <path-to-matrix.mtx> [config.ini]
+//   runspeck <path-to-matrix.mtx> [config.ini] [--threads N]
+//
+// `--threads N` sets the host thread pool the pipeline stages run on (the
+// result and the simulated times are bit-identical for every N; only host
+// wall-clock changes). Defaults to SPECK_THREADS / hardware concurrency.
 //
 // Recognized config.ini options (all optional, artifact-compatible names):
 //   TrackCompleteTimes   = true|false   print end-to-end timing (default on)
@@ -12,11 +16,16 @@
 //   IterationsWarmUp     = <n>          warm-up iterations (default 1)
 //   IterationsExecution  = <n>          timed iterations (default 5)
 //   InputFile            = <path>       overrides the command-line matrix
+//   Threads              = <n>          host threads (--threads wins)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "baselines/cusparse_like.h"
 #include "baselines/suite.h"
 #include "common/ini.h"
+#include "common/thread_pool.h"
 #include "matrix/io_mtx.h"
 #include "matrix/matrix_stats.h"
 #include "matrix/ops.h"
@@ -24,14 +33,38 @@
 
 int main(int argc, char** argv) {
   using namespace speck;
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <path-to-matrix.mtx> [config.ini]\n", argv[0]);
+  // Split off the --threads flag; everything else keeps positional meaning.
+  int flag_threads = 0;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      flag_threads = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
+      if (flag_threads < 1) {
+        std::fprintf(stderr, "--threads requires a positive integer\n");
+        return 2;
+      }
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <path-to-matrix.mtx> [config.ini] [--threads N]\n",
+                 argv[0]);
     return 2;
   }
 
   IniConfig config;
-  if (argc > 2) config = IniConfig::parse_file(argv[2]);
-  const std::string input = config.get_string("InputFile", argv[1]);
+  if (nargs > 2) config = IniConfig::parse_file(args[2]);
+  const std::string input = config.get_string("InputFile", args[1]);
+  const int threads = flag_threads > 0
+                          ? flag_threads
+                          : static_cast<int>(config.get_int("Threads", 0));
+  if (threads > 0) set_global_thread_count(threads);
+  std::printf("host threads: %d\n",
+              threads > 0 ? threads : default_thread_count());
   const bool track_complete = config.get_bool("TrackCompleteTimes", true);
   const bool track_individual = config.get_bool("TrackIndividualTimes", false);
   const bool compare_result = config.get_bool("CompareResult", false);
