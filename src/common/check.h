@@ -1,4 +1,14 @@
-// Lightweight runtime checking used at API boundaries.
+// Lightweight runtime checking used at API boundaries, plus the structured
+// error taxonomy the library reports failures through.
+//
+// Three error classes span every failure mode (docs/robustness.md):
+//   BadInput           — the caller handed us something malformed
+//   ResourceExhausted  — a (simulated) resource limit was hit
+//   InternalError      — a library invariant broke (a bug in speck itself)
+// Each derives from the matching standard exception (so existing
+// catch(std::exception&) sites keep working) *and* from the SpeckError
+// mixin carrying a machine-readable code plus an optional context string
+// (file:line of a parser, the failing allocation site, ...).
 #pragma once
 
 #include <sstream>
@@ -7,17 +17,133 @@
 
 namespace speck {
 
-/// Thrown when a precondition on user input is violated.
-class InvalidArgument : public std::invalid_argument {
+/// Machine-readable error class. Stable values: tools map these to exit
+/// codes, so renumbering is a breaking change.
+enum class ErrorCode {
+  kOk = 0,
+  kBadInput = 1,
+  kResourceExhausted = 2,
+  kInternal = 3,
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kBadInput: return "BadInput";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kInternal: return "InternalError";
+  }
+  return "?";
+}
+
+/// Process exit code for an error class (tools/*): 0 ok, 3 bad input,
+/// 4 resource exhausted, 5 internal error. 1 (runtime failure such as a
+/// result mismatch) and 2 (usage error) remain tool-level conventions;
+/// 6 is reserved for exceptions outside the taxonomy.
+inline int exit_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return 0;
+    case ErrorCode::kBadInput: return 3;
+    case ErrorCode::kResourceExhausted: return 4;
+    case ErrorCode::kInternal: return 5;
+  }
+  return 6;
+}
+
+/// Mixin carried by every speck exception: the error class plus an optional
+/// context string locating the failure (e.g. "matrix.mtx:17").
+class SpeckError {
  public:
-  using std::invalid_argument::invalid_argument;
+  virtual ~SpeckError() = default;
+  virtual ErrorCode code() const = 0;
+  const std::string& context() const { return context_; }
+
+ protected:
+  SpeckError() = default;
+  explicit SpeckError(std::string context) : context_(std::move(context)) {}
+
+ private:
+  std::string context_;
+};
+
+/// Thrown when a precondition on user input is violated.
+class BadInput : public std::invalid_argument, public SpeckError {
+ public:
+  explicit BadInput(const std::string& msg, std::string context = "")
+      : std::invalid_argument(msg), SpeckError(std::move(context)) {}
+  ErrorCode code() const override { return ErrorCode::kBadInput; }
+};
+
+/// Historical name of BadInput; kept as the spelling used at check sites.
+using InvalidArgument = BadInput;
+
+/// Thrown when a (simulated) resource limit is exceeded: size arithmetic
+/// that would overflow, allocation budgets, device memory.
+class ResourceExhausted : public std::runtime_error, public SpeckError {
+ public:
+  explicit ResourceExhausted(const std::string& msg, std::string context = "")
+      : std::runtime_error(msg), SpeckError(std::move(context)) {}
+  ErrorCode code() const override { return ErrorCode::kResourceExhausted; }
 };
 
 /// Thrown when an internal invariant is violated (a library bug).
-class InternalError : public std::logic_error {
+class InternalError : public std::logic_error, public SpeckError {
  public:
-  using std::logic_error::logic_error;
+  explicit InternalError(const std::string& msg, std::string context = "")
+      : std::logic_error(msg), SpeckError(std::move(context)) {}
+  ErrorCode code() const override { return ErrorCode::kInternal; }
 };
+
+/// Value-type result status for the non-throwing API surface
+/// (speck::try_multiply): an error code plus the human-readable message and
+/// context of the exception it was built from.
+struct Status {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+  std::string context;
+
+  bool ok() const { return code == ErrorCode::kOk; }
+
+  static Status success() { return Status{}; }
+
+  static Status error(ErrorCode error_code, std::string msg,
+                      std::string ctx = "") {
+    return Status{error_code, std::move(msg), std::move(ctx)};
+  }
+
+  /// "[BadInput] missing banner (bad.mtx:1)" — one line, for diagnostics.
+  std::string to_string() const {
+    std::string out = "[";
+    out += error_code_name(code);
+    out += "]";
+    if (!message.empty()) {
+      out += " ";
+      out += message;
+    }
+    if (!context.empty()) {
+      out += " (";
+      out += context;
+      out += ")";
+    }
+    return out;
+  }
+};
+
+/// Builds a Status from an in-flight exception. Call inside a catch block;
+/// exceptions outside the taxonomy map to kInternal.
+inline Status status_from_current_exception() noexcept {
+  try {
+    throw;
+  } catch (const SpeckError& e) {
+    const auto* as_std = dynamic_cast<const std::exception*>(&e);
+    return Status::error(e.code(), as_std != nullptr ? as_std->what() : "",
+                         e.context());
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal, e.what());
+  } catch (...) {
+    return Status::error(ErrorCode::kInternal, "unknown exception");
+  }
+}
 
 namespace detail {
 [[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,
@@ -25,7 +151,7 @@ namespace detail {
   std::ostringstream os;
   os << file << ':' << line << ": requirement `" << expr << "` failed";
   if (!msg.empty()) os << ": " << msg;
-  throw InvalidArgument(os.str());
+  throw BadInput(os.str());
 }
 
 [[noreturn]] inline void throw_internal(const char* expr, const char* file, int line,
@@ -39,7 +165,7 @@ namespace detail {
 
 }  // namespace speck
 
-/// Validates a user-facing precondition; throws speck::InvalidArgument.
+/// Validates a user-facing precondition; throws speck::BadInput.
 #define SPECK_REQUIRE(expr, msg)                                         \
   do {                                                                   \
     if (!(expr)) ::speck::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \

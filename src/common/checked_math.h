@@ -1,0 +1,60 @@
+// Overflow-checked size arithmetic for user-controlled quantities.
+//
+// CSR/COO construction multiplies and adds sizes that come straight from
+// input files (rows, cols, nnz). On 32/64-bit boundaries those products can
+// wrap silently and turn a structured rejection into UB downstream. Every
+// size computation fed by untrusted input goes through these helpers:
+// `checked_cast` rejects narrowing that changes the value (BadInput, the
+// value itself is wrong for the target), `checked_add`/`checked_mul` reject
+// wrap-around (ResourceExhausted, the quantity is simply too large).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace speck {
+
+/// Converts between integer types, throwing BadInput when the value does
+/// not survive the round trip (negative into unsigned, too large, ...).
+template <typename To, typename From>
+constexpr To checked_cast(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_cast is for integer types");
+  const To result = static_cast<To>(value);
+  const bool value_negative = std::is_signed_v<From> && value < From{0};
+  const bool result_negative = std::is_signed_v<To> && result < To{0};
+  if (static_cast<From>(result) != value || value_negative != result_negative) {
+    throw BadInput("checked_cast: value " + std::to_string(value) +
+                   " does not fit the target integer type");
+  }
+  return result;
+}
+
+/// a + b, throwing ResourceExhausted on overflow.
+template <typename T>
+constexpr T checked_add(T a, T b) {
+  static_assert(std::is_integral_v<T>, "checked_add is for integer types");
+  T result{};
+  if (__builtin_add_overflow(a, b, &result)) {
+    throw ResourceExhausted("checked_add: " + std::to_string(a) + " + " +
+                            std::to_string(b) + " overflows");
+  }
+  return result;
+}
+
+/// a * b, throwing ResourceExhausted on overflow.
+template <typename T>
+constexpr T checked_mul(T a, T b) {
+  static_assert(std::is_integral_v<T>, "checked_mul is for integer types");
+  T result{};
+  if (__builtin_mul_overflow(a, b, &result)) {
+    throw ResourceExhausted("checked_mul: " + std::to_string(a) + " * " +
+                            std::to_string(b) + " overflows");
+  }
+  return result;
+}
+
+}  // namespace speck

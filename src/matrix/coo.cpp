@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/checked_math.h"
+
 namespace speck {
 
 void Coo::add(index_t row, index_t col, value_t value) {
@@ -13,8 +15,24 @@ void Coo::add(index_t row, index_t col, value_t value) {
   values_.push_back(value);
 }
 
+void Coo::validate() const {
+  SPECK_REQUIRE(row_ids_.size() == col_ids_.size() &&
+                    col_ids_.size() == values_.size(),
+                "COO parallel arrays must have equal length");
+  for (const index_t r : row_ids_) {
+    SPECK_REQUIRE(r >= 0 && r < rows_, "COO row index out of range");
+  }
+  for (const index_t c : col_ids_) {
+    SPECK_REQUIRE(c >= 0 && c < cols_, "COO column index out of range");
+  }
+}
+
 Csr Coo::to_csr() const {
   const std::size_t n = row_ids_.size();
+  // rows_ + 1 offsets; checked so a pathological shape cannot wrap the
+  // allocation size on its way in from user-controlled headers.
+  const std::size_t offset_count =
+      checked_add<std::size_t>(checked_cast<std::size_t>(rows_), 1);
   std::vector<std::size_t> perm(n);
   std::iota(perm.begin(), perm.end(), std::size_t{0});
   std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
@@ -22,7 +40,7 @@ Csr Coo::to_csr() const {
     return col_ids_[a] < col_ids_[b];
   });
 
-  std::vector<offset_t> offsets(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<offset_t> offsets(offset_count, 0);
   std::vector<index_t> cols;
   std::vector<value_t> vals;
   cols.reserve(n);

@@ -29,6 +29,12 @@ class Coo {
   /// Appends one entry. Bounds-checked.
   void add(index_t row, index_t col, value_t value);
 
+  /// Re-checks every entry against the matrix shape (add() enforces this
+  /// incrementally; validate() covers triplets that arrive wholesale, e.g.
+  /// via future bulk setters) and the parallel-array lengths. Throws
+  /// BadInput on violation.
+  void validate() const;
+
   /// Converts to CSR: sorts by (row, col) and sums duplicate coordinates.
   Csr to_csr() const;
 

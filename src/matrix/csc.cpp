@@ -1,5 +1,7 @@
 #include "matrix/csc.h"
 
+#include "common/checked_math.h"
+
 namespace speck {
 
 Csc::Csc(index_t rows, index_t cols, std::vector<offset_t> col_offsets,
@@ -9,20 +11,26 @@ Csc::Csc(index_t rows, index_t cols, std::vector<offset_t> col_offsets,
       col_offsets_(std::move(col_offsets)),
       row_indices_(std::move(row_indices)),
       values_(std::move(values)) {
-  SPECK_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
-  SPECK_REQUIRE(col_offsets_.size() == static_cast<std::size_t>(cols) + 1,
+  validate();
+}
+
+void Csc::validate() const {
+  SPECK_REQUIRE(rows_ >= 0 && cols_ >= 0, "matrix dimensions must be non-negative");
+  SPECK_REQUIRE(col_offsets_.size() ==
+                    checked_add<std::size_t>(checked_cast<std::size_t>(cols_), 1),
                 "col_offsets must have cols+1 entries");
   SPECK_REQUIRE(row_indices_.size() == values_.size(),
                 "row_indices and values must have equal length");
   SPECK_REQUIRE(col_offsets_.front() == 0, "col_offsets must start at 0");
-  SPECK_REQUIRE(col_offsets_.back() == static_cast<offset_t>(row_indices_.size()),
+  SPECK_REQUIRE(col_offsets_.back() ==
+                    checked_cast<offset_t>(row_indices_.size()),
                 "col_offsets must end at nnz");
   for (std::size_t c = 0; c < col_offsets_.size() - 1; ++c) {
     SPECK_REQUIRE(col_offsets_[c] <= col_offsets_[c + 1],
                   "col_offsets must be non-decreasing");
   }
   for (const index_t r : row_indices_) {
-    SPECK_REQUIRE(r >= 0 && r < rows, "row index out of range");
+    SPECK_REQUIRE(r >= 0 && r < rows_, "row index out of range");
   }
 }
 

@@ -18,6 +18,10 @@ class Csc {
   Csc(index_t rows, index_t cols, std::vector<offset_t> col_offsets,
       std::vector<index_t> row_indices, std::vector<value_t> values);
 
+  /// Re-checks every structural invariant (offsets monotone and consistent
+  /// with nnz, row indices in range). Throws BadInput on violation.
+  void validate() const;
+
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   offset_t nnz() const { return static_cast<offset_t>(row_indices_.size()); }

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/checked_math.h"
+
 namespace speck {
 
 Csr::Csr(index_t rows, index_t cols, std::vector<offset_t> row_offsets,
@@ -13,20 +15,26 @@ Csr::Csr(index_t rows, index_t cols, std::vector<offset_t> row_offsets,
       row_offsets_(std::move(row_offsets)),
       col_indices_(std::move(col_indices)),
       values_(std::move(values)) {
-  SPECK_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
-  SPECK_REQUIRE(row_offsets_.size() == static_cast<std::size_t>(rows) + 1,
+  validate();
+}
+
+void Csr::validate() const {
+  SPECK_REQUIRE(rows_ >= 0 && cols_ >= 0, "matrix dimensions must be non-negative");
+  SPECK_REQUIRE(row_offsets_.size() ==
+                    checked_add<std::size_t>(checked_cast<std::size_t>(rows_), 1),
                 "row_offsets must have rows+1 entries");
   SPECK_REQUIRE(col_indices_.size() == values_.size(),
                 "col_indices and values must have equal length");
   SPECK_REQUIRE(row_offsets_.front() == 0, "row_offsets must start at 0");
-  SPECK_REQUIRE(row_offsets_.back() == static_cast<offset_t>(col_indices_.size()),
+  SPECK_REQUIRE(row_offsets_.back() ==
+                    checked_cast<offset_t>(col_indices_.size()),
                 "row_offsets must end at nnz");
   for (std::size_t r = 0; r < row_offsets_.size() - 1; ++r) {
     SPECK_REQUIRE(row_offsets_[r] <= row_offsets_[r + 1],
                   "row_offsets must be non-decreasing");
   }
   for (const index_t c : col_indices_) {
-    SPECK_REQUIRE(c >= 0 && c < cols, "column index out of range");
+    SPECK_REQUIRE(c >= 0 && c < cols_, "column index out of range");
   }
 }
 

@@ -63,6 +63,13 @@ class Csr {
                  static_cast<std::size_t>(row_length(r)));
   }
 
+  /// Re-checks every structural invariant (offsets monotone and consistent
+  /// with nnz, column indices in range). The constructor establishes these;
+  /// this re-validates matrices whose arrays were mutated afterwards
+  /// (col_indices_mutable) or that cross an API boundary with
+  /// `SpeckConfig::validate_inputs` on. Throws BadInput on violation.
+  void validate() const;
+
   /// True if every row's column indices are strictly increasing.
   bool sorted_within_rows() const;
 

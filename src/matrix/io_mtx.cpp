@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <istream>
+#include <limits>
+#include <unordered_set>
+#include <vector>
 
+#include "common/checked_math.h"
 #include "matrix/coo.h"
 
 namespace speck {
@@ -16,60 +23,204 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Tracks the source name and current line so every rejection carries
+/// "<source>:<line>" context.
+struct LineReader {
+  std::istream& in;
+  const std::string& source;
+  long line_number = 0;
+
+  bool next(std::string& line) {
+    if (!std::getline(in, line)) return false;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    return true;
+  }
+
+  std::string context() const {
+    return source + ":" + std::to_string(line_number);
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw BadInput(context() + ": " + msg, context());
+  }
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    const std::size_t begin = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+bool blank(const std::string& line) { return tokenize(line).empty(); }
+
+/// Strict integer parse: the whole token must be a decimal integer.
+long long parse_integer(const LineReader& reader, const std::string& token,
+                        const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    reader.fail(std::string(what) + " '" + token + "' is not an integer");
+  }
+  if (errno == ERANGE) {
+    reader.fail(std::string(what) + " '" + token + "' is out of range");
+  }
+  return value;
+}
+
+/// Strict value parse: the whole token must be a finite number (the MM
+/// real/integer fields; NaN/Inf would silently poison every accumulation).
+double parse_value(const LineReader& reader, const std::string& token) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    reader.fail("value '" + token + "' is not a number");
+  }
+  if (!std::isfinite(value)) {
+    reader.fail("value '" + token + "' is not finite");
+  }
+  return value;
+}
+
 }  // namespace
 
-Csr read_matrix_market(std::istream& in) {
+Csr read_matrix_market(std::istream& in, const MtxOptions& options,
+                       const std::string& source_name) {
+  LineReader reader{in, source_name};
   std::string line;
-  SPECK_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty matrix market stream");
-  std::istringstream header(line);
-  std::string banner, object, format, field, symmetry;
-  header >> banner >> object >> format >> field >> symmetry;
-  SPECK_REQUIRE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
-  SPECK_REQUIRE(lower(object) == "matrix", "only 'matrix' objects supported");
-  SPECK_REQUIRE(lower(format) == "coordinate", "only coordinate format supported");
-  field = lower(field);
-  symmetry = lower(symmetry);
-  SPECK_REQUIRE(field == "real" || field == "integer" || field == "pattern",
-                "unsupported field type: " + field);
-  SPECK_REQUIRE(symmetry == "general" || symmetry == "symmetric" ||
-                    symmetry == "skew-symmetric",
-                "unsupported symmetry: " + symmetry);
 
-  // Skip comments.
+  // Banner: "%%MatrixMarket object format field symmetry", nothing after.
+  if (!reader.next(line)) reader.fail("empty matrix market stream");
+  const std::vector<std::string> banner = tokenize(line);
+  if (banner.size() != 5 || banner[0] != "%%MatrixMarket") {
+    reader.fail("missing or malformed %%MatrixMarket banner");
+  }
+  if (lower(banner[1]) != "matrix") reader.fail("only 'matrix' objects supported");
+  if (lower(banner[2]) != "coordinate") {
+    reader.fail("only coordinate format supported");
+  }
+  const std::string field = lower(banner[3]);
+  const std::string symmetry = lower(banner[4]);
+  if (field != "real" && field != "integer" && field != "pattern") {
+    reader.fail("unsupported field type: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric" &&
+      symmetry != "skew-symmetric") {
+    reader.fail("unsupported symmetry: " + symmetry);
+  }
+
+  // Comments (and blank lines) up to the size line.
   do {
-    SPECK_REQUIRE(static_cast<bool>(std::getline(in, line)), "truncated matrix market file");
-  } while (!line.empty() && line[0] == '%');
+    if (!reader.next(line)) reader.fail("truncated file: missing size line");
+  } while ((!line.empty() && line[0] == '%') || blank(line));
 
-  std::istringstream size_line(line);
-  long long rows = 0, cols = 0, entries = 0;
-  size_line >> rows >> cols >> entries;
-  SPECK_REQUIRE(rows >= 0 && cols >= 0 && entries >= 0, "bad size line");
+  // Size line: exactly "rows cols entries", all non-negative, in index range.
+  const std::vector<std::string> size_tokens = tokenize(line);
+  if (size_tokens.size() != 3) {
+    reader.fail("size line must be 'rows cols entries'");
+  }
+  const long long rows_ll = parse_integer(reader, size_tokens[0], "row count");
+  const long long cols_ll = parse_integer(reader, size_tokens[1], "column count");
+  const long long entries = parse_integer(reader, size_tokens[2], "entry count");
+  if (rows_ll < 0 || cols_ll < 0 || entries < 0) {
+    reader.fail("size line values must be non-negative");
+  }
+  index_t rows = 0;
+  index_t cols = 0;
+  try {
+    rows = checked_cast<index_t>(rows_ll);
+    cols = checked_cast<index_t>(cols_ll);
+  } catch (const BadInput&) {
+    reader.fail("matrix dimensions exceed the supported index range");
+  }
 
-  Coo coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
-  coo.reserve(static_cast<std::size_t>(entries) * (symmetry == "general" ? 1 : 2));
+  Coo coo(rows, cols);
+  // Mirrored symmetric entries can double the count; checked so a huge
+  // `entries` claim cannot wrap the reservation size. The reservation itself
+  // is clamped: it is only a hint, and a lying size line must not be able to
+  // force a giant up-front allocation (a truncated entry list is rejected
+  // with BadInput after the lines that do exist are consumed).
+  constexpr std::size_t kMaxReserve = std::size_t{1} << 20;
+  try {
+    coo.reserve(std::min(
+        kMaxReserve, checked_mul<std::size_t>(static_cast<std::size_t>(entries),
+                                              symmetry == "general" ? 1 : 2)));
+  } catch (const ResourceExhausted&) {
+    reader.fail("entry count overflows the addressable size");
+  }
+
   const bool pattern = field == "pattern";
+  const bool check_duplicates =
+      options.duplicates == MtxOptions::DuplicatePolicy::kError;
+  std::unordered_set<std::uint64_t> seen;
+  if (check_duplicates) {
+    seen.reserve(std::min(kMaxReserve, static_cast<std::size_t>(entries)));
+  }
+
   for (long long i = 0; i < entries; ++i) {
-    SPECK_REQUIRE(static_cast<bool>(std::getline(in, line)), "truncated entry list");
-    std::istringstream entry(line);
-    long long r = 0, c = 0;
-    double v = 1.0;
-    entry >> r >> c;
-    if (!pattern) entry >> v;
-    SPECK_REQUIRE(r >= 1 && r <= rows && c >= 1 && c <= cols, "entry out of range");
+    if (!reader.next(line)) {
+      reader.fail("truncated entry list: expected " + std::to_string(entries) +
+                  " entries, got " + std::to_string(i));
+    }
+    const std::vector<std::string> tokens = tokenize(line);
+    const std::size_t expected = pattern ? 2 : 3;
+    if (tokens.size() != expected) {
+      reader.fail("entry line must have " + std::to_string(expected) +
+                  " fields, got " + std::to_string(tokens.size()));
+    }
+    const long long r = parse_integer(reader, tokens[0], "row index");
+    const long long c = parse_integer(reader, tokens[1], "column index");
+    const double v = pattern ? 1.0 : parse_value(reader, tokens[2]);
+    if (r < 1 || r > rows_ll) {
+      reader.fail("row index " + std::to_string(r) + " outside [1, " +
+                  std::to_string(rows_ll) + "]");
+    }
+    if (c < 1 || c > cols_ll) {
+      reader.fail("column index " + std::to_string(c) + " outside [1, " +
+                  std::to_string(cols_ll) + "]");
+    }
     const auto ri = static_cast<index_t>(r - 1);
     const auto ci = static_cast<index_t>(c - 1);
+    if (check_duplicates &&
+        !seen.insert((static_cast<std::uint64_t>(static_cast<std::uint32_t>(ri))
+                      << 32) |
+                     static_cast<std::uint32_t>(ci))
+             .second) {
+      reader.fail("duplicate entry (" + std::to_string(r) + ", " +
+                  std::to_string(c) + ")");
+    }
     coo.add(ri, ci, v);
     if (symmetry != "general" && ri != ci) {
       coo.add(ci, ri, symmetry == "skew-symmetric" ? -v : v);
     }
   }
+
+  // Anything but blank lines after the declared entries means the size line
+  // lied about the count — reject rather than silently drop data.
+  while (reader.next(line)) {
+    if (!blank(line)) {
+      reader.fail("unexpected content after the declared " +
+                  std::to_string(entries) + " entries");
+    }
+  }
   return coo.to_csr();
 }
 
-Csr read_matrix_market_file(const std::string& path) {
+Csr read_matrix_market(std::istream& in) {
+  return read_matrix_market(in, MtxOptions{});
+}
+
+Csr read_matrix_market_file(const std::string& path, const MtxOptions& options) {
   std::ifstream in(path);
   SPECK_REQUIRE(in.good(), "cannot open matrix market file: " + path);
-  return read_matrix_market(in);
+  return read_matrix_market(in, options, path);
 }
 
 void write_matrix_market(std::ostream& out, const Csr& m) {

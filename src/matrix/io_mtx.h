@@ -3,6 +3,12 @@
 // The paper's artifact ships an .mtx reader for SuiteSparse inputs; we provide
 // the same so real matrices can be dropped in when available, while the
 // synthetic corpus covers offline runs.
+//
+// The reader is hardened for untrusted input: every banner/size/entry line is
+// strictly validated (token counts, integer ranges, NaN/Inf values, truncated
+// files) and violations throw BadInput carrying "<source>:<line>" context —
+// never UB or a silent wrong matrix. tools/fuzz_mtx drives it with mutated
+// inputs; tests/data/mtx holds the malformed seed corpus.
 #pragma once
 
 #include <iosfwd>
@@ -12,13 +18,25 @@
 
 namespace speck {
 
-/// Reads a Matrix Market file. Supports:
+/// Reader policy knobs.
+struct MtxOptions {
+  /// What to do when a file lists the same (row, col) coordinate twice.
+  /// kSum is the conventional lenient policy (duplicates accumulate);
+  /// kError rejects the file — what the fuzz corpus tests use.
+  enum class DuplicatePolicy { kSum, kError };
+  DuplicatePolicy duplicates = DuplicatePolicy::kSum;
+};
+
+/// Reads a Matrix Market stream. Supports:
 ///   * coordinate format, real / integer / pattern fields
 ///   * general / symmetric / skew-symmetric symmetry
 /// Pattern entries get value 1.0. Symmetric entries are mirrored.
-/// Throws InvalidArgument on malformed input.
+/// Throws BadInput on malformed input, with `source_name`:<line> context.
+Csr read_matrix_market(std::istream& in, const MtxOptions& options,
+                       const std::string& source_name = "<mtx>");
 Csr read_matrix_market(std::istream& in);
-Csr read_matrix_market_file(const std::string& path);
+Csr read_matrix_market_file(const std::string& path,
+                            const MtxOptions& options = {});
 
 /// Writes coordinate/real/general Matrix Market.
 void write_matrix_market(std::ostream& out, const Csr& m);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/checked_math.h"
 #include "matrix/coo.h"
 
 namespace speck {
@@ -61,8 +62,10 @@ std::optional<CsrDifference> compare(const Csr& a, const Csr& b, double toleranc
 }
 
 std::vector<value_t> to_dense(const Csr& a) {
-  std::vector<value_t> dense(static_cast<std::size_t>(a.rows()) *
-                                 static_cast<std::size_t>(a.cols()),
+  // rows*cols is quadratic in user input; checked so a huge sparse shape
+  // raises ResourceExhausted instead of wrapping the allocation size.
+  std::vector<value_t> dense(checked_mul(checked_cast<std::size_t>(a.rows()),
+                                         checked_cast<std::size_t>(a.cols())),
                              0.0);
   for (index_t r = 0; r < a.rows(); ++r) {
     const auto cols = a.row_cols(r);
@@ -76,7 +79,9 @@ std::vector<value_t> to_dense(const Csr& a) {
 }
 
 Csr from_dense(index_t rows, index_t cols, std::span<const value_t> dense) {
-  SPECK_REQUIRE(dense.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+  SPECK_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  SPECK_REQUIRE(dense.size() == checked_mul(checked_cast<std::size_t>(rows),
+                                            checked_cast<std::size_t>(cols)),
                 "dense array size must equal rows*cols");
   Coo coo(rows, cols);
   for (index_t r = 0; r < rows; ++r) {

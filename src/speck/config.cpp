@@ -58,6 +58,7 @@ void validate(const SpeckConfig& config) {
                 "fixed_group_size must be a positive power of two");
   SPECK_REQUIRE(config.host_threads >= 0,
                 "host_threads must be >= 0 (0 = process-wide default)");
+  validate(config.faults);
 }
 
 std::string describe(const SpeckConfig& config) {
@@ -96,6 +97,9 @@ std::string describe(const SpeckConfig& config) {
   out += "max_rows_per_block         = " + std::to_string(config.max_rows_per_block) + "\n";
   out += "host_threads               = " + std::to_string(config.host_threads) +
          (config.host_threads == 0 ? " (process default)" : "") + "\n";
+  out += "validate_inputs            = " +
+         std::string(config.validate_inputs ? "true" : "false") + "\n";
+  out += describe(config.faults) + "\n";
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/types.h"
 #include "sim/device_spec.h"
 
@@ -108,6 +109,16 @@ struct SpeckConfig {
   /// pool (SPECK_THREADS env or hardware concurrency); any value produces
   /// bit-identical results (see docs/tutorial.md "Parallel execution").
   int host_threads = 0;
+  /// Re-validates the structural invariants of both inputs (and their
+  /// within-row sortedness, which the analysis relies on) at the start of
+  /// every multiply; violations raise BadInput. Off by default: matrices
+  /// built through the library's own constructors are already validated.
+  bool validate_inputs = false;
+  /// Deterministic fault injection (docs/robustness.md). Default: no
+  /// faults. Any injected fault may only change the simulated cost and
+  /// planning — the numeric result stays exact — or surface as a typed
+  /// ResourceExhausted-style failure.
+  FaultSpec faults;
 };
 
 /// Validates a configuration; throws InvalidArgument with a description of

@@ -2,12 +2,13 @@
 
 namespace speck {
 
-SymbolicHashAccumulator::SymbolicHashAccumulator(std::size_t capacity)
-    : local_(capacity) {}
+SymbolicHashAccumulator::SymbolicHashAccumulator(std::size_t capacity,
+                                                 const FaultInjector* faults)
+    : local_(capacity), faults_(faults) {}
 
 void SymbolicHashAccumulator::insert(key64_t key) {
   if (!in_global_) {
-    if (!local_.full()) {
+    if (!local_.full() && !forced_overflow()) {
       local_.insert_key(key);
       // Preemptively move once completely full: binning sizes maps so this
       // only happens for the unbounded largest-configuration rows.
@@ -43,12 +44,13 @@ void SymbolicHashAccumulator::spill() {
   // charge per-insert global atomics instead).
 }
 
-NumericHashAccumulator::NumericHashAccumulator(std::size_t capacity)
-    : local_(capacity) {}
+NumericHashAccumulator::NumericHashAccumulator(std::size_t capacity,
+                                               const FaultInjector* faults)
+    : local_(capacity), faults_(faults) {}
 
 void NumericHashAccumulator::accumulate(key64_t key, value_t value) {
   if (!in_global_) {
-    if (!local_.full()) {
+    if (!local_.full() && !forced_overflow()) {
       local_.accumulate(key, value);
       if (local_.full()) spill();
       return;

@@ -9,14 +9,18 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "speck/hash_map.h"
 
 namespace speck {
 
 /// Symbolic accumulator: tracks distinct compound keys only.
+/// The optional FaultInjector can force the spill early (tests drive the
+/// global-fallback path on demand); contents stay exact either way.
 class SymbolicHashAccumulator {
  public:
-  explicit SymbolicHashAccumulator(std::size_t capacity);
+  explicit SymbolicHashAccumulator(std::size_t capacity,
+                                   const FaultInjector* faults = nullptr);
 
   void insert(key64_t key);
 
@@ -31,8 +35,12 @@ class SymbolicHashAccumulator {
 
  private:
   void spill();
+  bool forced_overflow() const {
+    return faults_ != nullptr && faults_->force_hash_overflow(local_.size());
+  }
 
   DeviceHashMap local_;
+  const FaultInjector* faults_ = nullptr;
   bool in_global_ = false;
   std::unordered_set<key64_t> global_;
   std::size_t moved_entries_ = 0;
@@ -42,7 +50,8 @@ class SymbolicHashAccumulator {
 /// Numeric accumulator: sums values per compound key.
 class NumericHashAccumulator {
  public:
-  explicit NumericHashAccumulator(std::size_t capacity);
+  explicit NumericHashAccumulator(std::size_t capacity,
+                                  const FaultInjector* faults = nullptr);
 
   void accumulate(key64_t key, value_t value);
 
@@ -56,8 +65,12 @@ class NumericHashAccumulator {
 
  private:
   void spill();
+  bool forced_overflow() const {
+    return faults_ != nullptr && faults_->force_hash_overflow(local_.size());
+  }
 
   DeviceHashMap local_;
+  const FaultInjector* faults_ = nullptr;
   bool in_global_ = false;
   std::unordered_map<key64_t, value_t> global_;
   std::size_t moved_entries_ = 0;

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "matrix/csr.h"
 #include "sim/launch.h"
@@ -30,6 +31,16 @@ struct KernelContext {
   sim::LaunchTrace* trace = nullptr;
   /// Host thread pool the passes parallelize over (global pool when null).
   ThreadPool* pool = nullptr;
+  /// Optional fault injection (may be null). Shrinks the scratchpad
+  /// capacities the kernels actually get relative to what binning assumed,
+  /// and forces hash-map overflows — both only reroute rows onto the
+  /// fallback paths; the numeric result stays exact.
+  const FaultInjector* faults = nullptr;
+
+  /// Scratchpad capacity after fault injection (identity when none).
+  std::size_t effective_capacity(std::size_t capacity) const {
+    return faults != nullptr ? faults->scratchpad_capacity(capacity) : capacity;
+  }
 };
 
 /// Accumulation method chosen for a row (paper: direct referencing, dense

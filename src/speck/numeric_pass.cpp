@@ -120,7 +120,8 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
         *ctx.b, ctx.a->row_cols(r), ctx.a->row_vals(r),
         ctx.analysis->col_min[static_cast<std::size_t>(r)],
         ctx.analysis->col_max[static_cast<std::size_t>(r)],
-        config.dense_numeric_capacity(), /*numeric=*/true);
+        ctx.effective_capacity(config.dense_numeric_capacity()),
+        /*numeric=*/true);
     SPECK_ASSERT(static_cast<index_t>(result.cols.size()) ==
                      row_nnz[static_cast<std::size_t>(r)],
                  "dense numeric row count disagrees with symbolic pass");
@@ -145,7 +146,8 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
   }
 
   // Hash path with values.
-  NumericHashAccumulator acc(config.numeric_hash_capacity());
+  NumericHashAccumulator acc(ctx.effective_capacity(config.numeric_hash_capacity()),
+                             ctx.faults);
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
     const auto a_cols = ctx.a->row_cols(r);

@@ -16,7 +16,7 @@ constexpr std::size_t kRowChunk = 256;
 }  // namespace
 
 RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch,
-                         ThreadPool* pool) {
+                         ThreadPool* pool, const FaultInjector* faults) {
   RowAnalysis out;
   out.rows = a.rows();
   out.products.assign(static_cast<std::size_t>(a.rows()), 0);
@@ -56,7 +56,10 @@ RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch,
             prod_r += len;
             longest = std::max(longest, len);
           }
-          out.products[ri] = prod_r;
+          // Fault injection perturbs the *estimate* only: planning consumes
+          // it, but symbolic/numeric correctness never depends on it.
+          out.products[ri] =
+              faults != nullptr ? faults->scale_estimate(r, prod_r) : prod_r;
           out.longest_b_row[ri] = longest;
           out.col_min[ri] = cmin == b.cols() ? 0 : cmin;
           out.col_max[ri] = cmax < 0 ? 0 : cmax;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "matrix/csr.h"
@@ -30,8 +31,11 @@ struct RowAnalysis {
 
 /// Runs the analysis, charging its simulated cost to `launch`. The per-row
 /// scan is parallelized over `pool` (the global pool when null); results
-/// are bit-identical for every thread count.
+/// are bit-identical for every thread count. When `faults` is set, the
+/// per-row product estimates are perturbed (deterministically per row) to
+/// stress the planning stages; only estimates change, never exact counts.
 RowAnalysis analyze_rows(const Csr& a, const Csr& b, sim::Launch& launch,
-                         ThreadPool* pool = nullptr);
+                         ThreadPool* pool = nullptr,
+                         const FaultInjector* faults = nullptr);
 
 }  // namespace speck

@@ -1,6 +1,7 @@
 #include "speck/speck.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/bit_utils.h"
 #include "matrix/matrix_stats.h"
@@ -21,12 +22,32 @@ ThreadPool* Speck::host_pool() {
 
 SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  if (config_.validate_inputs) {
+    a.validate();
+    b.validate();
+    if (!a.sorted_within_rows()) {
+      throw BadInput("matrix A has unsorted rows (CSR requires ascending "
+                     "column indices; call sort_rows())",
+                     "Speck::multiply");
+    }
+    if (!b.sorted_within_rows()) {
+      throw BadInput("matrix B has unsorted rows (CSR requires ascending "
+                     "column indices; call sort_rows())",
+                     "Speck::multiply");
+    }
+  }
+  std::optional<FaultInjector> injector;
+  if (config_.faults.enabled()) injector.emplace(config_.faults);
+  const FaultInjector* faults = injector ? &*injector : nullptr;
+
   SpGemmResult result;
   diagnostics_ = SpeckDiagnostics{};
   diagnostics_.wide_keys = b.cols() > kMaxColumns32Bit;
   trace_.clear();
 
-  sim::MemoryTracker memory(device_.global_memory_bytes);
+  sim::MemoryTracker memory(faults != nullptr
+                                ? faults->cap_memory(device_.global_memory_bytes)
+                                : device_.global_memory_bytes);
   // Input matrices are resident for the duration of the multiplication
   // (the paper lists this as spECK's limitation, §7).
   if (!memory.allocate(a.byte_size() + b.byte_size())) {
@@ -45,10 +66,11 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   ctx.wide_keys = diagnostics_.wide_keys;
   ctx.trace = &trace_;
   ctx.pool = host_pool();
+  ctx.faults = faults;
 
   // Stage 1: lightweight row analysis (Algorithm 1).
   sim::Launch analysis_launch("row_analysis", device_, model_);
-  const RowAnalysis analysis = analyze_rows(a, b, analysis_launch, ctx.pool);
+  const RowAnalysis analysis = analyze_rows(a, b, analysis_launch, ctx.pool, faults);
   ctx.analysis = &analysis;
   diagnostics_.products = analysis.total_products;
   {
@@ -120,6 +142,12 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   for (std::size_t r = 0; r < symbolic.row_nnz.size(); ++r) {
     numeric_entries[r] = static_cast<offset_t>(
         static_cast<double>(symbolic.row_nnz[r]) / config_.max_numeric_fill + 1.0);
+    if (faults != nullptr) {
+      // Perturb the numeric binning input too — like the analysis estimates
+      // this only shifts rows between kernel configurations.
+      numeric_entries[r] =
+          faults->scale_estimate(static_cast<index_t>(r), numeric_entries[r]);
+    }
   }
   sim::Launch numeric_lb_launch("numeric_lb", device_, model_);
   const GlobalLbInputs numeric_inputs{std::span<const offset_t>(numeric_entries),
@@ -171,6 +199,29 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   result.seconds = result.timeline.total_seconds();
   result.peak_memory_bytes = memory.peak_bytes();
   return result;
+}
+
+Speck::TryMultiplyOutcome Speck::try_multiply(const Csr& a,
+                                              const Csr& b) noexcept {
+  TryMultiplyOutcome out;
+  try {
+    out.result = multiply(a, b);
+    switch (out.result.status) {
+      case SpGemmStatus::kOk:
+        break;
+      case SpGemmStatus::kOutOfMemory:
+        out.status = Status{ErrorCode::kResourceExhausted,
+                            out.result.failure_reason, "Speck::multiply"};
+        break;
+      case SpGemmStatus::kUnsupported:
+        out.status = Status{ErrorCode::kBadInput, out.result.failure_reason,
+                            "Speck::multiply"};
+        break;
+    }
+  } catch (...) {
+    out.status = status_from_current_exception();
+  }
+  return out;
 }
 
 }  // namespace speck

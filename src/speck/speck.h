@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "ref/spgemm_api.h"
 #include "speck/config.h"
@@ -41,6 +42,23 @@ class Speck final : public SpGemmAlgorithm {
 
   std::string name() const override { return "speck"; }
   SpGemmResult multiply(const Csr& a, const Csr& b) override;
+
+  /// Outcome of the non-throwing entry point. `status.ok()` implies
+  /// `result` carries a successful multiplication; otherwise `result` is
+  /// whatever partial state was produced (timeline, failure_reason) and
+  /// `status` classifies the failure.
+  struct TryMultiplyOutcome {
+    Status status;
+    SpGemmResult result;
+    bool ok() const { return status.ok(); }
+  };
+
+  /// Non-throwing variant of multiply(): every exception the pipeline can
+  /// raise — BadInput from validation, ResourceExhausted from checked
+  /// arithmetic, InternalError from invariant checks — is caught and mapped
+  /// to a Status; structured SpGemmResult failures (simulated OOM,
+  /// unsupported shapes) are mapped likewise.
+  TryMultiplyOutcome try_multiply(const Csr& a, const Csr& b) noexcept;
 
   const SpeckConfig& config() const { return config_; }
   SpeckConfig& config() { return config_; }

@@ -26,8 +26,8 @@ RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,
     return RowMethod::kDirect;
   }
   if (!merged_block && ctx.cfg->features.dense_accumulation) {
-    const auto largest_hash =
-        static_cast<double>(ctx.configs->back().symbolic_hash_capacity());
+    const auto largest_hash = static_cast<double>(
+        ctx.effective_capacity(ctx.configs->back().symbolic_hash_capacity()));
     if (static_cast<double>(ctx.analysis->products[r]) >
         ctx.cfg->symbolic_dense_factor * largest_hash) {
       return RowMethod::kDense;
@@ -82,7 +82,8 @@ sim::BlockCost run_symbolic_block(const KernelContext& ctx,
     const auto result = dense_accumulate_row(
         *ctx.b, a_cols, {}, ctx.analysis->col_min[static_cast<std::size_t>(r)],
         ctx.analysis->col_max[static_cast<std::size_t>(r)],
-        config.dense_symbolic_capacity(), /*numeric=*/false);
+        ctx.effective_capacity(config.dense_symbolic_capacity()),
+        /*numeric=*/false);
     out_row_nnz[static_cast<std::size_t>(r)] =
         static_cast<index_t>(result.cols.size());
     ++stats.dense_rows;
@@ -99,7 +100,8 @@ sim::BlockCost run_symbolic_block(const KernelContext& ctx,
 
   // Hash path: one shared map with compound keys for all rows of the
   // block (5-bit local row | 27-bit column).
-  SymbolicHashAccumulator acc(config.symbolic_hash_capacity());
+  SymbolicHashAccumulator acc(ctx.effective_capacity(config.symbolic_hash_capacity()),
+                              ctx.faults);
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
     for (const index_t k : ctx.a->row_cols(r)) {

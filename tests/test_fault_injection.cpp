@@ -1,0 +1,197 @@
+// Fault-injection matrix: every injected fault (estimate mis-scaling, forced
+// hash-map overflow, shrunken scratchpads, jittered estimates, memory-budget
+// caps) may only change the *planning* and the simulated cost. Over the whole
+// test corpus the numeric CSR output must stay bit-identical to the Gustavson
+// oracle — or fail with the typed out-of-memory status. This is the paper's
+// graceful-degradation claim (estimates are hints, never correctness inputs)
+// under deliberately hostile estimates.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "gen/corpus.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+struct NamedFault {
+  std::string name;
+  FaultSpec spec;
+};
+
+std::vector<NamedFault> fault_matrix() {
+  std::vector<NamedFault> faults;
+  {
+    FaultSpec s;
+    s.estimate_scale = 0.25;  // under-estimate: undersized bins, spills
+    faults.push_back({"estimate-x0.25", s});
+  }
+  {
+    FaultSpec s;
+    s.estimate_scale = 4.0;  // over-estimate: rows mis-binned upward
+    faults.push_back({"estimate-x4", s});
+  }
+  {
+    FaultSpec s;
+    s.hash_overflow_after = 8;  // force the global-memory fallback
+    faults.push_back({"hash-overflow-after-8", s});
+  }
+  {
+    FaultSpec s;
+    s.scratchpad_scale = 0.5;  // kernels get half what binning assumed
+    faults.push_back({"scratchpad-x0.5", s});
+  }
+  {
+    FaultSpec s;
+    s.estimate_jitter = 0.9;  // per-row chaos, deterministic via seed
+    s.seed = 17;
+    faults.push_back({"jitter-0.9", s});
+  }
+  {
+    FaultSpec s;
+    s.estimate_scale = 0.5;
+    s.hash_overflow_after = 16;
+    s.scratchpad_scale = 0.5;
+    faults.push_back({"combined", s});
+  }
+  return faults;
+}
+
+Speck make_speck(const FaultSpec& spec, int host_threads) {
+  SpeckConfig config;
+  config.faults = spec;
+  config.host_threads = host_threads;
+  config.validate_inputs = true;
+  return Speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+}
+
+void run_matrix(int host_threads) {
+  const auto corpus = gen::test_corpus();
+  const auto faults = fault_matrix();
+  for (const auto& entry : corpus) {
+    const Csr oracle = gustavson_spgemm(entry.a, entry.b);
+    for (const auto& fault : faults) {
+      Speck speck = make_speck(fault.spec, host_threads);
+      const auto outcome = speck.try_multiply(entry.a, entry.b);
+      ASSERT_TRUE(outcome.ok()) << entry.name << " under " << fault.name
+                                << ": " << outcome.status.to_string();
+      // Tolerance 0: bit-identical values, not merely close.
+      const auto diff = compare(outcome.result.c, oracle, 0.0);
+      EXPECT_FALSE(diff.has_value())
+          << entry.name << " under " << fault.name << ": "
+          << (diff ? diff->description : "");
+    }
+  }
+}
+
+TEST(FaultMatrix, OutputBitIdenticalToOracle) { run_matrix(/*host_threads=*/0); }
+
+TEST(FaultMatrix, OutputBitIdenticalToOracleAt8Threads) {
+  run_matrix(/*host_threads=*/8);
+}
+
+TEST(FaultMatrix, ForcedOverflowActuallySpills) {
+  // Prove the fault drives the fallback path rather than being ignored.
+  FaultSpec spec;
+  spec.hash_overflow_after = 4;
+  bool spilled_somewhere = false;
+  for (const auto& entry : gen::test_corpus()) {
+    Speck speck = make_speck(spec, 0);
+    const auto outcome = speck.try_multiply(entry.a, entry.b);
+    ASSERT_TRUE(outcome.ok()) << entry.name;
+    const SpeckDiagnostics& diag = speck.last_diagnostics();
+    spilled_somewhere = spilled_somewhere ||
+                        diag.symbolic.global_hash_blocks > 0 ||
+                        diag.numeric.global_hash_blocks > 0;
+  }
+  EXPECT_TRUE(spilled_somewhere)
+      << "hash-overflow-after=4 never reached the global fallback";
+}
+
+TEST(FaultMatrix, ResultsIdenticalAcrossThreadCounts) {
+  FaultSpec spec;
+  spec.estimate_jitter = 0.5;
+  spec.seed = 99;
+  spec.hash_overflow_after = 8;
+  for (const auto& entry : gen::test_corpus()) {
+    Speck one = make_speck(spec, 1);
+    Speck eight = make_speck(spec, 8);
+    const auto r1 = one.try_multiply(entry.a, entry.b);
+    const auto r8 = eight.try_multiply(entry.a, entry.b);
+    ASSERT_TRUE(r1.ok() && r8.ok()) << entry.name;
+    EXPECT_FALSE(compare(r1.result.c, r8.result.c, 0.0).has_value())
+        << entry.name;
+    // The simulated schedule (and thus the modeled time) is part of the
+    // determinism contract too.
+    EXPECT_EQ(r1.result.seconds, r8.result.seconds) << entry.name;
+  }
+}
+
+TEST(FaultMatrix, TightMemoryBudgetIsTypedFailure) {
+  FaultSpec spec;
+  spec.memory_budget_bytes = 2048;
+  const auto corpus = gen::test_corpus();
+  ASSERT_FALSE(corpus.empty());
+  Speck speck = make_speck(spec, 0);
+  const auto outcome = speck.try_multiply(corpus.front().a, corpus.front().b);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code, ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(outcome.status.message.empty());
+}
+
+TEST(FaultInjector, EstimateScalingIsDeterministic) {
+  FaultSpec spec;
+  spec.estimate_scale = 2.0;
+  spec.estimate_jitter = 0.5;
+  spec.seed = 7;
+  const FaultInjector injector(spec);
+  const FaultInjector again(spec);
+  for (index_t row = 0; row < 64; ++row) {
+    const offset_t scaled = injector.scale_estimate(row, 100);
+    EXPECT_EQ(scaled, again.scale_estimate(row, 100));
+    // scale 2 +/- 50% jitter keeps the factor within [1, 3].
+    EXPECT_GE(scaled, 100);
+    EXPECT_LE(scaled, 300);
+  }
+  // Different seeds must actually change something.
+  FaultSpec other = spec;
+  other.seed = 8;
+  const FaultInjector reseeded(other);
+  bool any_difference = false;
+  for (index_t row = 0; row < 64; ++row) {
+    any_difference = any_difference ||
+                     injector.scale_estimate(row, 100) !=
+                         reseeded.scale_estimate(row, 100);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjector, CapacityClampsToOneSlot) {
+  FaultSpec spec;
+  spec.scratchpad_scale = 0.001;
+  const FaultInjector injector(spec);
+  EXPECT_EQ(injector.scratchpad_capacity(10), 1u);
+  EXPECT_EQ(injector.scratchpad_capacity(10000), 10u);
+  // Identity when the fault is off.
+  EXPECT_EQ(FaultInjector(FaultSpec{}).scratchpad_capacity(123), 123u);
+}
+
+TEST(FaultInjector, OverflowThresholdAndMemoryCap) {
+  FaultSpec spec;
+  spec.hash_overflow_after = 8;
+  spec.memory_budget_bytes = 1000;
+  const FaultInjector injector(spec);
+  EXPECT_FALSE(injector.force_hash_overflow(7));
+  EXPECT_TRUE(injector.force_hash_overflow(8));
+  EXPECT_EQ(injector.cap_memory(5000), 1000u);
+  EXPECT_EQ(injector.cap_memory(500), 500u);
+  EXPECT_EQ(FaultInjector(FaultSpec{}).cap_memory(5000), 5000u);
+}
+
+}  // namespace
+}  // namespace speck

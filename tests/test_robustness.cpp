@@ -1,0 +1,284 @@
+// Robustness suite: the error taxonomy, checked size arithmetic, hardened
+// Matrix Market ingestion (driven by the checked-in malformed corpus under
+// tests/data/mtx), container re-validation and the non-throwing
+// Speck::try_multiply surface. See docs/robustness.md.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/checked_math.h"
+#include "common/fault_injection.h"
+#include "matrix/coo.h"
+#include "matrix/csc.h"
+#include "matrix/csr.h"
+#include "matrix/io_mtx.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Error taxonomy.
+
+TEST(ErrorTaxonomy, CodesAndStdBases) {
+  const BadInput bad("nope", "ctx");
+  EXPECT_EQ(bad.code(), ErrorCode::kBadInput);
+  EXPECT_EQ(bad.context(), "ctx");
+  EXPECT_STREQ(bad.what(), "nope");
+  // Each class stays catchable through its standard-library base.
+  EXPECT_THROW(throw BadInput("x"), std::invalid_argument);
+  EXPECT_THROW(throw ResourceExhausted("x"), std::runtime_error);
+  EXPECT_THROW(throw InternalError("x"), std::logic_error);
+  // And through the mixin.
+  EXPECT_THROW(throw ResourceExhausted("x"), SpeckError);
+}
+
+TEST(ErrorTaxonomy, ExitCodesAreStable) {
+  EXPECT_EQ(exit_code(ErrorCode::kOk), 0);
+  EXPECT_EQ(exit_code(ErrorCode::kBadInput), 3);
+  EXPECT_EQ(exit_code(ErrorCode::kResourceExhausted), 4);
+  EXPECT_EQ(exit_code(ErrorCode::kInternal), 5);
+}
+
+TEST(ErrorTaxonomy, StatusToString) {
+  const Status status =
+      Status::error(ErrorCode::kBadInput, "missing banner", "bad.mtx:1");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.to_string(), "[BadInput] missing banner (bad.mtx:1)");
+  EXPECT_TRUE(Status::success().ok());
+  EXPECT_EQ(Status::success().to_string(), "[Ok]");
+}
+
+TEST(ErrorTaxonomy, StatusFromCurrentException) {
+  Status status;
+  try {
+    throw ResourceExhausted("budget gone", "here");
+  } catch (...) {
+    status = status_from_current_exception();
+  }
+  EXPECT_EQ(status.code, ErrorCode::kResourceExhausted);
+  EXPECT_EQ(status.message, "budget gone");
+  EXPECT_EQ(status.context, "here");
+
+  try {
+    throw std::out_of_range("vector");  // outside the taxonomy
+  } catch (...) {
+    status = status_from_current_exception();
+  }
+  EXPECT_EQ(status.code, ErrorCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Checked size arithmetic.
+
+TEST(CheckedMath, CastAcceptsRepresentable) {
+  EXPECT_EQ(checked_cast<index_t>(std::int64_t{123}), 123);
+  EXPECT_EQ(checked_cast<std::size_t>(std::int64_t{0}), 0u);
+}
+
+TEST(CheckedMath, CastRejectsNarrowingAndSignChanges) {
+  EXPECT_THROW(checked_cast<index_t>(std::int64_t{1} << 40), BadInput);
+  EXPECT_THROW(checked_cast<std::size_t>(std::int64_t{-1}), BadInput);
+  EXPECT_THROW(checked_cast<std::int32_t>(~std::uint32_t{0}), BadInput);
+}
+
+TEST(CheckedMath, AddMulRejectOverflow) {
+  const auto big = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(checked_add<std::size_t>(2, 3), 5u);
+  EXPECT_EQ(checked_mul<std::size_t>(6, 7), 42u);
+  EXPECT_THROW(checked_add<std::size_t>(big, 1), ResourceExhausted);
+  EXPECT_THROW(checked_mul<std::size_t>(big / 2, 3), ResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-file corpus: every checked-in seed must be rejected with a
+// BadInput that carries "<source>:<line>" context. Parsed with the strict
+// duplicate policy so duplicate_entry.mtx is a rejection too.
+
+std::vector<std::filesystem::path> corpus_files() {
+  const std::filesystem::path dir =
+      std::filesystem::path(SPECK_TEST_DATA_DIR) / "mtx";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".mtx") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(MalformedCorpus, EveryFileRejectedWithContext) {
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 14u);
+  MtxOptions strict;
+  strict.duplicates = MtxOptions::DuplicatePolicy::kError;
+  for (const auto& path : files) {
+    try {
+      (void)read_matrix_market_file(path.string(), strict);
+      FAIL() << path << " was accepted";
+    } catch (const BadInput& e) {
+      // Context pins the failure to a file (and, beyond open errors, a line).
+      EXPECT_NE(std::string(e.what()).find(path.filename().string()),
+                std::string::npos)
+          << path << ": " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << path << " threw outside the taxonomy: " << e.what();
+    }
+  }
+}
+
+TEST(MalformedCorpus, ContextNamesTheLine) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 nan\n");
+  try {
+    (void)read_matrix_market(in, MtxOptions{}, "poison.mtx");
+    FAIL() << "NaN value was accepted";
+  } catch (const BadInput& e) {
+    EXPECT_EQ(e.context(), "poison.mtx:3");
+  }
+}
+
+TEST(MtxReader, DuplicatePolicySumIsLenient) {
+  const std::string doc =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n";
+  std::istringstream sum_in(doc);
+  const Csr summed = read_matrix_market(sum_in);
+  EXPECT_EQ(summed.nnz(), 1);
+  EXPECT_DOUBLE_EQ(summed.values()[0], 4.0);
+
+  std::istringstream strict_in(doc);
+  MtxOptions strict;
+  strict.duplicates = MtxOptions::DuplicatePolicy::kError;
+  EXPECT_THROW((void)read_matrix_market(strict_in, strict), BadInput);
+}
+
+TEST(MtxReader, HugeEntryClaimRejectedWithoutAllocation) {
+  // Size line promises ~10^18 entries but delivers none: the reader must
+  // fail structurally, not attempt the reservation.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "10 10 1000000000000000000\n");
+  EXPECT_THROW((void)read_matrix_market(in), BadInput);
+}
+
+// ---------------------------------------------------------------------------
+// Container re-validation.
+
+Csr small_csr() {
+  return Csr(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+}
+
+TEST(Validate, CsrAcceptsWellFormed) { EXPECT_NO_THROW(small_csr().validate()); }
+
+TEST(Validate, CsrCatchesMutatedColumnIndex) {
+  Csr m = small_csr();
+  m.col_indices_mutable()[1] = 99;  // out of range after mutation
+  EXPECT_THROW(m.validate(), BadInput);
+}
+
+TEST(Validate, CsrConstructorRejectsBrokenOffsets) {
+  EXPECT_THROW(Csr(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}), BadInput);
+  EXPECT_THROW(Csr(2, 2, {0, 1, 1}, {5}, {1.0}), BadInput);
+  EXPECT_THROW(Csr(2, 2, {0, 1, 2}, {0, 1}, {1.0}), BadInput);
+}
+
+TEST(Validate, CooChecksParallelArraysAndRanges) {
+  Coo coo(2, 2);
+  coo.add(0, 1, 1.0);
+  EXPECT_NO_THROW(coo.validate());
+  EXPECT_THROW(coo.add(2, 0, 1.0), BadInput);
+  EXPECT_THROW(coo.add(0, -1, 1.0), BadInput);
+}
+
+TEST(Validate, CscConstructorRejectsOutOfRangeRow) {
+  EXPECT_THROW(Csc(2, 2, {0, 1, 1}, {7}, {1.0}), BadInput);
+  EXPECT_NO_THROW(Csc(2, 2, {0, 1, 1}, {1}, {1.0}).validate());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-spec grammar.
+
+TEST(FaultSpecGrammar, ParsesEveryKey) {
+  const FaultSpec spec = parse_fault_spec(
+      "estimate-scale=0.25,estimate-jitter=0.5,seed=42,"
+      "hash-overflow-after=16,scratchpad-scale=0.5,memory-budget-mb=1.5");
+  EXPECT_DOUBLE_EQ(spec.estimate_scale, 0.25);
+  EXPECT_DOUBLE_EQ(spec.estimate_jitter, 0.5);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.hash_overflow_after, 16);
+  EXPECT_DOUBLE_EQ(spec.scratchpad_scale, 0.5);
+  EXPECT_EQ(spec.memory_budget_bytes,
+            static_cast<std::size_t>(1.5 * 1024 * 1024));
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_FALSE(FaultSpec{}.enabled());
+  EXPECT_FALSE(parse_fault_spec("").enabled());
+}
+
+TEST(FaultSpecGrammar, RejectsBadPairs) {
+  EXPECT_THROW(parse_fault_spec("warp-drive=1"), BadInput);
+  EXPECT_THROW(parse_fault_spec("estimate-scale=fast"), BadInput);
+  EXPECT_THROW(parse_fault_spec("estimate-scale"), BadInput);
+  EXPECT_THROW(parse_fault_spec("scratchpad-scale=0"), BadInput);
+  EXPECT_THROW(parse_fault_spec("scratchpad-scale=2"), BadInput);
+  EXPECT_THROW(parse_fault_spec("estimate-jitter=-0.5"), BadInput);
+  EXPECT_THROW(parse_fault_spec("hash-overflow-after=-3"), BadInput);
+}
+
+TEST(FaultSpecGrammar, DescribeIsOneLine) {
+  const std::string text =
+      describe(parse_fault_spec("estimate-scale=2,seed=9"));
+  EXPECT_NE(text.find("estimate-scale"), std::string::npos);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Non-throwing multiply surface.
+
+TEST(TryMultiply, SuccessCarriesResult) {
+  const Csr a = Csr::identity(8);
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const auto outcome = speck.try_multiply(a, a);
+  ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
+  EXPECT_EQ(outcome.result.c.nnz(), 8);
+}
+
+TEST(TryMultiply, DimensionMismatchIsBadInput) {
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const auto outcome = speck.try_multiply(Csr::identity(4), Csr::identity(5));
+  EXPECT_EQ(outcome.status.code, ErrorCode::kBadInput);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(TryMultiply, UnsortedInputRejectedWhenValidating) {
+  Csr a(1, 2, {0, 2}, {1, 0}, {1.0, 2.0});  // descending columns
+  SpeckConfig config;
+  config.validate_inputs = true;
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const auto outcome = speck.try_multiply(a, Csr::identity(2));
+  EXPECT_EQ(outcome.status.code, ErrorCode::kBadInput);
+  // Without the toggle the (cheap) structural REQUIREs still hold but the
+  // deep re-validation is skipped; this input only trips the deep check.
+  speck.config().validate_inputs = false;
+  EXPECT_TRUE(speck.try_multiply(a, Csr::identity(2)).ok());
+}
+
+TEST(TryMultiply, MemoryBudgetMapsToResourceExhausted) {
+  SpeckConfig config;
+  config.faults.memory_budget_bytes = 1024;  // far below the input footprint
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+  const Csr a = Csr::identity(1024);
+  const auto outcome = speck.try_multiply(a, a);
+  EXPECT_EQ(outcome.status.code, ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(outcome.status.message.empty());
+}
+
+}  // namespace
+}  // namespace speck

@@ -1,0 +1,302 @@
+// fuzz_mtx — deterministic mutation-based fuzz driver for the Matrix Market
+// reader (and, for inputs that survive parsing, the spECK pipeline).
+//
+//   fuzz_mtx [--corpus DIR] [--iterations N] [--seed S] [--artifact-dir DIR]
+//
+// Seeds are the built-in valid documents plus every file of --corpus DIR
+// (e.g. tests/data/mtx, the checked-in malformed corpus). Each iteration
+// picks a seed, applies a few random mutations (bit flips, byte edits, line
+// duplication/deletion, truncation, token insertion, digit perturbation) and
+// feeds the result to read_matrix_market. The contract under fuzzing:
+//
+//   * parse succeeds       -> the CSR passes validate(); small square
+//                             matrices additionally run through Speck and
+//                             must match the Gustavson oracle bit-exactly
+//   * parse fails          -> the error is BadInput (with context), never
+//                             another exception type, a crash or UB
+//
+// Any contract violation writes the offending input to --artifact-dir as
+// fuzz-crash-<iteration>.mtx and exits nonzero. Same seed + same iteration
+// count => same byte stream of inputs, so failures reproduce exactly.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "matrix/coo.h"
+#include "matrix/io_mtx.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/speck.h"
+
+namespace {
+
+using namespace speck;
+
+const char* const kBuiltinSeeds[] = {
+    "%%MatrixMarket matrix coordinate real general\n"
+    "4 4 6\n"
+    "1 1 1.5\n1 3 -2.0\n2 2 4.0\n3 1 0.25\n4 3 1.0\n4 4 -8.5\n",
+
+    "%%MatrixMarket matrix coordinate real symmetric\n"
+    "% symmetric seed with a comment\n"
+    "3 3 4\n"
+    "1 1 2.0\n2 1 -1.0\n3 2 0.5\n3 3 7.0\n",
+
+    "%%MatrixMarket matrix coordinate pattern general\n"
+    "5 5 5\n"
+    "1 2\n2 3\n3 4\n4 5\n5 1\n",
+
+    "%%MatrixMarket matrix coordinate integer general\n"
+    "2 3 3\n"
+    "1 1 3\n1 3 -4\n2 2 12\n",
+
+    "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+    "3 3 2\n"
+    "2 1 1.0\n3 1 -2.5\n",
+};
+
+/// A randomly generated valid document, so mutations also start from larger
+/// well-formed inputs with diverse values.
+std::string generated_seed(Xoshiro256& rng) {
+  const auto rows = static_cast<index_t>(rng.next_int(1, 24));
+  const auto cols = static_cast<index_t>(rng.next_int(1, 24));
+  Coo coo(rows, cols);
+  const std::int64_t nnz = rng.next_int(0, 64);
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    coo.add(static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(rows))),
+            static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols))),
+            rng.next_double(-4.0, 4.0));
+  }
+  std::ostringstream out;
+  write_matrix_market(out, coo.to_csr());
+  return out.str();
+}
+
+/// Applies one random mutation in place.
+void mutate(std::string& data, Xoshiro256& rng) {
+  if (data.empty()) {
+    data.push_back(static_cast<char>(rng.next_below(256)));
+    return;
+  }
+  switch (rng.next_below(7)) {
+    case 0: {  // flip one bit
+      const auto pos = rng.next_below(data.size());
+      data[pos] = static_cast<char>(data[pos] ^ (1u << rng.next_below(8)));
+      break;
+    }
+    case 1: {  // overwrite one byte
+      data[rng.next_below(data.size())] =
+          static_cast<char>(rng.next_below(256));
+      break;
+    }
+    case 2: {  // truncate
+      data.resize(rng.next_below(data.size()));
+      break;
+    }
+    case 3: {  // delete a span
+      const auto begin = rng.next_below(data.size());
+      const auto len = rng.next_below(data.size() - begin) + 1;
+      data.erase(begin, len);
+      break;
+    }
+    case 4: {  // duplicate a span
+      const auto begin = rng.next_below(data.size());
+      const auto len = std::min<std::uint64_t>(
+          rng.next_below(64) + 1, data.size() - begin);
+      data.insert(rng.next_below(data.size() + 1),
+                  data.substr(begin, len));
+      break;
+    }
+    case 5: {  // insert a hostile token
+      static const char* const kTokens[] = {
+          " -1", " 0", " 999999999999999999999", " nan", " inf", " -inf",
+          " 1e308", " 0x10", " %", "\n", " \t ", " 2147483648",
+      };
+      const auto* token = kTokens[rng.next_below(std::size(kTokens))];
+      data.insert(rng.next_below(data.size() + 1), token);
+      break;
+    }
+    default: {  // perturb a digit
+      const auto start = rng.next_below(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto pos = (start + i) % data.size();
+        if (data[pos] >= '0' && data[pos] <= '9') {
+          data[pos] = static_cast<char>('0' + rng.next_below(10));
+          break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+/// The per-input contract; returns an error description on violation.
+std::string check_input(const std::string& data, bool strict_duplicates) {
+  Csr parsed;
+  MtxOptions options;
+  options.duplicates = strict_duplicates ? MtxOptions::DuplicatePolicy::kError
+                                         : MtxOptions::DuplicatePolicy::kSum;
+  std::istringstream in(data);
+  try {
+    parsed = read_matrix_market(in, options, "fuzz");
+  } catch (const BadInput&) {
+    return "";  // structured rejection is the expected failure mode
+  } catch (const std::exception& e) {
+    return std::string("non-BadInput exception from the reader: ") + e.what();
+  } catch (...) {
+    return "unknown exception from the reader";
+  }
+
+  try {
+    parsed.validate();
+    if (!parsed.sorted_within_rows()) {
+      return "reader produced unsorted rows";
+    }
+    // Small square results also exercise the pipeline: spECK must match the
+    // Gustavson oracle bit-for-bit on anything the reader accepts.
+    if (parsed.rows() == parsed.cols() && parsed.rows() <= 64 &&
+        parsed.nnz() <= 512) {
+      Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{});
+      speck.config().validate_inputs = true;
+      const auto outcome = speck.try_multiply(parsed, parsed);
+      if (!outcome.ok()) {
+        return "pipeline failed on accepted input: " +
+               outcome.status.to_string();
+      }
+      const Csr oracle = gustavson_spgemm(parsed, parsed);
+      const auto diff = compare(outcome.result.c, oracle, 0.0);
+      if (diff.has_value()) {
+        return "pipeline result diverges from the oracle: " +
+               diff->description;
+      }
+    }
+  } catch (const std::exception& e) {
+    return std::string("exception after successful parse: ") + e.what();
+  } catch (...) {
+    return "unknown exception after successful parse";
+  }
+  return "";
+}
+
+int run(int argc, char** argv) {
+  std::string corpus_dir;
+  std::string artifact_dir = ".";
+  long long iterations = 2000;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--corpus DIR] [--iterations N] [--seed S]\n"
+          "          [--artifact-dir DIR]\n"
+          "\n"
+          "Deterministic mutation fuzzer for the Matrix Market reader; see\n"
+          "docs/robustness.md. Crashing inputs are written to\n"
+          "<artifact-dir>/fuzz-crash-<iteration>.mtx.\n"
+          "\n"
+          "exit codes: 0 all iterations upheld the contract, 1 contract\n"
+          "  violation (artifact written), 2 usage error, 3 bad input,\n"
+          "  4 resource exhausted, 5 internal error, 6 unknown exception\n",
+          argv[0]);
+      return 0;
+    } else if (std::strcmp(argv[i], "--corpus") == 0) {
+      corpus_dir = need_value("--corpus");
+    } else if (std::strcmp(argv[i], "--artifact-dir") == 0) {
+      artifact_dir = need_value("--artifact-dir");
+    } else if (std::strcmp(argv[i], "--iterations") == 0) {
+      iterations = std::atoll(need_value("--iterations"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Xoshiro256 rng(seed);
+  std::vector<std::string> seeds(std::begin(kBuiltinSeeds),
+                                 std::end(kBuiltinSeeds));
+  for (int i = 0; i < 4; ++i) seeds.push_back(generated_seed(rng));
+  if (!corpus_dir.empty()) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());  // directory order is not stable
+    for (const auto& path : files) {
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      seeds.push_back(buffer.str());
+    }
+  }
+  std::printf("fuzz_mtx: %zu seeds, %lld iterations, seed %llu\n", seeds.size(),
+              iterations, static_cast<unsigned long long>(seed));
+
+  long long rejected = 0;
+  long long accepted = 0;
+  for (long long iter = 0; iter < iterations; ++iter) {
+    std::string data = seeds[rng.next_below(seeds.size())];
+    const std::uint64_t mutations = rng.next_below(4) + 1;
+    for (std::uint64_t m = 0; m < mutations; ++m) mutate(data, rng);
+
+    const std::string violation = check_input(data, rng.next_below(2) == 0);
+    if (!violation.empty()) {
+      std::filesystem::create_directories(artifact_dir);
+      const auto artifact = std::filesystem::path(artifact_dir) /
+                            ("fuzz-crash-" + std::to_string(iter) + ".mtx");
+      std::ofstream out(artifact, std::ios::binary);
+      out.write(data.data(), static_cast<std::streamsize>(data.size()));
+      std::fprintf(stderr,
+                   "fuzz_mtx: iteration %lld violated the contract: %s\n"
+                   "fuzz_mtx: input written to %s\n",
+                   iter, violation.c_str(), artifact.c_str());
+      return 1;
+    }
+    // Re-parse leniently just to keep the accepted/rejected tally honest.
+    std::istringstream in(data);
+    try {
+      (void)read_matrix_market(in);
+      ++accepted;
+    } catch (const BadInput&) {
+      ++rejected;
+    }
+  }
+  std::printf("fuzz_mtx: OK — %lld accepted, %lld rejected, 0 violations\n",
+              accepted, rejected);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const speck::SpeckError& e) {
+    const auto* as_std = dynamic_cast<const std::exception*>(&e);
+    const speck::Status status = speck::Status::error(
+        e.code(), as_std != nullptr ? as_std->what() : "", e.context());
+    std::fprintf(stderr, "fuzz_mtx: %s\n", status.to_string().c_str());
+    return speck::exit_code(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fuzz_mtx: [InternalError] %s\n", e.what());
+    return speck::exit_code(speck::ErrorCode::kInternal);
+  } catch (...) {
+    std::fprintf(stderr, "fuzz_mtx: unknown exception\n");
+    return 6;
+  }
+}

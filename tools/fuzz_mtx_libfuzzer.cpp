@@ -1,0 +1,31 @@
+// libFuzzer entry point for the Matrix Market reader (built only with
+// -DSPECK_LIBFUZZER=ON under clang):
+//
+//   cmake -B build-fuzz -DSPECK_LIBFUZZER=ON \
+//         -DCMAKE_CXX_COMPILER=clang++ && cmake --build build-fuzz
+//   build-fuzz/tools/fuzz_mtx_libfuzzer tests/data/mtx
+//
+// The contract mirrors tools/fuzz_mtx: BadInput is the only acceptable
+// failure mode; anything the reader accepts must pass Csr::validate().
+// Coverage guidance comes from libFuzzer itself; the deterministic driver
+// stays the CI workhorse because it needs no special toolchain.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "matrix/io_mtx.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const speck::Csr parsed = speck::read_matrix_market(in);
+    parsed.validate();
+  } catch (const speck::BadInput&) {
+    // Structured rejection — the expected outcome for malformed input.
+  }
+  return 0;
+}

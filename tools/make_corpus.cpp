@@ -3,14 +3,28 @@
 //
 //   make_corpus <output-dir> [common|eval|test]
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "common/check.h"
 #include "gen/corpus.h"
 #include "matrix/io_mtx.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace speck;
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::printf(
+        "usage: %s <output-dir> [common|eval|test]\n"
+        "\n"
+        "exit codes: 0 success, 2 usage error, 3 bad input,\n"
+        "  4 resource exhausted, 5 internal error, 6 unknown exception\n",
+        argv[0]);
+    return 0;
+  }
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <output-dir> [common|eval|test]\n", argv[0]);
     return 2;
@@ -37,4 +51,24 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%s)\n", path.c_str(), entry.a.shape_string().c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const speck::SpeckError& e) {
+    const auto* as_std = dynamic_cast<const std::exception*>(&e);
+    const speck::Status status = speck::Status::error(
+        e.code(), as_std != nullptr ? as_std->what() : "", e.context());
+    std::fprintf(stderr, "make_corpus: %s\n", status.to_string().c_str());
+    return speck::exit_code(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "make_corpus: [InternalError] %s\n", e.what());
+    return speck::exit_code(speck::ErrorCode::kInternal);
+  } catch (...) {
+    std::fprintf(stderr, "make_corpus: unknown exception\n");
+    return 6;
+  }
 }

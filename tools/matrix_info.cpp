@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/check.h"
 #include "gen/corpus.h"
 #include "matrix/io_mtx.h"
 #include "matrix/matrix_stats.h"
@@ -12,8 +13,21 @@
 #include "matrix/permute.h"
 #include "speck/speck.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace speck;
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::printf(
+        "usage: %s <path.mtx | corpus:NAME>\n"
+        "\n"
+        "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
+        "  3 bad input, 4 resource exhausted, 5 internal error,\n"
+        "  6 unknown exception\n",
+        argv[0]);
+    return 0;
+  }
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <path.mtx | corpus:NAME>\n", argv[0]);
     return 2;
@@ -83,4 +97,24 @@ int main(int argc, char** argv) {
   std::printf("  stage shares           : %s\n", result.timeline.to_string().c_str());
   std::printf("\nlaunch trace:\n%s", speck.last_trace().to_string().c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const speck::SpeckError& e) {
+    const auto* as_std = dynamic_cast<const std::exception*>(&e);
+    const speck::Status status = speck::Status::error(
+        e.code(), as_std != nullptr ? as_std->what() : "", e.context());
+    std::fprintf(stderr, "matrix_info: %s\n", status.to_string().c_str());
+    return speck::exit_code(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "matrix_info: [InternalError] %s\n", e.what());
+    return speck::exit_code(speck::ErrorCode::kInternal);
+  } catch (...) {
+    std::fprintf(stderr, "matrix_info: unknown exception\n");
+    return 6;
+  }
 }

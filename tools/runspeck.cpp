@@ -2,6 +2,7 @@
 // runspECK executable (Appendix A.2):
 //
 //   runspeck <path-to-matrix.mtx> [config.ini] [--threads N]
+//            [--fault-spec SPEC] [--validate]
 //
 // `--threads N` sets the host thread pool the pipeline stages run on (the
 // result and the simulated times are bit-identical for every N; only host
@@ -24,6 +25,8 @@
 
 #include "baselines/cusparse_like.h"
 #include "baselines/suite.h"
+#include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/ini.h"
 #include "common/thread_pool.h"
 #include "matrix/io_mtx.h"
@@ -31,12 +34,64 @@
 #include "matrix/ops.h"
 #include "speck/speck.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+void print_usage(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s <path-to-matrix.mtx> [config.ini] [options]\n"
+      "\n"
+      "options:\n"
+      "  --threads N        host thread pool size (results are identical\n"
+      "                     for every N; default SPECK_THREADS or all cores)\n"
+      "  --fault-spec SPEC  deterministic fault injection; SPEC is a comma-\n"
+      "                     separated list of key=value pairs:\n"
+      "                       estimate-scale=<f>      scale row estimates\n"
+      "                       estimate-jitter=<f>     per-row jitter in [0,1)\n"
+      "                       seed=<u64>              jitter seed\n"
+      "                       hash-overflow-after=<n> spill maps after n keys\n"
+      "                       scratchpad-scale=<f>    shrink scratchpads (0,1]\n"
+      "                       memory-budget-mb=<f>    cap simulated memory\n"
+      "                     e.g. --fault-spec estimate-scale=0.25,seed=7\n"
+      "  --validate         re-validate CSR invariants at the API boundary\n"
+      "  --help             this message\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  runtime failure (multiplication failed or mismatch vs reference)\n"
+      "  2  usage error\n"
+      "  3  bad input (malformed matrix file, invalid flag value)\n"
+      "  4  resource exhausted (size overflow, simulated memory budget)\n"
+      "  5  internal error (library invariant violated)\n"
+      "  6  unknown exception\n",
+      prog);
+}
+
+int run(int argc, char** argv) {
   using namespace speck;
-  // Split off the --threads flag; everything else keeps positional meaning.
+  // Split off the flags; everything else keeps positional meaning.
   int flag_threads = 0;
+  bool flag_validate = false;
+  FaultSpec fault_spec;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(argv[0], stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--validate") == 0) {
+      flag_validate = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--fault-spec") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--fault-spec requires an argument\n");
+        return 2;
+      }
+      fault_spec = parse_fault_spec(argv[i + 1]);
+      ++i;
+      continue;
+    }
     if (std::strcmp(argv[i], "--threads") == 0) {
       flag_threads = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
       if (flag_threads < 1) {
@@ -50,9 +105,7 @@ int main(int argc, char** argv) {
   }
   const int nargs = static_cast<int>(args.size());
   if (nargs < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <path-to-matrix.mtx> [config.ini] [--threads N]\n",
-                 argv[0]);
+    print_usage(argv[0], stderr);
     return 2;
   }
 
@@ -88,8 +141,22 @@ int main(int argc, char** argv) {
   const std::string algorithm_name = config.get_string("Algorithm", "speck");
   const auto algorithm = baselines::make_algorithm(
       algorithm_name, sim::DeviceSpec::titan_v(), sim::CostModel{});
-  // The launch trace is a Speck-specific diagnostic.
+  // The launch trace, fault injection and input validation are
+  // Speck-specific.
   auto* speck_ptr = dynamic_cast<Speck*>(algorithm.get());
+  if (speck_ptr != nullptr) {
+    speck_ptr->config().validate_inputs = flag_validate;
+    speck_ptr->config().faults = fault_spec;
+    if (fault_spec.enabled()) {
+      std::printf("fault injection: %s\n", describe(fault_spec).c_str());
+    }
+  } else if (fault_spec.enabled() || flag_validate) {
+    std::fprintf(stderr,
+                 "--fault-spec/--validate only apply to Algorithm=speck "
+                 "(got %s)\n",
+                 algorithm_name.c_str());
+    return 2;
+  }
   std::printf("algorithm: %s\n", algorithm_name.c_str());
   for (int i = 0; i < warmup; ++i) (void)algorithm->multiply(a, b);
 
@@ -98,6 +165,9 @@ int main(int argc, char** argv) {
   for (int i = 0; i < std::max(iterations, 1); ++i) {
     last = algorithm->multiply(a, b);
     if (!last.ok()) {
+      if (last.status == SpGemmStatus::kOutOfMemory) {
+        throw ResourceExhausted(last.failure_reason, "runspeck");
+      }
       std::fprintf(stderr, "multiplication failed: %s\n",
                    last.failure_reason.c_str());
       return 1;
@@ -131,4 +201,24 @@ int main(int argc, char** argv) {
     std::printf("result matches the cuSPARSE-like reference\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const speck::SpeckError& e) {
+    const auto* as_std = dynamic_cast<const std::exception*>(&e);
+    const speck::Status status = speck::Status::error(
+        e.code(), as_std != nullptr ? as_std->what() : "", e.context());
+    std::fprintf(stderr, "runspeck: %s\n", status.to_string().c_str());
+    return speck::exit_code(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "runspeck: [InternalError] %s\n", e.what());
+    return speck::exit_code(speck::ErrorCode::kInternal);
+  } catch (...) {
+    std::fprintf(stderr, "runspeck: unknown exception\n");
+    return 6;
+  }
 }
