@@ -7,14 +7,16 @@
 
 namespace speck {
 
-DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
-                                    std::span<const value_t> a_vals, index_t col_min,
-                                    index_t col_max, std::size_t window_columns,
-                                    bool numeric) {
+DenseRowView dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
+                                  std::span<const value_t> a_vals, index_t col_min,
+                                  index_t col_max, std::size_t window_columns,
+                                  bool numeric, DenseScratch& scratch) {
   SPECK_REQUIRE(window_columns > 0, "dense window must hold at least one column");
   SPECK_REQUIRE(!numeric || a_vals.size() == a_cols.size(),
                 "numeric mode requires values for every A entry");
-  DenseRowResult result;
+  DenseRowView result;
+  scratch.out_cols.clear();
+  scratch.out_vals.clear();
   if (a_cols.empty() || col_max < col_min) {
     result.passes = 0;
     return result;
@@ -25,13 +27,19 @@ DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_col
 
   // Per referenced B row: cursor of the next unconsumed element. B rows are
   // sorted by column, so each pass consumes a prefix of the remainder.
-  std::vector<offset_t> cursor(a_cols.size());
+  if (scratch.cursor.size() < a_cols.size()) scratch.cursor.resize(a_cols.size());
   for (std::size_t i = 0; i < a_cols.size(); ++i) {
-    cursor[i] = b.row_offsets()[static_cast<std::size_t>(a_cols[i])];
+    scratch.cursor[i] = b.row_offsets()[static_cast<std::size_t>(a_cols[i])];
   }
 
-  std::vector<value_t> window_vals(numeric ? window_columns : 0, 0.0);
-  std::vector<bool> occupied(window_columns, false);
+  // The window arrays grow monotonically and are returned all-clear by the
+  // extraction loop below, so reuse never needs a wipe.
+  if (numeric && scratch.window_vals.size() < window_columns) {
+    scratch.window_vals.resize(window_columns, 0.0);
+  }
+  if (scratch.occupied.size() < window_columns) {
+    scratch.occupied.resize(window_columns, 0);
+  }
   const auto b_cols = b.col_indices();
   const auto b_vals = b.values();
 
@@ -44,35 +52,54 @@ DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_col
 
     for (std::size_t i = 0; i < a_cols.size(); ++i) {
       const auto row_end = b.row_offsets()[static_cast<std::size_t>(a_cols[i]) + 1];
-      offset_t& cur = cursor[i];
+      offset_t& cur = scratch.cursor[i];
       while (cur < row_end && b_cols[static_cast<std::size_t>(cur)] <= window_end) {
         const index_t c = b_cols[static_cast<std::size_t>(cur)];
         const auto slot = static_cast<std::size_t>(c - window_start);
-        occupied[slot] = true;
+        scratch.occupied[slot] = 1;
         if (numeric) {
-          window_vals[slot] += a_vals[i] * b_vals[static_cast<std::size_t>(cur)];
+          scratch.window_vals[slot] += a_vals[i] * b_vals[static_cast<std::size_t>(cur)];
         }
         ++cur;
         ++result.element_touches;
       }
     }
 
-    // Extraction: compact the occupied window cells in order.
+    // Extraction: compact the occupied window cells in order, clearing each
+    // one so the scratch is ready for the next call.
     const auto cells = static_cast<std::size_t>(window_end - window_start) + 1;
     result.cells_scanned += static_cast<offset_t>(cells);
     for (std::size_t s = 0; s < cells; ++s) {
-      if (!occupied[s]) continue;
-      result.cols.push_back(window_start + static_cast<index_t>(s));
+      if (!scratch.occupied[s]) continue;
+      scratch.out_cols.push_back(window_start + static_cast<index_t>(s));
       if (numeric) {
-        result.vals.push_back(window_vals[s]);
-        window_vals[s] = 0.0;
+        scratch.out_vals.push_back(scratch.window_vals[s]);
+        scratch.window_vals[s] = 0.0;
       }
-      occupied[s] = false;
+      scratch.occupied[s] = 0;
     }
   }
   SPECK_ASSERT(result.passes ==
                    static_cast<int>(ceil_div<std::size_t>(range, window_columns)),
                "dense pass count mismatch");
+  result.cols = scratch.out_cols;
+  result.vals = scratch.out_vals;
+  return result;
+}
+
+DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
+                                    std::span<const value_t> a_vals, index_t col_min,
+                                    index_t col_max, std::size_t window_columns,
+                                    bool numeric) {
+  DenseScratch scratch;
+  const DenseRowView view = dense_accumulate_row(
+      b, a_cols, a_vals, col_min, col_max, window_columns, numeric, scratch);
+  DenseRowResult result;
+  result.cols.assign(view.cols.begin(), view.cols.end());
+  result.vals.assign(view.vals.begin(), view.vals.end());
+  result.passes = view.passes;
+  result.element_touches = view.element_touches;
+  result.cells_scanned = view.cells_scanned;
   return result;
 }
 

@@ -6,6 +6,7 @@
 // intermediate product is visited exactly once across all passes.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,18 @@
 #include "matrix/csr.h"
 
 namespace speck {
+
+/// Reusable buffers for dense_accumulate_row, owned by a per-worker
+/// KernelWorkspace. The window arrays are self-cleaning (extraction resets
+/// every touched cell), so between calls only capacity growth ever
+/// allocates; in the steady state the dense path is allocation-free.
+struct DenseScratch {
+  std::vector<offset_t> cursor;        ///< next unconsumed element per B row
+  std::vector<value_t> window_vals;    ///< dense value window (numeric mode)
+  std::vector<std::uint8_t> occupied;  ///< dense occupancy window
+  std::vector<index_t> out_cols;       ///< compacted output columns
+  std::vector<value_t> out_vals;       ///< compacted output values
+};
 
 struct DenseRowResult {
   /// Sorted output columns (dense accumulation emits in order; no sort pass).
@@ -27,10 +40,27 @@ struct DenseRowResult {
   offset_t cells_scanned = 0;
 };
 
-/// Accumulates one row of C densely. `a_cols`/`a_vals` describe the row of A;
-/// `window_columns` is the scratchpad window capacity in columns (bitmask
-/// capacity for symbolic mode, value-array capacity for numeric mode).
-/// In symbolic mode (`numeric == false`) values are not computed.
+/// Zero-copy view of one dense-accumulated row: `cols`/`vals` alias the
+/// scratch buffers and stay valid until the scratch's next use.
+struct DenseRowView {
+  std::span<const index_t> cols;
+  std::span<const value_t> vals;
+  int passes = 0;
+  offset_t element_touches = 0;
+  offset_t cells_scanned = 0;
+};
+
+/// Accumulates one row of C densely into `scratch` (allocation-free once the
+/// scratch has grown to the row's demands). `a_cols`/`a_vals` describe the
+/// row of A; `window_columns` is the scratchpad window capacity in columns
+/// (bitmask capacity for symbolic mode, value-array capacity for numeric
+/// mode). In symbolic mode (`numeric == false`) values are not computed.
+DenseRowView dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
+                                  std::span<const value_t> a_vals, index_t col_min,
+                                  index_t col_max, std::size_t window_columns,
+                                  bool numeric, DenseScratch& scratch);
+
+/// Convenience wrapper with internal scratch, returning owned vectors.
 DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
                                     std::span<const value_t> a_vals, index_t col_min,
                                     index_t col_max, std::size_t window_columns,

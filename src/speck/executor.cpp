@@ -31,6 +31,7 @@ SpeckPlan SpeckExecutor::inspect(const Csr& a, const Csr& b) {
   ctx.model = &speck_.cost_model();
   ctx.wide_keys = plan.wide_keys;
   ctx.pool = speck_.host_pool();
+  ctx.workspaces = &speck_.workspaces();
 
   // Analysis.
   sim::Launch analysis_launch("row_analysis", speck_.device(), speck_.cost_model());
@@ -81,6 +82,7 @@ SpGemmResult SpeckExecutor::execute(const SpeckPlan& plan, const Csr& a,
   ctx.model = &speck_.cost_model();
   ctx.wide_keys = plan.wide_keys;
   ctx.pool = speck_.host_pool();
+  ctx.workspaces = &speck_.workspaces();
 
   SpGemmResult result;
   NumericOutcome numeric = run_numeric(ctx, plan.numeric_plan, plan.row_nnz);

@@ -1,0 +1,61 @@
+#include "speck/flat_map.h"
+
+#include <utility>
+
+namespace speck {
+
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // power of two
+}  // namespace
+
+FlatSpillMap::Slot& FlatSpillMap::locate(key64_t key) {
+  if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+  std::size_t i = slot_for(key);
+  for (;;) {
+    Slot& s = slots_[i];
+    if (s.epoch != epoch_ || s.key == key) return s;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+bool FlatSpillMap::insert(key64_t key) {
+  Slot& s = locate(key);
+  if (s.epoch == epoch_) return false;
+  s.key = key;
+  s.value = 0.0;
+  s.epoch = epoch_;
+  ++size_;
+  return true;
+}
+
+void FlatSpillMap::accumulate(key64_t key, value_t value) {
+  Slot& s = locate(key);
+  if (s.epoch != epoch_) {
+    s.key = key;
+    s.value = 0.0;
+    s.epoch = epoch_;
+    ++size_;
+  }
+  s.value += value;
+}
+
+void FlatSpillMap::grow() {
+  const std::size_t next = slots_.empty() ? kInitialSlots : slots_.size() * 2;
+  std::vector<Slot> old = std::exchange(slots_, std::vector<Slot>(next));
+  const std::uint64_t old_epoch = std::exchange(epoch_, 1);
+  for (const Slot& s : old) {
+    if (s.epoch != old_epoch) continue;
+    std::size_t i = slot_for(s.key);
+    while (slots_[i].epoch == epoch_) i = (i + 1) & (slots_.size() - 1);
+    slots_[i].key = s.key;
+    slots_[i].value = s.value;
+    slots_[i].epoch = epoch_;
+  }
+}
+
+void FlatSpillMap::clear() {
+  ++epoch_;
+  size_ = 0;
+}
+
+}  // namespace speck

@@ -1,0 +1,73 @@
+// Flat open-addressing spill map — the global-memory fallback storage of the
+// hash accumulators (paper §4.3 "Sparse Rows of C").
+//
+// Replaces the node-based std::unordered_set/std::unordered_map the
+// accumulators used to spill into: one contiguous slot array, linear
+// probing, power-of-two capacity, and epoch-tagged slots so `clear()` is
+// O(1) and a per-worker workspace can reuse the same map (and its grown
+// capacity) across every block it executes. Spilling is rare — only rows the
+// binning could not bound reach it — but when it fires it used to dominate
+// the block's allocation count; with this map the steady-state spill path
+// allocates nothing.
+//
+// Iteration order is slot order. The accumulators only consume it through
+// order-insensitive reductions (per-row counts, per-key sums later sorted by
+// their unique keys), so simulated cost and numeric output stay bit-identical
+// to the node-based containers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace speck {
+
+class FlatSpillMap {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Slots currently reserved (diagnostic; persists across clear()).
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Membership insert (symbolic spill). Returns true when the key was new.
+  bool insert(key64_t key);
+
+  /// Adds `value` to the slot for `key`, creating it at 0 (numeric spill).
+  void accumulate(key64_t key, value_t value);
+
+  /// Visits every occupied slot in slot order with fn(key, value).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.epoch == epoch_) fn(s.key, s.value);
+    }
+  }
+
+  /// Forgets all entries, keeping the grown slot storage. O(1).
+  void clear();
+
+ private:
+  struct Slot {
+    key64_t key = 0;
+    value_t value = 0.0;
+    std::uint64_t epoch = 0;  ///< occupied iff equal to the map's epoch
+  };
+
+  std::size_t slot_for(key64_t key) const {
+    // Multiplicative hash; the high bits feed the power-of-two mask.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           (slots_.size() - 1);
+  }
+
+  /// Returns the slot holding `key`, claiming an empty one if absent
+  /// (growing first when the load factor would exceed the limit).
+  Slot& locate(key64_t key);
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace speck

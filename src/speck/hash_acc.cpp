@@ -2,9 +2,15 @@
 
 namespace speck {
 
-SymbolicHashAccumulator::SymbolicHashAccumulator(std::size_t capacity,
-                                                 const FaultInjector* faults)
-    : local_(capacity), faults_(faults) {}
+void SymbolicHashAccumulator::begin_block(std::size_t capacity,
+                                          const FaultInjector* faults) {
+  local_.reconfigure(capacity);
+  global_.clear();
+  faults_ = faults;
+  in_global_ = false;
+  moved_entries_ = 0;
+  global_inserts_ = 0;
+}
 
 void SymbolicHashAccumulator::insert(key64_t key) {
   if (!in_global_) {
@@ -21,22 +27,28 @@ void SymbolicHashAccumulator::insert(key64_t key) {
   global_.insert(key);
 }
 
-std::vector<index_t> SymbolicHashAccumulator::row_counts(int rows,
-                                                         bool wide_keys) const {
-  std::vector<index_t> counts(static_cast<std::size_t>(rows), 0);
-  auto count_key = [&](key64_t key) {
+void SymbolicHashAccumulator::row_counts_into(int rows, bool wide_keys,
+                                              std::vector<index_t>& counts) const {
+  counts.assign(static_cast<std::size_t>(rows), 0);
+  const auto count_key = [&](key64_t key, value_t) {
     const int local_row = key_local_row(key, wide_keys);
     SPECK_ASSERT(local_row < rows, "compound key local row out of range");
     ++counts[static_cast<std::size_t>(local_row)];
   };
-  for (const auto& entry : local_.extract()) count_key(entry.key);
-  for (const key64_t key : global_) count_key(key);
+  local_.for_each(count_key);
+  global_.for_each(count_key);
+}
+
+std::vector<index_t> SymbolicHashAccumulator::row_counts(int rows,
+                                                         bool wide_keys) const {
+  std::vector<index_t> counts;
+  row_counts_into(rows, wide_keys, counts);
   return counts;
 }
 
 void SymbolicHashAccumulator::spill() {
   in_global_ = true;
-  for (const auto& entry : local_.extract()) global_.insert(entry.key);
+  local_.for_each([&](key64_t key, value_t) { global_.insert(key); });
   moved_entries_ += local_.size();
   local_.reset();
   // New keys collect in the global map from here on; the paper re-fills the
@@ -44,9 +56,15 @@ void SymbolicHashAccumulator::spill() {
   // charge per-insert global atomics instead).
 }
 
-NumericHashAccumulator::NumericHashAccumulator(std::size_t capacity,
-                                               const FaultInjector* faults)
-    : local_(capacity), faults_(faults) {}
+void NumericHashAccumulator::begin_block(std::size_t capacity,
+                                         const FaultInjector* faults) {
+  local_.reconfigure(capacity);
+  global_.clear();
+  faults_ = faults;
+  in_global_ = false;
+  moved_entries_ = 0;
+  global_inserts_ = 0;
+}
 
 void NumericHashAccumulator::accumulate(key64_t key, value_t value) {
   if (!in_global_) {
@@ -58,21 +76,29 @@ void NumericHashAccumulator::accumulate(key64_t key, value_t value) {
     spill();
   }
   ++global_inserts_;
-  global_[key] += value;
+  global_.accumulate(key, value);
+}
+
+void NumericHashAccumulator::extract_into(
+    std::vector<DeviceHashMap::Entry>& out) const {
+  out.clear();
+  local_.extract_into(out);
+  global_.for_each([&](key64_t key, value_t value) {
+    out.push_back(DeviceHashMap::Entry{key, value});
+  });
 }
 
 std::vector<DeviceHashMap::Entry> NumericHashAccumulator::extract() const {
-  std::vector<DeviceHashMap::Entry> entries = local_.extract();
-  entries.reserve(entries.size() + global_.size());
-  for (const auto& [key, value] : global_) {
-    entries.push_back(DeviceHashMap::Entry{key, value});
-  }
+  std::vector<DeviceHashMap::Entry> entries;
+  entries.reserve(entry_count());
+  extract_into(entries);
   return entries;
 }
 
 void NumericHashAccumulator::spill() {
   in_global_ = true;
-  for (const auto& entry : local_.extract()) global_[entry.key] += entry.value;
+  local_.for_each(
+      [&](key64_t key, value_t value) { global_.accumulate(key, value); });
   moved_entries_ += local_.size();
   local_.reset();
 }

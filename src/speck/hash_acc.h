@@ -2,14 +2,18 @@
 // "Sparse Rows of C"). Wraps the linear-probing DeviceHashMap: when the
 // local map fills — only possible for rows the binning could not bound,
 // i.e. largest-configuration rows — all entries move to a global-memory
-// map and accumulation continues there. Both flavours count the operations
-// the cost model charges (probes, moved entries, global inserts).
+// map (a flat open-addressing FlatSpillMap) and accumulation continues
+// there. Both flavours count the operations the cost model charges (probes,
+// moved entries, global inserts).
+//
+// Accumulators are designed for reuse: a per-worker KernelWorkspace holds
+// one of each and calls `begin_block()` before every block, which re-targets
+// the scratchpad capacity and clears both maps in O(1) (epoch tags) while
+// keeping their grown storage. After warm-up no block allocates.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "common/fault_injection.h"
+#include "speck/flat_map.h"
 #include "speck/hash_map.h"
 
 namespace speck {
@@ -19,12 +23,26 @@ namespace speck {
 /// global-fallback path on demand); contents stay exact either way.
 class SymbolicHashAccumulator {
  public:
+  /// Reusable accumulator; `begin_block()` must run before inserts.
+  SymbolicHashAccumulator() = default;
   explicit SymbolicHashAccumulator(std::size_t capacity,
-                                   const FaultInjector* faults = nullptr);
+                                   const FaultInjector* faults = nullptr) {
+    begin_block(capacity, faults);
+  }
+
+  /// Prepares for a new block: scratchpad capacity, fault hook, all
+  /// contents and counters cleared. O(1) after warm-up.
+  void begin_block(std::size_t capacity, const FaultInjector* faults);
 
   void insert(key64_t key);
 
-  /// NNZ per local row (indexed by the compound key's local row field).
+  /// NNZ per local row (indexed by the compound key's local row field),
+  /// counted by iterating both maps in place. `counts` is assigned
+  /// `rows` zeros first; its capacity is reused across calls.
+  void row_counts_into(int rows, bool wide_keys,
+                       std::vector<index_t>& counts) const;
+
+  /// Convenience wrapper allocating the counts vector.
   std::vector<index_t> row_counts(int rows, bool wide_keys) const;
 
   bool spilled() const { return in_global_; }
@@ -42,7 +60,7 @@ class SymbolicHashAccumulator {
   DeviceHashMap local_;
   const FaultInjector* faults_ = nullptr;
   bool in_global_ = false;
-  std::unordered_set<key64_t> global_;
+  FlatSpillMap global_;
   std::size_t moved_entries_ = 0;
   std::size_t global_inserts_ = 0;
 };
@@ -50,13 +68,28 @@ class SymbolicHashAccumulator {
 /// Numeric accumulator: sums values per compound key.
 class NumericHashAccumulator {
  public:
+  /// Reusable accumulator; `begin_block()` must run before accumulates.
+  NumericHashAccumulator() = default;
   explicit NumericHashAccumulator(std::size_t capacity,
-                                  const FaultInjector* faults = nullptr);
+                                  const FaultInjector* faults = nullptr) {
+    begin_block(capacity, faults);
+  }
+
+  /// Prepares for a new block: scratchpad capacity, fault hook, all
+  /// contents and counters cleared. O(1) after warm-up.
+  void begin_block(std::size_t capacity, const FaultInjector* faults);
 
   void accumulate(key64_t key, value_t value);
 
-  /// All (key, value) pairs, unsorted.
+  /// All (key, value) pairs, unsorted (local map in slot order, then the
+  /// spill map in slot order), appended into the caller's buffer after a
+  /// clear(). The buffer's capacity is reused across calls.
+  void extract_into(std::vector<DeviceHashMap::Entry>& out) const;
+
+  /// Convenience wrapper allocating the entry vector.
   std::vector<DeviceHashMap::Entry> extract() const;
+
+  std::size_t entry_count() const { return local_.size() + global_.size(); }
 
   bool spilled() const { return in_global_; }
   std::size_t probes() const { return local_.probes(); }
@@ -72,7 +105,7 @@ class NumericHashAccumulator {
   DeviceHashMap local_;
   const FaultInjector* faults_ = nullptr;
   bool in_global_ = false;
-  std::unordered_map<key64_t, value_t> global_;
+  FlatSpillMap global_;
   std::size_t moved_entries_ = 0;
   std::size_t global_inserts_ = 0;
 };

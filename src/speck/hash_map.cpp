@@ -2,45 +2,44 @@
 
 namespace speck {
 
-DeviceHashMap::DeviceHashMap(std::size_t capacity) : slots_(capacity) {
-  SPECK_REQUIRE(capacity > 0, "hash map capacity must be positive");
-}
+DeviceHashMap::DeviceHashMap(std::size_t capacity) { reconfigure(capacity); }
 
 bool DeviceHashMap::insert_key(key64_t key) {
-  SPECK_ASSERT(key != kEmpty, "reserved empty key");
   std::size_t slot = hash(key);
-  for (std::size_t step = 0; step < slots_.size(); ++step) {
+  for (std::size_t step = 0; step < capacity_; ++step) {
     ++probes_;
     Slot& s = slots_[slot];
-    if (s.key == key) return false;
-    if (s.key == kEmpty) {
+    if (s.epoch != epoch_) {
       s.key = key;
+      s.value = 0.0;
+      s.epoch = epoch_;
       ++size_;
       return true;
     }
-    slot = slot + 1 == slots_.size() ? 0 : slot + 1;
+    if (s.key == key) return false;
+    slot = slot + 1 == capacity_ ? 0 : slot + 1;
   }
   overflowed_ = true;
   return false;
 }
 
 bool DeviceHashMap::accumulate(key64_t key, value_t value) {
-  SPECK_ASSERT(key != kEmpty, "reserved empty key");
   std::size_t slot = hash(key);
-  for (std::size_t step = 0; step < slots_.size(); ++step) {
+  for (std::size_t step = 0; step < capacity_; ++step) {
     ++probes_;
     Slot& s = slots_[slot];
+    if (s.epoch != epoch_) {
+      s.key = key;
+      s.value = value;
+      s.epoch = epoch_;
+      ++size_;
+      return true;
+    }
     if (s.key == key) {
       s.value += value;
       return true;
     }
-    if (s.key == kEmpty) {
-      s.key = key;
-      s.value = value;
-      ++size_;
-      return true;
-    }
-    slot = slot + 1 == slots_.size() ? 0 : slot + 1;
+    slot = slot + 1 == capacity_ ? 0 : slot + 1;
   }
   overflowed_ = true;
   return false;
@@ -49,15 +48,27 @@ bool DeviceHashMap::accumulate(key64_t key, value_t value) {
 std::vector<DeviceHashMap::Entry> DeviceHashMap::extract() const {
   std::vector<Entry> out;
   out.reserve(size_);
-  for (const Slot& s : slots_) {
-    if (s.key != kEmpty) out.push_back(Entry{s.key, s.value});
-  }
+  extract_into(out);
   return out;
 }
 
+void DeviceHashMap::extract_into(std::vector<Entry>& out) const {
+  for_each([&](key64_t key, value_t value) { out.push_back(Entry{key, value}); });
+}
+
 void DeviceHashMap::reset() {
-  for (Slot& s : slots_) s = Slot{};
+  ++epoch_;
   size_ = 0;
+  overflowed_ = false;
+}
+
+void DeviceHashMap::reconfigure(std::size_t capacity) {
+  SPECK_REQUIRE(capacity > 0, "hash map capacity must be positive");
+  if (capacity > slots_.size()) slots_.resize(capacity);
+  capacity_ = capacity;
+  ++epoch_;
+  size_ = 0;
+  probes_ = 0;
   overflowed_ = false;
 }
 

@@ -30,21 +30,32 @@ inline int key_local_row(key64_t key, bool wide_keys) {
   return wide_keys ? static_cast<int>(key >> 32) : static_cast<int>(key >> 27);
 }
 
-/// Open-addressing hash map with linear probing. Capacity is fixed at
-/// construction (it models a scratchpad array). Tracks the number of probes
-/// performed so the simulated cost reflects the actual fill rate.
+/// Open-addressing hash map with linear probing, modelling a scratchpad
+/// array. Tracks the number of probes performed so the simulated cost
+/// reflects the actual fill rate.
+///
+/// Slots are epoch-tagged: a slot is occupied only when its epoch matches
+/// the map's current epoch, so `reset()` and `reconfigure()` invalidate the
+/// whole contents by bumping one counter — O(1) instead of an O(capacity)
+/// refill. This is what lets a per-worker workspace reuse one map across
+/// every block it executes without paying a clear between blocks. Probe
+/// sequences depend only on the logical capacity, never on the size of the
+/// retained slot storage, so a reused map behaves bit-identically to a
+/// freshly constructed one.
 class DeviceHashMap {
  public:
+  /// Empty map; `reconfigure()` must run before any insert.
+  DeviceHashMap() = default;
   explicit DeviceHashMap(std::size_t capacity);
 
-  std::size_t capacity() const { return slots_.size(); }
+  std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return size_; }
-  bool full() const { return size_ == capacity(); }
+  bool full() const { return size_ == capacity_; }
   double fill_rate() const {
-    return capacity() == 0 ? 1.0 : static_cast<double>(size_) / static_cast<double>(capacity());
+    return capacity_ == 0 ? 1.0 : static_cast<double>(size_) / static_cast<double>(capacity_);
   }
 
-  /// Total linear-probing steps performed since construction/reset.
+  /// Total linear-probing steps performed since construction/reconfigure.
   std::size_t probes() const { return probes_; }
 
   /// Symbolic insert: adds the key if absent. Returns true when the key was
@@ -65,23 +76,44 @@ class DeviceHashMap {
   };
   std::vector<Entry> extract() const;
 
-  /// Clears contents (keeps capacity); models the reset before moving
-  /// entries to a global map.
+  /// Appends the occupied (key, value) pairs to `out` in slot order without
+  /// allocating beyond `out`'s own growth.
+  void extract_into(std::vector<Entry>& out) const;
+
+  /// Visits every occupied slot in slot order with fn(key, value) — the
+  /// in-place alternative to extract() when no copy is needed.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      const Slot& s = slots_[i];
+      if (s.epoch == epoch_) fn(s.key, s.value);
+    }
+  }
+
+  /// Clears contents (keeps capacity and the probe counter); models the
+  /// reset before moving entries to a global map. O(1) via the epoch tag.
   void reset();
+
+  /// Re-targets the map for a new block: sets the logical capacity (growing
+  /// the retained slot storage only when needed), clears contents and
+  /// zeroes the probe counter. O(1) when the storage already fits.
+  void reconfigure(std::size_t capacity);
 
  private:
   struct Slot {
-    key64_t key = kEmpty;
+    key64_t key = 0;
     value_t value = 0.0;
+    std::uint64_t epoch = 0;  ///< occupied iff equal to the map's epoch
   };
-  static constexpr key64_t kEmpty = ~key64_t{0};
 
   /// Multiplicative hash (paper: index times a prime, modulo capacity).
   std::size_t hash(key64_t key) const {
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) % slots_.size());
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) % capacity_);
   }
 
   std::vector<Slot> slots_;
+  std::size_t capacity_ = 0;  ///< logical capacity; <= slots_.size()
+  std::uint64_t epoch_ = 1;   ///< slots start at 0, i.e. empty
   std::size_t size_ = 0;
   std::size_t probes_ = 0;
   bool overflowed_ = false;

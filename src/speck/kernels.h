@@ -13,6 +13,7 @@
 #include "speck/config.h"
 #include "speck/global_lb.h"
 #include "speck/row_analysis.h"
+#include "speck/workspace.h"
 
 namespace speck {
 
@@ -31,6 +32,10 @@ struct KernelContext {
   sim::LaunchTrace* trace = nullptr;
   /// Host thread pool the passes parallelize over (global pool when null).
   ThreadPool* pool = nullptr;
+  /// Per-worker kernel workspaces reused across blocks and multiplies.
+  /// Optional: when null the passes fall back to a pass-local pool (warm-up
+  /// cost every call, results identical either way).
+  WorkspacePool* workspaces = nullptr;
   /// Optional fault injection (may be null). Shrinks the scratchpad
   /// capacities the kernels actually get relative to what binning assumed,
   /// and forces hash-map overflows — both only reroute rows onto the
@@ -59,6 +64,14 @@ struct PassStats {
   std::size_t global_pool_bytes = 0;
   /// Total linear-probing steps over all scratchpad hash maps.
   std::size_t hash_probes = 0;
+  /// Entries bulk-moved from scratchpad maps into the global fallback.
+  std::size_t moved_entries = 0;
+  /// Inserts performed directly against the global fallback map.
+  std::size_t global_inserts = 0;
+  /// Heap allocations observed inside block bodies (0 unless the binary
+  /// installs the counting allocator of common/alloc_counter.h; 0 in the
+  /// steady state either way — the zero-allocation hot-path gate).
+  std::size_t hot_path_allocs = 0;
 };
 
 struct SymbolicOutcome {

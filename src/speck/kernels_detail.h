@@ -10,6 +10,7 @@
 #include "speck/hash_acc.h"
 #include "speck/kernels.h"
 #include "speck/local_lb.h"
+#include "speck/workspace.h"
 
 namespace speck::detail {
 
@@ -26,6 +27,24 @@ inline void merge_pass_counters(PassStats& into, const PassStats& from) {
   into.hash_rows += from.hash_rows;
   into.global_hash_blocks += from.global_hash_blocks;
   into.hash_probes += from.hash_probes;
+  into.moved_entries += from.moved_entries;
+  into.global_inserts += from.global_inserts;
+  into.hot_path_allocs += from.hot_path_allocs;
+}
+
+/// Groups the plan's blocks by kernel configuration in one sweep (the passes
+/// used to rescan plan.blocks once per configuration — O(configs x blocks)).
+/// Plan order is preserved within each group, which is what keeps the
+/// serial cost-commit order — and thus the simulated seconds — unchanged.
+inline std::vector<std::vector<const BinPlan::Block*>> blocks_by_config(
+    const BinPlan& plan, std::size_t configs) {
+  std::vector<std::vector<const BinPlan::Block*>> grouped(configs);
+  for (const BinPlan::Block& block : plan.blocks) {
+    const auto c = static_cast<std::size_t>(block.config);
+    SPECK_ASSERT(c < configs, "block config index out of range");
+    grouped[c].push_back(&block);
+  }
+  return grouped;
 }
 
 /// Row statistics for the local load balancer, gathered from the analysis.
@@ -41,7 +60,9 @@ inline BlockRowStats block_stats(const KernelContext& ctx, std::span<const index
 }
 
 /// Charges the cost of sweeping the referenced B rows with groups of g
-/// threads (shared by the symbolic and numeric hash paths).
+/// threads (shared by the symbolic and numeric hash paths). Scratch buffers
+/// come from the worker's workspace, so the sweep is allocation-free after
+/// warm-up.
 ///
 /// Compute is charged per *reference* (idle lanes included), but memory is
 /// charged per *unique* referenced row of B: spECK's binning keeps
@@ -49,7 +70,8 @@ inline BlockRowStats block_stats(const KernelContext& ctx, std::span<const index
 /// B rows hit in L1/L2 after the first fetch. This locality is exactly what
 /// the paper's ordered binning preserves (§4.2 "Binning").
 inline void charge_row_sweep(sim::BlockCost& cost, const KernelContext& ctx,
-                      std::span<const index_t> rows, int group_size, bool numeric) {
+                      std::span<const index_t> rows, int group_size, bool numeric,
+                      KernelWorkspace& ws) {
   // Compute cost: the block's k groups take successive references in order
   // (Fig. 1); the block runs until its *slowest* group finishes, so idle
   // groups (too few references) and oversubscribed groups (g too small for
@@ -59,10 +81,12 @@ inline void charge_row_sweep(sim::BlockCost& cost, const KernelContext& ctx,
   // element and lane (collision-dependent probe *traffic* is charged
   // separately via smem_atomic).
   const int groups = std::max(1, cost.threads() / group_size);
-  std::vector<std::size_t> group_iterations(static_cast<std::size_t>(groups), 0);
+  std::vector<std::size_t>& group_iterations = ws.group_iterations();
+  group_iterations.assign(static_cast<std::size_t>(groups), 0);
   std::size_t next_group = 0;
 
-  std::vector<index_t> referenced;
+  std::vector<index_t>& referenced = ws.referenced_rows();
+  referenced.clear();
   for (const index_t r : rows) {
     const auto a_cols = ctx.a->row_cols(r);
     for (const index_t k : a_cols) {
@@ -103,6 +127,8 @@ void charge_hash_activity(sim::BlockCost& cost, const Accumulator& acc,
   stats.hash_probes += acc.probes();
   if (acc.spilled()) {
     ++stats.global_hash_blocks;
+    stats.moved_entries += acc.moved_entries();
+    stats.global_inserts += acc.global_inserts();
     cost.global_atomic(static_cast<double>(acc.moved_entries()));
     cost.global_atomic(1.5 * static_cast<double>(acc.global_inserts()));
   }

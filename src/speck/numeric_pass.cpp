@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/alloc_counter.h"
 #include "common/bit_utils.h"
 #include "common/sorting.h"
 #include "speck/dense_acc.h"
@@ -13,6 +14,7 @@
 namespace speck {
 
 using detail::block_stats;
+using detail::blocks_by_config;
 using detail::charge_hash_activity;
 using detail::charge_row_sweep;
 using detail::global_pool_bytes;
@@ -52,7 +54,9 @@ struct RadixContribution {
 
 /// Executes one numeric block: writes the block's rows of C into their
 /// preallocated output slots (disjoint across blocks — no atomics), counts
-/// methods into `stats` and returns the block's simulated cost.
+/// methods into `stats` and returns the block's simulated cost. All
+/// transient state lives in the worker's `ws` — after warm-up this function
+/// performs no heap allocations.
 sim::BlockCost run_numeric_block(const KernelContext& ctx,
                                  const sim::Launch& launch,
                                  const KernelConfig& config, int config_index,
@@ -62,7 +66,8 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
                                  const std::vector<offset_t>& offsets,
                                  std::vector<index_t>& out_cols,
                                  std::vector<value_t>& out_vals,
-                                 PassStats& stats, RadixContribution& radix) {
+                                 PassStats& stats, RadixContribution& radix,
+                                 KernelWorkspace& ws) {
   const bool merged = rows.size() > 1;
   auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
   const BlockRowStats row_stats = block_stats(ctx, rows);
@@ -121,7 +126,7 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
         ctx.analysis->col_min[static_cast<std::size_t>(r)],
         ctx.analysis->col_max[static_cast<std::size_t>(r)],
         ctx.effective_capacity(config.dense_numeric_capacity()),
-        /*numeric=*/true);
+        /*numeric=*/true, ws.dense());
     SPECK_ASSERT(static_cast<index_t>(result.cols.size()) ==
                      row_nnz[static_cast<std::size_t>(r)],
                  "dense numeric row count disagrees with symbolic pass");
@@ -132,7 +137,7 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
       ++cursor;
     }
     ++stats.dense_rows;
-    charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
+    charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true, ws);
     cost.smem(2.0 * static_cast<double>(result.element_touches));
     cost.issued(static_cast<double>(result.element_touches), 2.0);
     cost.issued(static_cast<double>(result.cells_scanned));
@@ -146,8 +151,8 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
   }
 
   // Hash path with values.
-  NumericHashAccumulator acc(ctx.effective_capacity(config.numeric_hash_capacity()),
-                             ctx.faults);
+  NumericHashAccumulator& acc = ws.numeric_acc(
+      ctx.effective_capacity(config.numeric_hash_capacity()), ctx.faults);
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
     const auto a_cols = ctx.a->row_cols(r);
@@ -162,30 +167,50 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
       }
     }
   }
-  // Extraction: bucket entries per local row, sort, then write out.
-  std::vector<DeviceHashMap::Entry> entries = acc.extract();
-  std::vector<std::vector<DeviceHashMap::Entry>> per_row(rows.size());
+  // Extraction: counting-sort the entries into per-local-row segments
+  // (replaces the former vector-of-vectors bucketing), then sort each
+  // segment by key. Keys are unique, so the result does not depend on the
+  // maps' iteration order.
+  std::vector<DeviceHashMap::Entry>& entries = ws.entries();
+  acc.extract_into(entries);
+  std::vector<std::size_t>& row_start = ws.row_starts();
+  row_start.assign(rows.size() + 1, 0);
   for (const auto& entry : entries) {
-    per_row[static_cast<std::size_t>(key_local_row(entry.key, ctx.wide_keys))]
-        .push_back(entry);
+    ++row_start[static_cast<std::size_t>(
+                    key_local_row(entry.key, ctx.wide_keys)) + 1];
+  }
+  for (std::size_t local = 0; local < rows.size(); ++local) {
+    row_start[local + 1] += row_start[local];
+  }
+  std::vector<std::size_t>& row_cursor = ws.row_cursors();
+  row_cursor.assign(row_start.begin(), row_start.end());
+  std::vector<DeviceHashMap::Entry>& bucketed = ws.bucketed_entries();
+  bucketed.resize(entries.size());
+  for (const auto& entry : entries) {
+    const auto local = static_cast<std::size_t>(
+        key_local_row(entry.key, ctx.wide_keys));
+    bucketed[row_cursor[local]++] = entry;
   }
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
-    auto& row_entries = per_row[local];
-    std::sort(row_entries.begin(), row_entries.end(),
+    const auto row_begin = bucketed.begin() +
+                           static_cast<std::ptrdiff_t>(row_start[local]);
+    const auto row_end = bucketed.begin() +
+                         static_cast<std::ptrdiff_t>(row_start[local + 1]);
+    std::sort(row_begin, row_end,
               [](const auto& x, const auto& y) { return x.key < y.key; });
-    SPECK_ASSERT(static_cast<index_t>(row_entries.size()) ==
+    SPECK_ASSERT(static_cast<index_t>(row_end - row_begin) ==
                      row_nnz[static_cast<std::size_t>(r)],
                  "hash numeric row count disagrees with symbolic pass");
     auto cursor = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
-    for (const auto& entry : row_entries) {
-      out_cols[cursor] = key_column(entry.key, ctx.wide_keys);
-      out_vals[cursor] = entry.value;
+    for (auto it = row_begin; it != row_end; ++it) {
+      out_cols[cursor] = key_column(it->key, ctx.wide_keys);
+      out_vals[cursor] = it->value;
       ++cursor;
     }
     ++stats.hash_rows;
   }
-  charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true);
+  charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/true, ws);
   charge_hash_activity(cost, acc, stats);
   const auto total_entries = static_cast<double>(entries.size());
   if (!largest_sorts_via_radix) {
@@ -213,6 +238,10 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   NumericOutcome out;
   out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/false);
   ThreadPool& pool = pool_or_global(ctx.pool);
+  WorkspacePool local_workspaces;
+  WorkspacePool& workspaces =
+      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
+  workspaces.ensure(pool.thread_count());
 
   // Output allocation: offsets from the symbolic row counts.
   std::vector<offset_t> offsets(static_cast<std::size_t>(ctx.a->rows()) + 1, 0);
@@ -226,16 +255,13 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   offset_t radix_elements = 0;
   index_t radix_max_col = 0;
 
+  const auto grouped = blocks_by_config(plan, ctx.configs->size());
   for (std::size_t c = 0; c < ctx.configs->size(); ++c) {
     const KernelConfig& config = (*ctx.configs)[c];
+    const std::vector<const BinPlan::Block*>& blocks = grouped[c];
+    if (blocks.empty()) continue;
     sim::Launch launch("numeric/" + std::to_string(config.threads), *ctx.device,
                        *ctx.model);
-    // This config's blocks, in plan order.
-    std::vector<const BinPlan::Block*> blocks;
-    for (const BinPlan::Block& block : plan.blocks) {
-      if (block.config == static_cast<int>(c)) blocks.push_back(&block);
-    }
-    if (blocks.empty()) continue;
 
     // Blocks partition the rows of C: every block writes its rows into
     // disjoint [offsets[r], offsets[r+1]) output slots and its own
@@ -247,16 +273,20 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
     std::vector<RadixContribution> block_radix(blocks.size());
     pool.parallel_for(
         blocks.size(), kBlockChunk,
-        [&](std::size_t begin, std::size_t end, int) {
+        [&](std::size_t begin, std::size_t end, int worker) {
+          KernelWorkspace& ws = workspaces.at(worker);
           for (std::size_t i = begin; i < end; ++i) {
             const std::span<const index_t> rows(
                 plan.row_order.data() + blocks[i]->begin,
                 blocks[i]->end - blocks[i]->begin);
+            const std::size_t allocs_before = detail::alloc_events_now();
             costs[i] = run_numeric_block(ctx, launch, config,
                                          static_cast<int>(c),
                                          /*largest_sorts_via_radix=*/c > 2, rows,
                                          row_nnz, offsets, out_cols, out_vals,
-                                         block_counters[i], block_radix[i]);
+                                         block_counters[i], block_radix[i], ws);
+            block_counters[i].hot_path_allocs +=
+                detail::alloc_events_now() - allocs_before;
           }
         });
     for (std::size_t i = 0; i < blocks.size(); ++i) {

@@ -66,6 +66,7 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   ctx.wide_keys = diagnostics_.wide_keys;
   ctx.trace = &trace_;
   ctx.pool = host_pool();
+  ctx.workspaces = &workspaces_;
   ctx.faults = faults;
 
   // Stage 1: lightweight row analysis (Algorithm 1).

@@ -76,12 +76,17 @@ class Speck final : public SpGemmAlgorithm {
   /// configured count changes.
   ThreadPool* host_pool();
 
+  /// Per-worker kernel workspaces, owned by the instance so repeated
+  /// multiplies reuse warm buffers (the zero-allocation hot path).
+  WorkspacePool& workspaces() { return workspaces_; }
+
  private:
   SpeckConfig config_;
   std::vector<KernelConfig> kernel_configs_;
   SpeckDiagnostics diagnostics_;
   sim::LaunchTrace trace_;
   std::unique_ptr<ThreadPool> pool_;
+  WorkspacePool workspaces_;
 };
 
 /// Symbolic-only estimate: the exact NNZ of C = A*B plus the simulated cost

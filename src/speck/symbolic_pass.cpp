@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/alloc_counter.h"
 #include "common/bit_utils.h"
 #include "speck/dense_acc.h"
 #include "speck/hash_acc.h"
@@ -12,6 +13,7 @@
 namespace speck {
 
 using detail::block_stats;
+using detail::blocks_by_config;
 using detail::charge_hash_activity;
 using detail::charge_row_sweep;
 using detail::global_pool_bytes;
@@ -41,12 +43,14 @@ namespace {
 /// Executes one symbolic block: fills `out_row_nnz` for the block's rows
 /// (disjoint across blocks), counts methods into `stats` (merged into the
 /// pass totals serially afterwards) and returns the block's simulated cost.
+/// All transient state lives in the worker's `ws` — after warm-up this
+/// function performs no heap allocations.
 sim::BlockCost run_symbolic_block(const KernelContext& ctx,
                                   const sim::Launch& launch,
                                   const KernelConfig& config,
                                   std::span<const index_t> rows,
                                   std::vector<index_t>& out_row_nnz,
-                                  PassStats& stats) {
+                                  PassStats& stats, KernelWorkspace& ws) {
   const bool merged = rows.size() > 1;
   auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
   const BlockRowStats row_stats = block_stats(ctx, rows);
@@ -83,11 +87,11 @@ sim::BlockCost run_symbolic_block(const KernelContext& ctx,
         *ctx.b, a_cols, {}, ctx.analysis->col_min[static_cast<std::size_t>(r)],
         ctx.analysis->col_max[static_cast<std::size_t>(r)],
         ctx.effective_capacity(config.dense_symbolic_capacity()),
-        /*numeric=*/false);
+        /*numeric=*/false, ws.dense());
     out_row_nnz[static_cast<std::size_t>(r)] =
         static_cast<index_t>(result.cols.size());
     ++stats.dense_rows;
-    charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false);
+    charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false, ws);
     cost.smem_atomic(static_cast<double>(result.element_touches));  // atomicOr
     cost.issued(static_cast<double>(result.element_touches));
     cost.issued(static_cast<double>(result.cells_scanned) / 32.0, 2.0);
@@ -100,8 +104,8 @@ sim::BlockCost run_symbolic_block(const KernelContext& ctx,
 
   // Hash path: one shared map with compound keys for all rows of the
   // block (5-bit local row | 27-bit column).
-  SymbolicHashAccumulator acc(ctx.effective_capacity(config.symbolic_hash_capacity()),
-                              ctx.faults);
+  SymbolicHashAccumulator& acc = ws.symbolic_acc(
+      ctx.effective_capacity(config.symbolic_hash_capacity()), ctx.faults);
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
     for (const index_t k : ctx.a->row_cols(r)) {
@@ -110,13 +114,13 @@ sim::BlockCost run_symbolic_block(const KernelContext& ctx,
       }
     }
   }
-  const std::vector<index_t> counts =
-      acc.row_counts(static_cast<int>(rows.size()), ctx.wide_keys);
+  std::vector<index_t>& counts = ws.row_counts();
+  acc.row_counts_into(static_cast<int>(rows.size()), ctx.wide_keys, counts);
   for (std::size_t local = 0; local < rows.size(); ++local) {
     out_row_nnz[static_cast<std::size_t>(rows[local])] = counts[local];
     ++stats.hash_rows;
   }
-  charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false);
+  charge_row_sweep(cost, ctx, rows, lb.group_size, /*numeric=*/false, ws);
   charge_hash_activity(cost, acc, stats);
   // Extraction: scan the whole map to count per-row NNZ.
   cost.issued(static_cast<double>(config.symbolic_hash_capacity()));
@@ -132,17 +136,18 @@ SymbolicOutcome run_symbolic(const KernelContext& ctx, const BinPlan& plan) {
   out.row_nnz.assign(static_cast<std::size_t>(ctx.a->rows()), 0);
   out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/true);
   ThreadPool& pool = pool_or_global(ctx.pool);
+  WorkspacePool local_workspaces;
+  WorkspacePool& workspaces =
+      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
+  workspaces.ensure(pool.thread_count());
 
+  const auto grouped = blocks_by_config(plan, ctx.configs->size());
   for (std::size_t c = 0; c < ctx.configs->size(); ++c) {
     const KernelConfig& config = (*ctx.configs)[c];
+    const std::vector<const BinPlan::Block*>& blocks = grouped[c];
+    if (blocks.empty()) continue;
     sim::Launch launch("symbolic/" + std::to_string(config.threads), *ctx.device,
                        *ctx.model);
-    // This config's blocks, in plan order.
-    std::vector<const BinPlan::Block*> blocks;
-    for (const BinPlan::Block& block : plan.blocks) {
-      if (block.config == static_cast<int>(c)) blocks.push_back(&block);
-    }
-    if (blocks.empty()) continue;
 
     // Blocks partition the rows, so each one fills disjoint row_nnz slots
     // and its own cost/stats slot; committing the costs to the launch (and
@@ -153,13 +158,17 @@ SymbolicOutcome run_symbolic(const KernelContext& ctx, const BinPlan& plan) {
     std::vector<PassStats> block_counters(blocks.size());
     pool.parallel_for(
         blocks.size(), kBlockChunk,
-        [&](std::size_t begin, std::size_t end, int) {
+        [&](std::size_t begin, std::size_t end, int worker) {
+          KernelWorkspace& ws = workspaces.at(worker);
           for (std::size_t i = begin; i < end; ++i) {
             const std::span<const index_t> rows(
                 plan.row_order.data() + blocks[i]->begin,
                 blocks[i]->end - blocks[i]->begin);
+            const std::size_t allocs_before = detail::alloc_events_now();
             costs[i] = run_symbolic_block(ctx, launch, config, rows, out.row_nnz,
-                                          block_counters[i]);
+                                          block_counters[i], ws);
+            block_counters[i].hot_path_allocs +=
+                detail::alloc_events_now() - allocs_before;
           }
         });
     for (std::size_t i = 0; i < blocks.size(); ++i) {

@@ -1,0 +1,14 @@
+#include "speck/workspace.h"
+
+#include "common/check.h"
+
+namespace speck {
+
+void WorkspacePool::ensure(int workers) {
+  SPECK_REQUIRE(workers >= 1, "workspace pool needs at least one worker");
+  while (slots_.size() < static_cast<std::size_t>(workers)) {
+    slots_.push_back(std::make_unique<KernelWorkspace>());
+  }
+}
+
+}  // namespace speck

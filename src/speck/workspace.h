@@ -1,0 +1,99 @@
+// Per-worker-thread kernel workspaces: the zero-allocation hot path.
+//
+// Every simulated block needs transient state — a scratchpad hash map, a
+// spill map, extraction/sort buffers, dense window arrays, load-balancer
+// sweep scratch. Constructing those per block made heap traffic the
+// dominant host cost and belied the paper's claim that the per-row kernels
+// are lean. A KernelWorkspace owns all of it, one workspace per thread-pool
+// worker (ThreadPool::parallel_for guarantees at most one chunk per worker
+// id at a time, so no locking): every buffer is cleared in O(1) (epoch tags
+// on the hash maps, clear() on vectors with retained capacity) and grows
+// monotonically, so after a warm-up pass every block executes without a
+// single heap allocation.
+//
+// The pool is owned by the Speck instance and survives across multiplies,
+// which is what makes repeated executor/iterative workloads (AMG, Markov
+// chains) allocation-free in the steady state. Reuse across thread counts is
+// safe: the pool only ever grows, and block-to-worker assignment never
+// influences results (chunk boundaries are a pure function of the range).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "speck/dense_acc.h"
+#include "speck/hash_acc.h"
+
+namespace speck {
+
+/// All transient per-block state for one worker thread. Borrow the members
+/// directly; every acquisition clears the buffer but keeps its capacity.
+class KernelWorkspace {
+ public:
+  /// Symbolic accumulator reset for a new block of the given capacity.
+  SymbolicHashAccumulator& symbolic_acc(std::size_t capacity,
+                                        const FaultInjector* faults) {
+    symbolic_.begin_block(capacity, faults);
+    return symbolic_;
+  }
+
+  /// Numeric accumulator reset for a new block of the given capacity.
+  NumericHashAccumulator& numeric_acc(std::size_t capacity,
+                                      const FaultInjector* faults) {
+    numeric_.begin_block(capacity, faults);
+    return numeric_;
+  }
+
+  /// Per-local-row NNZ counts (symbolic extraction).
+  std::vector<index_t>& row_counts() { return row_counts_; }
+
+  /// Raw (key, value) entries extracted from a numeric accumulator.
+  std::vector<DeviceHashMap::Entry>& entries() { return entries_; }
+
+  /// Counting-sort scratch: per-row segment starts and the row-bucketed
+  /// entry buffer (replaces the per-block vector-of-vectors bucketing).
+  std::vector<std::size_t>& row_starts() { return row_starts_; }
+  std::vector<std::size_t>& row_cursors() { return row_cursors_; }
+  std::vector<DeviceHashMap::Entry>& bucketed_entries() { return bucketed_; }
+
+  /// charge_row_sweep scratch: per-group lockstep iteration counts and the
+  /// unique-referenced-B-row buffer.
+  std::vector<std::size_t>& group_iterations() { return group_iterations_; }
+  std::vector<index_t>& referenced_rows() { return referenced_; }
+
+  /// Dense-accumulator window/cursor/output buffers.
+  DenseScratch& dense() { return dense_; }
+
+ private:
+  SymbolicHashAccumulator symbolic_;
+  NumericHashAccumulator numeric_;
+  std::vector<index_t> row_counts_;
+  std::vector<DeviceHashMap::Entry> entries_;
+  std::vector<std::size_t> row_starts_;
+  std::vector<std::size_t> row_cursors_;
+  std::vector<DeviceHashMap::Entry> bucketed_;
+  std::vector<std::size_t> group_iterations_;
+  std::vector<index_t> referenced_;
+  DenseScratch dense_;
+};
+
+/// Lazily grown set of workspaces indexed by thread-pool worker id.
+/// unique_ptr slots keep workspace addresses stable across growth.
+class WorkspacePool {
+ public:
+  /// Guarantees workspaces for worker ids [0, workers). Never shrinks, so
+  /// switching between thread counts keeps warm buffers.
+  void ensure(int workers);
+
+  /// Workspace of a worker id previously covered by ensure().
+  KernelWorkspace& at(int worker) { return *slots_[static_cast<std::size_t>(worker)]; }
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<KernelWorkspace>> slots_;
+};
+
+}  // namespace speck

@@ -1,0 +1,97 @@
+// Converts the key=value lines the benchmark binaries print into a flat
+// JSON object, so perf-trajectory points (BENCH_hotpath.json) can be checked
+// in and diffed across commits or uploaded as CI artifacts.
+//
+// Usage: some_bench | bench_to_json [--out FILE]
+//
+// Values that parse fully as numbers are emitted as JSON numbers; everything
+// else becomes a string. Lines without '=' are ignored, later duplicates of
+// a key win, and key order follows first appearance.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] < key=value lines\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> order;
+  std::vector<std::string> keys, values;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    bool replaced = false;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) {
+        values[i] = value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      keys.push_back(key);
+      values.push_back(value);
+    }
+  }
+
+  std::string json = "{\n";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    json += "  \"" + json_escape(keys[i]) + "\": ";
+    json += is_number(values[i]) ? values[i]
+                                 : "\"" + json_escape(values[i]) + "\"";
+    if (i + 1 < keys.size()) json += ",";
+    json += "\n";
+  }
+  json += "}\n";
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
