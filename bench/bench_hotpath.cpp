@@ -124,7 +124,8 @@ int main(int argc, char** argv) {
     SpeckConfig cfg;
     cfg.host_threads = threads;
     Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
-    const std::string prefix = "threads" + std::to_string(threads) + "_";
+    std::printf("point=threads%d\n", threads);
+    emit_count("threads", static_cast<std::size_t>(threads));
 
     // Cold pass: workspaces fill up — allocations are expected here and
     // recorded as the warm-up cost. With multiple workers the block-to-worker
@@ -132,10 +133,9 @@ int main(int argc, char** argv) {
     // largest block only in a later pass; growth is monotone, so warming
     // until one full pass is allocation-free converges in a few passes.
     const RunStats warmup = run_corpus(sp, corpus, 1);
-    emit_count(prefix + "blocks_per_pass", warmup.blocks);
-    emit((prefix + "warmup_allocs_per_block").c_str(),
-         static_cast<double>(warmup.hot_allocs) /
-             static_cast<double>(warmup.blocks));
+    emit_count("blocks_per_pass", warmup.blocks);
+    emit("warmup_allocs_per_block", static_cast<double>(warmup.hot_allocs) /
+                                        static_cast<double>(warmup.blocks));
     if (threads > 1) {
       for (int extra = 0; extra < 10; ++extra) {
         if (run_corpus(sp, corpus, 1).hot_allocs == 0) break;
@@ -147,15 +147,16 @@ int main(int argc, char** argv) {
     const double allocs_per_block =
         static_cast<double>(steady.hot_allocs) /
         static_cast<double>(steady.blocks * steady.passes);
-    emit((prefix + "corpus_wall_seconds").c_str(), steady.wall_seconds);
-    emit((prefix + "sim_seconds").c_str(), steady.sim_seconds);
-    emit((prefix + "ns_per_block").c_str(),
+    emit("corpus_wall_seconds", steady.wall_seconds);
+    emit("sim_seconds", steady.sim_seconds);
+    emit("ns_per_block",
          steady.wall_seconds * 1e9 / static_cast<double>(steady.blocks));
-    emit((prefix + "steady_state_allocs_per_block").c_str(), allocs_per_block);
-    emit_count(prefix + "steady_state_allocs_total", steady.hot_allocs);
+    emit("steady_state_allocs_per_block", allocs_per_block);
+    emit_count("steady_state_allocs_total", steady.hot_allocs);
     if (threads == 1 && baseline_seconds > 0.0) {
       emit("speedup_vs_baseline", baseline_seconds / steady.wall_seconds);
     }
+    std::printf("point=\n");
     // The hard gate runs at one worker, where warm-up deterministically
     // covers every (workspace, block) pairing yet all code paths execute;
     // multi-worker runs are reported for the trajectory.

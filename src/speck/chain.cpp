@@ -47,4 +47,70 @@ ChainResult multiply_chain(std::vector<Csr> chain, SpGemmAlgorithm& algorithm) {
   return result;
 }
 
+const SpeckPlan* ChainPlanCache::find(const PlanFingerprint& fp) const {
+  for (const std::unique_ptr<SpeckPlan>& plan : plans_) {
+    if (fp.matches_full(plan->fingerprint)) return plan.get();
+  }
+  return nullptr;
+}
+
+void ChainPlanCache::insert(SpeckPlan plan) {
+  if (!plan.complete) return;
+  plans_.push_back(std::make_unique<SpeckPlan>(std::move(plan)));
+}
+
+std::size_t ChainPlanCache::byte_size() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<SpeckPlan>& plan : plans_) {
+    total += plan->byte_size();
+  }
+  return total;
+}
+
+ChainResult multiply_chain(std::vector<Csr> chain, Speck& speck,
+                           ChainPlanCache& cache) {
+  ChainResult result;
+  SPECK_REQUIRE(!chain.empty(), "chain must contain at least one matrix");
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    SPECK_REQUIRE(chain[i].cols() == chain[i + 1].rows(),
+                  "chain matrices must be conformable");
+  }
+
+  while (chain.size() > 1) {
+    const std::vector<offset_t> pair_products = chain_pair_products(chain);
+    const auto cheapest =
+        std::min_element(pair_products.begin(), pair_products.end());
+    const auto index =
+        static_cast<std::size_t>(cheapest - pair_products.begin());
+    const Csr& a = chain[index];
+    const Csr& b = chain[index + 1];
+
+    const PlanFingerprint fp = plan_fingerprint(a, b, speck.config());
+    SpGemmResult step;
+    bool reused = false;
+    if (const SpeckPlan* plan = cache.find(fp)) {
+      step = speck.multiply_with_plan(*plan, a, b);
+      reused = !speck.last_diagnostics().plan_fallback;
+    } else {
+      SpeckPlan fresh = speck.plan(a, b, &step);
+      fresh.fingerprint = fp;
+      cache.insert(std::move(fresh));
+    }
+    if (!step.ok()) {
+      result.status = step.status;
+      result.failure_reason = "contracting pair " + std::to_string(index) + ": " +
+                              step.failure_reason;
+      return result;
+    }
+    result.steps.push_back(ChainStep{index, *cheapest, step.seconds, reused});
+    result.seconds += step.seconds;
+    result.total_products += *cheapest;
+
+    chain[index] = std::move(step.c);
+    chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(index) + 1);
+  }
+  result.c = std::move(chain.front());
+  return result;
+}
+
 }  // namespace speck

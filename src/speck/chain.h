@@ -8,9 +8,11 @@
 // intermediate-product count (computable in O(nnz) without multiplying).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ref/spgemm_api.h"
+#include "speck/speck.h"
 
 namespace speck {
 
@@ -18,6 +20,9 @@ struct ChainStep {
   std::size_t left_index = 0;  ///< position of the contracted pair (left)
   offset_t products = 0;       ///< intermediate products of that contraction
   double seconds = 0.0;
+  /// True when the contraction replayed a cached SpeckPlan (plan-aware
+  /// overload only).
+  bool plan_reused = false;
 };
 
 struct ChainResult {
@@ -34,6 +39,35 @@ struct ChainResult {
 /// Multiplies the chain left-to-right compatible matrices with `algorithm`,
 /// greedily contracting the cheapest adjacent pair first.
 ChainResult multiply_chain(std::vector<Csr> chain, SpGemmAlgorithm& algorithm);
+
+/// One SpeckPlan per distinct link structure of a chain, keyed by full
+/// structural fingerprint. Iterative applications re-multiply the same
+/// chain with fresh values (AMG re-setup, R·A·P with a changing A): keep
+/// one cache alive across multiply_chain calls and every link after the
+/// first full pass runs the values-only replay. Contraction order is
+/// value-independent (exact product counts of the structure), so a chain's
+/// link structures recur exactly.
+class ChainPlanCache {
+ public:
+  /// The cached plan matching `fp`, or null.
+  const SpeckPlan* find(const PlanFingerprint& fp) const;
+
+  /// Takes ownership of a freshly built plan (incomplete plans are dropped
+  /// — they could never replay).
+  void insert(SpeckPlan plan);
+
+  std::size_t size() const { return plans_.size(); }
+  std::size_t byte_size() const;
+
+ private:
+  std::vector<std::unique_ptr<SpeckPlan>> plans_;
+};
+
+/// Plan-aware chain multiplication with `speck`: every contraction first
+/// consults `cache` (full fingerprint match) and replays on a hit; misses
+/// run the full pipeline once and cache its plan for the next call.
+ChainResult multiply_chain(std::vector<Csr> chain, Speck& speck,
+                           ChainPlanCache& cache);
 
 /// Products of every adjacent pair in the chain (the greedy decision data).
 std::vector<offset_t> chain_pair_products(const std::vector<Csr>& chain);

@@ -97,6 +97,10 @@ std::string describe(const SpeckConfig& config) {
   out += "max_rows_per_block         = " + std::to_string(config.max_rows_per_block) + "\n";
   out += "host_threads               = " + std::to_string(config.host_threads) +
          (config.host_threads == 0 ? " (process default)" : "") + "\n";
+  out += "plan_cache                 = " +
+         std::string(config.plan_cache ? "true" : "false") + "\n";
+  out += "plan_cache_limit_bytes     = " +
+         std::to_string(config.plan_cache_limit_bytes) + "\n";
   out += "validate_inputs            = " +
          std::string(config.validate_inputs ? "true" : "false") + "\n";
   out += describe(config.faults) + "\n";

@@ -109,6 +109,19 @@ struct SpeckConfig {
   /// pool (SPECK_THREADS env or hardware concurrency); any value produces
   /// bit-identical results (see docs/tutorial.md "Parallel execution").
   int host_threads = 0;
+  /// Transparent single-slot plan cache: when repeated multiply(a, b) calls
+  /// present the same sparsity pattern (full structural fingerprint match,
+  /// including this config's planning fields), the second consecutive call
+  /// captures a SpeckPlan and every later one runs the values-only replay
+  /// (docs/performance.md "Structure reuse"). Results stay bit-identical;
+  /// only the skipped stages disappear from the timeline. Off: every
+  /// multiply runs the full pipeline.
+  bool plan_cache = true;
+  /// Host-memory ceiling for the transparent cache's replay program; a
+  /// structure whose estimated plan exceeds it is never cached (explicit
+  /// Speck::plan() calls ignore the limit — that memory is the caller's
+  /// deliberate choice).
+  std::size_t plan_cache_limit_bytes = 512u << 20;
   /// Re-validates the structural invariants of both inputs (and their
   /// within-row sortedness, which the analysis relies on) at the start of
   /// every multiply; violations raise BadInput. Off by default: matrices

@@ -1,108 +1,74 @@
 #include "speck/executor.h"
 
 namespace speck {
-namespace {
-
-void check_structure(const SpeckPlan& plan, const Csr& a, const Csr& b) {
-  SPECK_REQUIRE(a.rows() == plan.a_rows && a.cols() == plan.a_cols &&
-                    b.cols() == plan.b_cols && a.nnz() == plan.a_nnz &&
-                    b.nnz() == plan.b_nnz,
-                "matrix structure does not match the inspected plan");
-}
-
-}  // namespace
 
 SpeckPlan SpeckExecutor::inspect(const Csr& a, const Csr& b) {
   SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
-  SpeckPlan plan;
-  plan.a_rows = a.rows();
-  plan.a_cols = a.cols();
-  plan.b_cols = b.cols();
-  plan.a_nnz = a.nnz();
-  plan.b_nnz = b.nnz();
-  plan.wide_keys = b.cols() > kMaxColumns32Bit;
-
-  KernelContext ctx;
-  ctx.a = &a;
-  ctx.b = &b;
-  ctx.cfg = &speck_.config();
-  ctx.configs = &speck_.configs();
-  ctx.device = &speck_.device();
-  ctx.model = &speck_.cost_model();
-  ctx.wide_keys = plan.wide_keys;
-  ctx.pool = speck_.host_pool();
-  ctx.workspaces = &speck_.workspaces();
-
-  // Analysis.
-  sim::Launch analysis_launch("row_analysis", speck_.device(), speck_.cost_model());
-  plan.analysis = analyze_rows(a, b, analysis_launch, ctx.pool);
-  ctx.analysis = &plan.analysis;
-  plan.inspect_seconds += analysis_launch.finish().seconds;
-
-  // Symbolic load balancing + symbolic pass.
-  sim::Launch symbolic_lb("symbolic_lb", speck_.device(), speck_.cost_model());
-  plan.symbolic_plan =
-      plan_global_lb({std::span<const offset_t>(plan.analysis.products), true},
-                     speck_.configs(), speck_.config(), symbolic_lb);
-  if (plan.symbolic_plan.used_load_balancer) {
-    plan.inspect_seconds += symbolic_lb.finish().seconds;
-  }
-  SymbolicOutcome symbolic = run_symbolic(ctx, plan.symbolic_plan);
-  plan.inspect_seconds += symbolic.stats.seconds;
-  plan.row_nnz = std::move(symbolic.row_nnz);
-
-  // Numeric load balancing (exact sizes known).
-  std::vector<offset_t> numeric_entries(plan.row_nnz.size());
-  for (std::size_t r = 0; r < plan.row_nnz.size(); ++r) {
-    numeric_entries[r] = static_cast<offset_t>(
-        static_cast<double>(plan.row_nnz[r]) / speck_.config().max_numeric_fill + 1.0);
-  }
-  sim::Launch numeric_lb("numeric_lb", speck_.device(), speck_.cost_model());
-  plan.numeric_plan =
-      plan_global_lb({std::span<const offset_t>(numeric_entries), false},
-                     speck_.configs(), speck_.config(), numeric_lb);
-  if (plan.numeric_plan.used_load_balancer) {
-    plan.inspect_seconds += numeric_lb.finish().seconds;
-  }
-  return plan;
+  return speck_.plan(a, b);
 }
 
 SpGemmResult SpeckExecutor::execute(const SpeckPlan& plan, const Csr& a,
                                     const Csr& b) {
   SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
-  check_structure(plan, a, b);
+  const PlanFingerprint now =
+      plan_fingerprint(a, b, speck_.config(), /*with_pattern_hashes=*/false);
+  SPECK_REQUIRE(plan.complete && now.matches_quick(plan.fingerprint),
+                "matrix structure does not match the inspected plan");
+  return speck_.multiply_with_plan(plan, a, b);
+}
+
+SymbolicEstimate symbolic_estimate(Speck& speck, const Csr& a, const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
 
   KernelContext ctx;
   ctx.a = &a;
   ctx.b = &b;
-  ctx.analysis = &plan.analysis;
-  ctx.cfg = &speck_.config();
-  ctx.configs = &speck_.configs();
-  ctx.device = &speck_.device();
-  ctx.model = &speck_.cost_model();
-  ctx.wide_keys = plan.wide_keys;
-  ctx.pool = speck_.host_pool();
-  ctx.workspaces = &speck_.workspaces();
+  ctx.cfg = &speck.config();
+  ctx.configs = &speck.configs();
+  ctx.device = &speck.device();
+  ctx.model = &speck.cost_model();
+  ctx.wide_keys = b.cols() > kMaxColumns32Bit;
+  ctx.pool = speck.host_pool();
+  ctx.workspaces = &speck.workspaces();
 
-  SpGemmResult result;
-  NumericOutcome numeric = run_numeric(ctx, plan.numeric_plan, plan.row_nnz);
-  result.timeline.add(sim::Stage::kNumeric, numeric.stats.seconds);
-  result.timeline.add(sim::Stage::kSorting, numeric.sorting_seconds);
-  result.c = std::move(numeric.c);
-  result.seconds = result.timeline.total_seconds();
-  result.peak_memory_bytes =
-      a.byte_size() + b.byte_size() + result.c.byte_size();
-  return result;
-}
-
-SymbolicEstimate symbolic_estimate(Speck& speck, const Csr& a, const Csr& b) {
-  SpeckExecutor executor(speck.device(), speck.cost_model(), speck.config());
-  SpeckPlan plan = executor.inspect(a, b);
   SymbolicEstimate estimate;
-  estimate.products = plan.analysis.total_products;
-  estimate.seconds = plan.inspect_seconds;
-  for (const index_t nnz : plan.row_nnz) estimate.c_nnz += nnz;
-  estimate.row_nnz = std::move(plan.row_nnz);
+
+  // Analysis.
+  sim::Launch analysis_launch("row_analysis", speck.device(), speck.cost_model());
+  const RowAnalysis analysis = analyze_rows(a, b, analysis_launch, ctx.pool);
+  ctx.analysis = &analysis;
+  estimate.products = analysis.total_products;
+  estimate.seconds += analysis_launch.finish().seconds;
+
+  // Symbolic load balancing + symbolic pass.
+  sim::Launch symbolic_lb("symbolic_lb", speck.device(), speck.cost_model());
+  const BinPlan symbolic_plan =
+      plan_global_lb({std::span<const offset_t>(analysis.products), true},
+                     speck.configs(), speck.config(), symbolic_lb);
+  if (symbolic_plan.used_load_balancer) {
+    estimate.seconds += symbolic_lb.finish().seconds;
+  }
+  SymbolicOutcome symbolic = run_symbolic(ctx, symbolic_plan);
+  estimate.seconds += symbolic.stats.seconds;
+
+  // Numeric load balancing (exact sizes known) — part of what the numeric
+  // pass would consume, and of what the old inspect() charged.
+  std::vector<offset_t> numeric_entries(symbolic.row_nnz.size());
+  for (std::size_t r = 0; r < symbolic.row_nnz.size(); ++r) {
+    numeric_entries[r] = static_cast<offset_t>(
+        static_cast<double>(symbolic.row_nnz[r]) / speck.config().max_numeric_fill +
+        1.0);
+  }
+  sim::Launch numeric_lb("numeric_lb", speck.device(), speck.cost_model());
+  const BinPlan numeric_plan =
+      plan_global_lb({std::span<const offset_t>(numeric_entries), false},
+                     speck.configs(), speck.config(), numeric_lb);
+  if (numeric_plan.used_load_balancer) {
+    estimate.seconds += numeric_lb.finish().seconds;
+  }
+
+  for (const index_t nnz : symbolic.row_nnz) estimate.c_nnz += nnz;
+  estimate.row_nnz = std::move(symbolic.row_nnz);
   return estimate;
 }
 

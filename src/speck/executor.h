@@ -6,30 +6,17 @@
 // spECK's row analysis, binning and symbolic pass depend only on the
 // pattern, so inspecting once and executing many times amortizes roughly
 // half of the pipeline (Fig. 11's analysis + symbolic + load-balancing
-// shares).
+// shares). Since the structure-reuse fast path landed, this class is a thin
+// veneer over Speck::plan / Speck::multiply_with_plan with throwing
+// mismatch semantics; new code can use those entry points directly
+// (docs/performance.md "Structure reuse").
 #pragma once
 
-#include <memory>
-#include <optional>
-
 #include "ref/spgemm_api.h"
+#include "speck/plan.h"
 #include "speck/speck.h"
 
 namespace speck {
-
-/// Frozen pattern-dependent state for one (A, B) structure.
-struct SpeckPlan {
-  RowAnalysis analysis;
-  BinPlan symbolic_plan;
-  BinPlan numeric_plan;
-  std::vector<index_t> row_nnz;  ///< exact NNZ per row of C
-  bool wide_keys = false;
-  /// Structural fingerprint used to detect mismatched executes.
-  index_t a_rows = 0, a_cols = 0, b_cols = 0;
-  offset_t a_nnz = 0, b_nnz = 0;
-  /// Simulated seconds spent inspecting (analysis + LB + symbolic).
-  double inspect_seconds = 0.0;
-};
 
 /// Inspect-once / execute-many wrapper around the spECK pipeline.
 class SpeckExecutor {
@@ -38,7 +25,8 @@ class SpeckExecutor {
                 SpeckConfig config = {})
       : speck_(device, model, config) {}
 
-  /// Runs the pattern-dependent stages and freezes the plan.
+  /// Runs the pipeline once and freezes the pattern-dependent state —
+  /// including the exact pattern of C and the values-only replay program.
   /// The matrices' *values* are not retained.
   SpeckPlan inspect(const Csr& a, const Csr& b);
 

@@ -2,6 +2,7 @@
 // (paper §4.3). Results are exact; device cycles are charged per block.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -96,6 +97,39 @@ struct NumericOutcome {
 /// Runs the numeric pass; `row_nnz` comes from the symbolic outcome.
 NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
                            std::span<const index_t> row_nnz);
+
+/// Values-only replay program: one entry per intermediate product, grouped
+/// by row of C and ordered exactly like the numeric kernels accumulate
+/// (rows of A outer, referenced rows of B inner). `assign_first` mirrors the
+/// accumulator semantics of the row's method — hash and direct rows *assign*
+/// their first contribution to a slot, dense rows add into a zero-initialized
+/// window — which is what keeps replayed values bit-identical to a full
+/// numeric pass. Built once per plan by build_replay_program (plan.h).
+struct NumericReplayProgram {
+  /// rows+1 prefix: ops of C row r live in [row_op_start[r], row_op_start[r+1]).
+  std::vector<offset_t> row_op_start;
+  std::vector<std::uint32_t> a_idx;        ///< index into a.values()
+  std::vector<std::uint32_t> b_idx;        ///< index into b.values()
+  std::vector<std::uint32_t> dest;         ///< index into the output values
+  std::vector<std::uint8_t> assign_first;  ///< 1: store the product; 0: add it
+
+  std::size_t ops() const { return a_idx.size(); }
+  std::size_t byte_size() const {
+    return row_op_start.size() * sizeof(offset_t) +
+           (a_idx.size() + b_idx.size() + dest.size()) * sizeof(std::uint32_t) +
+           assign_first.size() * sizeof(std::uint8_t);
+  }
+};
+
+/// Replays the program against fresh values of (a, b), writing straight into
+/// `out` (sized c_nnz, zero-initialized by the caller). Pattern-independent
+/// work only: no analysis, no hashing, no sorting. Parallelized over `pool`
+/// with fixed chunking, so results are bit-identical at any thread count.
+/// Returns the heap allocations observed inside the replay loop (the
+/// zero-allocation hot-path metric; always 0 — the loop owns no containers).
+std::size_t replay_numeric_values(const Csr& a, const Csr& b,
+                                  const NumericReplayProgram& program,
+                                  ThreadPool* pool, std::span<value_t> out);
 
 /// Method selection, exposed for tests.
 RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,

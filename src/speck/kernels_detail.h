@@ -3,8 +3,12 @@
 #pragma once
 
 #include <algorithm>
+#include <optional>
+#include <string>
+#include <variant>
 #include <vector>
 
+#include "common/alloc_counter.h"
 #include "common/bit_utils.h"
 #include "common/check.h"
 #include "speck/hash_acc.h"
@@ -131,6 +135,67 @@ void charge_hash_activity(sim::BlockCost& cost, const Accumulator& acc,
     stats.global_inserts += acc.global_inserts();
     cost.global_atomic(static_cast<double>(acc.moved_entries()));
     cost.global_atomic(1.5 * static_cast<double>(acc.global_inserts()));
+  }
+}
+
+/// Shared driver of both passes: runs every block of `plan`, grouped into
+/// one simulated launch per kernel configuration. Blocks partition the rows,
+/// so each block body writes disjoint output slots plus its own cost /
+/// counter / payload slot; costs are committed to the launch (and counters
+/// merged, and `commit` called) serially in plan order afterwards, which
+/// keeps the simulated schedule — and thus `seconds` — identical to the
+/// single-threaded run. Per-block heap allocations are accounted into the
+/// block's PassStats (the zero-allocation hot-path metric).
+///
+/// `run_block(launch, config, config_index, rows, counters, payload, ws)`
+/// returns the block's sim::BlockCost; `commit(payload)` runs serially per
+/// block (pass Payload = std::monostate and a no-op when not needed).
+template <typename Payload, typename RunBlock, typename Commit>
+void execute_block_plan(const KernelContext& ctx, const BinPlan& plan,
+                        const char* launch_prefix, PassStats& pass_stats,
+                        RunBlock&& run_block, Commit&& commit) {
+  ThreadPool& pool = pool_or_global(ctx.pool);
+  WorkspacePool local_workspaces;
+  WorkspacePool& workspaces =
+      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
+  workspaces.ensure(pool.thread_count());
+
+  const auto grouped = blocks_by_config(plan, ctx.configs->size());
+  for (std::size_t c = 0; c < ctx.configs->size(); ++c) {
+    const KernelConfig& config = (*ctx.configs)[c];
+    const std::vector<const BinPlan::Block*>& blocks = grouped[c];
+    if (blocks.empty()) continue;
+    sim::Launch launch(std::string(launch_prefix) + std::to_string(config.threads),
+                       *ctx.device, *ctx.model);
+
+    std::vector<std::optional<sim::BlockCost>> costs(blocks.size());
+    std::vector<PassStats> block_counters(blocks.size());
+    std::vector<Payload> payloads(blocks.size());
+    pool.parallel_for(
+        blocks.size(), kBlockChunk,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          KernelWorkspace& ws = workspaces.at(worker);
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::span<const index_t> rows(
+                plan.row_order.data() + blocks[i]->begin,
+                blocks[i]->end - blocks[i]->begin);
+            const std::size_t allocs_before = alloc_events_now();
+            costs[i] = run_block(launch, config, static_cast<int>(c), rows,
+                                 block_counters[i], payloads[i], ws);
+            block_counters[i].hot_path_allocs += alloc_events_now() - allocs_before;
+          }
+        });
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      launch.add(*costs[i]);
+      merge_pass_counters(pass_stats, block_counters[i]);
+      commit(payloads[i]);
+    }
+
+    if (launch.block_count() > 0) {
+      sim::LaunchResult finished = launch.finish();
+      pass_stats.seconds += finished.seconds;
+      if (ctx.trace != nullptr) ctx.trace->record(std::move(finished));
+    }
   }
 }
 

@@ -14,12 +14,9 @@
 namespace speck {
 
 using detail::block_stats;
-using detail::blocks_by_config;
 using detail::charge_hash_activity;
 using detail::charge_row_sweep;
 using detail::global_pool_bytes;
-using detail::kBlockChunk;
-using detail::merge_pass_counters;
 
 RowMethod choose_numeric_method(const KernelContext& ctx, index_t row,
                                 index_t row_nnz, bool merged_block,
@@ -237,11 +234,6 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
                            std::span<const index_t> row_nnz) {
   NumericOutcome out;
   out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/false);
-  ThreadPool& pool = pool_or_global(ctx.pool);
-  WorkspacePool local_workspaces;
-  WorkspacePool& workspaces =
-      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
-  workspaces.ensure(pool.thread_count());
 
   // Output allocation: offsets from the symbolic row counts.
   std::vector<offset_t> offsets(static_cast<std::size_t>(ctx.a->rows()) + 1, 0);
@@ -255,53 +247,23 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   offset_t radix_elements = 0;
   index_t radix_max_col = 0;
 
-  const auto grouped = blocks_by_config(plan, ctx.configs->size());
-  for (std::size_t c = 0; c < ctx.configs->size(); ++c) {
-    const KernelConfig& config = (*ctx.configs)[c];
-    const std::vector<const BinPlan::Block*>& blocks = grouped[c];
-    if (blocks.empty()) continue;
-    sim::Launch launch("numeric/" + std::to_string(config.threads), *ctx.device,
-                       *ctx.model);
-
-    // Blocks partition the rows of C: every block writes its rows into
-    // disjoint [offsets[r], offsets[r+1]) output slots and its own
-    // cost/stats slot. Costs are committed to the launch serially in plan
-    // order afterwards, so the simulated schedule — and `seconds` — is
-    // identical to the single-threaded run.
-    std::vector<std::optional<sim::BlockCost>> costs(blocks.size());
-    std::vector<PassStats> block_counters(blocks.size());
-    std::vector<RadixContribution> block_radix(blocks.size());
-    pool.parallel_for(
-        blocks.size(), kBlockChunk,
-        [&](std::size_t begin, std::size_t end, int worker) {
-          KernelWorkspace& ws = workspaces.at(worker);
-          for (std::size_t i = begin; i < end; ++i) {
-            const std::span<const index_t> rows(
-                plan.row_order.data() + blocks[i]->begin,
-                blocks[i]->end - blocks[i]->begin);
-            const std::size_t allocs_before = detail::alloc_events_now();
-            costs[i] = run_numeric_block(ctx, launch, config,
-                                         static_cast<int>(c),
-                                         /*largest_sorts_via_radix=*/c > 2, rows,
-                                         row_nnz, offsets, out_cols, out_vals,
-                                         block_counters[i], block_radix[i], ws);
-            block_counters[i].hot_path_allocs +=
-                detail::alloc_events_now() - allocs_before;
-          }
-        });
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      launch.add(*costs[i]);
-      merge_pass_counters(out.stats, block_counters[i]);
-      radix_elements += block_radix[i].elements;
-      radix_max_col = std::max(radix_max_col, block_radix[i].max_col);
-    }
-
-    if (launch.block_count() > 0) {
-      sim::LaunchResult finished = launch.finish();
-      out.stats.seconds += finished.seconds;
-      if (ctx.trace != nullptr) ctx.trace->record(std::move(finished));
-    }
-  }
+  // Every block writes its rows of C into disjoint [offsets[r], offsets[r+1])
+  // output slots, so the shared driver needs no synchronization beyond its
+  // serial commit of costs and radix contributions.
+  detail::execute_block_plan<RadixContribution>(
+      ctx, plan, "numeric/", out.stats,
+      [&](const sim::Launch& launch, const KernelConfig& config,
+          int config_index, std::span<const index_t> rows, PassStats& counters,
+          RadixContribution& radix, KernelWorkspace& ws) {
+        return run_numeric_block(ctx, launch, config, config_index,
+                                 /*largest_sorts_via_radix=*/config_index > 2,
+                                 rows, row_nnz, offsets, out_cols, out_vals,
+                                 counters, radix, ws);
+      },
+      [&](const RadixContribution& radix) {
+        radix_elements += radix.elements;
+        radix_max_col = std::max(radix_max_col, radix.max_col);
+      });
 
   // Device radix sort pass over the rows emitted unsorted.
   if (radix_elements > 0) {
@@ -330,6 +292,42 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   out.c = Csr(ctx.a->rows(), ctx.b->cols(), std::move(offsets), std::move(out_cols),
               std::move(out_vals));
   return out;
+}
+
+std::size_t replay_numeric_values(const Csr& a, const Csr& b,
+                                  const NumericReplayProgram& program,
+                                  ThreadPool* pool, std::span<value_t> out) {
+  const std::size_t rows =
+      program.row_op_start.empty() ? 0 : program.row_op_start.size() - 1;
+  if (rows == 0) return 0;
+  const value_t* a_vals = a.values().data();
+  const value_t* b_vals = b.values().data();
+
+  // Fixed row chunking — like the block passes, boundaries are a pure
+  // function of the row count, so the replay is bit-identical at any thread
+  // count (each C row's ops run in program order on exactly one worker, and
+  // rows own disjoint slots of `out`).
+  constexpr std::size_t kRowChunk = 256;
+  const std::size_t chunks = (rows + kRowChunk - 1) / kRowChunk;
+  std::vector<std::size_t> chunk_allocs(chunks, 0);
+  pool_or_global(pool).parallel_for(
+      rows, kRowChunk, [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        const std::size_t allocs_before = detail::alloc_events_now();
+        const auto op_begin = static_cast<std::size_t>(program.row_op_start[begin]);
+        const auto op_end = static_cast<std::size_t>(program.row_op_start[end]);
+        for (std::size_t op = op_begin; op < op_end; ++op) {
+          const value_t product =
+              a_vals[program.a_idx[op]] * b_vals[program.b_idx[op]];
+          value_t& slot = out[program.dest[op]];
+          slot = program.assign_first[op] != 0 ? product : slot + product;
+        }
+        chunk_allocs[begin / kRowChunk] +=
+            detail::alloc_events_now() - allocs_before;
+      });
+
+  std::size_t total_allocs = 0;
+  for (const std::size_t n : chunk_allocs) total_allocs += n;
+  return total_allocs;
 }
 
 

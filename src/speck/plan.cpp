@@ -1,0 +1,243 @@
+#include "speck/plan.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "common/thread_pool.h"
+#include "speck/workspace.h"
+
+namespace speck {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h ^ v;
+  return splitmix64(s);
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t planning_config_hash(const SpeckConfig& cfg) {
+  std::uint64_t h = 0x5eC4'0Bad'F00dULL;
+  const SpeckThresholds& t = cfg.thresholds;
+  for (const LoadBalanceThresholds* lb :
+       {&t.symbolic, &t.symbolic_large, &t.numeric, &t.numeric_large}) {
+    h = mix(h, lb->ratio);
+    h = mix(h, static_cast<std::uint64_t>(lb->min_rows));
+  }
+  h = mix(h, static_cast<std::uint64_t>(t.symbolic_large_kernel_count));
+  h = mix(h, static_cast<std::uint64_t>(t.numeric_large_kernel_count));
+
+  const SpeckFeatures& f = cfg.features;
+  const std::uint64_t feature_bits =
+      (f.dense_accumulation ? 1ULL : 0ULL) | (f.direct_rows ? 2ULL : 0ULL) |
+      (f.dynamic_group_size ? 4ULL : 0ULL) | (f.block_merge ? 8ULL : 0ULL) |
+      (static_cast<std::uint64_t>(f.global_lb_symbolic) << 4) |
+      (static_cast<std::uint64_t>(f.global_lb_numeric) << 8);
+  h = mix(h, feature_bits);
+  h = mix(h, static_cast<std::uint64_t>(f.fixed_group_size));
+
+  h = mix(h, cfg.max_numeric_fill);
+  h = mix(h, cfg.symbolic_dense_factor);
+  h = mix(h, cfg.dense_density_threshold);
+  h = mix(h, static_cast<std::uint64_t>(cfg.max_rows_per_block));
+
+  const FaultSpec& fs = cfg.faults;
+  h = mix(h, fs.estimate_scale);
+  h = mix(h, fs.estimate_jitter);
+  h = mix(h, fs.seed);
+  h = mix(h, static_cast<std::uint64_t>(fs.hash_overflow_after));
+  h = mix(h, fs.scratchpad_scale);
+  h = mix(h, static_cast<std::uint64_t>(fs.memory_budget_bytes));
+  return h;
+}
+
+std::uint64_t csr_pattern_hash(const Csr& m) {
+  std::uint64_t h = 0x9E37'79B9'7F4A'7C15ULL;
+  h = mix(h, static_cast<std::uint64_t>(m.rows()));
+  h = mix(h, static_cast<std::uint64_t>(m.cols()));
+  for (const offset_t o : m.row_offsets()) {
+    h = mix(h, static_cast<std::uint64_t>(o));
+  }
+  for (const index_t c : m.col_indices()) {
+    h = mix(h, static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
+PlanFingerprint plan_fingerprint(const Csr& a, const Csr& b,
+                                 const SpeckConfig& cfg,
+                                 bool with_pattern_hashes) {
+  PlanFingerprint fp;
+  fp.a_rows = a.rows();
+  fp.a_cols = a.cols();
+  fp.b_rows = b.rows();
+  fp.b_cols = b.cols();
+  fp.a_nnz = a.nnz();
+  fp.b_nnz = b.nnz();
+  fp.config_hash = planning_config_hash(cfg);
+  if (with_pattern_hashes) {
+    fp.a_pattern_hash = csr_pattern_hash(a);
+    fp.b_pattern_hash = csr_pattern_hash(b);
+  }
+  return fp;
+}
+
+std::size_t SpeckPlan::byte_size() const {
+  return sizeof(SpeckPlan) + analysis.byte_size() + symbolic_plan.byte_size() +
+         numeric_plan.byte_size() + row_nnz.size() * sizeof(index_t) +
+         c_row_offsets.size() * sizeof(offset_t) +
+         c_col_indices.size() * sizeof(index_t) + program.byte_size() +
+         replay_trace.size() * sizeof(sim::LaunchResult);
+}
+
+NumericReplayProgram build_replay_program(const KernelContext& ctx,
+                                          const BinPlan& numeric_plan,
+                                          std::span<const index_t> row_nnz,
+                                          std::span<const offset_t> c_row_offsets,
+                                          std::span<const index_t> c_col_indices) {
+  const Csr& a = *ctx.a;
+  const Csr& b = *ctx.b;
+  const auto rows = static_cast<std::size_t>(a.rows());
+
+  NumericReplayProgram program;
+  program.row_op_start.assign(rows + 1, 0);
+  if (rows == 0) return program;
+
+  ThreadPool& pool = pool_or_global(ctx.pool);
+  WorkspacePool local_workspaces;
+  WorkspacePool& workspaces =
+      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
+  workspaces.ensure(pool.thread_count());
+
+  // Accumulator method per row, mirroring run_numeric_block's block-level
+  // selection exactly: a block is all-direct only when every row qualifies;
+  // otherwise single-row blocks may pick dense and everything else hashes.
+  std::vector<RowMethod> methods(rows, RowMethod::kHash);
+  for (const BinPlan::Block& block : numeric_plan.blocks) {
+    const std::span<const index_t> block_rows(
+        numeric_plan.row_order.data() + block.begin, block.end - block.begin);
+    if (block_rows.empty()) continue;
+    bool all_direct = ctx.cfg->features.direct_rows;
+    for (const index_t r : block_rows) {
+      all_direct = all_direct && a.row_length(r) == 1;
+    }
+    if (all_direct) {
+      for (const index_t r : block_rows) {
+        methods[static_cast<std::size_t>(r)] = RowMethod::kDirect;
+      }
+      continue;
+    }
+    if (block_rows.size() == 1) {
+      const index_t r = block_rows.front();
+      RowMethod method =
+          choose_numeric_method(ctx, r, row_nnz[static_cast<std::size_t>(r)],
+                                /*merged_block=*/false, block.config);
+      // A direct singleton would have made the block all-direct above; the
+      // numeric pass routes any other non-dense choice through hashing.
+      if (method != RowMethod::kDense) method = RowMethod::kHash;
+      methods[static_cast<std::size_t>(r)] = method;
+    }
+  }
+
+  // Exact per-row op counts (never the fault-perturbed analysis estimates),
+  // then a serial prefix sum so every row owns its program slice.
+  std::vector<offset_t>& starts = program.row_op_start;
+  pool.parallel_for(rows, 512,
+                    [&](std::size_t begin, std::size_t end, int /*worker*/) {
+                      for (std::size_t r = begin; r < end; ++r) {
+                        offset_t ops = 0;
+                        for (const index_t k :
+                             a.row_cols(static_cast<index_t>(r))) {
+                          ops += b.row_length(k);
+                        }
+                        starts[r + 1] = ops;
+                      }
+                    });
+  for (std::size_t r = 0; r < rows; ++r) starts[r + 1] += starts[r];
+
+  const auto total_ops = static_cast<std::size_t>(starts.back());
+  program.a_idx.resize(total_ops);
+  program.b_idx.resize(total_ops);
+  program.dest.resize(total_ops);
+  program.assign_first.resize(total_ops);
+
+  const std::span<const offset_t> a_offsets = a.row_offsets();
+  const std::span<const offset_t> b_offsets = b.row_offsets();
+  const auto b_cols_total = static_cast<std::size_t>(b.cols());
+  pool.parallel_for(rows, 256, [&](std::size_t begin, std::size_t end,
+                                   int worker) {
+    std::vector<std::uint8_t>& seen = workspaces.at(worker).replay_seen();
+    // Column -> local C-row slot scatter map. Never cleared between rows:
+    // each row writes all of its own columns before reading, and a stale
+    // entry can only surface for a column missing from the frozen pattern,
+    // which the recheck below rejects.
+    std::vector<std::uint32_t>& colmap = workspaces.at(worker).replay_colmap();
+    if (colmap.size() < b_cols_total) colmap.resize(b_cols_total);
+    for (std::size_t r = begin; r < end; ++r) {
+      auto op = static_cast<std::size_t>(starts[r]);
+      const auto c_begin = static_cast<std::size_t>(c_row_offsets[r]);
+      const auto c_end = static_cast<std::size_t>(c_row_offsets[r + 1]);
+      const auto a_cols = a.row_cols(static_cast<index_t>(r));
+
+      if (methods[r] == RowMethod::kDirect) {
+        // Single A entry: the C row is the referenced B row, in order.
+        if (!a_cols.empty()) {
+          const auto a_pos = static_cast<std::uint32_t>(a_offsets[r]);
+          const index_t k = a_cols.front();
+          const auto b_pos =
+              static_cast<std::size_t>(b_offsets[static_cast<std::size_t>(k)]);
+          const auto len = static_cast<std::size_t>(b.row_length(k));
+          for (std::size_t j = 0; j < len; ++j) {
+            program.a_idx[op] = a_pos;
+            program.b_idx[op] = static_cast<std::uint32_t>(b_pos + j);
+            program.dest[op] = static_cast<std::uint32_t>(c_begin + j);
+            program.assign_first[op] = 1;
+            ++op;
+          }
+        }
+        continue;
+      }
+
+      const bool hash = methods[r] == RowMethod::kHash;
+      const std::span<const index_t> c_cols =
+          c_col_indices.subspan(c_begin, c_end - c_begin);
+      if (hash) seen.assign(c_cols.size(), 0);
+      for (std::size_t l = 0; l < c_cols.size(); ++l) {
+        colmap[static_cast<std::size_t>(c_cols[l])] =
+            static_cast<std::uint32_t>(l);
+      }
+      for (std::size_t i = 0; i < a_cols.size(); ++i) {
+        const auto a_pos = static_cast<std::uint32_t>(
+            a_offsets[r] + static_cast<offset_t>(i));
+        const index_t k = a_cols[i];
+        const auto b_cols = b.row_cols(k);
+        const auto b_pos =
+            static_cast<std::size_t>(b_offsets[static_cast<std::size_t>(k)]);
+        for (std::size_t j = 0; j < b_cols.size(); ++j) {
+          const auto local = static_cast<std::size_t>(
+              colmap[static_cast<std::size_t>(b_cols[j])]);
+          SPECK_ASSERT(local < c_cols.size() && c_cols[local] == b_cols[j],
+                       "replay program: product column missing from the "
+                       "frozen C pattern");
+          program.a_idx[op] = a_pos;
+          program.b_idx[op] = static_cast<std::uint32_t>(b_pos + j);
+          program.dest[op] = static_cast<std::uint32_t>(c_begin + local);
+          program.assign_first[op] =
+              hash && seen[local] == 0 ? std::uint8_t{1} : std::uint8_t{0};
+          if (hash) seen[local] = 1;
+          ++op;
+        }
+      }
+    }
+  });
+
+  return program;
+}
+
+}  // namespace speck

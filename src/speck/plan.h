@@ -1,0 +1,167 @@
+// Structure-reuse fast path: a frozen SpeckPlan for repeated multiplies
+// with a fixed sparsity pattern.
+//
+// Iterative workloads (AMG setup, graph contraction, Newton steps) multiply
+// the *same* pattern dozens of times with changing values. Everything spECK
+// derives from structure alone — the row analysis, both load-balancer
+// decisions, the per-block kernel plans, the exact pattern of C and its sort
+// order — is captured here once, so subsequent multiplies run a values-only
+// replay that skips analysis, global load balancing, the symbolic pass and
+// sorting entirely (the cost model then charges only the numeric kernels,
+// mirroring the amortizable share of Fig. 11's stage split). The plan
+// carries a structural fingerprint so a stale plan is detected and falls
+// back to the full pipeline instead of producing wrong values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+#include "sim/launch.h"
+#include "speck/config.h"
+#include "speck/global_lb.h"
+#include "speck/kernels.h"
+#include "speck/row_analysis.h"
+
+namespace speck {
+
+/// Cheap structural identity of a planned (A, B, config) triple. The scalar
+/// fields are O(1) to compare; the pattern hashes cover row_offsets and
+/// col_indices of both inputs and are only computed (and compared) where an
+/// O(nnz) check is wanted.
+struct PlanFingerprint {
+  index_t a_rows = 0, a_cols = 0, b_rows = 0, b_cols = 0;
+  offset_t a_nnz = 0, b_nnz = 0;
+  /// Hash over the SpeckConfig fields that affect planning (thresholds,
+  /// features, fill/density knobs, fault spec — not host_threads,
+  /// validate_inputs or the plan-cache switches).
+  std::uint64_t config_hash = 0;
+  /// splitmix64 chain over row_offsets + col_indices; 0 when not computed.
+  std::uint64_t a_pattern_hash = 0;
+  std::uint64_t b_pattern_hash = 0;
+
+  /// O(1): dimensions, nnz and the planning-config hash.
+  bool matches_quick(const PlanFingerprint& o) const {
+    return a_rows == o.a_rows && a_cols == o.a_cols && b_rows == o.b_rows &&
+           b_cols == o.b_cols && a_nnz == o.a_nnz && b_nnz == o.b_nnz &&
+           config_hash == o.config_hash;
+  }
+
+  /// Quick check plus the O(nnz) pattern hashes (both sides computed).
+  bool matches_full(const PlanFingerprint& o) const {
+    return matches_quick(o) && a_pattern_hash == o.a_pattern_hash &&
+           b_pattern_hash == o.b_pattern_hash;
+  }
+};
+
+/// Hash of the planning-relevant SpeckConfig fields (see PlanFingerprint).
+std::uint64_t planning_config_hash(const SpeckConfig& cfg);
+
+/// splitmix64 chain over a matrix's row_offsets and col_indices (values are
+/// deliberately excluded — the whole point is that only structure matters).
+std::uint64_t csr_pattern_hash(const Csr& m);
+
+/// Fingerprint of (a, b) under `cfg`. `with_pattern_hashes` = false skips
+/// the O(nnz) hashing and leaves the hash fields 0 (use with matches_quick).
+PlanFingerprint plan_fingerprint(const Csr& a, const Csr& b,
+                                 const SpeckConfig& cfg,
+                                 bool with_pattern_hashes = true);
+
+/// Per-run diagnostics beyond the common SpGemmResult (used by tests and
+/// the ablation benchmarks).
+struct SpeckDiagnostics {
+  bool symbolic_lb_used = false;
+  bool numeric_lb_used = false;
+  /// Inputs to the Table 2 decision rule (consumed by the auto-tuner).
+  LbDecisionStats symbolic_decision;
+  LbDecisionStats numeric_decision;
+  PassStats symbolic;
+  PassStats numeric;
+  offset_t products = 0;
+  offset_t radix_sorted_elements = 0;
+  int symbolic_blocks = 0;
+  int numeric_blocks = 0;
+  bool wide_keys = false;
+  /// True when the multiply ran the values-only replay of a SpeckPlan
+  /// instead of the full pipeline.
+  bool plan_used = false;
+  /// True when the replay was triggered by Speck's transparent single-slot
+  /// plan cache (as opposed to an explicit multiply_with_plan call).
+  bool plan_cache_hit = false;
+  /// True when multiply_with_plan rejected its plan (stale fingerprint,
+  /// incomplete plan) and fell back to the full pipeline.
+  bool plan_fallback = false;
+  std::string plan_fallback_reason;
+};
+
+/// Frozen pattern-dependent state of one (A, B, config) structure: the full
+/// planning output plus the exact pattern of C and a values-only replay
+/// program. Build with Speck::plan(); consume with Speck::multiply_with_plan()
+/// — or let Speck's transparent cache do both.
+struct SpeckPlan {
+  PlanFingerprint fingerprint;
+
+  /// False when the structure could not be captured (32-bit index overflow,
+  /// failed pipeline run); multiply_with_plan then falls back.
+  bool complete = false;
+  std::string incomplete_reason;
+
+  // Planning state (structure-only), kept for introspection and so the
+  // executor can keep serving its numeric re-execution interface.
+  RowAnalysis analysis;
+  BinPlan symbolic_plan;
+  BinPlan numeric_plan;
+  std::vector<index_t> row_nnz;  ///< exact NNZ per row of C
+  bool wide_keys = false;
+
+  /// The exact pattern of C from the symbolic + numeric passes, already in
+  /// final (sorted) order — replays write values straight into it.
+  std::vector<offset_t> c_row_offsets;
+  std::vector<index_t> c_col_indices;
+
+  /// Values-only program: one entry per intermediate product.
+  NumericReplayProgram program;
+
+  /// Full-run observables captured at plan time. The pipeline is a
+  /// deterministic function of structure and config — values never steer
+  /// control flow — so a replay reports these verbatim and they are
+  /// bit-identical to what a full run on the same structure would produce
+  /// (only numeric.hot_path_allocs is overridden with the live replay
+  /// count, keeping the zero-allocation gate honest).
+  SpeckDiagnostics diagnostics;
+  double numeric_seconds = 0.0;
+  double sorting_seconds = 0.0;
+  /// The numeric + radix-sort launches of the capturing run, replayed into
+  /// Speck::last_trace() on every reuse.
+  std::vector<sim::LaunchResult> replay_trace;
+
+  /// Simulated seconds of the stages a replay skips (analysis + symbolic LB
+  /// + symbolic + numeric LB): what one reuse amortizes away.
+  double inspect_seconds = 0.0;
+
+  offset_t c_nnz() const {
+    return c_row_offsets.empty() ? 0 : c_row_offsets.back();
+  }
+
+  /// Approximate host-memory footprint (drives the transparent cache's
+  /// size guard).
+  std::size_t byte_size() const;
+};
+
+/// Builds the values-only replay program for a numeric plan: walks the
+/// blocks exactly like run_numeric (same method selection, same A-row-outer
+/// / B-row-inner order) and records, per intermediate product, the value
+/// indices, the destination slot in the frozen C pattern and whether the
+/// product assigns or accumulates (hash/direct rows assign their first
+/// touch, dense rows add into a zero-initialized window). Parallelized over
+/// C rows; the result is independent of the thread count. Requires the nnz
+/// of A, B and C to fit 32-bit indices — the caller checks and marks the
+/// plan incomplete otherwise.
+NumericReplayProgram build_replay_program(const KernelContext& ctx,
+                                          const BinPlan& numeric_plan,
+                                          std::span<const index_t> row_nnz,
+                                          std::span<const offset_t> c_row_offsets,
+                                          std::span<const index_t> c_col_indices);
+
+}  // namespace speck

@@ -27,6 +27,13 @@ struct RowAnalysis {
   double avg_products = 0.0;  ///< total / rows
 
   index_t rows = 0;
+
+  /// Host-memory footprint of the per-row arrays (SpeckPlan accounting).
+  std::size_t byte_size() const {
+    return products.size() * sizeof(offset_t) +
+           (longest_b_row.size() + col_min.size() + col_max.size()) *
+               sizeof(index_t);
+  }
 };
 
 /// Runs the analysis, charging its simulated cost to `launch`. The per-row

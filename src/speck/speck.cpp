@@ -1,6 +1,7 @@
 #include "speck/speck.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 
 #include "common/bit_utils.h"
@@ -8,6 +9,31 @@
 #include "sim/memory_tracker.h"
 
 namespace speck {
+namespace {
+
+constexpr std::uint64_t kMaxReplayIndex =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Bytes per intermediate product in a NumericReplayProgram
+/// (a_idx + b_idx + dest + assign_first).
+constexpr std::uint64_t kReplayBytesPerOp = 3 * sizeof(std::uint32_t) + 1;
+
+void validate_multiply_inputs(const Csr& a, const Csr& b) {
+  a.validate();
+  b.validate();
+  if (!a.sorted_within_rows()) {
+    throw BadInput("matrix A has unsorted rows (CSR requires ascending "
+                   "column indices; call sort_rows())",
+                   "Speck::multiply");
+  }
+  if (!b.sorted_within_rows()) {
+    throw BadInput("matrix B has unsorted rows (CSR requires ascending "
+                   "column indices; call sort_rows())",
+                   "Speck::multiply");
+  }
+}
+
+}  // namespace
 
 ThreadPool* Speck::host_pool() {
   if (config_.host_threads == 0) {
@@ -20,22 +46,169 @@ ThreadPool* Speck::host_pool() {
   return pool_.get();
 }
 
-SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
-  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
-  if (config_.validate_inputs) {
-    a.validate();
-    b.validate();
-    if (!a.sorted_within_rows()) {
-      throw BadInput("matrix A has unsorted rows (CSR requires ascending "
-                     "column indices; call sort_rows())",
-                     "Speck::multiply");
-    }
-    if (!b.sorted_within_rows()) {
-      throw BadInput("matrix B has unsorted rows (CSR requires ascending "
-                     "column indices; call sort_rows())",
-                     "Speck::multiply");
+bool Speck::plan_worth_caching(const Csr& a, const Csr& b) const {
+  if (static_cast<std::uint64_t>(a.nnz()) >= kMaxReplayIndex ||
+      static_cast<std::uint64_t>(b.nnz()) >= kMaxReplayIndex) {
+    return false;
+  }
+  // Exact op count — Σ over the entries of A of the referenced B row length
+  // — is O(nnz_A) to compute, cheap relative to the full multiply the cache
+  // is about to amortize.
+  std::uint64_t ops = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (const index_t k : a.row_cols(r)) {
+      ops += static_cast<std::uint64_t>(b.row_length(k));
     }
   }
+  const std::uint64_t bytes =
+      ops * kReplayBytesPerOp +
+      (static_cast<std::uint64_t>(a.rows()) + 1) * sizeof(offset_t);
+  return bytes <= config_.plan_cache_limit_bytes;
+}
+
+SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
+  if (!config_.plan_cache) {
+    has_last_structure_ = false;
+    cached_plan_.reset();
+    return multiply_full(a, b, nullptr);
+  }
+  const PlanFingerprint fp = plan_fingerprint(a, b, config_);
+  if (cached_plan_ && cached_plan_->complete &&
+      fp.matches_full(cached_plan_->fingerprint)) {
+    SpGemmResult result = replay_plan(*cached_plan_, a, b);
+    diagnostics_.plan_cache_hit = true;
+    return result;
+  }
+  cached_plan_.reset();
+  // Build the plan only once the same structure shows up twice in a row:
+  // one-off multiplies never pay the capture cost, iterative workloads pay
+  // it exactly once.
+  const bool build = has_last_structure_ && fp.matches_full(last_structure_) &&
+                     plan_worth_caching(a, b);
+  last_structure_ = fp;
+  has_last_structure_ = true;
+  if (!build) return multiply_full(a, b, nullptr);
+  auto plan = std::make_unique<SpeckPlan>();
+  plan->fingerprint = fp;
+  SpGemmResult result = multiply_full(a, b, plan.get());
+  if (result.ok() && plan->complete) cached_plan_ = std::move(plan);
+  return result;
+}
+
+SpeckPlan Speck::plan(const Csr& a, const Csr& b, SpGemmResult* full_result) {
+  SpeckPlan plan;
+  plan.fingerprint = plan_fingerprint(a, b, config_);
+  SpGemmResult result = multiply_full(a, b, &plan);
+  if (!result.ok() && plan.incomplete_reason.empty()) {
+    plan.incomplete_reason = "planning run failed: " + result.failure_reason;
+  }
+  if (full_result != nullptr) *full_result = std::move(result);
+  return plan;
+}
+
+SpGemmResult Speck::multiply_with_plan(const SpeckPlan& plan, const Csr& a,
+                                       const Csr& b) {
+  std::string reject;
+  if (!plan.complete) {
+    reject = plan.incomplete_reason.empty() ? "plan is incomplete"
+                                            : plan.incomplete_reason;
+  } else {
+    const PlanFingerprint now = plan_fingerprint(
+        a, b, config_, /*with_pattern_hashes=*/config_.validate_inputs);
+    const bool match = config_.validate_inputs
+                           ? now.matches_full(plan.fingerprint)
+                           : now.matches_quick(plan.fingerprint);
+    if (!match) {
+      reject = "structural fingerprint mismatch: plan is stale for these "
+               "inputs or this configuration";
+    }
+  }
+  if (reject.empty()) return replay_plan(plan, a, b);
+  SpGemmResult result = multiply_full(a, b, nullptr);
+  diagnostics_.plan_fallback = true;
+  diagnostics_.plan_fallback_reason = std::move(reject);
+  return result;
+}
+
+SpGemmResult Speck::replay_plan(const SpeckPlan& plan, const Csr& a,
+                                const Csr& b) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  if (config_.validate_inputs) validate_multiply_inputs(a, b);
+  std::optional<FaultInjector> injector;
+  if (config_.faults.enabled()) injector.emplace(config_.faults);
+  const FaultInjector* faults = injector ? &*injector : nullptr;
+
+  SpGemmResult result;
+  // The pipeline is a deterministic function of structure and configuration
+  // — values never steer control flow — so the capturing run's diagnostics
+  // are exactly what a full run on these inputs would report. Only the
+  // hot-path allocation counter is measured live below.
+  diagnostics_ = plan.diagnostics;
+  diagnostics_.plan_used = true;
+  diagnostics_.plan_cache_hit = false;
+  diagnostics_.plan_fallback = false;
+  diagnostics_.plan_fallback_reason.clear();
+  trace_.clear();
+
+  sim::MemoryTracker memory(faults != nullptr
+                                ? faults->cap_memory(device_.global_memory_bytes)
+                                : device_.global_memory_bytes);
+  if (!memory.allocate(a.byte_size() + b.byte_size())) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "input matrices exceed device memory";
+    return result;
+  }
+  const auto c_nnz = static_cast<std::size_t>(plan.c_nnz());
+  const std::size_t c_bytes =
+      (static_cast<std::size_t>(plan.fingerprint.a_rows) + 1) * sizeof(offset_t) +
+      c_nnz * (sizeof(index_t) + sizeof(value_t));
+  if (!memory.allocate(c_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "output matrix exceeds device memory";
+    return result;
+  }
+  // The replayed numeric kernels use the same transient device buffers the
+  // full numeric pass did.
+  if (plan.diagnostics.numeric.global_pool_bytes > 0) {
+    if (!memory.allocate(plan.diagnostics.numeric.global_pool_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "global hash pool exceeds device memory";
+      return result;
+    }
+    memory.release(plan.diagnostics.numeric.global_pool_bytes);
+  }
+  if (plan.diagnostics.radix_sorted_elements > 0) {
+    const auto sort_bytes =
+        static_cast<std::size_t>(plan.diagnostics.radix_sorted_elements) *
+        (sizeof(index_t) + sizeof(value_t));
+    if (!memory.allocate(sort_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "radix sort buffers exceed device memory";
+      return result;
+    }
+    memory.release(sort_bytes);
+  }
+
+  std::vector<value_t> values(c_nnz, 0.0);
+  diagnostics_.numeric.hot_path_allocs =
+      replay_numeric_values(a, b, plan.program, host_pool(), values);
+
+  for (const sim::LaunchResult& launch : plan.replay_trace) {
+    trace_.record(launch);
+  }
+  result.timeline.add(sim::Stage::kNumeric, plan.numeric_seconds);
+  result.timeline.add(sim::Stage::kSorting, plan.sorting_seconds);
+  result.c = Csr(plan.fingerprint.a_rows, plan.fingerprint.b_cols,
+                 plan.c_row_offsets, plan.c_col_indices, std::move(values));
+  result.seconds = result.timeline.total_seconds();
+  result.peak_memory_bytes = memory.peak_bytes();
+  return result;
+}
+
+SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
+                                  SpeckPlan* capture) {
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  if (config_.validate_inputs) validate_multiply_inputs(a, b);
   std::optional<FaultInjector> injector;
   if (config_.faults.enabled()) injector.emplace(config_.faults);
   const FaultInjector* faults = injector ? &*injector : nullptr;
@@ -71,7 +244,7 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
 
   // Stage 1: lightweight row analysis (Algorithm 1).
   sim::Launch analysis_launch("row_analysis", device_, model_);
-  const RowAnalysis analysis = analyze_rows(a, b, analysis_launch, ctx.pool, faults);
+  RowAnalysis analysis = analyze_rows(a, b, analysis_launch, ctx.pool, faults);
   ctx.analysis = &analysis;
   diagnostics_.products = analysis.total_products;
   {
@@ -93,7 +266,7 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   sim::Launch symbolic_lb_launch("symbolic_lb", device_, model_);
   const GlobalLbInputs symbolic_inputs{std::span<const offset_t>(analysis.products),
                                        /*symbolic=*/true};
-  const BinPlan symbolic_plan =
+  BinPlan symbolic_plan =
       plan_global_lb(symbolic_inputs, kernel_configs_, config_, symbolic_lb_launch);
   diagnostics_.symbolic_decision =
       lb_decision_stats(symbolic_inputs, kernel_configs_, config_);
@@ -153,7 +326,7 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   sim::Launch numeric_lb_launch("numeric_lb", device_, model_);
   const GlobalLbInputs numeric_inputs{std::span<const offset_t>(numeric_entries),
                                       /*symbolic=*/false};
-  const BinPlan numeric_plan =
+  BinPlan numeric_plan =
       plan_global_lb(numeric_inputs, kernel_configs_, config_, numeric_lb_launch);
   diagnostics_.numeric_decision =
       lb_decision_stats(numeric_inputs, kernel_configs_, config_);
@@ -171,6 +344,7 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   }
 
   // Stage 5 + 6: numeric SpGEMM and the sorting pass.
+  const std::size_t numeric_trace_mark = trace_.launches().size();
   NumericOutcome numeric = run_numeric(ctx, numeric_plan, symbolic.row_nnz);
   diagnostics_.numeric = numeric.stats;
   diagnostics_.radix_sorted_elements = numeric.radix_sorted_elements;
@@ -199,6 +373,42 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   result.c = std::move(numeric.c);
   result.seconds = result.timeline.total_seconds();
   result.peak_memory_bytes = memory.peak_bytes();
+
+  if (capture != nullptr) {
+    SpeckPlan& plan = *capture;
+    plan.wide_keys = ctx.wide_keys;
+    plan.row_nnz = std::move(symbolic.row_nnz);
+    const std::span<const offset_t> c_offsets = result.c.row_offsets();
+    const std::span<const index_t> c_cols = result.c.col_indices();
+    plan.c_row_offsets.assign(c_offsets.begin(), c_offsets.end());
+    plan.c_col_indices.assign(c_cols.begin(), c_cols.end());
+    if (static_cast<std::uint64_t>(a.nnz()) >= kMaxReplayIndex ||
+        static_cast<std::uint64_t>(b.nnz()) >= kMaxReplayIndex ||
+        static_cast<std::uint64_t>(c_nnz) >= kMaxReplayIndex) {
+      plan.incomplete_reason =
+          "matrix too large for the 32-bit replay program";
+    } else {
+      plan.program = build_replay_program(ctx, numeric_plan, plan.row_nnz,
+                                          plan.c_row_offsets,
+                                          plan.c_col_indices);
+      plan.complete = true;
+    }
+    plan.analysis = std::move(analysis);
+    plan.symbolic_plan = std::move(symbolic_plan);
+    plan.numeric_plan = std::move(numeric_plan);
+    plan.diagnostics = diagnostics_;
+    plan.numeric_seconds = numeric.stats.seconds;
+    plan.sorting_seconds = numeric.sorting_seconds;
+    const std::vector<sim::LaunchResult>& launches = trace_.launches();
+    plan.replay_trace.assign(
+        launches.begin() + static_cast<std::ptrdiff_t>(numeric_trace_mark),
+        launches.end());
+    plan.inspect_seconds =
+        result.timeline.seconds(sim::Stage::kAnalysis) +
+        result.timeline.seconds(sim::Stage::kSymbolicLoadBalance) +
+        result.timeline.seconds(sim::Stage::kSymbolic) +
+        result.timeline.seconds(sim::Stage::kNumericLoadBalance);
+  }
   return result;
 }
 

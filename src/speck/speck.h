@@ -11,25 +11,9 @@
 #include "ref/spgemm_api.h"
 #include "speck/config.h"
 #include "speck/kernels.h"
+#include "speck/plan.h"
 
 namespace speck {
-
-/// Per-run diagnostics beyond the common SpGemmResult (used by tests and
-/// the ablation benchmarks).
-struct SpeckDiagnostics {
-  bool symbolic_lb_used = false;
-  bool numeric_lb_used = false;
-  /// Inputs to the Table 2 decision rule (consumed by the auto-tuner).
-  LbDecisionStats symbolic_decision;
-  LbDecisionStats numeric_decision;
-  PassStats symbolic;
-  PassStats numeric;
-  offset_t products = 0;
-  offset_t radix_sorted_elements = 0;
-  int symbolic_blocks = 0;
-  int numeric_blocks = 0;
-  bool wide_keys = false;
-};
 
 class Speck final : public SpGemmAlgorithm {
  public:
@@ -60,6 +44,25 @@ class Speck final : public SpGemmAlgorithm {
   /// unsupported shapes) are mapped likewise.
   TryMultiplyOutcome try_multiply(const Csr& a, const Csr& b) noexcept;
 
+  /// Runs the full pipeline once and freezes everything structure-derived
+  /// into a SpeckPlan (docs/performance.md "Structure reuse"). The full
+  /// run's result — including the computed C with the inputs' current
+  /// values — is stored into `*full_result` when non-null. On failure the
+  /// returned plan has `complete == false` and multiply_with_plan falls
+  /// back to the full pipeline.
+  SpeckPlan plan(const Csr& a, const Csr& b, SpGemmResult* full_result = nullptr);
+
+  /// Values-only multiply against a frozen plan: skips row analysis, global
+  /// load balancing, the symbolic pass and sorting, and writes values
+  /// straight into the plan's cached C pattern (simulated seconds cover
+  /// only the numeric + sorting stages). The plan's fingerprint is verified
+  /// first — the O(nnz) pattern-hash check under `validate_inputs`, the
+  /// O(1) dims/nnz/config check otherwise; a mismatched or incomplete plan
+  /// falls back to the full pipeline and sets
+  /// `last_diagnostics().plan_fallback`.
+  SpGemmResult multiply_with_plan(const SpeckPlan& plan, const Csr& a,
+                                  const Csr& b);
+
   const SpeckConfig& config() const { return config_; }
   SpeckConfig& config() { return config_; }
   const std::vector<KernelConfig>& configs() const { return kernel_configs_; }
@@ -81,12 +84,30 @@ class Speck final : public SpGemmAlgorithm {
   WorkspacePool& workspaces() { return workspaces_; }
 
  private:
+  /// The full pipeline (analysis → LB → symbolic → LB → numeric → sort).
+  /// When `capture` is non-null and the run succeeds, the plan is filled
+  /// with the frozen structure state and replay program.
+  SpGemmResult multiply_full(const Csr& a, const Csr& b, SpeckPlan* capture);
+
+  /// The values-only replay of a verified plan.
+  SpGemmResult replay_plan(const SpeckPlan& plan, const Csr& a, const Csr& b);
+
+  /// True when the structure is small enough for the transparent cache.
+  bool plan_worth_caching(const Csr& a, const Csr& b) const;
+
   SpeckConfig config_;
   std::vector<KernelConfig> kernel_configs_;
   SpeckDiagnostics diagnostics_;
   sim::LaunchTrace trace_;
   std::unique_ptr<ThreadPool> pool_;
   WorkspacePool workspaces_;
+
+  /// Transparent single-slot plan cache (config().plan_cache): the
+  /// fingerprint of the previous multiply's structure, and the plan built
+  /// once the same structure shows up twice in a row.
+  PlanFingerprint last_structure_;
+  bool has_last_structure_ = false;
+  std::unique_ptr<SpeckPlan> cached_plan_;
 };
 
 /// Symbolic-only estimate: the exact NNZ of C = A*B plus the simulated cost

@@ -13,12 +13,9 @@
 namespace speck {
 
 using detail::block_stats;
-using detail::blocks_by_config;
 using detail::charge_hash_activity;
 using detail::charge_row_sweep;
 using detail::global_pool_bytes;
-using detail::kBlockChunk;
-using detail::merge_pass_counters;
 
 RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,
                                  bool merged_block, const KernelConfig& config) {
@@ -135,53 +132,16 @@ SymbolicOutcome run_symbolic(const KernelContext& ctx, const BinPlan& plan) {
   SymbolicOutcome out;
   out.row_nnz.assign(static_cast<std::size_t>(ctx.a->rows()), 0);
   out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/true);
-  ThreadPool& pool = pool_or_global(ctx.pool);
-  WorkspacePool local_workspaces;
-  WorkspacePool& workspaces =
-      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
-  workspaces.ensure(pool.thread_count());
-
-  const auto grouped = blocks_by_config(plan, ctx.configs->size());
-  for (std::size_t c = 0; c < ctx.configs->size(); ++c) {
-    const KernelConfig& config = (*ctx.configs)[c];
-    const std::vector<const BinPlan::Block*>& blocks = grouped[c];
-    if (blocks.empty()) continue;
-    sim::Launch launch("symbolic/" + std::to_string(config.threads), *ctx.device,
-                       *ctx.model);
-
-    // Blocks partition the rows, so each one fills disjoint row_nnz slots
-    // and its own cost/stats slot; committing the costs to the launch (and
-    // merging the counters) happens serially in plan order below, which
-    // keeps the simulated schedule — and thus `seconds` — identical to the
-    // single-threaded run.
-    std::vector<std::optional<sim::BlockCost>> costs(blocks.size());
-    std::vector<PassStats> block_counters(blocks.size());
-    pool.parallel_for(
-        blocks.size(), kBlockChunk,
-        [&](std::size_t begin, std::size_t end, int worker) {
-          KernelWorkspace& ws = workspaces.at(worker);
-          for (std::size_t i = begin; i < end; ++i) {
-            const std::span<const index_t> rows(
-                plan.row_order.data() + blocks[i]->begin,
-                blocks[i]->end - blocks[i]->begin);
-            const std::size_t allocs_before = detail::alloc_events_now();
-            costs[i] = run_symbolic_block(ctx, launch, config, rows, out.row_nnz,
-                                          block_counters[i], ws);
-            block_counters[i].hot_path_allocs +=
-                detail::alloc_events_now() - allocs_before;
-          }
-        });
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      launch.add(*costs[i]);
-      merge_pass_counters(out.stats, block_counters[i]);
-    }
-
-    if (launch.block_count() > 0) {
-      sim::LaunchResult finished = launch.finish();
-      out.stats.seconds += finished.seconds;
-      if (ctx.trace != nullptr) ctx.trace->record(std::move(finished));
-    }
-  }
+  detail::execute_block_plan<std::monostate>(
+      ctx, plan, "symbolic/", out.stats,
+      [&](const sim::Launch& launch, const KernelConfig& config,
+          int /*config_index*/, std::span<const index_t> rows,
+          PassStats& counters, std::monostate& /*payload*/,
+          KernelWorkspace& ws) {
+        return run_symbolic_block(ctx, launch, config, rows, out.row_nnz,
+                                  counters, ws);
+      },
+      [](const std::monostate&) {});
   return out;
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -66,6 +67,14 @@ class KernelWorkspace {
   /// Dense-accumulator window/cursor/output buffers.
   DenseScratch& dense() { return dense_; }
 
+  /// Per-row first-touch bitmap used while building a plan's values-only
+  /// replay program (build_replay_program).
+  std::vector<std::uint8_t>& replay_seen() { return replay_seen_; }
+
+  /// Column -> local C-row slot scatter map for the same build (sized to
+  /// B's column count, deliberately never cleared between rows).
+  std::vector<std::uint32_t>& replay_colmap() { return replay_colmap_; }
+
  private:
   SymbolicHashAccumulator symbolic_;
   NumericHashAccumulator numeric_;
@@ -77,6 +86,8 @@ class KernelWorkspace {
   std::vector<std::size_t> group_iterations_;
   std::vector<index_t> referenced_;
   DenseScratch dense_;
+  std::vector<std::uint8_t> replay_seen_;
+  std::vector<std::uint32_t> replay_colmap_;
 };
 
 /// Lazily grown set of workspaces indexed by thread-pool worker id.

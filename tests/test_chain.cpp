@@ -111,6 +111,70 @@ TEST(Chain, RejectsNonConformable) {
   EXPECT_THROW(multiply_chain({}, speck), InvalidArgument);
 }
 
+/// Same structure, fresh values.
+Csr chain_reweighted(const Csr& a, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<offset_t> offsets(a.row_offsets().begin(), a.row_offsets().end());
+  std::vector<index_t> cols(a.col_indices().begin(), a.col_indices().end());
+  std::vector<value_t> vals(static_cast<std::size_t>(a.nnz()));
+  for (auto& v : vals) v = rng.next_double(-2.0, 2.0);
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+TEST(ChainPlanReuse, SecondPassReplaysCachedPlans) {
+  Speck speck = make_speck();
+  ChainPlanCache cache;
+  const Csr a = gen::random_uniform(60, 60, 4, 1407);
+  const Csr b = gen::banded(60, 5, 2, 1409);
+  const Csr c = gen::random_uniform(60, 60, 3, 1411);
+
+  // First pass populates the cache with one plan per contraction.
+  const ChainResult first = multiply_chain({a, b, c}, speck, cache);
+  ASSERT_TRUE(first.ok()) << first.failure_reason;
+  EXPECT_EQ(cache.size(), first.steps.size());
+  EXPECT_GT(cache.byte_size(), 0u);
+  for (const ChainStep& step : first.steps) {
+    EXPECT_FALSE(step.plan_reused);
+  }
+
+  // Second pass, fresh values and the same structures: the greedy
+  // contraction order is value-independent, so every link replays.
+  const Csr a2 = chain_reweighted(a, 1413);
+  const Csr b2 = chain_reweighted(b, 1415);
+  const Csr c2 = chain_reweighted(c, 1417);
+  const ChainResult second = multiply_chain({a2, b2, c2}, speck, cache);
+  ASSERT_TRUE(second.ok()) << second.failure_reason;
+  EXPECT_EQ(cache.size(), first.steps.size());  // no new plans needed
+  ASSERT_EQ(second.steps.size(), first.steps.size());
+  for (const ChainStep& step : second.steps) {
+    EXPECT_TRUE(step.plan_reused);
+  }
+  EXPECT_LT(second.seconds, first.seconds);
+
+  // Replayed chain result matches a from-scratch recompute exactly.
+  Speck reference = make_speck();
+  const ChainResult recompute = multiply_chain({a2, b2, c2}, reference);
+  ASSERT_TRUE(recompute.ok());
+  const auto diff = compare(second.c, recompute.c, 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(ChainPlanReuse, PlanAwareMatchesPlain) {
+  Speck speck = make_speck();
+  ChainPlanCache cache;
+  const Csr a = gen::power_law(50, 50, 5, 1.8, 25, 1419);
+  const ChainResult planned = multiply_chain({a, a, a}, speck, cache);
+  ASSERT_TRUE(planned.ok()) << planned.failure_reason;
+
+  Speck reference = make_speck();
+  const ChainResult plain = multiply_chain({a, a, a}, reference);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(planned.total_products, plain.total_products);
+  const auto diff = compare(planned.c, plain.c, 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
 TEST(ChainPairProducts, MatchesCountProducts) {
   const Csr a = gen::random_uniform(30, 30, 3, 1401);
   const Csr b = gen::random_uniform(30, 30, 5, 1403);

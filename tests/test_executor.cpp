@@ -77,10 +77,10 @@ TEST(Executor, PlanRecordsFingerprint) {
   const Csr a = gen::rectangular_lp(60, 500, 6, 1819);
   const Csr b = transpose(a);
   const SpeckPlan plan = executor.inspect(a, b);
-  EXPECT_EQ(plan.a_rows, 60);
-  EXPECT_EQ(plan.a_cols, 500);
-  EXPECT_EQ(plan.b_cols, 60);
-  EXPECT_EQ(plan.a_nnz, a.nnz());
+  EXPECT_EQ(plan.fingerprint.a_rows, 60);
+  EXPECT_EQ(plan.fingerprint.a_cols, 500);
+  EXPECT_EQ(plan.fingerprint.b_cols, 60);
+  EXPECT_EQ(plan.fingerprint.a_nnz, a.nnz());
   EXPECT_EQ(static_cast<index_t>(plan.row_nnz.size()), a.rows());
 }
 

@@ -1,0 +1,319 @@
+// Tests for the structure-reuse fast path: Speck::plan /
+// Speck::multiply_with_plan and the transparent single-slot plan cache.
+//
+// The replay must be *bit-identical* to the full pipeline — same CSR bytes,
+// same PassStats counters — at any thread count, including under forced
+// spill fault injection. Stale plans (pattern or config changes) must be
+// detected and fall back to the full pipeline, never produce wrong values.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_counter.h"
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/speck.h"
+
+// Counting allocator (as in bench_hotpath): makes the replay path's
+// zero-allocation claim observable via PassStats::hot_path_allocs.
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  ++speck::detail::thread_alloc_events;
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace speck {
+namespace {
+
+/// Same structure, fresh values.
+Csr reweighted(const Csr& a, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<offset_t> offsets(a.row_offsets().begin(), a.row_offsets().end());
+  std::vector<index_t> cols(a.col_indices().begin(), a.col_indices().end());
+  std::vector<value_t> vals(static_cast<std::size_t>(a.nnz()));
+  for (auto& v : vals) v = rng.next_double(-2.0, 2.0);
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+/// Every PassStats counter must match; hot_path_allocs is checked separately
+/// because it depends on workspace warm-up state, not on the computation.
+void expect_stats_equal(const PassStats& replay, const PassStats& full,
+                        const char* pass) {
+  EXPECT_EQ(replay.seconds, full.seconds) << pass;
+  EXPECT_EQ(replay.direct_rows, full.direct_rows) << pass;
+  EXPECT_EQ(replay.dense_rows, full.dense_rows) << pass;
+  EXPECT_EQ(replay.hash_rows, full.hash_rows) << pass;
+  EXPECT_EQ(replay.global_hash_blocks, full.global_hash_blocks) << pass;
+  EXPECT_EQ(replay.global_pool_bytes, full.global_pool_bytes) << pass;
+  EXPECT_EQ(replay.hash_probes, full.hash_probes) << pass;
+  EXPECT_EQ(replay.moved_entries, full.moved_entries) << pass;
+  EXPECT_EQ(replay.global_inserts, full.global_inserts) << pass;
+}
+
+void expect_diagnostics_equal(const SpeckDiagnostics& replay,
+                              const SpeckDiagnostics& full) {
+  expect_stats_equal(replay.symbolic, full.symbolic, "symbolic");
+  expect_stats_equal(replay.numeric, full.numeric, "numeric");
+  EXPECT_EQ(replay.symbolic_lb_used, full.symbolic_lb_used);
+  EXPECT_EQ(replay.numeric_lb_used, full.numeric_lb_used);
+  EXPECT_EQ(replay.products, full.products);
+  EXPECT_EQ(replay.radix_sorted_elements, full.radix_sorted_elements);
+  EXPECT_EQ(replay.symbolic_blocks, full.symbolic_blocks);
+  EXPECT_EQ(replay.numeric_blocks, full.numeric_blocks);
+  EXPECT_EQ(replay.wide_keys, full.wide_keys);
+}
+
+/// Runs plan + replay on one Speck and a plain full multiply on another
+/// (identical config), and checks bitwise-identical CSR output plus equal
+/// PassStats counters.
+void check_replay_matches_full(SpeckConfig cfg, const Csr& a, const Csr& b) {
+  cfg.plan_cache = false;  // isolate the explicit plan API from the cache
+  Speck planner(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+  Speck reference(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+
+  const SpGemmResult full = reference.multiply(a, b);
+  ASSERT_TRUE(full.ok()) << full.failure_reason;
+  const SpeckDiagnostics full_diag = reference.last_diagnostics();
+
+  const SpeckPlan plan = planner.plan(a, b);
+  ASSERT_TRUE(plan.complete) << plan.incomplete_reason;
+  const SpGemmResult replay = planner.multiply_with_plan(plan, a, b);
+  ASSERT_TRUE(replay.ok()) << replay.failure_reason;
+
+  EXPECT_TRUE(planner.last_diagnostics().plan_used);
+  EXPECT_FALSE(planner.last_diagnostics().plan_fallback)
+      << planner.last_diagnostics().plan_fallback_reason;
+
+  const auto diff = compare(replay.c, full.c, 0.0);  // bitwise
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+  expect_diagnostics_equal(planner.last_diagnostics(), full_diag);
+  EXPECT_LT(replay.seconds, full.seconds)
+      << "replay must skip analysis/symbolic/load-balancing time";
+}
+
+TEST(PlanReuse, ReplayBitIdenticalAcrossThreadCounts) {
+  const Csr a = gen::power_law(600, 600, 8, 1.9, 150, 2101);
+  const Csr b = gen::power_law(600, 600, 7, 1.8, 150, 2103);
+  for (const int threads : {1, 8}) {
+    SCOPED_TRACE(threads);
+    SpeckConfig cfg;
+    cfg.host_threads = threads;
+    check_replay_matches_full(cfg, a, b);
+  }
+}
+
+TEST(PlanReuse, ReplayBitIdenticalUnderForcedSpill) {
+  const Csr a = gen::power_law(400, 400, 10, 1.7, 200, 2105);
+  for (const int threads : {1, 8}) {
+    SCOPED_TRACE(threads);
+    SpeckConfig cfg;
+    cfg.host_threads = threads;
+    cfg.faults.hash_overflow_after = 8;   // force global-memory fallback
+    cfg.faults.estimate_scale = 0.25;     // undersized bins -> spills
+    check_replay_matches_full(cfg, a, a);
+  }
+}
+
+TEST(PlanReuse, ReplayValuesOnlyAcrossValueChanges) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr base = gen::banded(500, 10, 6, 2107);
+  const SpeckPlan plan = sp.plan(base, base);
+  ASSERT_TRUE(plan.complete) << plan.incomplete_reason;
+  for (const std::uint64_t seed : {2109u, 2111u, 2113u}) {
+    const Csr a = reweighted(base, seed);
+    const Csr b = reweighted(base, seed + 7);
+    const SpGemmResult replay = sp.multiply_with_plan(plan, a, b);
+    ASSERT_TRUE(replay.ok()) << replay.failure_reason;
+    EXPECT_FALSE(sp.last_diagnostics().plan_fallback);
+    const auto diff = compare(replay.c, gustavson_spgemm(a, b), 0.0);
+    EXPECT_FALSE(diff.has_value())
+        << "seed " << seed << ": " << diff->description;
+  }
+}
+
+TEST(PlanReuse, ReplayHotPathIsAllocationFree) {
+  SpeckConfig cfg;
+  cfg.host_threads = 1;
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+  const Csr a = gen::power_law(500, 500, 8, 1.9, 120, 2115);
+  const SpeckPlan plan = sp.plan(a, a);
+  ASSERT_TRUE(plan.complete) << plan.incomplete_reason;
+  const SpGemmResult replay = sp.multiply_with_plan(plan, a, a);
+  ASSERT_TRUE(replay.ok()) << replay.failure_reason;
+  EXPECT_TRUE(sp.last_diagnostics().plan_used);
+  EXPECT_EQ(sp.last_diagnostics().numeric.hot_path_allocs, 0u)
+      << "the values-only replay must not allocate";
+}
+
+TEST(PlanReuse, StalePatternMutationFallsBack) {
+  SpeckConfig cfg;
+  cfg.validate_inputs = true;  // enables the full pattern-hash check
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+  const Csr a = gen::random_uniform(200, 200, 6, 2117);
+  const SpeckPlan plan = sp.plan(a, a);
+  ASSERT_TRUE(plan.complete) << plan.incomplete_reason;
+
+  // Same dims and nnz, different pattern: move one entry's column while
+  // keeping the row sorted. Only the full fingerprint can catch this.
+  Csr mutated = a;
+  bool changed = false;
+  for (index_t r = 0; r < mutated.rows() && !changed; ++r) {
+    const auto cols = mutated.row_cols(r);
+    if (cols.empty()) continue;
+    const index_t last = cols[cols.size() - 1];
+    if (last + 1 < mutated.cols()) {
+      mutated.col_indices_mutable()[static_cast<std::size_t>(
+          mutated.row_offsets()[r + 1] - 1)] = last + 1;
+      changed = true;
+    }
+  }
+  ASSERT_TRUE(changed);
+
+  const SpGemmResult result = sp.multiply_with_plan(plan, mutated, mutated);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  EXPECT_TRUE(sp.last_diagnostics().plan_fallback);
+  EXPECT_FALSE(sp.last_diagnostics().plan_used);
+  EXPECT_FALSE(sp.last_diagnostics().plan_fallback_reason.empty());
+  const auto diff = compare(result.c, gustavson_spgemm(mutated, mutated), 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(PlanReuse, StaleConfigChangeFallsBack) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::random_uniform(200, 200, 6, 2119);
+  const SpeckPlan plan = sp.plan(a, a);
+  ASSERT_TRUE(plan.complete) << plan.incomplete_reason;
+
+  // A planning-relevant config change invalidates the fingerprint's config
+  // hash — caught by the O(1) quick check even without validate_inputs.
+  sp.config().dense_density_threshold *= 0.5;
+  const SpGemmResult result = sp.multiply_with_plan(plan, a, a);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  EXPECT_TRUE(sp.last_diagnostics().plan_fallback);
+  const auto diff = compare(result.c, gustavson_spgemm(a, a), 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(PlanReuse, DimensionMismatchFallsBack) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::random_uniform(150, 150, 5, 2121);
+  const SpeckPlan plan = sp.plan(a, a);
+  ASSERT_TRUE(plan.complete) << plan.incomplete_reason;
+  const Csr smaller = gen::random_uniform(100, 100, 5, 2123);
+  const SpGemmResult result = sp.multiply_with_plan(plan, smaller, smaller);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  EXPECT_TRUE(sp.last_diagnostics().plan_fallback);
+  const auto diff =
+      compare(result.c, gustavson_spgemm(smaller, smaller), 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(PlanReuse, IncompletePlanFallsBack) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::random_uniform(100, 100, 4, 2125);
+  const SpeckPlan empty;  // complete == false
+  const SpGemmResult result = sp.multiply_with_plan(empty, a, a);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  EXPECT_TRUE(sp.last_diagnostics().plan_fallback);
+  const auto diff = compare(result.c, gustavson_spgemm(a, a), 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(PlanReuse, TransparentCacheHitsOnThirdIdenticalMultiply) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});  // plan_cache on
+  const Csr base = gen::power_law(400, 400, 7, 1.9, 100, 2127);
+
+  // Call 1: new structure — full pipeline. Call 2: structure seen twice —
+  // full pipeline that additionally captures a plan. Call 3+: replay.
+  const SpGemmResult r1 = sp.multiply(base, base);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(sp.last_diagnostics().plan_cache_hit);
+  const SpGemmResult r2 = sp.multiply(base, base);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(sp.last_diagnostics().plan_cache_hit);
+  const SpGemmResult r3 = sp.multiply(base, base);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(sp.last_diagnostics().plan_cache_hit);
+  EXPECT_TRUE(sp.last_diagnostics().plan_used);
+
+  const auto d12 = compare(r1.c, r2.c, 0.0);
+  EXPECT_FALSE(d12.has_value()) << d12->description;
+  const auto d13 = compare(r1.c, r3.c, 0.0);
+  EXPECT_FALSE(d13.has_value()) << d13->description;
+  EXPECT_LT(r3.seconds, r1.seconds);
+
+  // Fresh values, same structure: still a hit, still exact.
+  const Csr rw = reweighted(base, 2129);
+  const SpGemmResult r4 = sp.multiply(rw, rw);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE(sp.last_diagnostics().plan_cache_hit);
+  const auto d4 = compare(r4.c, gustavson_spgemm(rw, rw), 0.0);
+  EXPECT_FALSE(d4.has_value()) << d4->description;
+
+  // A different structure evicts the slot and runs the full pipeline.
+  const Csr other = gen::random_uniform(300, 300, 6, 2131);
+  const SpGemmResult r5 = sp.multiply(other, other);
+  ASSERT_TRUE(r5.ok());
+  EXPECT_FALSE(sp.last_diagnostics().plan_cache_hit);
+}
+
+TEST(PlanReuse, CacheDisabledNeverReplays) {
+  SpeckConfig cfg;
+  cfg.plan_cache = false;
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+  const Csr a = gen::random_uniform(200, 200, 5, 2133);
+  for (int i = 0; i < 4; ++i) {
+    const SpGemmResult r = sp.multiply(a, a);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(sp.last_diagnostics().plan_cache_hit) << i;
+    EXPECT_FALSE(sp.last_diagnostics().plan_used) << i;
+  }
+}
+
+TEST(PlanReuse, EmptyAndTinyMatrices) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr z = Csr::zeros(16, 16);
+  const SpeckPlan zero_plan = sp.plan(z, z);
+  ASSERT_TRUE(zero_plan.complete) << zero_plan.incomplete_reason;
+  const SpGemmResult zero = sp.multiply_with_plan(zero_plan, z, z);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.c.nnz(), 0);
+  EXPECT_FALSE(sp.last_diagnostics().plan_fallback);
+
+  const Csr one = gen::random_uniform(1, 1, 1, 2135);
+  const SpeckPlan one_plan = sp.plan(one, one);
+  ASSERT_TRUE(one_plan.complete) << one_plan.incomplete_reason;
+  const SpGemmResult r = sp.multiply_with_plan(one_plan, one, one);
+  ASSERT_TRUE(r.ok());
+  const auto diff = compare(r.c, gustavson_spgemm(one, one), 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+TEST(PlanReuse, PlanReportsByteSizeAndFingerprint) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::power_law(300, 300, 7, 1.8, 90, 2137);
+  const SpeckPlan plan = sp.plan(a, a);
+  ASSERT_TRUE(plan.complete);
+  EXPECT_GT(plan.byte_size(), 0u);
+  EXPECT_EQ(plan.fingerprint.a_rows, a.rows());
+  EXPECT_EQ(plan.fingerprint.b_cols, a.cols());
+  EXPECT_EQ(plan.fingerprint.a_nnz, a.nnz());
+  EXPECT_NE(plan.fingerprint.a_pattern_hash, 0u);
+  EXPECT_EQ(plan.c_nnz(), plan.fingerprint.a_rows == 0
+                              ? 0
+                              : plan.c_row_offsets.back());
+  EXPECT_EQ(static_cast<std::size_t>(plan.c_nnz()), plan.c_col_indices.size());
+}
+
+}  // namespace
+}  // namespace speck

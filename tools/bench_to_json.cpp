@@ -1,12 +1,25 @@
-// Converts the key=value lines the benchmark binaries print into a flat
-// JSON object, so perf-trajectory points (BENCH_hotpath.json) can be checked
-// in and diffed across commits or uploaded as CI artifacts.
+// Converts the key=value lines the benchmark binaries print into JSON with a
+// shared top-level schema, so perf-trajectory points (BENCH_hotpath.json,
+// BENCH_reuse.json) can be checked in and diffed across commits or uploaded
+// as CI artifacts:
+//
+//   {
+//     "bench": "<name>",      <- and any other top-level key=value lines
+//     ...,
+//     "points": [
+//       {"label": "<label>", ...},   <- one object per point=<label> group
+//       ...
+//     ]
+//   }
 //
 // Usage: some_bench | bench_to_json [--out FILE]
 //
-// Values that parse fully as numbers are emitted as JSON numbers; everything
-// else becomes a string. Lines without '=' are ignored, later duplicates of
-// a key win, and key order follows first appearance.
+// A `point=<label>` line opens a point: subsequent keys belong to it until a
+// bare `point=` closes it (or another `point=<label>` opens the next one).
+// Keys outside any point go to the top level. Values that parse fully as
+// numbers are emitted as JSON numbers; everything else becomes a string.
+// Lines without '=' are ignored, later duplicates of a key win within their
+// scope, and key order follows first appearance.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +50,26 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// An ordered key=value map (small; linear updates keep first-seen order).
+struct KvList {
+  std::vector<std::string> keys, values;
+
+  void put(const std::string& key, const std::string& value) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) {
+        values[i] = value;
+        return;
+      }
+    }
+    keys.push_back(key);
+    values.push_back(value);
+  }
+};
+
+std::string render_value(const std::string& v) {
+  return is_number(v) ? v : "\"" + json_escape(v) + "\"";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,36 +83,43 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<std::string> order;
-  std::vector<std::string> keys, values;
+  KvList top;
+  std::vector<std::string> point_labels;
+  std::vector<KvList> points;
+  bool in_point = false;
   std::string line;
   while (std::getline(std::cin, line)) {
     const std::size_t eq = line.find('=');
     if (eq == std::string::npos || eq == 0) continue;
     const std::string key = line.substr(0, eq);
     const std::string value = line.substr(eq + 1);
-    bool replaced = false;
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      if (keys[i] == key) {
-        values[i] = value;
-        replaced = true;
-        break;
+    if (key == "point") {
+      in_point = !value.empty();
+      if (in_point) {
+        point_labels.push_back(value);
+        points.emplace_back();
       }
+      continue;
     }
-    if (!replaced) {
-      keys.push_back(key);
-      values.push_back(value);
-    }
+    (in_point ? points.back() : top).put(key, value);
   }
 
   std::string json = "{\n";
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    json += "  \"" + json_escape(keys[i]) + "\": ";
-    json += is_number(values[i]) ? values[i]
-                                 : "\"" + json_escape(values[i]) + "\"";
-    if (i + 1 < keys.size()) json += ",";
-    json += "\n";
+  for (std::size_t i = 0; i < top.keys.size(); ++i) {
+    json += "  \"" + json_escape(top.keys[i]) + "\": ";
+    json += render_value(top.values[i]) + ",\n";
   }
+  json += "  \"points\": [";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    json += p == 0 ? "\n" : ",\n";
+    json += "    {\"label\": \"" + json_escape(point_labels[p]) + "\"";
+    for (std::size_t i = 0; i < points[p].keys.size(); ++i) {
+      json += ",\n     \"" + json_escape(points[p].keys[i]) +
+              "\": " + render_value(points[p].values[i]);
+    }
+    json += "}";
+  }
+  json += points.empty() ? "]\n" : "\n  ]\n";
   json += "}\n";
 
   if (out_path != nullptr) {

@@ -138,6 +138,63 @@ void mutate(std::string& data, Xoshiro256& rng) {
   }
 }
 
+/// Collapses an input to its parser-state signature: which acceptance shape
+/// or which rejection class (message with digits and quoted tokens
+/// normalized away) the reader reached. Inputs mapping to a signature not
+/// seen before are "interesting" and worth persisting as corpus seeds.
+std::string parser_state_signature(const std::string& data) {
+  std::istringstream in(data);
+  Csr parsed;
+  try {
+    parsed = read_matrix_market(in);
+  } catch (const BadInput& e) {
+    std::string msg = e.what();
+    // Strip the "<source>:<line>: " context prefix.
+    const std::size_t ctx = msg.find(": ");
+    if (ctx != std::string::npos) msg.erase(0, ctx + 2);
+    // Collapse quoted tokens and digit runs, so line numbers and mutated
+    // input bytes do not multiply one state into thousands. Everything from
+    // the first quote on is input-token payload (which may itself contain
+    // quotes, control bytes, even NULs that truncate what()) — the message
+    // class is fully determined by the text before it.
+    const std::size_t q0 = msg.find('\'');
+    if (q0 != std::string::npos) msg.erase(q0);
+    std::string norm;
+    bool in_digits = false;
+    for (const char c : msg) {
+      if (c >= '0' && c <= '9') {
+        if (!in_digits) norm += '#';
+        in_digits = true;
+      } else {
+        norm += c;
+        in_digits = false;
+      }
+    }
+    // Messages whose tail is a raw input token collapse to their class.
+    for (const char* prefix : {"unsupported field type", "unsupported symmetry"}) {
+      if (norm.rfind(prefix, 0) == 0) return std::string("reject:") + prefix;
+    }
+    return "reject:" + norm;
+  } catch (...) {
+    return "error";  // contract violations are handled (and fail) elsewhere
+  }
+  std::string sig = "accept";
+  sig += parsed.rows() == parsed.cols() ? ":square" : ":rect";
+  if (parsed.rows() == 0 || parsed.cols() == 0) sig += ":degenerate";
+  if (parsed.nnz() == 0) sig += ":empty";
+  return sig;
+}
+
+/// Stable (FNV-1a) content address for persisted corpus entries.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 /// The per-input contract; returns an error description on violation.
 std::string check_input(const std::string& data, bool strict_duplicates) {
   Csr parsed;
@@ -187,7 +244,8 @@ std::string check_input(const std::string& data, bool strict_duplicates) {
 }
 
 int run(int argc, char** argv) {
-  std::string corpus_dir;
+  std::vector<std::string> corpus_dirs;
+  std::string persist_dir;
   std::string artifact_dir = ".";
   long long iterations = 2000;
   std::uint64_t seed = 1;
@@ -201,12 +259,15 @@ int run(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf(
-          "usage: %s [--corpus DIR] [--iterations N] [--seed S]\n"
-          "          [--artifact-dir DIR]\n"
+          "usage: %s [--corpus DIR]... [--iterations N] [--seed S]\n"
+          "          [--artifact-dir DIR] [--corpus-dir DIR]\n"
           "\n"
           "Deterministic mutation fuzzer for the Matrix Market reader; see\n"
           "docs/robustness.md. Crashing inputs are written to\n"
-          "<artifact-dir>/fuzz-crash-<iteration>.mtx.\n"
+          "<artifact-dir>/fuzz-crash-<iteration>.mtx. --corpus is repeatable.\n"
+          "With --corpus-dir, inputs that reach a parser state no earlier\n"
+          "input (or seed) reached are persisted there as\n"
+          "state-<hash>.mtx, growing a coverage-seeking corpus across runs.\n"
           "\n"
           "exit codes: 0 all iterations upheld the contract, 1 contract\n"
           "  violation (artifact written), 2 usage error, 3 bad input,\n"
@@ -214,7 +275,9 @@ int run(int argc, char** argv) {
           argv[0]);
       return 0;
     } else if (std::strcmp(argv[i], "--corpus") == 0) {
-      corpus_dir = need_value("--corpus");
+      corpus_dirs.emplace_back(need_value("--corpus"));
+    } else if (std::strcmp(argv[i], "--corpus-dir") == 0) {
+      persist_dir = need_value("--corpus-dir");
     } else if (std::strcmp(argv[i], "--artifact-dir") == 0) {
       artifact_dir = need_value("--artifact-dir");
     } else if (std::strcmp(argv[i], "--iterations") == 0) {
@@ -231,7 +294,7 @@ int run(int argc, char** argv) {
   std::vector<std::string> seeds(std::begin(kBuiltinSeeds),
                                  std::end(kBuiltinSeeds));
   for (int i = 0; i < 4; ++i) seeds.push_back(generated_seed(rng));
-  if (!corpus_dir.empty()) {
+  for (const std::string& corpus_dir : corpus_dirs) {
     std::vector<std::filesystem::path> files;
     for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
       if (entry.is_regular_file()) files.push_back(entry.path());
@@ -247,8 +310,22 @@ int run(int argc, char** argv) {
   std::printf("fuzz_mtx: %zu seeds, %lld iterations, seed %llu\n", seeds.size(),
               iterations, static_cast<unsigned long long>(seed));
 
+  // Parser states the seeds already reach are not interesting to persist.
+  std::vector<std::string> seen_states;
+  const auto state_is_new = [&](const std::string& sig) {
+    for (const std::string& s : seen_states) {
+      if (s == sig) return false;
+    }
+    seen_states.push_back(sig);
+    return true;
+  };
+  if (!persist_dir.empty()) {
+    for (const std::string& s : seeds) (void)state_is_new(parser_state_signature(s));
+  }
+
   long long rejected = 0;
   long long accepted = 0;
+  long long persisted = 0;
   for (long long iter = 0; iter < iterations; ++iter) {
     std::string data = seeds[rng.next_below(seeds.size())];
     const std::uint64_t mutations = rng.next_below(4) + 1;
@@ -267,6 +344,22 @@ int run(int argc, char** argv) {
                    iter, violation.c_str(), artifact.c_str());
       return 1;
     }
+    // Inputs reaching a new parser state become corpus seeds — both for
+    // this run (mutation starts from them too) and, persisted, for the next.
+    if (!persist_dir.empty() && data.size() <= 4096) {
+      const std::string sig = parser_state_signature(data);
+      if (state_is_new(sig)) {
+        std::filesystem::create_directories(persist_dir);
+        const auto path =
+            std::filesystem::path(persist_dir) /
+            ("state-" + std::to_string(fnv1a(data) & 0xffffffffu) + ".mtx");
+        std::ofstream out(path, std::ios::binary);
+        out.write(data.data(), static_cast<std::streamsize>(data.size()));
+        seeds.push_back(data);
+        ++persisted;
+      }
+    }
+
     // Re-parse leniently just to keep the accepted/rejected tally honest.
     std::istringstream in(data);
     try {
@@ -275,6 +368,10 @@ int run(int argc, char** argv) {
     } catch (const BadInput&) {
       ++rejected;
     }
+  }
+  if (!persist_dir.empty()) {
+    std::printf("fuzz_mtx: persisted %lld new-state inputs to %s\n", persisted,
+                persist_dir.c_str());
   }
   std::printf("fuzz_mtx: OK — %lld accepted, %lld rejected, 0 violations\n",
               accepted, rejected);

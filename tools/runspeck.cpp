@@ -18,6 +18,9 @@
 //   IterationsExecution  = <n>          timed iterations (default 5)
 //   InputFile            = <path>       overrides the command-line matrix
 //   Threads              = <n>          host threads (--threads wins)
+//   PlanCache            = true|false   transparent structure-reuse cache
+//                                       (default on; see docs/performance.md)
+//   PlanCacheLimitBytes  = <n>          plan-cache size cap in bytes
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,6 +150,11 @@ int run(int argc, char** argv) {
   if (speck_ptr != nullptr) {
     speck_ptr->config().validate_inputs = flag_validate;
     speck_ptr->config().faults = fault_spec;
+    speck_ptr->config().plan_cache = config.get_bool("PlanCache", true);
+    speck_ptr->config().plan_cache_limit_bytes = static_cast<std::size_t>(
+        config.get_int("PlanCacheLimitBytes",
+                       static_cast<long long>(
+                           speck_ptr->config().plan_cache_limit_bytes)));
     if (fault_spec.enabled()) {
       std::printf("fault injection: %s\n", describe(fault_spec).c_str());
     }
@@ -185,6 +193,11 @@ int run(int argc, char** argv) {
   }
   if (track_individual) {
     std::printf("stage breakdown: %s\n", last.timeline.to_string().c_str());
+  }
+  if (speck_ptr != nullptr && speck_ptr->last_diagnostics().plan_cache_hit) {
+    std::printf(
+        "structure reuse: repeated iterations hit the plan cache "
+        "(values-only replay; see docs/performance.md)\n");
   }
   if (trace_launches && speck_ptr != nullptr) {
     std::printf("\n%s", speck_ptr->last_trace().to_string().c_str());
