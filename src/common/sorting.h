@@ -18,6 +18,7 @@
 
 #include "common/bit_utils.h"
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace speck {
 
@@ -47,8 +48,14 @@ void rank_sort_pairs(std::span<K> keys, std::span<V> values) {
 /// Least-significant-digit radix sort on unsigned keys with a payload,
 /// 8 bits per pass. Stable. Mirrors the CUB-style device radix sort used
 /// for the larger spECK kernels and by the ESC baselines.
+///
+/// `simd` only enables software prefetch of the scatter destinations (the
+/// permute loop's stores are data-dependent and defeat the hardware
+/// prefetcher); the permutation — and therefore the sorted output — is
+/// identical on every backend.
 template <typename K, typename V>
-void radix_sort_pairs(std::vector<K>& keys, std::vector<V>& values) {
+void radix_sort_pairs(std::vector<K>& keys, std::vector<V>& values,
+                      SimdBackend simd = SimdBackend::kScalar) {
   static_assert(std::is_unsigned_v<K>, "radix sort requires unsigned keys");
   SPECK_ASSERT(keys.size() == values.size(), "radix_sort_pairs size mismatch");
   const std::size_t n = keys.size();
@@ -62,6 +69,8 @@ void radix_sort_pairs(std::vector<K>& keys, std::vector<V>& values) {
   constexpr int kBits = 8;
   constexpr std::size_t kBuckets = std::size_t{1} << kBits;
   std::size_t histogram[kBuckets];
+  const bool prefetch_scatter = simd != SimdBackend::kScalar;
+  constexpr std::size_t kPrefetchDistance = 8;
 
   for (int shift = 0; shift < static_cast<int>(sizeof(K) * 8); shift += kBits) {
     if (shift > 0 && (max_key >> shift) == 0) break;
@@ -74,6 +83,14 @@ void radix_sort_pairs(std::vector<K>& keys, std::vector<V>& values) {
       running += count;
     }
     for (std::size_t i = 0; i < n; ++i) {
+      if (prefetch_scatter && i + kPrefetchDistance < n) {
+        // The upcoming element's destination cursor is known now; touch the
+        // target lines so the stores below hit warm cache.
+        const std::size_t ahead_bucket =
+            (keys[i + kPrefetchDistance] >> shift) & (kBuckets - 1);
+        simd::prefetch(key_buffer.data() + histogram[ahead_bucket]);
+        simd::prefetch(value_buffer.data() + histogram[ahead_bucket]);
+      }
       const std::size_t bucket = (keys[i] >> shift) & (kBuckets - 1);
       key_buffer[histogram[bucket]] = keys[i];
       value_buffer[histogram[bucket]] = values[i];

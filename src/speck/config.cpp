@@ -58,6 +58,10 @@ void validate(const SpeckConfig& config) {
                 "fixed_group_size must be a positive power of two");
   SPECK_REQUIRE(config.host_threads >= 0,
                 "host_threads must be >= 0 (0 = process-wide default)");
+  SPECK_REQUIRE(simd::backend_available(config.simd_backend),
+                std::string("simd_backend '") +
+                    simd::backend_name(config.simd_backend) +
+                    "' is not available on this CPU");
   validate(config.faults);
 }
 
@@ -101,6 +105,15 @@ std::string describe(const SpeckConfig& config) {
          std::string(config.plan_cache ? "true" : "false") + "\n";
   out += "plan_cache_limit_bytes     = " +
          std::to_string(config.plan_cache_limit_bytes) + "\n";
+  out += "simd_backend               = " +
+         std::string(simd::backend_name(config.simd_backend)) +
+         (config.simd_backend == SimdBackend::kAuto
+              ? " (resolves to " +
+                    std::string(simd::backend_name(
+                        simd::resolve_backend(SimdBackend::kAuto))) +
+                    ")"
+              : "") +
+         "\n";
   out += "validate_inputs            = " +
          std::string(config.validate_inputs ? "true" : "false") + "\n";
   out += describe(config.faults) + "\n";

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "sim/device_spec.h"
 
@@ -117,6 +118,13 @@ struct SpeckConfig {
   /// only the skipped stages disappear from the timeline. Off: every
   /// multiply runs the full pipeline.
   bool plan_cache = true;
+  /// SIMD backend for the kernel hot loops (docs/performance.md "SIMD
+  /// backends"). kAuto resolves via the SPECK_SIMD environment variable,
+  /// then CPU detection; a concrete value is used verbatim (construction
+  /// fails when the CPU lacks it). The backend never changes results —
+  /// CSR bytes, simulated seconds and all PassStats counters are identical
+  /// across backends — only host wall time.
+  SimdBackend simd_backend = SimdBackend::kAuto;
   /// Host-memory ceiling for the transparent cache's replay program; a
   /// structure whose estimated plan exceeds it is never cached (explicit
   /// Speck::plan() calls ignore the limit — that memory is the caller's

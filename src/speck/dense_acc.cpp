@@ -1,16 +1,65 @@
 #include "speck/dense_acc.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/bit_utils.h"
 #include "common/check.h"
 
 namespace speck {
 
+namespace {
+
+/// Scalar extraction: compact the occupied cells [begin, cells) in order,
+/// clearing each one so the scratch is ready for the next call.
+inline void extract_window_scalar(DenseScratch& scratch, std::size_t begin,
+                                  std::size_t cells, index_t window_start,
+                                  bool numeric) {
+  for (std::size_t s = begin; s < cells; ++s) {
+    if (!scratch.occupied[s]) continue;
+    scratch.out_cols.push_back(window_start + static_cast<index_t>(s));
+    if (numeric) {
+      scratch.out_vals.push_back(scratch.window_vals[s]);
+      scratch.window_vals[s] = 0.0;
+    }
+    scratch.occupied[s] = 0;
+  }
+}
+
+/// Vector extraction: scan the occupancy bytes 32 at a time, emitting set
+/// lanes in ascending order (identical output to the scalar walk) and
+/// zero-filling whole chunks at once. Chunks with no occupied cell are
+/// skipped with a single mask test — the common case for sparse windows.
+inline void extract_window_simd(DenseScratch& scratch, std::size_t cells,
+                                index_t window_start, bool numeric,
+                                SimdBackend simd) {
+  std::uint8_t* occ = scratch.occupied.data();
+  std::size_t s = 0;
+  for (; s + simd::kChunkWidth <= cells; s += simd::kChunkWidth) {
+    std::uint32_t mask = simd::nonzero_mask32(occ + s, simd);
+    if (mask == 0) continue;
+    do {
+      const auto lane = static_cast<std::size_t>(simd::lowest_bit(mask));
+      const std::size_t slot = s + lane;
+      scratch.out_cols.push_back(window_start + static_cast<index_t>(slot));
+      if (numeric) {
+        scratch.out_vals.push_back(scratch.window_vals[slot]);
+        scratch.window_vals[slot] = 0.0;
+      }
+      mask &= mask - 1;
+    } while (mask != 0);
+    std::memset(occ + s, 0, simd::kChunkWidth);
+  }
+  extract_window_scalar(scratch, s, cells, window_start, numeric);
+}
+
+}  // namespace
+
 DenseRowView dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
                                   std::span<const value_t> a_vals, index_t col_min,
                                   index_t col_max, std::size_t window_columns,
-                                  bool numeric, DenseScratch& scratch) {
+                                  bool numeric, DenseScratch& scratch,
+                                  SimdBackend simd) {
   SPECK_REQUIRE(window_columns > 0, "dense window must hold at least one column");
   SPECK_REQUIRE(!numeric || a_vals.size() == a_cols.size(),
                 "numeric mode requires values for every A entry");
@@ -50,7 +99,15 @@ DenseRowView dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
             static_cast<std::int64_t>(window_start) + window - 1, col_max));
     ++result.passes;
 
+    const bool prefetch_gathers = simd != SimdBackend::kScalar;
     for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      // Warm the next row's unconsumed prefix while this one accumulates —
+      // a pure cache hint, gated off the scalar reference path.
+      if (prefetch_gathers && i + 1 < a_cols.size()) {
+        const auto next = static_cast<std::size_t>(scratch.cursor[i + 1]);
+        simd::prefetch(b_cols.data() + next);
+        if (numeric) simd::prefetch(b_vals.data() + next);
+      }
       const auto row_end = b.row_offsets()[static_cast<std::size_t>(a_cols[i]) + 1];
       offset_t& cur = scratch.cursor[i];
       while (cur < row_end && b_cols[static_cast<std::size_t>(cur)] <= window_end) {
@@ -69,14 +126,10 @@ DenseRowView dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
     // one so the scratch is ready for the next call.
     const auto cells = static_cast<std::size_t>(window_end - window_start) + 1;
     result.cells_scanned += static_cast<offset_t>(cells);
-    for (std::size_t s = 0; s < cells; ++s) {
-      if (!scratch.occupied[s]) continue;
-      scratch.out_cols.push_back(window_start + static_cast<index_t>(s));
-      if (numeric) {
-        scratch.out_vals.push_back(scratch.window_vals[s]);
-        scratch.window_vals[s] = 0.0;
-      }
-      scratch.occupied[s] = 0;
+    if (simd == SimdBackend::kScalar) {
+      extract_window_scalar(scratch, 0, cells, window_start, numeric);
+    } else {
+      extract_window_simd(scratch, cells, window_start, numeric, simd);
     }
   }
   SPECK_ASSERT(result.passes ==

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/types.h"
 #include "matrix/csr.h"
 
@@ -55,10 +56,14 @@ struct DenseRowView {
 /// row of A; `window_columns` is the scratchpad window capacity in columns
 /// (bitmask capacity for symbolic mode, value-array capacity for numeric
 /// mode). In symbolic mode (`numeric == false`) values are not computed.
+/// `simd` (resolved, never kAuto) selects how the extraction scans the
+/// occupancy window — 32 bytes per step on the vector backends — without
+/// changing the emitted columns, values, or any counter.
 DenseRowView dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,
                                   std::span<const value_t> a_vals, index_t col_min,
                                   index_t col_max, std::size_t window_columns,
-                                  bool numeric, DenseScratch& scratch);
+                                  bool numeric, DenseScratch& scratch,
+                                  SimdBackend simd = SimdBackend::kScalar);
 
 /// Convenience wrapper with internal scratch, returning owned vectors.
 DenseRowResult dense_accumulate_row(const Csr& b, std::span<const index_t> a_cols,

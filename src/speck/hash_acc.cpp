@@ -3,9 +3,12 @@
 namespace speck {
 
 void SymbolicHashAccumulator::begin_block(std::size_t capacity,
-                                          const FaultInjector* faults) {
+                                          const FaultInjector* faults,
+                                          SimdBackend simd) {
   local_.reconfigure(capacity);
+  local_.set_backend(simd);
   global_.clear();
+  global_.set_backend(simd);
   faults_ = faults;
   in_global_ = false;
   moved_entries_ = 0;
@@ -57,9 +60,12 @@ void SymbolicHashAccumulator::spill() {
 }
 
 void NumericHashAccumulator::begin_block(std::size_t capacity,
-                                         const FaultInjector* faults) {
+                                         const FaultInjector* faults,
+                                         SimdBackend simd) {
   local_.reconfigure(capacity);
+  local_.set_backend(simd);
   global_.clear();
+  global_.set_backend(simd);
   faults_ = faults;
   in_global_ = false;
   moved_entries_ = 0;

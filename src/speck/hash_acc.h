@@ -26,13 +26,16 @@ class SymbolicHashAccumulator {
   /// Reusable accumulator; `begin_block()` must run before inserts.
   SymbolicHashAccumulator() = default;
   explicit SymbolicHashAccumulator(std::size_t capacity,
-                                   const FaultInjector* faults = nullptr) {
-    begin_block(capacity, faults);
+                                   const FaultInjector* faults = nullptr,
+                                   SimdBackend simd = SimdBackend::kScalar) {
+    begin_block(capacity, faults, simd);
   }
 
-  /// Prepares for a new block: scratchpad capacity, fault hook, all
-  /// contents and counters cleared. O(1) after warm-up.
-  void begin_block(std::size_t capacity, const FaultInjector* faults);
+  /// Prepares for a new block: scratchpad capacity, fault hook, SIMD
+  /// backend, all contents and counters cleared. O(1) after warm-up. The
+  /// backend only changes probe speed; contents and counters are identical.
+  void begin_block(std::size_t capacity, const FaultInjector* faults,
+                   SimdBackend simd = SimdBackend::kScalar);
 
   void insert(key64_t key);
 
@@ -71,13 +74,16 @@ class NumericHashAccumulator {
   /// Reusable accumulator; `begin_block()` must run before accumulates.
   NumericHashAccumulator() = default;
   explicit NumericHashAccumulator(std::size_t capacity,
-                                  const FaultInjector* faults = nullptr) {
-    begin_block(capacity, faults);
+                                  const FaultInjector* faults = nullptr,
+                                  SimdBackend simd = SimdBackend::kScalar) {
+    begin_block(capacity, faults, simd);
   }
 
-  /// Prepares for a new block: scratchpad capacity, fault hook, all
-  /// contents and counters cleared. O(1) after warm-up.
-  void begin_block(std::size_t capacity, const FaultInjector* faults);
+  /// Prepares for a new block: scratchpad capacity, fault hook, SIMD
+  /// backend, all contents and counters cleared. O(1) after warm-up. The
+  /// backend only changes probe speed; contents and counters are identical.
+  void begin_block(std::size_t capacity, const FaultInjector* faults,
+                   SimdBackend simd = SimdBackend::kScalar);
 
   void accumulate(key64_t key, value_t value);
 

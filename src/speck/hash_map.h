@@ -3,10 +3,13 @@
 // the cost model charges real collision behaviour.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/types.h"
 
 namespace speck {
@@ -34,19 +37,30 @@ inline int key_local_row(key64_t key, bool wide_keys) {
 /// array. Tracks the number of probes performed so the simulated cost
 /// reflects the actual fill rate.
 ///
-/// Slots are epoch-tagged: a slot is occupied only when its epoch matches
-/// the map's current epoch, so `reset()` and `reconfigure()` invalidate the
-/// whole contents by bumping one counter — O(1) instead of an O(capacity)
-/// refill. This is what lets a per-worker workspace reuse one map across
-/// every block it executes without paying a clear between blocks. Probe
-/// sequences depend only on the logical capacity, never on the size of the
-/// retained slot storage, so a reused map behaves bit-identically to a
-/// freshly constructed one.
+/// Layout: Swiss-table-style control bytes over SoA key/value arrays. Each
+/// slot owns one control byte — kEmpty, or a 7-bit tag derived from the
+/// key's hash — grouped into 16-byte cache-line-friendly groups, so the SIMD
+/// backends compare a whole group per instruction while the scalar backend
+/// walks the same bytes one at a time. Both backends visit the *same*
+/// logical probe sequence (multiplicative hash modulo the logical capacity,
+/// +1 linear steps) and account the same probe count — the number of slots a
+/// one-at-a-time scan would visit — so contents, insertion order, and every
+/// PassStats counter are bit-identical across backends.
+///
+/// Groups are epoch-tagged: a group's control bytes are only meaningful when
+/// its epoch matches the map's, and are lazily re-materialized (filled with
+/// kEmpty) on first touch after a reset. `reset()` and `reconfigure()`
+/// therefore invalidate the whole contents by bumping one counter — O(1)
+/// instead of an O(capacity) refill — which is what lets a per-worker
+/// workspace reuse one map across every block it executes. Probe sequences
+/// depend only on the logical capacity, never on the size of the retained
+/// slot storage, so a reused map behaves bit-identically to a freshly
+/// constructed one.
 class DeviceHashMap {
  public:
   /// Empty map; `reconfigure()` must run before any insert.
   DeviceHashMap() = default;
-  explicit DeviceHashMap(std::size_t capacity);
+  explicit DeviceHashMap(std::size_t capacity) { reconfigure(capacity); }
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return size_; }
@@ -57,6 +71,11 @@ class DeviceHashMap {
 
   /// Total linear-probing steps performed since construction/reconfigure.
   std::size_t probes() const { return probes_; }
+
+  /// SIMD backend used by the probe loops (must be resolved, never kAuto).
+  /// The backend only changes how fast a probe runs, never its outcome.
+  void set_backend(SimdBackend backend) { backend_ = backend; }
+  SimdBackend backend() const { return backend_; }
 
   /// Symbolic insert: adds the key if absent. Returns true when the key was
   /// new. Returns false with `overflow()` set when the map is full and the
@@ -81,12 +100,35 @@ class DeviceHashMap {
   void extract_into(std::vector<Entry>& out) const;
 
   /// Visits every occupied slot in slot order with fn(key, value) — the
-  /// in-place alternative to extract() when no copy is needed.
+  /// in-place alternative to extract() when no copy is needed. Whole stale
+  /// groups (not touched since the last reset) are skipped 16 slots at a
+  /// time. The vector backends reduce each group to one occupied-lane mask
+  /// and walk its set bits in ascending lane order, so the visit order is
+  /// the same slot order as the scalar scan (sentinel bytes past the
+  /// logical capacity carry the high control bit and never appear in the
+  /// mask, so partial tail groups need no special casing).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t i = 0; i < capacity_; ++i) {
-      const Slot& s = slots_[i];
-      if (s.epoch == epoch_) fn(s.key, s.value);
+    if (backend_ != SimdBackend::kScalar) {
+      for (std::size_t g = 0; g < groups_; ++g) {
+        if (group_epoch_[g] != epoch_) continue;
+        const std::size_t base = g * simd::kGroupWidth;
+        std::uint32_t occ = simd::occupied_mask16(ctrl_.data() + base, backend_);
+        while (occ != 0) {
+          const unsigned p = simd::lowest_bit(occ);
+          fn(keys_[base + p], vals_[base + p]);
+          occ &= occ - 1;
+        }
+      }
+      return;
+    }
+    for (std::size_t g = 0; g < groups_; ++g) {
+      if (group_epoch_[g] != epoch_) continue;
+      const std::size_t base = g * simd::kGroupWidth;
+      const std::size_t end = std::min(capacity_, base + simd::kGroupWidth);
+      for (std::size_t i = base; i < end; ++i) {
+        if (ctrl_[i] < kCtrlEmpty) fn(keys_[i], vals_[i]);
+      }
     }
   }
 
@@ -100,23 +142,61 @@ class DeviceHashMap {
   void reconfigure(std::size_t capacity);
 
  private:
-  struct Slot {
-    key64_t key = 0;
-    value_t value = 0.0;
-    std::uint64_t epoch = 0;  ///< occupied iff equal to the map's epoch
+  /// Control-byte values: occupied slots carry a 7-bit tag (< 0x80) derived
+  /// from the key's hash; kCtrlEmpty marks a free slot; kCtrlSentinel pads
+  /// the tail of the last group past the logical capacity (never empty,
+  /// never matching, so group scans skip it without extra branches).
+  static constexpr std::uint8_t kCtrlEmpty = 0x80;
+  static constexpr std::uint8_t kCtrlSentinel = 0xFF;
+  static constexpr std::uint64_t kHashPrime = 0x9E3779B97F4A7C15ull;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  struct Probe {
+    std::size_t index;  ///< slot of the match or first empty; kNoSlot: overflow
+    bool found;         ///< true when the key is already present
   };
 
   /// Multiplicative hash (paper: index times a prime, modulo capacity).
-  std::size_t hash(key64_t key) const {
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) % capacity_);
+  std::size_t hash_slot(std::uint64_t h) const {
+    return static_cast<std::size_t>(h % capacity_);
+  }
+  /// 7-bit control tag from the hash's top bits (always < kCtrlEmpty).
+  static std::uint8_t hash_tag(std::uint64_t h) {
+    return static_cast<std::uint8_t>(h >> 57);
   }
 
-  std::vector<Slot> slots_;
-  std::size_t capacity_ = 0;  ///< logical capacity; <= slots_.size()
-  std::uint64_t epoch_ = 1;   ///< slots start at 0, i.e. empty
+  /// Lazily fills a group's control bytes with kEmpty (and sentinels past
+  /// the logical capacity) on first touch after a reset.
+  void materialize_group(std::size_t g) {
+    if (group_epoch_[g] == epoch_) return;
+    std::uint8_t* gp = ctrl_.data() + g * simd::kGroupWidth;
+    std::memset(gp, kCtrlEmpty, simd::kGroupWidth);
+    const std::size_t base = g * simd::kGroupWidth;
+    if (base + simd::kGroupWidth > capacity_) {
+      std::memset(gp + (capacity_ - base), kCtrlSentinel,
+                  base + simd::kGroupWidth - capacity_);
+    }
+    group_epoch_[g] = epoch_;
+  }
+
+  Probe probe(key64_t key, std::size_t start, std::uint8_t tag) {
+    return backend_ == SimdBackend::kScalar ? probe_scalar(key, start, tag)
+                                            : probe_groups(key, start, tag);
+  }
+  Probe probe_scalar(key64_t key, std::size_t start, std::uint8_t tag);
+  Probe probe_groups(key64_t key, std::size_t start, std::uint8_t tag);
+
+  std::vector<std::uint8_t> ctrl_;        ///< one control byte per slot
+  std::vector<std::uint64_t> group_epoch_;  ///< ctrl valid iff == epoch_
+  std::vector<key64_t> keys_;
+  std::vector<value_t> vals_;
+  std::size_t capacity_ = 0;  ///< logical capacity; <= retained storage
+  std::size_t groups_ = 0;    ///< ceil(capacity_ / kGroupWidth)
+  std::uint64_t epoch_ = 1;   ///< group epochs start at 0, i.e. stale
   std::size_t size_ = 0;
   std::size_t probes_ = 0;
   bool overflowed_ = false;
+  SimdBackend backend_ = SimdBackend::kScalar;
 };
 
 }  // namespace speck

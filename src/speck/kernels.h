@@ -42,6 +42,9 @@ struct KernelContext {
   /// and forces hash-map overflows — both only reroute rows onto the
   /// fallback paths; the numeric result stays exact.
   const FaultInjector* faults = nullptr;
+  /// Resolved SIMD backend (never kAuto) the kernel hot loops dispatch on.
+  /// Changes throughput only: results and counters are backend-independent.
+  SimdBackend simd = SimdBackend::kScalar;
 
   /// Scratchpad capacity after fault injection (identity when none).
   std::size_t effective_capacity(std::size_t capacity) const {
@@ -127,9 +130,12 @@ struct NumericReplayProgram {
 /// with fixed chunking, so results are bit-identical at any thread count.
 /// Returns the heap allocations observed inside the replay loop (the
 /// zero-allocation hot-path metric; always 0 — the loop owns no containers).
+/// `simd` enables software prefetch of upcoming gather targets on the vector
+/// backends; the arithmetic and its order are backend-independent.
 std::size_t replay_numeric_values(const Csr& a, const Csr& b,
                                   const NumericReplayProgram& program,
-                                  ThreadPool* pool, std::span<value_t> out);
+                                  ThreadPool* pool, std::span<value_t> out,
+                                  SimdBackend simd = SimdBackend::kScalar);
 
 /// Method selection, exposed for tests.
 RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,

@@ -123,7 +123,7 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
         ctx.analysis->col_min[static_cast<std::size_t>(r)],
         ctx.analysis->col_max[static_cast<std::size_t>(r)],
         ctx.effective_capacity(config.dense_numeric_capacity()),
-        /*numeric=*/true, ws.dense());
+        /*numeric=*/true, ws.dense(), ctx.simd);
     SPECK_ASSERT(static_cast<index_t>(result.cols.size()) ==
                      row_nnz[static_cast<std::size_t>(r)],
                  "dense numeric row count disagrees with symbolic pass");
@@ -149,13 +149,24 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
 
   // Hash path with values.
   NumericHashAccumulator& acc = ws.numeric_acc(
-      ctx.effective_capacity(config.numeric_hash_capacity()), ctx.faults);
+      ctx.effective_capacity(config.numeric_hash_capacity()), ctx.faults,
+      ctx.simd);
+  const bool prefetch_gathers = ctx.simd != SimdBackend::kScalar;
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
     const auto a_cols = ctx.a->row_cols(r);
     const auto a_vals = ctx.a->row_vals(r);
     for (std::size_t i = 0; i < a_cols.size(); ++i) {
       const index_t k = a_cols[i];
+      if (prefetch_gathers && i + 1 < a_cols.size()) {
+        // Hide the latency of the next B-row gather behind this one's
+        // accumulates; never changes what is accumulated.
+        const auto next =
+            static_cast<std::size_t>(ctx.b->row_offsets()[
+                static_cast<std::size_t>(a_cols[i + 1])]);
+        simd::prefetch(ctx.b->col_indices().data() + next);
+        simd::prefetch(ctx.b->values().data() + next);
+      }
       const auto b_cols = ctx.b->row_cols(k);
       const auto b_vals = ctx.b->row_vals(k);
       for (std::size_t j = 0; j < b_cols.size(); ++j) {
@@ -183,10 +194,17 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
   row_cursor.assign(row_start.begin(), row_start.end());
   std::vector<DeviceHashMap::Entry>& bucketed = ws.bucketed_entries();
   bucketed.resize(entries.size());
-  for (const auto& entry : entries) {
+  constexpr std::size_t kScatterPrefetch = 8;
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    if (prefetch_gathers && e + kScatterPrefetch < entries.size()) {
+      // Data-dependent scatter destination; touch the line ahead of time.
+      const auto ahead = static_cast<std::size_t>(
+          key_local_row(entries[e + kScatterPrefetch].key, ctx.wide_keys));
+      simd::prefetch(bucketed.data() + row_cursor[ahead]);
+    }
     const auto local = static_cast<std::size_t>(
-        key_local_row(entry.key, ctx.wide_keys));
-    bucketed[row_cursor[local]++] = entry;
+        key_local_row(entries[e].key, ctx.wide_keys));
+    bucketed[row_cursor[local]++] = entries[e];
   }
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
@@ -296,7 +314,8 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
 
 std::size_t replay_numeric_values(const Csr& a, const Csr& b,
                                   const NumericReplayProgram& program,
-                                  ThreadPool* pool, std::span<value_t> out) {
+                                  ThreadPool* pool, std::span<value_t> out,
+                                  SimdBackend simd) {
   const std::size_t rows =
       program.row_op_start.empty() ? 0 : program.row_op_start.size() - 1;
   if (rows == 0) return 0;
@@ -315,7 +334,18 @@ std::size_t replay_numeric_values(const Csr& a, const Csr& b,
         const std::size_t allocs_before = detail::alloc_events_now();
         const auto op_begin = static_cast<std::size_t>(program.row_op_start[begin]);
         const auto op_end = static_cast<std::size_t>(program.row_op_start[end]);
+        // The replay loop is three gathers and a fused multiply-add per op;
+        // on the vector backends, prefetching the gather targets a fixed
+        // distance ahead hides their latency. Prefetch is a pure hint — the
+        // arithmetic and its order are identical on every backend.
+        constexpr std::size_t kPrefetchDistance = 16;
+        const bool prefetch_gathers = simd != SimdBackend::kScalar;
         for (std::size_t op = op_begin; op < op_end; ++op) {
+          if (prefetch_gathers && op + kPrefetchDistance < op_end) {
+            const std::size_t ahead = op + kPrefetchDistance;
+            simd::prefetch(a_vals + program.a_idx[ahead]);
+            simd::prefetch(b_vals + program.b_idx[ahead]);
+          }
           const value_t product =
               a_vals[program.a_idx[op]] * b_vals[program.b_idx[op]];
           value_t& slot = out[program.dest[op]];

@@ -191,7 +191,8 @@ SpGemmResult Speck::replay_plan(const SpeckPlan& plan, const Csr& a,
 
   std::vector<value_t> values(c_nnz, 0.0);
   diagnostics_.numeric.hot_path_allocs =
-      replay_numeric_values(a, b, plan.program, host_pool(), values);
+      replay_numeric_values(a, b, plan.program, host_pool(), values,
+                            simd::resolve_backend(config_.simd_backend));
 
   for (const sim::LaunchResult& launch : plan.replay_trace) {
     trace_.record(launch);
@@ -241,6 +242,7 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
   ctx.pool = host_pool();
   ctx.workspaces = &workspaces_;
   ctx.faults = faults;
+  ctx.simd = simd::resolve_backend(config_.simd_backend);
 
   // Stage 1: lightweight row analysis (Algorithm 1).
   sim::Launch analysis_launch("row_analysis", device_, model_);

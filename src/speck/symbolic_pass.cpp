@@ -84,7 +84,7 @@ sim::BlockCost run_symbolic_block(const KernelContext& ctx,
         *ctx.b, a_cols, {}, ctx.analysis->col_min[static_cast<std::size_t>(r)],
         ctx.analysis->col_max[static_cast<std::size_t>(r)],
         ctx.effective_capacity(config.dense_symbolic_capacity()),
-        /*numeric=*/false, ws.dense());
+        /*numeric=*/false, ws.dense(), ctx.simd);
     out_row_nnz[static_cast<std::size_t>(r)] =
         static_cast<index_t>(result.cols.size());
     ++stats.dense_rows;
@@ -102,11 +102,21 @@ sim::BlockCost run_symbolic_block(const KernelContext& ctx,
   // Hash path: one shared map with compound keys for all rows of the
   // block (5-bit local row | 27-bit column).
   SymbolicHashAccumulator& acc = ws.symbolic_acc(
-      ctx.effective_capacity(config.symbolic_hash_capacity()), ctx.faults);
+      ctx.effective_capacity(config.symbolic_hash_capacity()), ctx.faults,
+      ctx.simd);
+  const bool prefetch_gathers = ctx.simd != SimdBackend::kScalar;
   for (std::size_t local = 0; local < rows.size(); ++local) {
     const index_t r = rows[local];
-    for (const index_t k : ctx.a->row_cols(r)) {
-      for (const index_t col : ctx.b->row_cols(k)) {
+    const auto a_cols = ctx.a->row_cols(r);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      if (prefetch_gathers && i + 1 < a_cols.size()) {
+        // Hide the latency of the next B-row gather behind this one's
+        // inserts; never changes what is inserted.
+        const auto next = static_cast<std::size_t>(a_cols[i + 1]);
+        simd::prefetch(ctx.b->col_indices().data() +
+                       static_cast<std::size_t>(ctx.b->row_offsets()[next]));
+      }
+      for (const index_t col : ctx.b->row_cols(a_cols[i])) {
         acc.insert(compound_key(static_cast<int>(local), col, ctx.wide_keys));
       }
     }

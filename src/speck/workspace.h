@@ -35,15 +35,17 @@ class KernelWorkspace {
  public:
   /// Symbolic accumulator reset for a new block of the given capacity.
   SymbolicHashAccumulator& symbolic_acc(std::size_t capacity,
-                                        const FaultInjector* faults) {
-    symbolic_.begin_block(capacity, faults);
+                                        const FaultInjector* faults,
+                                        SimdBackend simd = SimdBackend::kScalar) {
+    symbolic_.begin_block(capacity, faults, simd);
     return symbolic_;
   }
 
   /// Numeric accumulator reset for a new block of the given capacity.
   NumericHashAccumulator& numeric_acc(std::size_t capacity,
-                                      const FaultInjector* faults) {
-    numeric_.begin_block(capacity, faults);
+                                      const FaultInjector* faults,
+                                      SimdBackend simd = SimdBackend::kScalar) {
+    numeric_.begin_block(capacity, faults, simd);
     return numeric_;
   }
 

@@ -1,0 +1,30 @@
+// libFuzzer entry point for the --fault-spec grammar (built only with
+// -DSPECK_LIBFUZZER=ON under clang):
+//
+//   cmake -B build-fuzz -DSPECK_LIBFUZZER=ON \
+//         -DCMAKE_CXX_COMPILER=clang++ && cmake --build build-fuzz
+//   build-fuzz/tools/fuzz_faultspec_libfuzzer
+//
+// Contract: parse_fault_spec either returns a FaultSpec or throws BadInput —
+// no other exception, crash or sanitizer report is acceptable for any byte
+// string. A parsed spec must round-trip through describe() without tripping
+// invariants.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const speck::FaultSpec spec = speck::parse_fault_spec(text);
+    (void)speck::describe(spec);
+    (void)spec.enabled();
+  } catch (const speck::BadInput&) {
+    // Structured rejection — the expected outcome for malformed specs.
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// libFuzzer entry point for the runspeck config.ini parser (built only with
+// -DSPECK_LIBFUZZER=ON under clang):
+//
+//   cmake -B build-fuzz -DSPECK_LIBFUZZER=ON \
+//         -DCMAKE_CXX_COMPILER=clang++ && cmake --build build-fuzz
+//   build-fuzz/tools/fuzz_ini_libfuzzer
+//
+// Contract: IniConfig::parse either returns a config or throws BadInput — no
+// other exception, crash or sanitizer report is acceptable for any byte
+// string. Accepted configs must answer typed lookups (with fallbacks) for
+// the keys runspeck actually queries without tripping invariants.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "common/ini.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const speck::IniConfig config = speck::IniConfig::parse(in);
+    (void)config.get_bool("TrackCompleteTimes", true);
+    (void)config.get_int("IterationsExecution", 5);
+    (void)config.get_string("InputFile", "");
+  } catch (const speck::BadInput&) {
+    // Structured rejection — the expected outcome for malformed configs.
+  }
+  return 0;
+}

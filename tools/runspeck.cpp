@@ -57,6 +57,10 @@ void print_usage(const char* prog, std::FILE* out) {
       "                       memory-budget-mb=<f>    cap simulated memory\n"
       "                     e.g. --fault-spec estimate-scale=0.25,seed=7\n"
       "  --validate         re-validate CSR invariants at the API boundary\n"
+      "  --simd BACKEND     SIMD backend for the kernel hot loops:\n"
+      "                     auto|scalar|sse|avx2|neon (default auto — the\n"
+      "                     SPECK_SIMD env var, then CPU detection). Results\n"
+      "                     are bit-identical for every backend\n"
       "  --help             this message\n"
       "\n"
       "exit codes:\n"
@@ -75,6 +79,7 @@ int run(int argc, char** argv) {
   // Split off the flags; everything else keeps positional meaning.
   int flag_threads = 0;
   bool flag_validate = false;
+  SimdBackend flag_simd = SimdBackend::kAuto;
   FaultSpec fault_spec;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -92,6 +97,28 @@ int run(int argc, char** argv) {
         return 2;
       }
       fault_spec = parse_fault_spec(argv[i + 1]);
+      ++i;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--simd") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--simd requires an argument\n");
+        return 2;
+      }
+      const auto parsed = simd::parse_backend(argv[i + 1]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--simd: unknown backend '%s' "
+                     "(expected auto|scalar|sse|avx2|neon)\n",
+                     argv[i + 1]);
+        return 3;
+      }
+      if (!simd::backend_available(*parsed)) {
+        std::fprintf(stderr, "--simd: backend '%s' is not available on this CPU\n",
+                     argv[i + 1]);
+        return 3;
+      }
+      flag_simd = *parsed;
       ++i;
       continue;
     }
@@ -121,6 +148,11 @@ int run(int argc, char** argv) {
   if (threads > 0) set_global_thread_count(threads);
   std::printf("host threads: %d\n",
               threads > 0 ? threads : default_thread_count());
+  // Note which backend the hot loops will actually dispatch to; the choice
+  // never affects results, only host wall time.
+  std::printf("simd backend: %s (requested %s)\n",
+              simd::backend_name(simd::resolve_backend(flag_simd)),
+              simd::backend_name(flag_simd));
   const bool track_complete = config.get_bool("TrackCompleteTimes", true);
   const bool track_individual = config.get_bool("TrackIndividualTimes", false);
   const bool compare_result = config.get_bool("CompareResult", false);
@@ -149,6 +181,7 @@ int run(int argc, char** argv) {
   auto* speck_ptr = dynamic_cast<Speck*>(algorithm.get());
   if (speck_ptr != nullptr) {
     speck_ptr->config().validate_inputs = flag_validate;
+    speck_ptr->config().simd_backend = flag_simd;
     speck_ptr->config().faults = fault_spec;
     speck_ptr->config().plan_cache = config.get_bool("PlanCache", true);
     speck_ptr->config().plan_cache_limit_bytes = static_cast<std::size_t>(
