@@ -1,0 +1,352 @@
+// Concurrent-serving benchmark: N client threads issuing a Zipf-distributed
+// mix of fixed-pattern multiplies against one shared Speck, comparing the
+// mutex-serialized legacy replay (every request takes one global lock around
+// Speck::multiply_with_plan) with SpeckService's lock-free replay path
+// (multiply_into + leased client workspaces). Emitted as key=value / point=
+// lines for tools/bench_to_json; backs the checked-in BENCH_service.json.
+//
+// Hard gates (CI runs `bench_service --quick`):
+//
+//   * every served result must be bit-identical to the Gustavson reference
+//     for its pattern (always enforced),
+//   * the steady-state replay must perform zero hot-path heap allocations
+//     (always enforced, measured single-threaded via the same counting
+//     operator new as bench_reuse),
+//   * service throughput must reach --min-speedup (default 3x) over the
+//     serialized baseline at 8 client threads — enforced only when the
+//     machine has >= 8 hardware cores, since on fewer cores both sides
+//     timeshare the same CPUs and the ratio measures the scheduler, not
+//     the lock structure (reported unconditionally for the trajectory).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_counter.h"
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/service.h"
+#include "speck/speck.h"
+
+// Counting allocator: every successful allocation bumps the thread-local
+// event counter the replay snapshots around its op loop.
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  ++speck::detail::thread_alloc_events;
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace speck;
+
+void emit(const char* key, double value) { std::printf("%s=%.6g\n", key, value); }
+void emit_count(const char* key, std::size_t value) {
+  std::printf("%s=%zu\n", key, value);
+}
+
+double now_minus(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The serving pattern mix: distinct structures of serving-sized matrices.
+std::vector<Csr> make_patterns() {
+  std::vector<Csr> out;
+  out.push_back(gen::banded(512, 16, 10, 11));
+  out.push_back(gen::banded(384, 24, 12, 22));
+  out.push_back(gen::power_law(400, 400, 8, 2.2, 60, 33));
+  out.push_back(gen::power_law(512, 512, 6, 2.0, 40, 44));
+  out.push_back(gen::stencil_2d(24, 24));
+  out.push_back(gen::block_diagonal(16, 24, 0.5, 55));
+  return out;
+}
+
+/// CDF of a Zipf(s) distribution over `n` ranks.
+std::vector<double> zipf_cdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+std::size_t zipf_pick(const std::vector<double>& cdf, double u) {
+  return static_cast<std::size_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
+
+/// Per-request pattern schedule, identical for both sides of the comparison.
+std::vector<std::vector<std::size_t>> make_schedules(int threads,
+                                                     std::size_t requests,
+                                                     std::size_t patterns,
+                                                     double zipf_s,
+                                                     std::uint64_t seed) {
+  const std::vector<double> cdf = zipf_cdf(patterns, zipf_s);
+  std::vector<std::vector<std::size_t>> schedules(
+      static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919u);
+    auto& schedule = schedules[static_cast<std::size_t>(t)];
+    schedule.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      schedule.push_back(zipf_pick(cdf, rng.next_double()));
+    }
+  }
+  return schedules;
+}
+
+struct LatencyReport {
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+LatencyReport merge_latencies(std::vector<std::vector<double>>& per_thread) {
+  std::vector<double> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  LatencyReport rep;
+  if (all.empty()) return rep;
+  auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * (all.size() - 1));
+    return all[idx] * 1e6;
+  };
+  rep.p50_us = at(0.50);
+  rep.p90_us = at(0.90);
+  rep.p99_us = at(0.99);
+  rep.max_us = all.back() * 1e6;
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> thread_counts = {1, 2, 8};
+  std::size_t requests = 400;  // per client thread
+  double zipf_s = 1.0;
+  double min_speedup = 3.0;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      thread_counts = {1, 8};
+      requests = 150;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = {std::atoi(argv[++i])};
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--zipf") == 0 && i + 1 < argc) {
+      zipf_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--threads N] [--requests N] "
+                   "[--zipf S] [--min-speedup X] [--seed N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const std::vector<Csr> patterns = make_patterns();
+  std::vector<Csr> refs;
+  for (const Csr& a : patterns) refs.push_back(gustavson_spgemm(a, a));
+
+  std::printf("bench=service\n");
+  emit_count("cores", cores);
+  emit_count("patterns", patterns.size());
+  emit_count("requests_per_thread", requests);
+  emit("zipf_s", zipf_s);
+  emit("min_speedup", min_speedup);
+
+  SpeckConfig cfg;
+  cfg.host_threads = 1;  // replay runs serially per client; no nested pools
+  cfg.plan_cache = false;
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+  SpeckService service(sp);
+
+  // Plan every pattern up front: both sides of the comparison measure pure
+  // replay throughput, which is the serving steady state.
+  std::vector<std::shared_ptr<const SpeckPlan>> plans;
+  for (const Csr& a : patterns) {
+    Status st;
+    std::shared_ptr<const SpeckPlan> plan = service.plan_for(a, a, &st);
+    if (plan == nullptr) {
+      std::fprintf(stderr, "planning failed: %s\n", st.message.c_str());
+      return 2;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Gate 1 (always): the steady-state replay is allocation-free,
+  // live-counted inside the replay kernel at one thread.
+  std::size_t hot_allocs = 0;
+  {
+    std::vector<value_t> buf;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      buf.resize(static_cast<std::size_t>(plans[p]->c_nnz()));
+      // warm-up, then measured
+      (void)sp.replay_values_into(*plans[p], patterns[p], patterns[p], buf);
+      SpeckDiagnostics diag;
+      SpGemmResult r = sp.replay_values_into(*plans[p], patterns[p],
+                                             patterns[p], buf, &diag);
+      if (!r.ok()) {
+        std::fprintf(stderr, "replay failed: %s\n", r.failure_reason.c_str());
+        return 2;
+      }
+      hot_allocs += diag.numeric.hot_path_allocs;
+    }
+  }
+  emit_count("replay_hot_allocs", hot_allocs);
+
+  // Gate 2 (always): every pattern's served values are bit-identical to the
+  // Gustavson reference.
+  bool bit_identical = true;
+  {
+    std::vector<value_t> buf;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      SpeckService::Response resp =
+          service.multiply_into(patterns[p], patterns[p], buf);
+      const std::span<const value_t> want = refs[p].values();
+      if (!resp.ok() || resp.c_nnz != refs[p].nnz() ||
+          !std::equal(buf.begin(), buf.end(), want.begin(), want.end())) {
+        std::fprintf(stderr, "FAIL: pattern %zu served values diverge\n", p);
+        bit_identical = false;
+      }
+    }
+  }
+
+  bool gate_failed = !bit_identical || hot_allocs != 0;
+  if (hot_allocs != 0) {
+    std::fprintf(stderr, "FAIL: replay hot path performed %zu allocations\n",
+                 hot_allocs);
+  }
+
+  std::mutex legacy_mutex;  // the baseline's single global lock
+  for (const int threads : thread_counts) {
+    const auto schedules = make_schedules(threads, requests,
+                                          patterns.size(), zipf_s, seed);
+    std::printf("point=threads%d\n", threads);
+    emit_count("threads", static_cast<std::size_t>(threads));
+
+    // Baseline: mutex-serialized legacy replay. Every client takes the one
+    // lock because the legacy entry point mutates Speck member state.
+    std::atomic<std::size_t> errors{0};
+    std::vector<std::vector<double>> lat(
+        static_cast<std::size_t>(threads));
+    auto run_clients = [&](auto&& body) {
+      std::vector<std::thread> clients;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] { body(t); });
+      }
+      for (auto& th : clients) th.join();
+      return now_minus(t0);
+    };
+
+    for (auto& v : lat) {
+      v.clear();
+      v.reserve(requests);
+    }
+    const double serialized_wall = run_clients([&](int t) {
+      auto& my_lat = lat[static_cast<std::size_t>(t)];
+      for (const std::size_t p : schedules[static_cast<std::size_t>(t)]) {
+        const auto r0 = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(legacy_mutex);
+        SpGemmResult r =
+            sp.multiply_with_plan(*plans[p], patterns[p], patterns[p]);
+        if (!r.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+        my_lat.push_back(now_minus(r0));
+      }
+    });
+    const LatencyReport serialized_lat = merge_latencies(lat);
+
+    for (auto& v : lat) {
+      v.clear();
+      v.reserve(requests);
+    }
+    const double service_wall = run_clients([&](int t) {
+      auto& my_lat = lat[static_cast<std::size_t>(t)];
+      WorkspacePool::Lease lease = service.client_workspaces().lease();
+      std::vector<value_t>& buf = lease->replay_values();
+      for (const std::size_t p : schedules[static_cast<std::size_t>(t)]) {
+        const auto r0 = std::chrono::steady_clock::now();
+        SpeckService::Response resp =
+            service.multiply_into(patterns[p], patterns[p], buf);
+        if (!resp.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+        my_lat.push_back(now_minus(r0));
+      }
+    });
+    const LatencyReport service_lat = merge_latencies(lat);
+
+    if (errors.load() != 0) {
+      std::fprintf(stderr, "FAIL: %zu requests errored\n", errors.load());
+      gate_failed = true;
+    }
+
+    const double total =
+        static_cast<double>(requests) * static_cast<double>(threads);
+    const double speedup = serialized_wall / service_wall;
+    emit("serialized_wall_seconds", serialized_wall);
+    emit("service_wall_seconds", service_wall);
+    emit("serialized_rps", total / serialized_wall);
+    emit("service_rps", total / service_wall);
+    emit("speedup", speedup);
+    emit("serialized_p50_us", serialized_lat.p50_us);
+    emit("serialized_p99_us", serialized_lat.p99_us);
+    emit("service_p50_us", service_lat.p50_us);
+    emit("service_p90_us", service_lat.p90_us);
+    emit("service_p99_us", service_lat.p99_us);
+    emit("service_max_us", service_lat.max_us);
+    std::printf("point=\n");
+
+    if (threads >= 8 && cores >= 8 && speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: service speedup %.3f < %.3f at %d threads "
+                   "(%u cores)\n",
+                   speedup, min_speedup, threads, cores);
+      gate_failed = true;
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  emit_count("service_requests", stats.requests);
+  emit_count("service_replays", stats.replays);
+  emit_count("plans_built", stats.plans_built);
+  emit_count("admission_rejected", stats.rejected);
+  emit_count("cache_entries", stats.cache.entries);
+  emit_count("cache_bytes", stats.cache.bytes);
+  if (stats.rejected != 0) {
+    std::fprintf(stderr, "FAIL: %llu requests rejected with no budget set\n",
+                 static_cast<unsigned long long>(stats.rejected));
+    gate_failed = true;
+  }
+
+  if (gate_failed) return 1;
+  std::printf("gate=pass\n");
+  return 0;
+}

@@ -147,4 +147,11 @@ void set_global_thread_count(int threads) {
   g_pool = std::make_unique<ThreadPool>(threads);
 }
 
+ThreadPool& serial_pool() {
+  // With thread_count() == 1 every parallel_for short-circuits to the
+  // lock-free serial path, so concurrent use from many threads is safe.
+  static ThreadPool pool(1);
+  return pool;
+}
+
 }  // namespace speck

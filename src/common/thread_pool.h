@@ -100,6 +100,14 @@ inline ThreadPool& pool_or_global(ThreadPool* pool) {
   return pool != nullptr ? *pool : global_pool();
 }
 
+/// A process-wide single-threaded pool that is safe to share between
+/// concurrently-running callers: with one thread, parallel_for always takes
+/// the serial path on the calling thread — no mutex, no job slot, no shared
+/// state — so N service threads can all pass this pool to replay kernels at
+/// once. (The multi-threaded global_pool() has a single job slot and must
+/// not be driven from more than one external thread at a time.)
+ThreadPool& serial_pool();
+
 /// Deterministic map-reduce: `per_chunk(begin, end)` computes one partial
 /// per fixed chunk (in parallel), then the partials are combined with
 /// `combine(acc, partial)` serially in ascending chunk order. The result is

@@ -47,24 +47,14 @@ ChainResult multiply_chain(std::vector<Csr> chain, SpGemmAlgorithm& algorithm) {
   return result;
 }
 
-const SpeckPlan* ChainPlanCache::find(const PlanFingerprint& fp) const {
-  for (const std::unique_ptr<SpeckPlan>& plan : plans_) {
-    if (fp.matches_full(plan->fingerprint)) return plan.get();
-  }
-  return nullptr;
+std::shared_ptr<const SpeckPlan> ChainPlanCache::find(
+    const PlanFingerprint& fp) {
+  return cache_.find(fp);
 }
 
 void ChainPlanCache::insert(SpeckPlan plan) {
   if (!plan.complete) return;
-  plans_.push_back(std::make_unique<SpeckPlan>(std::move(plan)));
-}
-
-std::size_t ChainPlanCache::byte_size() const {
-  std::size_t total = 0;
-  for (const std::unique_ptr<SpeckPlan>& plan : plans_) {
-    total += plan->byte_size();
-  }
-  return total;
+  cache_.insert(std::make_shared<const SpeckPlan>(std::move(plan)));
 }
 
 ChainResult multiply_chain(std::vector<Csr> chain, Speck& speck,
@@ -88,7 +78,7 @@ ChainResult multiply_chain(std::vector<Csr> chain, Speck& speck,
     const PlanFingerprint fp = plan_fingerprint(a, b, speck.config());
     SpGemmResult step;
     bool reused = false;
-    if (const SpeckPlan* plan = cache.find(fp)) {
+    if (const std::shared_ptr<const SpeckPlan> plan = cache.find(fp)) {
       step = speck.multiply_with_plan(*plan, a, b);
       reused = !speck.last_diagnostics().plan_fallback;
     } else {

@@ -8,10 +8,12 @@
 // intermediate-product count (computable in O(nnz) without multiplying).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "ref/spgemm_api.h"
+#include "speck/plan_cache.h"
 #include "speck/speck.h"
 
 namespace speck {
@@ -47,20 +49,29 @@ ChainResult multiply_chain(std::vector<Csr> chain, SpGemmAlgorithm& algorithm);
 /// first full pass runs the values-only replay. Contraction order is
 /// value-independent (exact product counts of the structure), so a chain's
 /// link structures recur exactly.
+///
+/// A thin veneer over the sharded PlanCache (one shard: chain links are
+/// consulted by one caller, and an unbounded-by-default budget keeps every
+/// link warm — a chain's working set is the caller's deliberate choice).
 class ChainPlanCache {
  public:
-  /// The cached plan matching `fp`, or null.
-  const SpeckPlan* find(const PlanFingerprint& fp) const;
+  explicit ChainPlanCache(
+      std::size_t limit_bytes = std::numeric_limits<std::size_t>::max())
+      : cache_(/*shards=*/1, limit_bytes) {}
+
+  /// The cached plan matching `fp`, or null. The shared_ptr keeps the plan
+  /// alive across a concurrent eviction.
+  std::shared_ptr<const SpeckPlan> find(const PlanFingerprint& fp);
 
   /// Takes ownership of a freshly built plan (incomplete plans are dropped
   /// — they could never replay).
   void insert(SpeckPlan plan);
 
-  std::size_t size() const { return plans_.size(); }
-  std::size_t byte_size() const;
+  std::size_t size() const { return cache_.entries(); }
+  std::size_t byte_size() const { return cache_.bytes(); }
 
  private:
-  std::vector<std::unique_ptr<SpeckPlan>> plans_;
+  PlanCache cache_;
 };
 
 /// Plan-aware chain multiplication with `speck`: every contraction first

@@ -58,6 +58,8 @@ void validate(const SpeckConfig& config) {
                 "fixed_group_size must be a positive power of two");
   SPECK_REQUIRE(config.host_threads >= 0,
                 "host_threads must be >= 0 (0 = process-wide default)");
+  SPECK_REQUIRE(config.plan_cache_shards >= 1,
+                "plan_cache_shards must be >= 1");
   SPECK_REQUIRE(simd::backend_available(config.simd_backend),
                 std::string("simd_backend '") +
                     simd::backend_name(config.simd_backend) +
@@ -103,6 +105,8 @@ std::string describe(const SpeckConfig& config) {
          (config.host_threads == 0 ? " (process default)" : "") + "\n";
   out += "plan_cache                 = " +
          std::string(config.plan_cache ? "true" : "false") + "\n";
+  out += "plan_cache_shards          = " +
+         std::to_string(config.plan_cache_shards) + "\n";
   out += "plan_cache_limit_bytes     = " +
          std::to_string(config.plan_cache_limit_bytes) + "\n";
   out += "simd_backend               = " +

@@ -110,14 +110,19 @@ struct SpeckConfig {
   /// pool (SPECK_THREADS env or hardware concurrency); any value produces
   /// bit-identical results (see docs/tutorial.md "Parallel execution").
   int host_threads = 0;
-  /// Transparent single-slot plan cache: when repeated multiply(a, b) calls
-  /// present the same sparsity pattern (full structural fingerprint match,
-  /// including this config's planning fields), the second consecutive call
-  /// captures a SpeckPlan and every later one runs the values-only replay
+  /// Transparent plan cache: when repeated multiply(a, b) calls present the
+  /// same sparsity pattern (full structural fingerprint match, including
+  /// this config's planning fields), the second consecutive call captures a
+  /// SpeckPlan and every later one runs the values-only replay
   /// (docs/performance.md "Structure reuse"). Results stay bit-identical;
-  /// only the skipped stages disappear from the timeline. Off: every
-  /// multiply runs the full pipeline.
+  /// only the skipped stages disappear from the timeline. Plans for
+  /// different patterns coexist in a sharded LRU cache (docs/service.md).
+  /// Off: every multiply runs the full pipeline.
   bool plan_cache = true;
+  /// Shards of the transparent plan cache. More shards cut mutex contention
+  /// when many threads serve disjoint patterns through one Speck/service;
+  /// 1 gives a single global LRU order. Must be >= 1.
+  int plan_cache_shards = 4;
   /// SIMD backend for the kernel hot loops (docs/performance.md "SIMD
   /// backends"). kAuto resolves via the SPECK_SIMD environment variable,
   /// then CPU detection; a concrete value is used verbatim (construction
@@ -125,8 +130,11 @@ struct SpeckConfig {
   /// CSR bytes, simulated seconds and all PassStats counters are identical
   /// across backends — only host wall time.
   SimdBackend simd_backend = SimdBackend::kAuto;
-  /// Host-memory ceiling for the transparent cache's replay program; a
-  /// structure whose estimated plan exceeds it is never cached (explicit
+  /// Host-memory ceiling for the transparent plan cache, accounted across
+  /// all cached plans (SpeckPlan::byte_size, which includes the replay
+  /// program, the C pattern arrays and the diagnostics tail). A structure
+  /// whose estimated plan exceeds the whole budget is never planned for
+  /// caching; inserts beyond the budget evict LRU plans (explicit
   /// Speck::plan() calls ignore the limit — that memory is the caller's
   /// deliberate choice).
   std::size_t plan_cache_limit_bytes = 512u << 20;

@@ -30,9 +30,11 @@ struct BinPlan {
   /// Temporary device memory the load balancer itself required.
   std::size_t lb_memory_bytes = 0;
 
-  /// Host-memory footprint of the stored plan (SpeckPlan accounting).
+  /// Allocated host-memory footprint of the stored plan (capacity-based,
+  /// for SpeckPlan byte accounting).
   std::size_t byte_size() const {
-    return row_order.size() * sizeof(index_t) + blocks.size() * sizeof(Block);
+    return row_order.capacity() * sizeof(index_t) +
+           blocks.capacity() * sizeof(Block);
   }
 };
 

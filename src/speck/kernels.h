@@ -117,10 +117,13 @@ struct NumericReplayProgram {
   std::vector<std::uint8_t> assign_first;  ///< 1: store the product; 0: add it
 
   std::size_t ops() const { return a_idx.size(); }
+  /// Allocated (capacity-based) host footprint — what the plan cache's byte
+  /// budget is charged for.
   std::size_t byte_size() const {
-    return row_op_start.size() * sizeof(offset_t) +
-           (a_idx.size() + b_idx.size() + dest.size()) * sizeof(std::uint32_t) +
-           assign_first.size() * sizeof(std::uint8_t);
+    return row_op_start.capacity() * sizeof(offset_t) +
+           (a_idx.capacity() + b_idx.capacity() + dest.capacity()) *
+               sizeof(std::uint32_t) +
+           assign_first.capacity() * sizeof(std::uint8_t);
   }
 };
 
@@ -136,6 +139,17 @@ std::size_t replay_numeric_values(const Csr& a, const Csr& b,
                                   const NumericReplayProgram& program,
                                   ThreadPool* pool, std::span<value_t> out,
                                   SimdBackend simd = SimdBackend::kScalar);
+
+/// Single-threaded replay_numeric_values that runs entirely on the calling
+/// thread with zero heap traffic of its own (the parallel variant owns a
+/// per-call chunk-counter vector). This is the service replay path: many
+/// client threads each replay their own request concurrently, so intra-
+/// request parallelism would only add contention. Bit-identical to the
+/// parallel variant.
+std::size_t replay_numeric_values_serial(const Csr& a, const Csr& b,
+                                         const NumericReplayProgram& program,
+                                         std::span<value_t> out,
+                                         SimdBackend simd = SimdBackend::kScalar);
 
 /// Method selection, exposed for tests.
 RowMethod choose_symbolic_method(const KernelContext& ctx, index_t row,

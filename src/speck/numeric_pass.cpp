@@ -360,5 +360,30 @@ std::size_t replay_numeric_values(const Csr& a, const Csr& b,
   return total_allocs;
 }
 
+std::size_t replay_numeric_values_serial(const Csr& a, const Csr& b,
+                                         const NumericReplayProgram& program,
+                                         std::span<value_t> out,
+                                         SimdBackend simd) {
+  const std::size_t ops = program.ops();
+  if (ops == 0) return 0;
+  const value_t* a_vals = a.values().data();
+  const value_t* b_vals = b.values().data();
+
+  const std::size_t allocs_before = detail::alloc_events_now();
+  constexpr std::size_t kPrefetchDistance = 16;
+  const bool prefetch_gathers = simd != SimdBackend::kScalar;
+  for (std::size_t op = 0; op < ops; ++op) {
+    if (prefetch_gathers && op + kPrefetchDistance < ops) {
+      const std::size_t ahead = op + kPrefetchDistance;
+      simd::prefetch(a_vals + program.a_idx[ahead]);
+      simd::prefetch(b_vals + program.b_idx[ahead]);
+    }
+    const value_t product =
+        a_vals[program.a_idx[op]] * b_vals[program.b_idx[op]];
+    value_t& slot = out[program.dest[op]];
+    slot = program.assign_first[op] != 0 ? product : slot + product;
+  }
+  return detail::alloc_events_now() - allocs_before;
+}
 
 }  // namespace speck

@@ -88,12 +88,54 @@ PlanFingerprint plan_fingerprint(const Csr& a, const Csr& b,
   return fp;
 }
 
+namespace {
+
+/// Heap bytes behind a std::string: zero while the small-string buffer
+/// suffices, capacity + terminator once it spills to the heap.
+std::size_t string_heap_bytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) - 1 ? s.capacity() + 1 : 0;
+}
+
+}  // namespace
+
 std::size_t SpeckPlan::byte_size() const {
+  // Allocated (capacity-based) footprint of everything a cached plan pins:
+  // planning state, the C pattern arrays, the replay program, the captured
+  // diagnostics tail and the replay trace including each launch's name
+  // string. The size-based accounting this replaces undercounted all of the
+  // heap slack plus every string, which let the plan-cache byte budget admit
+  // more than it was configured for.
+  std::size_t trace_bytes = replay_trace.capacity() * sizeof(sim::LaunchResult);
+  for (const sim::LaunchResult& launch : replay_trace) {
+    trace_bytes += string_heap_bytes(launch.name);
+  }
   return sizeof(SpeckPlan) + analysis.byte_size() + symbolic_plan.byte_size() +
-         numeric_plan.byte_size() + row_nnz.size() * sizeof(index_t) +
-         c_row_offsets.size() * sizeof(offset_t) +
-         c_col_indices.size() * sizeof(index_t) + program.byte_size() +
-         replay_trace.size() * sizeof(sim::LaunchResult);
+         numeric_plan.byte_size() + row_nnz.capacity() * sizeof(index_t) +
+         c_row_offsets.capacity() * sizeof(offset_t) +
+         c_col_indices.capacity() * sizeof(index_t) + program.byte_size() +
+         trace_bytes + string_heap_bytes(incomplete_reason) +
+         string_heap_bytes(diagnostics.plan_fallback_reason);
+}
+
+std::size_t estimate_plan_bytes(const Csr& a, const Csr& b) {
+  // Upper bound on what a plan for (a, b) will pin, computable before any
+  // planning work: the replay program dominates at 13 bytes per intermediate
+  // product (3 uint32 indices + 1 assign flag); the C pattern is at most one
+  // entry per product plus the row-offset array; the per-row planning state
+  // (analysis arrays, bin plans, row_nnz) is a small per-row constant.
+  std::size_t ops = 0;
+  for (const index_t k : a.col_indices()) {
+    ops += static_cast<std::size_t>(b.row_length(k));
+  }
+  const auto rows = static_cast<std::size_t>(a.rows());
+  const std::size_t program_bytes =
+      ops * (3 * sizeof(std::uint32_t) + sizeof(std::uint8_t)) +
+      (rows + 1) * sizeof(offset_t);
+  const std::size_t pattern_bytes =
+      ops * sizeof(index_t) + (rows + 1) * sizeof(offset_t);
+  const std::size_t planning_bytes =
+      rows * (sizeof(offset_t) + 4 * sizeof(index_t) + sizeof(index_t));
+  return sizeof(SpeckPlan) + program_bytes + pattern_bytes + planning_bytes;
 }
 
 NumericReplayProgram build_replay_program(const KernelContext& ctx,

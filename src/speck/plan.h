@@ -144,10 +144,16 @@ struct SpeckPlan {
     return c_row_offsets.empty() ? 0 : c_row_offsets.back();
   }
 
-  /// Approximate host-memory footprint (drives the transparent cache's
-  /// size guard).
+  /// Allocated host-memory footprint of the full cached plan — planning
+  /// state, C pattern arrays, replay program, captured diagnostics tail and
+  /// replay trace (capacity-based; drives the plan cache's byte budget).
   std::size_t byte_size() const;
 };
+
+/// Pre-planning upper bound on the byte_size() a plan for (a, b) will have:
+/// what the cache admission check and the worth-caching guard charge before
+/// spending any planning work. O(nnz(A)).
+std::size_t estimate_plan_bytes(const Csr& a, const Csr& b);
 
 /// Builds the values-only replay program for a numeric plan: walks the
 /// blocks exactly like run_numeric (same method selection, same A-row-outer

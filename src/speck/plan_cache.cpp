@@ -1,0 +1,193 @@
+#include "speck/plan_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace speck {
+
+std::uint64_t plan_key_hash(const PlanFingerprint& fp) {
+  std::uint64_t h = 0x5eC4'CAc4'Ed00ULL;
+  const auto fold = [&h](std::uint64_t v) {
+    h ^= v;
+    h = splitmix64(h);
+  };
+  fold(static_cast<std::uint64_t>(fp.a_rows));
+  fold(static_cast<std::uint64_t>(fp.a_cols));
+  fold(static_cast<std::uint64_t>(fp.b_rows));
+  fold(static_cast<std::uint64_t>(fp.b_cols));
+  fold(static_cast<std::uint64_t>(fp.a_nnz));
+  fold(static_cast<std::uint64_t>(fp.b_nnz));
+  fold(fp.config_hash);
+  fold(fp.a_pattern_hash);
+  fold(fp.b_pattern_hash);
+  return h;
+}
+
+PlanCache::PlanCache(int shards, std::size_t limit_bytes)
+    : limit_bytes_(limit_bytes) {
+  const auto count = static_cast<std::size_t>(std::max(shards, 1));
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::~PlanCache() = default;
+
+void PlanCache::lru_unlink(Shard& shard, Entry* entry) {
+  if (entry->lru_prev != nullptr) {
+    entry->lru_prev->lru_next = entry->lru_next;
+  } else {
+    shard.lru_head = entry->lru_next;
+  }
+  if (entry->lru_next != nullptr) {
+    entry->lru_next->lru_prev = entry->lru_prev;
+  } else {
+    shard.lru_tail = entry->lru_prev;
+  }
+  entry->lru_prev = nullptr;
+  entry->lru_next = nullptr;
+}
+
+void PlanCache::lru_push_front(Shard& shard, Entry* entry) {
+  entry->lru_prev = nullptr;
+  entry->lru_next = shard.lru_head;
+  if (shard.lru_head != nullptr) shard.lru_head->lru_prev = entry;
+  shard.lru_head = entry;
+  if (shard.lru_tail == nullptr) shard.lru_tail = entry;
+}
+
+void PlanCache::evict_tail(Shard& shard) {
+  Entry* victim = shard.lru_tail;
+  SPECK_ASSERT(victim != nullptr, "evict_tail on an empty shard");
+  lru_unlink(shard, victim);
+  shard.bytes -= victim->bytes;
+  total_bytes_.fetch_sub(victim->bytes, std::memory_order_relaxed);
+  ++shard.evictions;
+
+  const std::uint64_t key = plan_key_hash(victim->key);
+  auto [begin, end] = shard.index.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.get() == victim) {
+      shard.index.erase(it);
+      return;
+    }
+  }
+  SPECK_ASSERT(false, "LRU entry missing from its shard index");
+}
+
+std::shared_ptr<const SpeckPlan> PlanCache::find(const PlanFingerprint& fp) {
+  const std::uint64_t key = plan_key_hash(fp);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [begin, end] = shard.index.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    Entry* entry = it->second.get();
+    if (entry->key.matches_full(fp)) {
+      lru_unlink(shard, entry);
+      lru_push_front(shard, entry);
+      ++shard.hits;
+      return entry->plan;
+    }
+  }
+  ++shard.misses;
+  return nullptr;
+}
+
+std::shared_ptr<const SpeckPlan> PlanCache::insert(
+    std::shared_ptr<const SpeckPlan> plan) {
+  if (plan == nullptr) return plan;
+  if (!plan->complete) {
+    // Incomplete plans cannot be replayed, so retaining them only burns
+    // budget; the caller still gets its pointer back.
+    const std::uint64_t key = plan_key_hash(plan->fingerprint);
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.rejected_inserts;
+    return plan;
+  }
+
+  const std::uint64_t key = plan_key_hash(plan->fingerprint);
+  Shard& shard = shard_for(key);
+  const std::size_t plan_bytes = plan->byte_size();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  auto [begin, end] = shard.index.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    Entry* entry = it->second.get();
+    if (entry->key.matches_full(plan->fingerprint)) {
+      // Insert race: the first writer won; converge on its instance.
+      lru_unlink(shard, entry);
+      lru_push_front(shard, entry);
+      return entry->plan;
+    }
+  }
+
+  // Make room within this shard. Eviction is shard-local by design: cross-
+  // shard eviction would need lock ordering across shards and reintroduce
+  // the very contention sharding removes.
+  while (total_bytes_.load(std::memory_order_relaxed) + plan_bytes >
+             limit_bytes_ &&
+         shard.lru_tail != nullptr) {
+    evict_tail(shard);
+  }
+  if (total_bytes_.load(std::memory_order_relaxed) + plan_bytes >
+      limit_bytes_) {
+    ++shard.rejected_inserts;
+    return plan;
+  }
+
+  auto entry = std::make_unique<Entry>();
+  entry->key = plan->fingerprint;
+  entry->plan = plan;
+  entry->bytes = plan_bytes;
+  Entry* raw = entry.get();
+  shard.index.emplace(key, std::move(entry));
+  lru_push_front(shard, raw);
+  shard.bytes += plan_bytes;
+  total_bytes_.fetch_add(plan_bytes, std::memory_order_relaxed);
+  ++shard.insertions;
+  return plan;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    shard.index.clear();
+    shard.lru_head = nullptr;
+    shard.lru_tail = nullptr;
+    shard.bytes = 0;
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.insertions += shard.insertions;
+    out.evictions += shard.evictions;
+    out.rejected_inserts += shard.rejected_inserts;
+    out.bytes += shard.bytes;
+    out.entries += shard.index.size();
+  }
+  return out;
+}
+
+std::size_t PlanCache::entries() const {
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.index.size();
+  }
+  return total;
+}
+
+}  // namespace speck

@@ -28,10 +28,12 @@ struct RowAnalysis {
 
   index_t rows = 0;
 
-  /// Host-memory footprint of the per-row arrays (SpeckPlan accounting).
+  /// Allocated host-memory footprint of the per-row arrays (capacity-based,
+  /// for SpeckPlan byte accounting).
   std::size_t byte_size() const {
-    return products.size() * sizeof(offset_t) +
-           (longest_b_row.size() + col_min.size() + col_max.size()) *
+    return products.capacity() * sizeof(offset_t) +
+           (longest_b_row.capacity() + col_min.capacity() +
+            col_max.capacity()) *
                sizeof(index_t);
   }
 };

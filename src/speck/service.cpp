@@ -1,0 +1,231 @@
+#include "speck/service.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace speck {
+namespace {
+
+Status status_from_result(const SpGemmResult& result, const char* where) {
+  switch (result.status) {
+    case SpGemmStatus::kOk:
+      return {};
+    case SpGemmStatus::kOutOfMemory:
+      return Status{ErrorCode::kResourceExhausted, result.failure_reason,
+                    where};
+    case SpGemmStatus::kUnsupported:
+      return Status{ErrorCode::kBadInput, result.failure_reason, where};
+  }
+  return Status{ErrorCode::kInternal, "unknown SpGemmStatus", where};
+}
+
+Status admission_rejection(std::size_t bytes, const char* where) {
+  return Status{ErrorCode::kResourceExhausted,
+                "admission control: request needs " + std::to_string(bytes) +
+                    " bytes beyond the configured memory budget",
+                where};
+}
+
+}  // namespace
+
+bool MemoryBudget::try_acquire(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > limit_ - used_ || bytes > limit_) return false;
+  used_ += bytes;
+  return true;
+}
+
+bool MemoryBudget::acquire(std::size_t bytes) {
+  if (bytes > limit_) return false;  // could never fit; waiting is forever
+  std::unique_lock<std::mutex> lock(mutex_);
+  freed_.wait(lock, [&] { return bytes <= limit_ - used_; });
+  used_ += bytes;
+  return true;
+}
+
+void MemoryBudget::release(std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SPECK_ASSERT(bytes <= used_, "MemoryBudget release exceeds admitted bytes");
+    used_ -= bytes;
+  }
+  freed_.notify_all();
+}
+
+std::size_t MemoryBudget::used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+SpeckService::SpeckService(Speck& speck, ServiceConfig config)
+    : speck_(speck),
+      config_(config),
+      cache_(config.cache_shards, config.cache_limit_bytes),
+      budget_(config.memory_budget_bytes) {}
+
+bool SpeckService::admit(std::size_t bytes) {
+  if (config_.memory_budget_bytes == 0) return true;
+  return config_.queue_on_budget ? budget_.acquire(bytes)
+                                 : budget_.try_acquire(bytes);
+}
+
+SpeckService::Response SpeckService::multiply(const Csr& a, const Csr& b) {
+  return serve(a, b, nullptr);
+}
+
+SpeckService::Response SpeckService::multiply_into(const Csr& a, const Csr& b,
+                                                   std::vector<value_t>& out) {
+  return serve(a, b, &out);
+}
+
+SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
+                                           std::vector<value_t>* out) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Response resp;
+  const PlanFingerprint fp = plan_fingerprint(a, b, speck_.config());
+
+  std::shared_ptr<const SpeckPlan> plan = cache_.find(fp);
+  if (plan == nullptr) {
+    // Miss: planning runs the full mutable pipeline, so it is serialized.
+    // The double-checked find means concurrent first requests for one
+    // pattern plan it exactly once.
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    plan = cache_.find(fp);
+    if (plan == nullptr) {
+      const std::size_t build_bytes = estimate_plan_bytes(a, b);
+      if (!admit(build_bytes)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        resp.status = admission_rejection(build_bytes, "SpeckService");
+        return resp;
+      }
+      SpGemmResult full;
+      SpeckPlan built;
+      try {
+        built = speck_.plan(a, b, &full);
+      } catch (...) {
+        // Bad inputs (dimension mismatch, corrupt CSR) throw from the
+        // pipeline; a service must answer, not unwind a client thread.
+        if (config_.memory_budget_bytes != 0) budget_.release(build_bytes);
+        resp.status = status_from_current_exception();
+        return resp;
+      }
+      if (config_.memory_budget_bytes != 0) budget_.release(build_bytes);
+      if (!full.ok()) {
+        resp.status = status_from_result(full, "SpeckService");
+        return resp;
+      }
+      if (built.complete) {
+        cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
+        plans_built_.fetch_add(1, std::memory_order_relaxed);
+        resp.planned = true;
+      } else {
+        // Unplannable structure (e.g. 32-bit replay overflow): the full run
+        // still answers this request; later requests run the pipeline again.
+        full_runs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // The planning run already computed C with this request's values —
+      // serve it directly, nothing is multiplied twice.
+      resp.seconds = full.seconds;
+      resp.c_nnz = full.c.nnz();
+      if (out != nullptr) {
+        const std::span<const value_t> vals = full.c.values();
+        out->assign(vals.begin(), vals.end());
+      } else {
+        resp.c = std::move(full.c);
+      }
+      return resp;
+    }
+  }
+
+  // Hit: lock-free replay on the calling thread against the immutable plan.
+  // Admission covers this request's in-flight response memory — the owned
+  // variant materializes a full Csr (pattern copy + values), the into
+  // variant only the values buffer.
+  const auto c_nnz = static_cast<std::size_t>(plan->c_nnz());
+  const auto rows = static_cast<std::size_t>(plan->fingerprint.a_rows);
+  const std::size_t response_bytes =
+      out != nullptr
+          ? c_nnz * sizeof(value_t)
+          : c_nnz * (sizeof(index_t) + sizeof(value_t)) +
+                (rows + 1) * sizeof(offset_t);
+  if (!admit(response_bytes)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    resp.status = admission_rejection(response_bytes, "SpeckService");
+    return resp;
+  }
+  SpGemmResult replayed;
+  try {
+    if (out != nullptr) {
+      out->resize(c_nnz);
+      replayed = speck_.replay_values_into(*plan, a, b,
+                                           std::span<value_t>(*out), nullptr);
+    } else {
+      replayed = speck_.multiply_with_plan(*plan, a, b, nullptr);
+    }
+  } catch (...) {
+    if (config_.memory_budget_bytes != 0) budget_.release(response_bytes);
+    resp.status = status_from_current_exception();
+    return resp;
+  }
+  if (config_.memory_budget_bytes != 0) budget_.release(response_bytes);
+  if (!replayed.ok()) {
+    resp.status = status_from_result(replayed, "SpeckService");
+    return resp;
+  }
+  replays_.fetch_add(1, std::memory_order_relaxed);
+  resp.replayed = true;
+  resp.seconds = replayed.seconds;
+  resp.c_nnz = plan->c_nnz();
+  if (out == nullptr) resp.c = std::move(replayed.c);
+  return resp;
+}
+
+std::shared_ptr<const SpeckPlan> SpeckService::plan_for(const Csr& a,
+                                                        const Csr& b,
+                                                        Status* status) {
+  const PlanFingerprint fp = plan_fingerprint(a, b, speck_.config());
+  if (std::shared_ptr<const SpeckPlan> plan = cache_.find(fp)) return plan;
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  if (std::shared_ptr<const SpeckPlan> plan = cache_.find(fp)) return plan;
+  const std::size_t build_bytes = estimate_plan_bytes(a, b);
+  if (!admit(build_bytes)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (status != nullptr) {
+      *status = admission_rejection(build_bytes, "SpeckService::plan_for");
+    }
+    return nullptr;
+  }
+  SpeckPlan built;
+  try {
+    built = speck_.plan(a, b);
+  } catch (...) {
+    if (config_.memory_budget_bytes != 0) budget_.release(build_bytes);
+    if (status != nullptr) *status = status_from_current_exception();
+    return nullptr;
+  }
+  if (config_.memory_budget_bytes != 0) budget_.release(build_bytes);
+  if (!built.complete) {
+    if (status != nullptr) {
+      *status = Status{ErrorCode::kBadInput, built.incomplete_reason,
+                       "SpeckService::plan_for"};
+    }
+    return nullptr;
+  }
+  plans_built_.fetch_add(1, std::memory_order_relaxed);
+  return cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
+}
+
+ServiceStats SpeckService::stats() const {
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.replays = replays_.load(std::memory_order_relaxed);
+  out.plans_built = plans_built_.load(std::memory_order_relaxed);
+  out.full_runs = full_runs_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace speck

@@ -1,0 +1,156 @@
+// Concurrent SpGEMM serving layer: many client threads, one Speck.
+//
+// The PR-4 structure-reuse win (a ~4.4x values-only replay) only monetizes
+// at scale when plans are shared, evicted and replayed by many clients at
+// once — the iterated fixed-pattern workloads (AMG cycles, graph analytics)
+// that dominate SpGEMM serving traffic. SpeckService provides that:
+//
+//  - a sharded LRU PlanCache keyed by full structural fingerprint; hits
+//    hand out immutable shared_ptr<const SpeckPlan> references,
+//  - a lock-free replay path: cache hits run Speck's const, member-state-
+//    free replay on the calling thread (per-client leased workspaces, no
+//    global lock, zero steady-state heap allocations via multiply_into),
+//  - a single planning mutex only on the miss path (building a plan runs
+//    the full mutable pipeline; the planning run's own result serves the
+//    first request, so nothing is computed twice),
+//  - admission control on a global MemoryBudget: a request whose in-flight
+//    memory cannot fit is rejected with kResourceExhausted (or queued until
+//    capacity frees, in queue mode) instead of driving the process OOM.
+//
+// While a service wraps a Speck instance, all concurrent access must go
+// through the service — the legacy single-caller Speck entry points mutate
+// member state (docs/service.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "speck/plan_cache.h"
+#include "speck/speck.h"
+#include "speck/workspace.h"
+
+namespace speck {
+
+/// Global byte budget with blocking and non-blocking admission. Tracks the
+/// in-flight bytes of admitted requests; a request larger than the whole
+/// budget can never be admitted and always fails fast.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::size_t limit_bytes) : limit_(limit_bytes) {}
+
+  /// Admits `bytes` now or returns false (never blocks).
+  bool try_acquire(std::size_t bytes);
+
+  /// Blocks until `bytes` fit, then admits them. Returns false only when
+  /// `bytes` exceeds the whole budget (waiting could never succeed).
+  bool acquire(std::size_t bytes);
+
+  void release(std::size_t bytes);
+
+  std::size_t limit() const { return limit_; }
+  std::size_t used() const;
+
+ private:
+  std::size_t limit_;
+  mutable std::mutex mutex_;
+  std::condition_variable freed_;
+  std::size_t used_ = 0;  ///< guarded by mutex_
+};
+
+struct ServiceConfig {
+  /// Shards of the service's plan cache (contention, not capacity).
+  int cache_shards = 8;
+  /// Byte budget across all cached plans (SpeckPlan::byte_size accounting).
+  std::size_t cache_limit_bytes = 512u << 20;
+  /// Global in-flight memory budget for admission control; 0 disables it.
+  /// Covers per-request response memory and plan-build estimates.
+  std::size_t memory_budget_bytes = 0;
+  /// Over-budget requests wait for capacity instead of being rejected.
+  bool queue_on_budget = false;
+};
+
+/// Monotonic service counters plus a cache snapshot.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t replays = 0;      ///< served from a cached plan
+  std::uint64_t plans_built = 0;  ///< misses that built + cached a plan
+  std::uint64_t full_runs = 0;    ///< misses served by the full pipeline only
+  std::uint64_t rejected = 0;     ///< admission-control rejections
+  PlanCacheStats cache;
+};
+
+class SpeckService {
+ public:
+  /// Wraps `speck` (not owned; must outlive the service). The service keeps
+  /// its own PlanCache — Speck's transparent cache stays untouched, so a
+  /// Speck can be handed to a service mid-life without invalidating
+  /// anything.
+  explicit SpeckService(Speck& speck, ServiceConfig config = {});
+
+  struct Response {
+    Status status;
+    /// The product (owned) — empty for multiply_into, whose values land in
+    /// the caller's buffer and whose pattern is shared via the plan.
+    Csr c;
+    double seconds = 0.0;  ///< simulated GPU seconds of this request
+    bool replayed = false;  ///< served by a values-only plan replay
+    bool planned = false;   ///< this request built (and cached) the plan
+    offset_t c_nnz = 0;
+    bool ok() const { return status.ok(); }
+  };
+
+  /// Full-service multiply: replay on a cache hit, plan-and-cache on the
+  /// structure's second appearance (first request per pattern runs the full
+  /// pipeline, exactly like Speck::multiply, but across all clients).
+  /// Thread-safe.
+  Response multiply(const Csr& a, const Csr& b);
+
+  /// Zero-allocation variant: values land in `out` (resized to c_nnz; with
+  /// retained capacity the steady state allocates nothing), the pattern is
+  /// shared via the cached plan. Requires the pattern's plan to be cached
+  /// or buildable; thread-safe.
+  Response multiply_into(const Csr& a, const Csr& b,
+                         std::vector<value_t>& out);
+
+  /// The cached plan for (a, b), building and caching it on a miss. Null on
+  /// build failure (with `*status` set when non-null). Thread-safe.
+  std::shared_ptr<const SpeckPlan> plan_for(const Csr& a, const Csr& b,
+                                            Status* status = nullptr);
+
+  /// Leasable workspace pool for client-side staging buffers (speckd and
+  /// bench_service lease one workspace per in-flight request and replay
+  /// into its replay_values() buffer).
+  WorkspacePool& client_workspaces() { return client_workspaces_; }
+
+  ServiceStats stats() const;
+  PlanCache& cache() { return cache_; }
+  MemoryBudget& budget() { return budget_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  /// Shared serve path; `out` selects the into-variant.
+  Response serve(const Csr& a, const Csr& b, std::vector<value_t>* out);
+
+  /// Admission for `bytes` of in-flight memory per the configured mode.
+  /// Returns false when the request must be rejected.
+  bool admit(std::size_t bytes);
+
+  Speck& speck_;
+  ServiceConfig config_;
+  PlanCache cache_;
+  MemoryBudget budget_;
+  WorkspacePool client_workspaces_;
+  std::mutex plan_mutex_;  ///< serializes the full pipeline on misses
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> replays_{0};
+  std::atomic<std::uint64_t> plans_built_{0};
+  std::atomic<std::uint64_t> full_runs_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace speck

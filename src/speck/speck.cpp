@@ -14,10 +14,6 @@ namespace {
 constexpr std::uint64_t kMaxReplayIndex =
     std::numeric_limits<std::uint32_t>::max();
 
-/// Bytes per intermediate product in a NumericReplayProgram
-/// (a_idx + b_idx + dest + assign_first).
-constexpr std::uint64_t kReplayBytesPerOp = 3 * sizeof(std::uint32_t) + 1;
-
 void validate_multiply_inputs(const Csr& a, const Csr& b) {
   a.validate();
   b.validate();
@@ -31,6 +27,26 @@ void validate_multiply_inputs(const Csr& a, const Csr& b) {
                    "column indices; call sort_rows())",
                    "Speck::multiply");
   }
+}
+
+/// Why `plan` must not be replayed against (a, b) under `cfg`, or empty.
+/// Shared by the fallback (legacy) and reject (concurrent) replay entries.
+std::string plan_reject_reason(const SpeckPlan& plan, const Csr& a,
+                               const Csr& b, const SpeckConfig& cfg) {
+  if (!plan.complete) {
+    return plan.incomplete_reason.empty() ? "plan is incomplete"
+                                          : plan.incomplete_reason;
+  }
+  const PlanFingerprint now = plan_fingerprint(
+      a, b, cfg, /*with_pattern_hashes=*/cfg.validate_inputs);
+  const bool match = cfg.validate_inputs
+                         ? now.matches_full(plan.fingerprint)
+                         : now.matches_quick(plan.fingerprint);
+  if (!match) {
+    return "structural fingerprint mismatch: plan is stale for these "
+           "inputs or this configuration";
+  }
+  return {};
 }
 
 }  // namespace
@@ -51,35 +67,35 @@ bool Speck::plan_worth_caching(const Csr& a, const Csr& b) const {
       static_cast<std::uint64_t>(b.nnz()) >= kMaxReplayIndex) {
     return false;
   }
-  // Exact op count — Σ over the entries of A of the referenced B row length
-  // — is O(nnz_A) to compute, cheap relative to the full multiply the cache
-  // is about to amortize.
-  std::uint64_t ops = 0;
-  for (index_t r = 0; r < a.rows(); ++r) {
-    for (const index_t k : a.row_cols(r)) {
-      ops += static_cast<std::uint64_t>(b.row_length(k));
-    }
+  // estimate_plan_bytes is O(nnz_A) — cheap relative to the full multiply
+  // the cache is about to amortize — and bounds the plan's real byte_size(),
+  // so a structure admitted here can actually be retained by the cache.
+  return estimate_plan_bytes(a, b) <= config_.plan_cache_limit_bytes;
+}
+
+PlanCache& Speck::plan_cache() {
+  const int shards = std::max(config_.plan_cache_shards, 1);
+  if (!transparent_cache_ || transparent_cache_->shards() != shards ||
+      transparent_cache_->limit_bytes() != config_.plan_cache_limit_bytes) {
+    transparent_cache_ =
+        std::make_unique<PlanCache>(shards, config_.plan_cache_limit_bytes);
   }
-  const std::uint64_t bytes =
-      ops * kReplayBytesPerOp +
-      (static_cast<std::uint64_t>(a.rows()) + 1) * sizeof(offset_t);
-  return bytes <= config_.plan_cache_limit_bytes;
+  return *transparent_cache_;
 }
 
 SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   if (!config_.plan_cache) {
     has_last_structure_ = false;
-    cached_plan_.reset();
+    transparent_cache_.reset();
     return multiply_full(a, b, nullptr);
   }
+  PlanCache& cache = plan_cache();
   const PlanFingerprint fp = plan_fingerprint(a, b, config_);
-  if (cached_plan_ && cached_plan_->complete &&
-      fp.matches_full(cached_plan_->fingerprint)) {
-    SpGemmResult result = replay_plan(*cached_plan_, a, b);
+  if (const std::shared_ptr<const SpeckPlan> plan = cache.find(fp)) {
+    SpGemmResult result = replay_plan(*plan, a, b);
     diagnostics_.plan_cache_hit = true;
     return result;
   }
-  cached_plan_.reset();
   // Build the plan only once the same structure shows up twice in a row:
   // one-off multiplies never pay the capture cost, iterative workloads pay
   // it exactly once.
@@ -88,10 +104,10 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   last_structure_ = fp;
   has_last_structure_ = true;
   if (!build) return multiply_full(a, b, nullptr);
-  auto plan = std::make_unique<SpeckPlan>();
+  auto plan = std::make_shared<SpeckPlan>();
   plan->fingerprint = fp;
   SpGemmResult result = multiply_full(a, b, plan.get());
-  if (result.ok() && plan->complete) cached_plan_ = std::move(plan);
+  if (result.ok() && plan->complete) cache.insert(std::move(plan));
   return result;
 }
 
@@ -108,21 +124,7 @@ SpeckPlan Speck::plan(const Csr& a, const Csr& b, SpGemmResult* full_result) {
 
 SpGemmResult Speck::multiply_with_plan(const SpeckPlan& plan, const Csr& a,
                                        const Csr& b) {
-  std::string reject;
-  if (!plan.complete) {
-    reject = plan.incomplete_reason.empty() ? "plan is incomplete"
-                                            : plan.incomplete_reason;
-  } else {
-    const PlanFingerprint now = plan_fingerprint(
-        a, b, config_, /*with_pattern_hashes=*/config_.validate_inputs);
-    const bool match = config_.validate_inputs
-                           ? now.matches_full(plan.fingerprint)
-                           : now.matches_quick(plan.fingerprint);
-    if (!match) {
-      reject = "structural fingerprint mismatch: plan is stale for these "
-               "inputs or this configuration";
-    }
-  }
+  std::string reject = plan_reject_reason(plan, a, b, config_);
   if (reject.empty()) return replay_plan(plan, a, b);
   SpGemmResult result = multiply_full(a, b, nullptr);
   diagnostics_.plan_fallback = true;
@@ -130,8 +132,51 @@ SpGemmResult Speck::multiply_with_plan(const SpeckPlan& plan, const Csr& a,
   return result;
 }
 
+SpGemmResult Speck::multiply_with_plan(const SpeckPlan& plan, const Csr& a,
+                                       const Csr& b,
+                                       SpeckDiagnostics* diag) const {
+  const std::string reject = plan_reject_reason(plan, a, b, config_);
+  if (!reject.empty()) {
+    // No fallback here: the full pipeline needs this instance's mutable
+    // state, which concurrent callers must never touch. The caller decides
+    // whether to re-plan.
+    if (diag != nullptr) *diag = SpeckDiagnostics{};
+    SpGemmResult result;
+    result.status = SpGemmStatus::kUnsupported;
+    result.failure_reason = "plan rejected: " + reject;
+    return result;
+  }
+  return replay_plan_into(plan, a, b, &serial_pool(), diag, nullptr, nullptr);
+}
+
+SpGemmResult Speck::replay_values_into(const SpeckPlan& plan, const Csr& a,
+                                       const Csr& b, std::span<value_t> out,
+                                       SpeckDiagnostics* diag) const {
+  const std::string reject = plan_reject_reason(plan, a, b, config_);
+  if (!reject.empty()) {
+    if (diag != nullptr) *diag = SpeckDiagnostics{};
+    SpGemmResult result;
+    result.status = SpGemmStatus::kUnsupported;
+    result.failure_reason = "plan rejected: " + reject;
+    return result;
+  }
+  SPECK_REQUIRE(out.size() == static_cast<std::size_t>(plan.c_nnz()),
+                "replay_values_into: output span must be sized to the plan's "
+                "c_nnz");
+  return replay_plan_into(plan, a, b, &serial_pool(), diag, nullptr, &out);
+}
+
 SpGemmResult Speck::replay_plan(const SpeckPlan& plan, const Csr& a,
                                 const Csr& b) {
+  return replay_plan_into(plan, a, b, host_pool(), &diagnostics_, &trace_,
+                          nullptr);
+}
+
+SpGemmResult Speck::replay_plan_into(const SpeckPlan& plan, const Csr& a,
+                                     const Csr& b, ThreadPool* pool,
+                                     SpeckDiagnostics* diag,
+                                     sim::LaunchTrace* trace,
+                                     std::span<value_t>* external) const {
   SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
   if (config_.validate_inputs) validate_multiply_inputs(a, b);
   std::optional<FaultInjector> injector;
@@ -143,12 +188,14 @@ SpGemmResult Speck::replay_plan(const SpeckPlan& plan, const Csr& a,
   // — values never steer control flow — so the capturing run's diagnostics
   // are exactly what a full run on these inputs would report. Only the
   // hot-path allocation counter is measured live below.
-  diagnostics_ = plan.diagnostics;
-  diagnostics_.plan_used = true;
-  diagnostics_.plan_cache_hit = false;
-  diagnostics_.plan_fallback = false;
-  diagnostics_.plan_fallback_reason.clear();
-  trace_.clear();
+  if (diag != nullptr) {
+    *diag = plan.diagnostics;
+    diag->plan_used = true;
+    diag->plan_cache_hit = false;
+    diag->plan_fallback = false;
+    diag->plan_fallback_reason.clear();
+  }
+  if (trace != nullptr) trace->clear();
 
   sim::MemoryTracker memory(faults != nullptr
                                 ? faults->cap_memory(device_.global_memory_bytes)
@@ -189,18 +236,37 @@ SpGemmResult Speck::replay_plan(const SpeckPlan& plan, const Csr& a,
     memory.release(sort_bytes);
   }
 
-  std::vector<value_t> values(c_nnz, 0.0);
-  diagnostics_.numeric.hot_path_allocs =
-      replay_numeric_values(a, b, plan.program, host_pool(), values,
-                            simd::resolve_backend(config_.simd_backend));
+  const SimdBackend simd = simd::resolve_backend(config_.simd_backend);
+  // A 1-thread pool means the caller wants the replay on its own thread
+  // (the concurrent service path); the serial kernel also owns no per-call
+  // containers, keeping that path allocation-free.
+  const bool serial = pool != nullptr && pool->thread_count() == 1;
+  std::size_t replay_allocs = 0;
+  if (external != nullptr) {
+    // Caller-owned values; the dense-row program ops accumulate, so the
+    // buffer starts from zero. result.c stays empty — the pattern is shared
+    // via the plan.
+    std::fill(external->begin(), external->end(), value_t{0});
+    replay_allocs =
+        serial ? replay_numeric_values_serial(a, b, plan.program, *external, simd)
+               : replay_numeric_values(a, b, plan.program, pool, *external, simd);
+  } else {
+    std::vector<value_t> values(c_nnz, 0.0);
+    replay_allocs =
+        serial ? replay_numeric_values_serial(a, b, plan.program, values, simd)
+               : replay_numeric_values(a, b, plan.program, pool, values, simd);
+    result.c = Csr(plan.fingerprint.a_rows, plan.fingerprint.b_cols,
+                   plan.c_row_offsets, plan.c_col_indices, std::move(values));
+  }
+  if (diag != nullptr) diag->numeric.hot_path_allocs = replay_allocs;
 
-  for (const sim::LaunchResult& launch : plan.replay_trace) {
-    trace_.record(launch);
+  if (trace != nullptr) {
+    for (const sim::LaunchResult& launch : plan.replay_trace) {
+      trace->record(launch);
+    }
   }
   result.timeline.add(sim::Stage::kNumeric, plan.numeric_seconds);
   result.timeline.add(sim::Stage::kSorting, plan.sorting_seconds);
-  result.c = Csr(plan.fingerprint.a_rows, plan.fingerprint.b_cols,
-                 plan.c_row_offsets, plan.c_col_indices, std::move(values));
   result.seconds = result.timeline.total_seconds();
   result.peak_memory_bytes = memory.peak_bytes();
   return result;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -12,6 +13,7 @@
 #include "speck/config.h"
 #include "speck/kernels.h"
 #include "speck/plan.h"
+#include "speck/plan_cache.h"
 
 namespace speck {
 
@@ -59,9 +61,31 @@ class Speck final : public SpGemmAlgorithm {
   /// first — the O(nnz) pattern-hash check under `validate_inputs`, the
   /// O(1) dims/nnz/config check otherwise; a mismatched or incomplete plan
   /// falls back to the full pipeline and sets
-  /// `last_diagnostics().plan_fallback`.
+  /// `last_diagnostics().plan_fallback`. Single-caller API (mutates
+  /// last_diagnostics()/last_trace()); concurrent clients use the const
+  /// overload below.
   SpGemmResult multiply_with_plan(const SpeckPlan& plan, const Csr& a,
                                   const Csr& b);
+
+  /// Thread-safe replay for concurrent clients sharing this instance: const,
+  /// touches no member state (diagnostics go to `diag` when non-null, no
+  /// launch trace is recorded) and runs the replay serially on the calling
+  /// thread — with N clients each replaying their own request, intra-request
+  /// parallelism would only contend. Unlike the legacy overload there is no
+  /// full-pipeline fallback (that would need mutable state): a stale or
+  /// incomplete plan returns SpGemmStatus::kUnsupported with the reason, and
+  /// the caller re-plans. Results are bit-identical to multiply().
+  SpGemmResult multiply_with_plan(const SpeckPlan& plan, const Csr& a,
+                                  const Csr& b, SpeckDiagnostics* diag) const;
+
+  /// Like the const multiply_with_plan, but writes the result values into
+  /// caller-owned storage (`out.size()` must equal the plan's c_nnz) and
+  /// leaves `result.c` empty — the C pattern lives in the plan, shared by
+  /// every replay of it. With a reused buffer the steady state performs zero
+  /// heap allocations: the service hot path.
+  SpGemmResult replay_values_into(const SpeckPlan& plan, const Csr& a,
+                                  const Csr& b, std::span<value_t> out,
+                                  SpeckDiagnostics* diag = nullptr) const;
 
   const SpeckConfig& config() const { return config_; }
   SpeckConfig& config() { return config_; }
@@ -83,14 +107,30 @@ class Speck final : public SpGemmAlgorithm {
   /// multiplies reuse warm buffers (the zero-allocation hot path).
   WorkspacePool& workspaces() { return workspaces_; }
 
+  /// The transparent sharded LRU plan cache behind multiply() — exposed for
+  /// stats and tests. Lazily (re)built when config().plan_cache_shards or
+  /// plan_cache_limit_bytes change.
+  PlanCache& plan_cache();
+
  private:
   /// The full pipeline (analysis → LB → symbolic → LB → numeric → sort).
   /// When `capture` is non-null and the run succeeds, the plan is filled
   /// with the frozen structure state and replay program.
   SpGemmResult multiply_full(const Csr& a, const Csr& b, SpeckPlan* capture);
 
-  /// The values-only replay of a verified plan.
+  /// The values-only replay of a verified plan (legacy single-caller form:
+  /// writes this instance's diagnostics and trace).
   SpGemmResult replay_plan(const SpeckPlan& plan, const Csr& a, const Csr& b);
+
+  /// Shared replay core. Const and member-state-free: diagnostics and the
+  /// launch trace are only written through the out-params, values go to
+  /// `*external` when non-null (caller-owned, result.c left empty) or to a
+  /// freshly built result.c otherwise. A 1-thread `pool` runs the
+  /// allocation-free serial replay kernel.
+  SpGemmResult replay_plan_into(const SpeckPlan& plan, const Csr& a,
+                                const Csr& b, ThreadPool* pool,
+                                SpeckDiagnostics* diag, sim::LaunchTrace* trace,
+                                std::span<value_t>* external) const;
 
   /// True when the structure is small enough for the transparent cache.
   bool plan_worth_caching(const Csr& a, const Csr& b) const;
@@ -102,12 +142,13 @@ class Speck final : public SpGemmAlgorithm {
   std::unique_ptr<ThreadPool> pool_;
   WorkspacePool workspaces_;
 
-  /// Transparent single-slot plan cache (config().plan_cache): the
-  /// fingerprint of the previous multiply's structure, and the plan built
-  /// once the same structure shows up twice in a row.
+  /// Transparent plan cache (config().plan_cache): a structure is planned
+  /// once it shows up twice in a row; the plan then lives in a sharded LRU
+  /// cache keyed by full fingerprint, so multiple patterns stay warm at
+  /// once under the byte budget.
   PlanFingerprint last_structure_;
   bool has_last_structure_ = false;
-  std::unique_ptr<SpeckPlan> cached_plan_;
+  std::unique_ptr<PlanCache> transparent_cache_;
 };
 
 /// Symbolic-only estimate: the exact NNZ of C = A*B plus the simulated cost

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -77,6 +78,11 @@ class KernelWorkspace {
   /// B's column count, deliberately never cleared between rows).
   std::vector<std::uint32_t>& replay_colmap() { return replay_colmap_; }
 
+  /// Output-value staging buffer for service clients replaying a plan into
+  /// borrowed storage (SpeckService::multiply_into). Grows monotonically
+  /// like every other member, so steady-state replays stay allocation-free.
+  std::vector<value_t>& replay_values() { return replay_values_; }
+
  private:
   SymbolicHashAccumulator symbolic_;
   NumericHashAccumulator numeric_;
@@ -90,12 +96,44 @@ class KernelWorkspace {
   DenseScratch dense_;
   std::vector<std::uint8_t> replay_seen_;
   std::vector<std::uint32_t> replay_colmap_;
+  std::vector<value_t> replay_values_;
 };
 
 /// Lazily grown set of workspaces indexed by thread-pool worker id.
 /// unique_ptr slots keep workspace addresses stable across growth.
+///
+/// Two access modes share the pool:
+///  - indexed (`ensure` + `at`): one caller drives a parallel_for; worker
+///    ids partition the slots, no locking needed — the original hot path.
+///  - leased (`lease`): many concurrent service clients each check out a
+///    whole workspace RAII-style; a mutex guards only the free-list
+///    push/pop, never the workspace use itself. A pool must stick to one
+///    mode at a time (the service keeps a dedicated client pool).
 class WorkspacePool {
  public:
+  /// Exclusive RAII checkout of one workspace; returns it on destruction.
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, KernelWorkspace* ws) : pool_(pool), ws_(ws) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(ws_);
+    }
+    Lease(Lease&& o) noexcept : pool_(o.pool_), ws_(o.ws_) {
+      o.pool_ = nullptr;
+      o.ws_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    KernelWorkspace& operator*() const { return *ws_; }
+    KernelWorkspace* operator->() const { return ws_; }
+
+   private:
+    WorkspacePool* pool_;
+    KernelWorkspace* ws_;
+  };
+
   /// Guarantees workspaces for worker ids [0, workers). Never shrinks, so
   /// switching between thread counts keeps warm buffers.
   void ensure(int workers);
@@ -105,8 +143,16 @@ class WorkspacePool {
 
   int size() const { return static_cast<int>(slots_.size()); }
 
+  /// Checks out an idle workspace (most-recently-returned first, for warm
+  /// buffers), growing the pool when all are busy. Thread-safe.
+  Lease lease();
+
  private:
+  void release(KernelWorkspace* ws);
+
   std::vector<std::unique_ptr<KernelWorkspace>> slots_;
+  std::mutex lease_mutex_;
+  std::vector<KernelWorkspace*> idle_;  ///< LIFO free list; guarded above
 };
 
 }  // namespace speck

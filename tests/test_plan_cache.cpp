@@ -1,0 +1,262 @@
+// Tests for the sharded LRU PlanCache: byte-budget eviction order, full-
+// fingerprint keying (quick-field collisions must not alias), insert dedup,
+// rejection of oversized/incomplete plans, and concurrent get/insert/evict
+// hammering — plus the transparent multi-slot cache behavior it gives
+// Speck::multiply.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/plan_cache.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+/// A complete synthetic plan with a distinct full fingerprint and a replay
+/// program padded so byte_size() lands close to `approx_bytes` — precise
+/// control over the cache's byte accounting without running the pipeline.
+std::shared_ptr<const SpeckPlan> make_plan(std::uint64_t id,
+                                           std::size_t approx_bytes) {
+  auto plan = std::make_shared<SpeckPlan>();
+  plan->complete = true;
+  plan->fingerprint.a_rows = 4;
+  plan->fingerprint.a_cols = 4;
+  plan->fingerprint.b_rows = 4;
+  plan->fingerprint.b_cols = 4;
+  plan->fingerprint.a_nnz = 4;
+  plan->fingerprint.b_nnz = 4;
+  plan->fingerprint.config_hash = 7;
+  plan->fingerprint.a_pattern_hash = id;
+  plan->fingerprint.b_pattern_hash = id ^ 0x9E3779B9u;
+  const std::size_t base = plan->byte_size();
+  if (approx_bytes > base) {
+    // Pad with the dominant program array; shrink_to_fit is not needed —
+    // byte_size is capacity-based, resize from empty gives capacity == size.
+    plan->program.a_idx.resize((approx_bytes - base) / sizeof(std::uint32_t));
+  }
+  return plan;
+}
+
+TEST(PlanCache, FindOnEmptyMisses) {
+  PlanCache cache(4, 1 << 20);
+  const auto probe = make_plan(1, 0);
+  EXPECT_EQ(cache.find(probe->fingerprint), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(PlanCache, InsertThenFindReturnsSameInstance) {
+  PlanCache cache(4, 1 << 20);
+  const auto plan = make_plan(1, 4096);
+  const auto retained = cache.insert(plan);
+  EXPECT_EQ(retained, plan);
+  EXPECT_EQ(cache.find(plan->fingerprint), plan);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), plan->byte_size());
+}
+
+TEST(PlanCache, InsertDedupConvergesOnFirstWriter) {
+  PlanCache cache(1, 1 << 20);
+  const auto first = make_plan(1, 4096);
+  const auto duplicate = make_plan(1, 4096);  // same fingerprint, new object
+  EXPECT_EQ(cache.insert(first), first);
+  EXPECT_EQ(cache.insert(duplicate), first)
+      << "a racing insert must converge on the already-cached instance";
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(PlanCache, EvictsInLruOrderUnderByteBudget) {
+  const auto p1 = make_plan(1, 8192);
+  const auto p2 = make_plan(2, 8192);
+  const auto p3 = make_plan(3, 8192);
+  // Budget fits exactly two of the three plans; one shard gives one global
+  // LRU order.
+  PlanCache cache(1, p1->byte_size() + p2->byte_size() + 64);
+  cache.insert(p1);
+  cache.insert(p2);
+  ASSERT_EQ(cache.entries(), 2u);
+
+  // Touch p1: p2 becomes the LRU tail and must be the eviction victim.
+  EXPECT_NE(cache.find(p1->fingerprint), nullptr);
+  cache.insert(p3);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.find(p1->fingerprint), nullptr) << "recently used, kept";
+  EXPECT_EQ(cache.find(p2->fingerprint), nullptr) << "LRU tail, evicted";
+  EXPECT_NE(cache.find(p3->fingerprint), nullptr) << "fresh insert, kept";
+  EXPECT_LE(cache.bytes(), cache.limit_bytes());
+}
+
+TEST(PlanCache, OversizedPlanIsRejectedNotFatal) {
+  PlanCache cache(2, 1024);
+  const auto huge = make_plan(1, 64 * 1024);
+  const auto kept = cache.insert(huge);
+  EXPECT_EQ(kept, huge) << "the caller keeps its plan and can still replay";
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().rejected_inserts, 1u);
+}
+
+TEST(PlanCache, IncompletePlanIsNeverCached) {
+  PlanCache cache(2, 1 << 20);
+  auto incomplete = std::make_shared<SpeckPlan>();
+  incomplete->fingerprint.a_pattern_hash = 5;
+  incomplete->fingerprint.b_pattern_hash = 6;
+  cache.insert(incomplete);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().rejected_inserts, 1u);
+}
+
+TEST(PlanCache, QuickFieldCollisionDoesNotAlias) {
+  // Same dims, nnz and config hash — only the pattern hashes differ (the
+  // satellite's collision case). The cache must treat them as distinct keys.
+  PlanCache cache(4, 1 << 20);
+  const auto p1 = make_plan(1, 4096);
+  const auto p2 = make_plan(2, 4096);
+  ASSERT_TRUE(p1->fingerprint.matches_quick(p2->fingerprint));
+  ASSERT_FALSE(p1->fingerprint.matches_full(p2->fingerprint));
+  cache.insert(p1);
+  EXPECT_EQ(cache.find(p2->fingerprint), nullptr)
+      << "a quick-field collision must not serve the other pattern's plan";
+  cache.insert(p2);
+  EXPECT_EQ(cache.find(p1->fingerprint), p1);
+  EXPECT_EQ(cache.find(p2->fingerprint), p2);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(PlanCache, ClearDropsEntriesKeepsCounters) {
+  PlanCache cache(4, 1 << 20);
+  cache.insert(make_plan(1, 4096));
+  cache.insert(make_plan(2, 4096));
+  const std::uint64_t insertions = cache.stats().insertions;
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().insertions, insertions);
+}
+
+TEST(PlanCacheStress, ConcurrentGetInsertEvictFromSixteenThreads) {
+  // 16 threads hammer a deliberately tight cache (continuous eviction) over
+  // a pool of 32 distinct fingerprints. Correctness bar: every hit returns
+  // the plan for the requested fingerprint, and the cache's accounting
+  // stays consistent.
+  constexpr int kThreads = 16;
+  constexpr int kPlans = 32;
+  constexpr int kIterations = 400;
+
+  std::vector<std::shared_ptr<const SpeckPlan>> plans;
+  for (int i = 0; i < kPlans; ++i) {
+    plans.push_back(make_plan(static_cast<std::uint64_t>(i) + 1, 16 * 1024));
+  }
+  // Budget for roughly a quarter of the pool.
+  PlanCache cache(4, 8 * plans.front()->byte_size());
+
+  std::atomic<std::uint64_t> wrong_plan{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t state = 0xC0FFEE + static_cast<std::uint64_t>(t);
+      for (int i = 0; i < kIterations; ++i) {
+        const auto pick =
+            static_cast<std::size_t>(splitmix64(state) % kPlans);
+        const auto& want = plans[pick];
+        std::shared_ptr<const SpeckPlan> got = cache.find(want->fingerprint);
+        if (got == nullptr) {
+          got = cache.insert(want);
+        }
+        if (got == nullptr ||
+            !got->fingerprint.matches_full(want->fingerprint)) {
+          wrong_plan.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(wrong_plan.load(), 0u);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, cache.entries());
+  EXPECT_EQ(stats.bytes, cache.bytes());
+  EXPECT_LE(stats.bytes, cache.limit_bytes());
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+/// Two matrices with identical dims, nnz and config (quick-field collision)
+/// but different sparsity patterns.
+struct CollisionPair {
+  Csr a;
+  Csr b;
+};
+
+CollisionPair collision_pair() {
+  // 4x4, 4 nnz each, different patterns, same values everywhere.
+  const std::vector<value_t> vals{1.0, 2.0, 3.0, 4.0};
+  Csr a(4, 4, {0, 2, 3, 4, 4}, {0, 2, 1, 3}, vals);
+  Csr b(4, 4, {0, 1, 2, 3, 4}, {1, 2, 3, 0}, vals);
+  return {std::move(a), std::move(b)};
+}
+
+TEST(TransparentPlanCache, CollisionPatternsServedCorrectly) {
+  // End-to-end through Speck::multiply, with validate_inputs on and off:
+  // after warming the cache on pattern A, pattern B (same dims/nnz/config
+  // hash) must not replay A's plan — its product must match the reference.
+  for (const bool validate : {false, true}) {
+    SCOPED_TRACE(validate ? "validate_inputs=on" : "validate_inputs=off");
+    SpeckConfig cfg;
+    cfg.validate_inputs = validate;
+    Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+    const CollisionPair pair = collision_pair();
+    ASSERT_TRUE(plan_fingerprint(pair.a, pair.a, cfg, false)
+                    .matches_quick(plan_fingerprint(pair.b, pair.b, cfg, false)));
+
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(sp.multiply(pair.a, pair.a).ok());
+    }
+    EXPECT_TRUE(sp.last_diagnostics().plan_cache_hit);
+
+    const SpGemmResult r = sp.multiply(pair.b, pair.b);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(sp.last_diagnostics().plan_cache_hit)
+        << "quick-field collision must miss, not replay the wrong pattern";
+    const auto diff = compare(r.c, gustavson_spgemm(pair.b, pair.b), 0.0);
+    EXPECT_FALSE(diff.has_value()) << diff->description;
+  }
+}
+
+TEST(TransparentPlanCache, MultiplePatternsStayWarm) {
+  // The single-slot cache this replaces forgot pattern A the moment B
+  // appeared. Now A, A, A (hit) then B, B, B (hit) then A again must hit
+  // immediately — both plans live in the cache.
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::banded(300, 6, 4, 901);
+  const Csr b = gen::power_law(300, 300, 5, 1.8, 60, 903);
+
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(sp.multiply(a, a).ok());
+  EXPECT_TRUE(sp.last_diagnostics().plan_cache_hit);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(sp.multiply(b, b).ok());
+  EXPECT_TRUE(sp.last_diagnostics().plan_cache_hit);
+
+  const SpGemmResult back = sp.multiply(a, a);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(sp.last_diagnostics().plan_cache_hit)
+      << "pattern A must still be cached after serving pattern B";
+  EXPECT_EQ(sp.plan_cache().entries(), 2u);
+  const auto diff = compare(back.c, gustavson_spgemm(a, a), 0.0);
+  EXPECT_FALSE(diff.has_value()) << diff->description;
+}
+
+}  // namespace
+}  // namespace speck

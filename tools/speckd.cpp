@@ -1,0 +1,267 @@
+// speckd — concurrent SpGEMM traffic driver for the serving layer:
+//
+//   speckd [--threads N] [--requests N] [--patterns K] [--zipf S]
+//          [--cache-mb MB] [--budget-mb MB] [--queue] [--seed N]
+//          [--validate] [--check]
+//
+// Spawns N client threads issuing a Zipf(S)-distributed mix of K distinct
+// fixed-pattern multiplies against one SpeckService (sharded plan cache,
+// lock-free replay, admission control) and reports throughput, merged
+// latency percentiles and the service counters as key=value lines.
+//
+// `--check` additionally verifies every pattern's served values against the
+// Gustavson reference after the run (exit 1 on mismatch). `--budget-mb`
+// enables admission control; with `--queue` over-budget requests wait for
+// capacity instead of failing with kResourceExhausted.
+//
+// Exit codes follow the taxonomy (common/check.h): 0 ok, 1 result mismatch
+// or request failure, 2 usage, 3 bad input, 4 resource exhausted (every
+// request rejected), 5 internal error.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "gen/generators.h"
+#include "matrix/ops.h"
+#include "ref/gustavson.h"
+#include "speck/service.h"
+#include "speck/speck.h"
+
+namespace {
+
+using namespace speck;
+
+void print_usage(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [options]\n"
+      "\n"
+      "options:\n"
+      "  --threads N    client threads issuing requests (default 4)\n"
+      "  --requests N   requests per client thread (default 500)\n"
+      "  --patterns K   distinct matrix structures in the mix (default 6)\n"
+      "  --zipf S       Zipf exponent of the pattern popularity (default 1.0;\n"
+      "                 0 = uniform)\n"
+      "  --cache-mb MB  plan-cache byte budget in MiB (default 512)\n"
+      "  --budget-mb MB global admission-control budget in MiB (default off)\n"
+      "  --queue        queue over-budget requests instead of rejecting\n"
+      "  --seed N       traffic-schedule seed (default 42)\n"
+      "  --validate     re-validate CSR invariants and full fingerprints\n"
+      "  --check        verify served values against the Gustavson reference\n",
+      prog);
+}
+
+/// K distinct serving-sized structures, cycling over the generator families.
+std::vector<Csr> make_patterns(std::size_t count, std::uint64_t seed) {
+  std::vector<Csr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t s = seed + 1000 * i;
+    const auto n = static_cast<index_t>(256 + 64 * (i % 5));
+    switch (i % 4) {
+      case 0:
+        out.push_back(gen::banded(n, 16, 10, s));
+        break;
+      case 1:
+        out.push_back(gen::power_law(n, n, 7, 2.1, 50, s));
+        break;
+      case 2:
+        out.push_back(gen::stencil_2d(16 + static_cast<index_t>(i), 16));
+        break;
+      default:
+        out.push_back(gen::block_diagonal(12, 20, 0.5, s));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> zipf_cdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+void emit(const char* key, double value) { std::printf("%s=%.6g\n", key, value); }
+void emit_count(const char* key, std::size_t value) {
+  std::printf("%s=%zu\n", key, value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  std::size_t requests = 500;
+  std::size_t pattern_count = 6;
+  double zipf_s = 1.0;
+  std::size_t cache_mb = 512;
+  std::size_t budget_mb = 0;
+  bool queue = false;
+  bool validate = false;
+  bool check = false;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--patterns") == 0 && i + 1 < argc) {
+      pattern_count = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--zipf") == 0 && i + 1 < argc) {
+      zipf_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      cache_mb = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--budget-mb") == 0 && i + 1 < argc) {
+      budget_mb = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      queue = true;
+    } else if (std::strcmp(argv[i], "--validate") == 0) {
+      validate = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(argv[0], stdout);
+      return 0;
+    } else {
+      print_usage(argv[0], stderr);
+      return 2;
+    }
+  }
+  if (threads < 1 || requests == 0 || pattern_count == 0) {
+    print_usage(argv[0], stderr);
+    return 2;
+  }
+
+  try {
+    const std::vector<Csr> patterns = make_patterns(pattern_count, seed);
+
+    SpeckConfig cfg;
+    cfg.host_threads = 1;  // replays run serially per client thread
+    cfg.plan_cache = false;  // the service owns the cache
+    cfg.validate_inputs = validate;
+    Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+
+    ServiceConfig svc_cfg;
+    svc_cfg.cache_limit_bytes = cache_mb << 20;
+    svc_cfg.memory_budget_bytes = budget_mb << 20;
+    svc_cfg.queue_on_budget = queue;
+    SpeckService service(sp, svc_cfg);
+
+    const std::vector<double> cdf = zipf_cdf(pattern_count, zipf_s);
+    std::atomic<std::size_t> failed{0};
+    std::atomic<std::size_t> resource_rejected{0};
+    std::vector<std::vector<double>> lat(static_cast<std::size_t>(threads));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919u);
+        auto& my_lat = lat[static_cast<std::size_t>(t)];
+        my_lat.reserve(requests);
+        // Each client leases one workspace: its replay_values() vector is
+        // the reused response buffer (zero allocations once warm).
+        WorkspacePool::Lease lease = service.client_workspaces().lease();
+        std::vector<value_t>& buf = lease->replay_values();
+        for (std::size_t i = 0; i < requests; ++i) {
+          const std::size_t p = static_cast<std::size_t>(
+              std::lower_bound(cdf.begin(), cdf.end(), rng.next_double()) -
+              cdf.begin());
+          const auto r0 = std::chrono::steady_clock::now();
+          SpeckService::Response resp =
+              service.multiply_into(patterns[p], patterns[p], buf);
+          my_lat.push_back(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - r0)
+                               .count());
+          if (!resp.ok()) {
+            if (resp.status.code == ErrorCode::kResourceExhausted) {
+              resource_rejected.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : clients) th.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    const auto pct = [&](double q) {
+      return all.empty()
+                 ? 0.0
+                 : all[static_cast<std::size_t>(q * (all.size() - 1))] * 1e6;
+    };
+
+    const ServiceStats stats = service.stats();
+    std::printf("tool=speckd\n");
+    emit_count("threads", static_cast<std::size_t>(threads));
+    emit_count("patterns", pattern_count);
+    emit("zipf_s", zipf_s);
+    emit_count("requests", stats.requests);
+    emit("wall_seconds", wall);
+    emit("throughput_rps", static_cast<double>(stats.requests) / wall);
+    emit("p50_us", pct(0.50));
+    emit("p90_us", pct(0.90));
+    emit("p99_us", pct(0.99));
+    emit("max_us", all.empty() ? 0.0 : all.back() * 1e6);
+    emit_count("replays", stats.replays);
+    emit_count("plans_built", stats.plans_built);
+    emit_count("full_runs", stats.full_runs);
+    emit_count("admission_rejected", stats.rejected);
+    emit_count("failed", failed.load());
+    emit_count("cache_entries", stats.cache.entries);
+    emit_count("cache_bytes", stats.cache.bytes);
+    emit_count("cache_hits", stats.cache.hits);
+    emit_count("cache_evictions", stats.cache.evictions);
+
+    if (check) {
+      std::vector<value_t> buf;
+      for (std::size_t p = 0; p < patterns.size(); ++p) {
+        const Csr ref = gustavson_spgemm(patterns[p], patterns[p]);
+        SpeckService::Response resp =
+            service.multiply_into(patterns[p], patterns[p], buf);
+        const std::span<const value_t> want = ref.values();
+        if (!resp.ok() || resp.c_nnz != ref.nnz() ||
+            !std::equal(buf.begin(), buf.end(), want.begin(), want.end())) {
+          std::fprintf(stderr, "FAIL: pattern %zu diverges from reference\n",
+                       p);
+          return 1;
+        }
+      }
+      std::printf("check=pass\n");
+    }
+
+    if (failed.load() != 0) {
+      std::fprintf(stderr, "%zu requests failed\n", failed.load());
+      return 1;
+    }
+    if (stats.requests != 0 && resource_rejected.load() == stats.requests) {
+      std::fprintf(stderr, "every request was rejected by admission control\n");
+      return exit_code(ErrorCode::kResourceExhausted);
+    }
+    return 0;
+  } catch (...) {
+    return exit_code(status_from_current_exception().code);
+  }
+}
