@@ -338,6 +338,12 @@ int main(int argc, char** argv) {
   emit_count("service_replays", stats.replays);
   emit_count("plans_built", stats.plans_built);
   emit_count("admission_rejected", stats.rejected);
+  // Lifecycle counters (informational: no deadlines/faults are configured
+  // here, so all three must stay 0 — bench_check reports them without
+  // gating via --info-metric).
+  emit_count("service_shed", stats.shed);
+  emit_count("service_timed_out", stats.timed_out);
+  emit_count("service_degraded", stats.degraded);
   emit_count("cache_entries", stats.cache.entries);
   emit_count("cache_bytes", stats.cache.bytes);
   if (stats.rejected != 0) {

@@ -1,10 +1,13 @@
 // Lightweight runtime checking used at API boundaries, plus the structured
 // error taxonomy the library reports failures through.
 //
-// Three error classes span every failure mode (docs/robustness.md):
+// Four error classes span every failure mode (docs/robustness.md):
 //   BadInput           — the caller handed us something malformed
 //   ResourceExhausted  — a (simulated) resource limit was hit
 //   InternalError      — a library invariant broke (a bug in speck itself)
+//   DeadlineExceeded   — a request's deadline expired before completion
+//                        (class lives in common/deadline.h with the
+//                        Deadline/CancelToken machinery)
 // Each derives from the matching standard exception (so existing
 // catch(std::exception&) sites keep working) *and* from the SpeckError
 // mixin carrying a machine-readable code plus an optional context string
@@ -24,6 +27,7 @@ enum class ErrorCode {
   kBadInput = 1,
   kResourceExhausted = 2,
   kInternal = 3,
+  kDeadlineExceeded = 4,
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -32,20 +36,22 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kBadInput: return "BadInput";
     case ErrorCode::kResourceExhausted: return "ResourceExhausted";
     case ErrorCode::kInternal: return "InternalError";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "?";
 }
 
 /// Process exit code for an error class (tools/*): 0 ok, 3 bad input,
-/// 4 resource exhausted, 5 internal error. 1 (runtime failure such as a
-/// result mismatch) and 2 (usage error) remain tool-level conventions;
-/// 6 is reserved for exceptions outside the taxonomy.
+/// 4 resource exhausted, 5 internal error, 7 deadline exceeded. 1 (runtime
+/// failure such as a result mismatch) and 2 (usage error) remain tool-level
+/// conventions; 6 is reserved for exceptions outside the taxonomy.
 inline int exit_code(ErrorCode code) {
   switch (code) {
     case ErrorCode::kOk: return 0;
     case ErrorCode::kBadInput: return 3;
     case ErrorCode::kResourceExhausted: return 4;
     case ErrorCode::kInternal: return 5;
+    case ErrorCode::kDeadlineExceeded: return 7;
   }
   return 6;
 }

@@ -1,0 +1,120 @@
+// Request deadlines and cooperative cancellation for the serving layer.
+//
+// A Deadline is a point on the steady clock (default: infinite — never
+// expires). SpeckService checks it at admission, inside the budget wait
+// (MemoryBudget::acquire_until), at plan-mutex acquisition and — through a
+// CancelToken threaded into Speck's pass loop — between pipeline phases, so
+// an expired request returns kDeadlineExceeded instead of hanging or
+// burning the planning mutex on work nobody will read (docs/service.md
+// "Failure semantics").
+//
+// Cancellation is cooperative and exception-based: CancelToken::check
+// throws DeadlineExceeded on the coordinating thread at phase boundaries.
+// It never interrupts a running kernel — phases are short, and throwing
+// from pool workers would corrupt the pipeline's invariants.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "common/check.h"
+
+namespace speck {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default-constructed == infinite (never expires).
+  Deadline() = default;
+
+  static Deadline infinite() { return Deadline(); }
+
+  /// Absolute deadline at `tp` on the steady clock.
+  static Deadline at(Clock::time_point tp) {
+    Deadline d;
+    d.tp_ = tp;
+    return d;
+  }
+
+  /// Budget-relative deadline: `budget` from now.
+  static Deadline after(Clock::duration budget) {
+    return at(Clock::now() + budget);
+  }
+
+  /// Budget-relative deadline in (possibly fractional) milliseconds.
+  static Deadline after_ms(double ms) {
+    return after(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  bool is_infinite() const { return tp_ == Clock::time_point::max(); }
+  bool expired() const { return !is_infinite() && Clock::now() >= tp_; }
+  Clock::time_point time() const { return tp_; }
+
+  /// Remaining budget: zero once expired, Clock::duration::max() when
+  /// infinite (never use `now + remaining()` on an infinite deadline — it
+  /// overflows; branch on is_infinite() instead).
+  Clock::duration remaining() const {
+    if (is_infinite()) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= tp_ ? Clock::duration::zero() : tp_ - now;
+  }
+
+  /// The earlier of the two (used to cap a deadline-bounded wait by
+  /// max_queue_wait).
+  static Deadline sooner(const Deadline& a, const Deadline& b) {
+    return a.tp_ < b.tp_ ? a : b;
+  }
+
+ private:
+  Clock::time_point tp_ = Clock::time_point::max();
+};
+
+/// Thrown when a request's deadline expires (or it is cancelled) before the
+/// work completes. Maps to ErrorCode::kDeadlineExceeded; the context names
+/// the pipeline phase that observed the expiry.
+class DeadlineExceeded : public std::runtime_error, public SpeckError {
+ public:
+  explicit DeadlineExceeded(const std::string& msg, std::string context = "")
+      : std::runtime_error(msg), SpeckError(std::move(context)) {}
+  ErrorCode code() const override { return ErrorCode::kDeadlineExceeded; }
+};
+
+/// Cooperative cancellation handle passed by value into the pipeline: a
+/// deadline plus an optional external flag (not owned; must outlive the
+/// token). Copyable, const-queryable from any thread.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline,
+                       const std::atomic<bool>* cancel_flag = nullptr)
+      : deadline_(deadline), cancel_flag_(cancel_flag) {}
+
+  const Deadline& deadline() const { return deadline_; }
+
+  bool cancelled() const {
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_.expired();
+  }
+
+  /// Phase-boundary poll: throws DeadlineExceeded naming `phase` when the
+  /// token is cancelled or expired. Called on the coordinating thread only.
+  void check(const char* phase) const {
+    if (cancelled()) {
+      throw DeadlineExceeded(
+          std::string("request cancelled before phase completed: ") + phase,
+          phase);
+    }
+  }
+
+ private:
+  Deadline deadline_;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+};
+
+}  // namespace speck

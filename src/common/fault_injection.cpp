@@ -13,7 +13,9 @@ namespace speck {
 bool FaultSpec::enabled() const {
   return estimate_scale != 1.0 || estimate_jitter != 0.0 ||
          hash_overflow_after != 0 || scratchpad_scale != 1.0 ||
-         memory_budget_bytes != 0;
+         memory_budget_bytes != 0 || plan_fail_mod != 0 ||
+         plan_delay_ms != 0.0 || admission_bytes_scale != 1.0 ||
+         evict_every != 0;
 }
 
 void validate(const FaultSpec& spec) {
@@ -25,6 +27,11 @@ void validate(const FaultSpec& spec) {
                 "hash-overflow-after must be >= 0 (0 = off)");
   SPECK_REQUIRE(spec.scratchpad_scale > 0.0 && spec.scratchpad_scale <= 1.0,
                 "scratchpad-scale must be in (0, 1]");
+  SPECK_REQUIRE(spec.plan_delay_ms >= 0.0 && std::isfinite(spec.plan_delay_ms),
+                "plan-delay-ms must be a finite number >= 0");
+  SPECK_REQUIRE(spec.admission_bytes_scale >= 1.0 &&
+                    std::isfinite(spec.admission_bytes_scale),
+                "admission-scale must be a finite number >= 1");
 }
 
 namespace {
@@ -79,6 +86,18 @@ FaultSpec parse_fault_spec(const std::string& text) {
       const double mb = parse_double(pair, value);
       if (mb <= 0.0) throw BadInput("fault-spec: memory-budget-mb must be > 0", pair);
       spec.memory_budget_bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+    } else if (key == "plan-fail-mod") {
+      const std::int64_t mod = parse_int(pair, value);
+      if (mod < 0) throw BadInput("fault-spec: plan-fail-mod must be >= 0", pair);
+      spec.plan_fail_mod = static_cast<std::uint64_t>(mod);
+    } else if (key == "plan-delay-ms") {
+      spec.plan_delay_ms = parse_double(pair, value);
+    } else if (key == "admission-scale") {
+      spec.admission_bytes_scale = parse_double(pair, value);
+    } else if (key == "evict-every") {
+      const std::int64_t every = parse_int(pair, value);
+      if (every < 0) throw BadInput("fault-spec: evict-every must be >= 0", pair);
+      spec.evict_every = static_cast<std::uint64_t>(every);
     } else {
       throw BadInput("fault-spec: unknown key '" + key + "'", pair);
     }
@@ -107,6 +126,18 @@ std::string describe(const FaultSpec& spec) {
     out += " memory-budget-mb=" +
            std::to_string(static_cast<double>(spec.memory_budget_bytes) /
                           (1024.0 * 1024.0));
+  }
+  if (spec.plan_fail_mod != 0) {
+    out += " plan-fail-mod=" + std::to_string(spec.plan_fail_mod);
+  }
+  if (spec.plan_delay_ms != 0.0) {
+    out += " plan-delay-ms=" + std::to_string(spec.plan_delay_ms);
+  }
+  if (spec.admission_bytes_scale != 1.0) {
+    out += " admission-scale=" + std::to_string(spec.admission_bytes_scale);
+  }
+  if (spec.evict_every != 0) {
+    out += " evict-every=" + std::to_string(spec.evict_every);
   }
   return out;
 }

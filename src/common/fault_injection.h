@@ -47,6 +47,27 @@ struct FaultSpec {
   /// out-of-memory paths of Speck::multiply.
   std::size_t memory_budget_bytes = 0;
 
+  // --- Serving-layer faults (consumed by SpeckService via
+  // ServiceConfig::faults; the pipeline-side FaultInjector ignores them, and
+  // they do not enter the planning-config hash — they never change what a
+  // plan computes, only how the service treats the request around it).
+
+  /// Forces the service's plan build to fail (structured InternalError) for
+  /// every fingerprint whose 64-bit key hash is divisible by this value
+  /// (0 = off). Deterministic per pattern, so quarantine trips reproduce.
+  std::uint64_t plan_fail_mod = 0;
+  /// Injected planning latency in milliseconds, slept inside the service's
+  /// plan-build critical section (0 = off). Stresses deadlines and the
+  /// plan-mutex convoy.
+  double plan_delay_ms = 0.0;
+  /// Multiplies every admission-control byte charge (must be >= 1; 1 = off):
+  /// a deterministic budget squeeze that drives shedding/queueing without
+  /// changing real memory use.
+  double admission_bytes_scale = 1.0;
+  /// Every Nth service request evicts the entire plan cache before lookup
+  /// (0 = off): an eviction storm forcing replan churn under traffic.
+  std::uint64_t evict_every = 0;
+
   /// True when any field differs from its no-fault default.
   bool enabled() const;
 };
@@ -57,6 +78,8 @@ void validate(const FaultSpec& spec);
 /// Parses the --fault-spec grammar: comma-separated key=value pairs,
 ///   estimate-scale=<float>     estimate-jitter=<float>   seed=<uint>
 ///   hash-overflow-after=<int>  scratchpad-scale=<float>  memory-budget-mb=<float>
+///   plan-fail-mod=<uint>       plan-delay-ms=<float>
+///   admission-scale=<float>    evict-every=<uint>
 /// e.g. "estimate-scale=0.25,hash-overflow-after=16". Unknown keys,
 /// malformed numbers and out-of-domain values throw BadInput (context
 /// names the offending pair).

@@ -47,6 +47,10 @@ std::uint64_t planning_config_hash(const SpeckConfig& cfg) {
   h = mix(h, cfg.dense_density_threshold);
   h = mix(h, static_cast<std::uint64_t>(cfg.max_rows_per_block));
 
+  // Only the pipeline-affecting fault fields enter the hash: the serving
+  // faults (plan_fail_mod, plan_delay_ms, admission_bytes_scale,
+  // evict_every) never change what a plan computes, so hashing them would
+  // only fragment the cache.
   const FaultSpec& fs = cfg.faults;
   h = mix(h, fs.estimate_scale);
   h = mix(h, fs.estimate_jitter);

@@ -152,6 +152,20 @@ std::shared_ptr<const SpeckPlan> PlanCache::insert(
   return plan;
 }
 
+std::size_t PlanCache::evict(std::size_t max_entries) {
+  std::size_t evicted = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    while (evicted < max_entries && shard.lru_tail != nullptr) {
+      evict_tail(shard);
+      ++evicted;
+    }
+    if (evicted >= max_entries) break;
+  }
+  return evicted;
+}
+
 void PlanCache::clear() {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;

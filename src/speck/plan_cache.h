@@ -78,6 +78,12 @@ class PlanCache {
   /// Drops every entry (stats counters are retained).
   void clear();
 
+  /// Evicts up to `max_entries` least-recently-used entries (walking the
+  /// shards in order, draining each shard's LRU tail), counting them as
+  /// evictions. Returns the number actually evicted. Thread-safe; the
+  /// chaos eviction-storm fault uses it to force replan churn.
+  std::size_t evict(std::size_t max_entries);
+
   PlanCacheStats stats() const;
   std::size_t bytes() const { return total_bytes_.load(std::memory_order_relaxed); }
   std::size_t entries() const;

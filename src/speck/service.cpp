@@ -1,9 +1,12 @@
 #include "speck/service.h"
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "ref/gustavson.h"
 
 namespace speck {
 namespace {
@@ -28,6 +31,16 @@ Status admission_rejection(std::size_t bytes, const char* where) {
                 where};
 }
 
+Status shed_status(const char* what) {
+  return Status{ErrorCode::kResourceExhausted,
+                std::string("load shed: ") + what, "SpeckService"};
+}
+
+Status deadline_status(const char* where) {
+  return Status{ErrorCode::kDeadlineExceeded,
+                "deadline exceeded before the request completed", where};
+}
+
 }  // namespace
 
 bool MemoryBudget::try_acquire(std::size_t bytes) {
@@ -38,11 +51,55 @@ bool MemoryBudget::try_acquire(std::size_t bytes) {
 }
 
 bool MemoryBudget::acquire(std::size_t bytes) {
-  if (bytes > limit_) return false;  // could never fit; waiting is forever
+  return acquire_until(bytes, Deadline::infinite()) == Admit::kAdmitted;
+}
+
+MemoryBudget::Admit MemoryBudget::acquire_until(std::size_t bytes,
+                                                const Deadline& deadline,
+                                                std::size_t max_waiters,
+                                                bool* waited) {
+  if (waited != nullptr) *waited = false;
+  if (bytes > limit_) return Admit::kNeverFits;  // waiting is forever
   std::unique_lock<std::mutex> lock(mutex_);
-  freed_.wait(lock, [&] { return bytes <= limit_ - used_; });
-  used_ += bytes;
-  return true;
+  const auto fits = [&] { return bytes <= limit_ - used_; };
+  if (fits()) {
+    used_ += bytes;
+    return Admit::kAdmitted;
+  }
+  // Past this point the request did not get immediate admission.
+  if (waited != nullptr) *waited = true;
+  if (deadline.expired()) return Admit::kTimedOut;
+  if (max_waiters > 0 && waiters_.size() >= max_waiters) {
+    // LIFO-shed-oldest: the queue is full, so the request that has waited
+    // longest (and burned the most of its own deadline) yields its slot to
+    // the newcomer, which still has budget worth spending.
+    Waiter* oldest = waiters_.front();
+    waiters_.pop_front();
+    oldest->shed = true;
+    freed_.notify_all();
+  }
+  Waiter self;
+  waiters_.push_back(&self);
+  const auto done = [&] { return self.shed || fits(); };
+  if (deadline.is_infinite()) {
+    freed_.wait(lock, done);
+  } else {
+    freed_.wait_until(lock, deadline.time(), done);
+  }
+  // A shed waiter was already unlinked by its shedder; unlink ourselves on
+  // the admit/timeout paths.
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (*it == &self) {
+      waiters_.erase(it);
+      break;
+    }
+  }
+  if (self.shed) return Admit::kShed;
+  if (fits()) {
+    used_ += bytes;
+    return Admit::kAdmitted;
+  }
+  return Admit::kTimedOut;
 }
 
 void MemoryBudget::release(std::size_t bytes) {
@@ -59,63 +116,274 @@ std::size_t MemoryBudget::used() const {
   return used_;
 }
 
+std::size_t MemoryBudget::waiters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiters_.size();
+}
+
 SpeckService::SpeckService(Speck& speck, ServiceConfig config)
     : speck_(speck),
       config_(config),
       cache_(config.cache_shards, config.cache_limit_bytes),
-      budget_(config.memory_budget_bytes) {}
-
-bool SpeckService::admit(std::size_t bytes) {
-  if (config_.memory_budget_bytes == 0) return true;
-  return config_.queue_on_budget ? budget_.acquire(bytes)
-                                 : budget_.try_acquire(bytes);
+      budget_(config.memory_budget_bytes) {
+  validate(config_.faults);
 }
 
-SpeckService::Response SpeckService::multiply(const Csr& a, const Csr& b) {
-  return serve(a, b, nullptr);
+std::size_t SpeckService::admission_bytes(std::size_t bytes) const {
+  const double scale = config_.faults.admission_bytes_scale;
+  if (scale <= 1.0) return bytes;
+  // Chaos budget squeeze: inflate the charge (symmetrically at acquire and
+  // release — callers admit and release the same scaled value).
+  return static_cast<std::size_t>(static_cast<double>(bytes) * scale);
+}
+
+Deadline SpeckService::wait_deadline(const Deadline& deadline) const {
+  if (config_.max_queue_wait_ms <= 0.0) return deadline;
+  return Deadline::sooner(deadline,
+                          Deadline::after_ms(config_.max_queue_wait_ms));
+}
+
+double SpeckService::retry_hint() const {
+  // Pressure-scaled backoff: 10 ms per queued waiter, 10 ms floor.
+  return 0.010 * static_cast<double>(budget_.waiters() + 1);
+}
+
+MemoryBudget::Admit SpeckService::admit(std::size_t bytes,
+                                        const Deadline& deadline,
+                                        bool* waited) {
+  if (waited != nullptr) *waited = false;
+  if (config_.memory_budget_bytes == 0) return MemoryBudget::Admit::kAdmitted;
+  if (!config_.queue_on_budget) {
+    return budget_.try_acquire(bytes) ? MemoryBudget::Admit::kAdmitted
+                                      : MemoryBudget::Admit::kRejected;
+  }
+  return budget_.acquire_until(bytes, wait_deadline(deadline),
+                               config_.max_queued_requests, waited);
+}
+
+bool SpeckService::fail_admission(MemoryBudget::Admit outcome,
+                                  std::size_t bytes, const Deadline& deadline,
+                                  Response* resp) {
+  switch (outcome) {
+    case MemoryBudget::Admit::kAdmitted:
+      return false;
+    case MemoryBudget::Admit::kRejected:
+    case MemoryBudget::Admit::kNeverFits:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      resp->status = admission_rejection(bytes, "SpeckService");
+      break;
+    case MemoryBudget::Admit::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      resp->status = shed_status("admission queue overflow");
+      break;
+    case MemoryBudget::Admit::kTimedOut:
+      if (deadline.expired()) {
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        resp->status = deadline_status("budget wait");
+      } else {
+        // The max_queue_wait cap fired before the request's own deadline.
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        resp->status = shed_status("budget wait exceeded max_queue_wait");
+      }
+      break;
+  }
+  resp->retry_after = retry_hint();
+  return true;
+}
+
+bool SpeckService::is_quarantined(std::uint64_t key) {
+  if (config_.quarantine_threshold <= 0) return false;
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  const auto it = quarantine_.find(key);
+  return it != quarantine_.end() && Deadline::Clock::now() < it->second.until;
+}
+
+void SpeckService::note_plan_failure(std::uint64_t key) {
+  if (config_.quarantine_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  QuarantineState& q = quarantine_[key];
+  if (++q.consecutive_failures >= config_.quarantine_threshold) {
+    q.consecutive_failures = 0;
+    q.until = Deadline::Clock::now() +
+              std::chrono::duration_cast<Deadline::Clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      config_.quarantine_cooldown_ms));
+    quarantine_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SpeckService::note_plan_success(std::uint64_t key) {
+  if (config_.quarantine_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  quarantine_.erase(key);
+}
+
+SpeckService::Response SpeckService::multiply(const Csr& a, const Csr& b,
+                                              const RequestOptions& opts) {
+  return serve(a, b, nullptr, opts);
 }
 
 SpeckService::Response SpeckService::multiply_into(const Csr& a, const Csr& b,
-                                                   std::vector<value_t>& out) {
-  return serve(a, b, &out);
+                                                   std::vector<value_t>& out,
+                                                   const RequestOptions& opts) {
+  return serve(a, b, &out, opts);
+}
+
+SpeckService::Response SpeckService::serve_degraded(const Csr& a, const Csr& b,
+                                                    std::vector<value_t>* out,
+                                                    const char* why) {
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  Response resp;
+  resp.degraded = true;
+  try {
+    // The exact host reference every pipeline output is asserted against —
+    // degraded responses stay bit-identical to what the full pipeline would
+    // have produced. No plan, no cache insert, no budget accounting (the
+    // safety valve must not be throttled by the pressure it relieves).
+    Csr c = gustavson_spgemm(a, b);
+    resp.c_nnz = c.nnz();
+    if (out != nullptr) {
+      const std::span<const value_t> vals = c.values();
+      out->assign(vals.begin(), vals.end());
+    } else {
+      resp.c = std::move(c);
+    }
+  } catch (...) {
+    resp.status = status_from_current_exception();
+    resp.status.message = std::string(why) + ": " + resp.status.message;
+    if (resp.status.context.empty()) {
+      resp.status.context = "SpeckService::degraded";
+    }
+  }
+  return resp;
 }
 
 SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
-                                           std::vector<value_t>* out) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+                                           std::vector<value_t>* out,
+                                           const RequestOptions& opts) {
+  const std::uint64_t request_id =
+      requests_.fetch_add(1, std::memory_order_relaxed) + 1;
   Response resp;
+  if (opts.deadline.expired()) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    resp.status = deadline_status("admission");
+    resp.retry_after = retry_hint();
+    return resp;
+  }
+  // Chaos: eviction storm — every Nth request drops the whole cache.
+  if (config_.faults.evict_every != 0 &&
+      request_id % config_.faults.evict_every == 0) {
+    cache_.evict(cache_.entries());
+  }
   const PlanFingerprint fp = plan_fingerprint(a, b, speck_.config());
+  const std::uint64_t key = plan_key_hash(fp);
+
+  // True when the request had to block anywhere — the plan mutex or the
+  // budget queue. Surfaced as Response::queued so callers can separate the
+  // pure lock-free fast path from convoy/queue casualties.
+  bool queued = false;
 
   std::shared_ptr<const SpeckPlan> plan = cache_.find(fp);
+  if (plan == nullptr && is_quarantined(key)) {
+    // Circuit-broken pattern: its plan builds keep failing, so keep it away
+    // from the plan mutex until the cooldown passes — one poisoned input
+    // must not serialize every other client's miss.
+    return serve_degraded(a, b, out,
+                          "quarantined after repeated plan-build failures");
+  }
   if (plan == nullptr) {
     // Miss: planning runs the full mutable pipeline, so it is serialized.
     // The double-checked find means concurrent first requests for one
     // pattern plan it exactly once.
-    std::lock_guard<std::mutex> lock(plan_mutex_);
+    std::unique_lock<std::timed_mutex> lock(plan_mutex_, std::defer_lock);
+    const Deadline mutex_deadline = wait_deadline(opts.deadline);
+    if (!lock.try_lock()) {
+      queued = true;
+      if (mutex_deadline.is_infinite()) {
+        lock.lock();
+      } else if (!lock.try_lock_until(mutex_deadline.time())) {
+        if (opts.deadline.expired()) {
+          timed_out_.fetch_add(1, std::memory_order_relaxed);
+          resp.status = deadline_status("plan mutex wait");
+          resp.retry_after = retry_hint();
+          return resp;
+        }
+        if (config_.degraded_mode) {
+          return serve_degraded(a, b, out, "plan mutex contention");
+        }
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        resp.status = shed_status("plan mutex wait exceeded max_queue_wait");
+        resp.retry_after = retry_hint();
+        return resp;
+      }
+    }
     plan = cache_.find(fp);
     if (plan == nullptr) {
-      const std::size_t build_bytes = estimate_plan_bytes(a, b);
-      if (!admit(build_bytes)) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        resp.status = admission_rejection(build_bytes, "SpeckService");
+      if (opts.deadline.expired()) {
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        resp.status = deadline_status("plan mutex acquired");
+        resp.retry_after = retry_hint();
+        return resp;
+      }
+      // Chaos: injected planning latency, inside the critical section (the
+      // convoy behind a slow build is exactly what it exercises).
+      if (config_.faults.plan_delay_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.faults.plan_delay_ms));
+      }
+      // Chaos: deterministic forced plan-build failure by fingerprint hash.
+      if (config_.faults.plan_fail_mod != 0 &&
+          key % config_.faults.plan_fail_mod == 0) {
+        note_plan_failure(key);
+        lock.unlock();
+        if (config_.degraded_mode) {
+          return serve_degraded(a, b, out, "injected plan-build failure");
+        }
+        resp.status = Status{ErrorCode::kInternal,
+                             "fault injection: forced plan-build failure",
+                             "SpeckService"};
+        return resp;
+      }
+      const std::size_t build_bytes =
+          admission_bytes(estimate_plan_bytes(a, b));
+      bool budget_waited = false;
+      const MemoryBudget::Admit admitted =
+          admit(build_bytes, opts.deadline, &budget_waited);
+      queued = queued || budget_waited;
+      if (admitted != MemoryBudget::Admit::kAdmitted) {
+        lock.unlock();
+        if (config_.degraded_mode && !opts.deadline.expired()) {
+          return serve_degraded(a, b, out, "admission pressure");
+        }
+        fail_admission(admitted, build_bytes, opts.deadline, &resp);
         return resp;
       }
       SpGemmResult full;
       SpeckPlan built;
+      const CancelToken cancel(opts.deadline);
       try {
-        built = speck_.plan(a, b, &full);
+        built = speck_.plan(a, b, &full, &cancel);
       } catch (...) {
         // Bad inputs (dimension mismatch, corrupt CSR) throw from the
         // pipeline; a service must answer, not unwind a client thread.
         if (config_.memory_budget_bytes != 0) budget_.release(build_bytes);
         resp.status = status_from_current_exception();
+        if (resp.status.code == ErrorCode::kDeadlineExceeded) {
+          // Cancellation says nothing about the input; never quarantine it.
+          timed_out_.fetch_add(1, std::memory_order_relaxed);
+          resp.retry_after = retry_hint();
+        } else {
+          note_plan_failure(key);
+        }
         return resp;
       }
       if (config_.memory_budget_bytes != 0) budget_.release(build_bytes);
       if (!full.ok()) {
+        note_plan_failure(key);
         resp.status = status_from_result(full, "SpeckService");
         return resp;
       }
+      note_plan_success(key);
       if (built.complete) {
         cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
         plans_built_.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +395,7 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
       }
       // The planning run already computed C with this request's values —
       // serve it directly, nothing is multiplied twice.
+      resp.queued = queued;
       resp.seconds = full.seconds;
       resp.c_nnz = full.c.nnz();
       if (out != nullptr) {
@@ -142,17 +411,20 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
   // Hit: lock-free replay on the calling thread against the immutable plan.
   // Admission covers this request's in-flight response memory — the owned
   // variant materializes a full Csr (pattern copy + values), the into
-  // variant only the values buffer.
+  // variant only the values buffer. Degraded mode does not apply here: the
+  // degraded path would use strictly more memory than the replay it would
+  // replace.
   const auto c_nnz = static_cast<std::size_t>(plan->c_nnz());
   const auto rows = static_cast<std::size_t>(plan->fingerprint.a_rows);
-  const std::size_t response_bytes =
-      out != nullptr
-          ? c_nnz * sizeof(value_t)
-          : c_nnz * (sizeof(index_t) + sizeof(value_t)) +
-                (rows + 1) * sizeof(offset_t);
-  if (!admit(response_bytes)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    resp.status = admission_rejection(response_bytes, "SpeckService");
+  const std::size_t response_bytes = admission_bytes(
+      out != nullptr ? c_nnz * sizeof(value_t)
+                     : c_nnz * (sizeof(index_t) + sizeof(value_t)) +
+                           (rows + 1) * sizeof(offset_t));
+  bool budget_waited = false;
+  const MemoryBudget::Admit admitted =
+      admit(response_bytes, opts.deadline, &budget_waited);
+  queued = queued || budget_waited;
+  if (fail_admission(admitted, response_bytes, opts.deadline, &resp)) {
     return resp;
   }
   SpGemmResult replayed;
@@ -176,6 +448,7 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
   }
   replays_.fetch_add(1, std::memory_order_relaxed);
   resp.replayed = true;
+  resp.queued = queued;
   resp.seconds = replayed.seconds;
   resp.c_nnz = plan->c_nnz();
   if (out == nullptr) resp.c = std::move(replayed.c);
@@ -187,10 +460,11 @@ std::shared_ptr<const SpeckPlan> SpeckService::plan_for(const Csr& a,
                                                         Status* status) {
   const PlanFingerprint fp = plan_fingerprint(a, b, speck_.config());
   if (std::shared_ptr<const SpeckPlan> plan = cache_.find(fp)) return plan;
-  std::lock_guard<std::mutex> lock(plan_mutex_);
+  std::lock_guard<std::timed_mutex> lock(plan_mutex_);
   if (std::shared_ptr<const SpeckPlan> plan = cache_.find(fp)) return plan;
-  const std::size_t build_bytes = estimate_plan_bytes(a, b);
-  if (!admit(build_bytes)) {
+  const std::size_t build_bytes = admission_bytes(estimate_plan_bytes(a, b));
+  if (admit(build_bytes, Deadline::infinite()) !=
+      MemoryBudget::Admit::kAdmitted) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     if (status != nullptr) {
       *status = admission_rejection(build_bytes, "SpeckService::plan_for");
@@ -224,6 +498,10 @@ ServiceStats SpeckService::stats() const {
   out.plans_built = plans_built_.load(std::memory_order_relaxed);
   out.full_runs = full_runs_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.timed_out = timed_out_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
+  out.quarantine_trips = quarantine_trips_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   return out;
 }

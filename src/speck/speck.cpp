@@ -111,10 +111,11 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   return result;
 }
 
-SpeckPlan Speck::plan(const Csr& a, const Csr& b, SpGemmResult* full_result) {
+SpeckPlan Speck::plan(const Csr& a, const Csr& b, SpGemmResult* full_result,
+                      const CancelToken* cancel) {
   SpeckPlan plan;
   plan.fingerprint = plan_fingerprint(a, b, config_);
-  SpGemmResult result = multiply_full(a, b, &plan);
+  SpGemmResult result = multiply_full(a, b, &plan, cancel);
   if (!result.ok() && plan.incomplete_reason.empty()) {
     plan.incomplete_reason = "planning run failed: " + result.failure_reason;
   }
@@ -273,7 +274,16 @@ SpGemmResult Speck::replay_plan_into(const SpeckPlan& plan, const Csr& a,
 }
 
 SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
-                                  SpeckPlan* capture) {
+                                  SpeckPlan* capture,
+                                  const CancelToken* cancel) {
+  // Cooperative cancellation: polled at stage boundaries on this (the
+  // coordinating) thread only — pool workers never throw. A kernel that has
+  // started runs to completion; the check before each stage keeps an
+  // expired request from entering the next one.
+  const auto poll_cancel = [cancel](const char* phase) {
+    if (cancel != nullptr) cancel->check(phase);
+  };
+  poll_cancel("admission");
   SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
   if (config_.validate_inputs) validate_multiply_inputs(a, b);
   std::optional<FaultInjector> injector;
@@ -329,6 +339,7 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
     return result;
   }
 
+  poll_cancel("row analysis");
   // Stage 2: conditional global load balancing for the symbolic pass,
   // binning on the conservative product counts.
   sim::Launch symbolic_lb_launch("symbolic_lb", device_, model_);
@@ -351,6 +362,7 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
     }
   }
 
+  poll_cancel("symbolic load balancing");
   // Stage 3: symbolic SpGEMM (exact C row sizes).
   SymbolicOutcome symbolic = run_symbolic(ctx, symbolic_plan);
   diagnostics_.symbolic = symbolic.stats;
@@ -378,6 +390,7 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
     return result;
   }
 
+  poll_cancel("symbolic pass");
   // Stage 4: conditional global load balancing for the numeric pass, using
   // the exact row sizes inflated by the hash fill limit (66%).
   std::vector<offset_t> numeric_entries(symbolic.row_nnz.size());
@@ -411,6 +424,7 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
     }
   }
 
+  poll_cancel("numeric load balancing");
   // Stage 5 + 6: numeric SpGEMM and the sorting pass.
   const std::size_t numeric_trace_mark = trace_.launches().size();
   NumericOutcome numeric = run_numeric(ctx, numeric_plan, symbolic.row_nnz);

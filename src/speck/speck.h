@@ -8,6 +8,7 @@
 #include <span>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "ref/spgemm_api.h"
 #include "speck/config.h"
@@ -51,8 +52,12 @@ class Speck final : public SpGemmAlgorithm {
   /// run's result — including the computed C with the inputs' current
   /// values — is stored into `*full_result` when non-null. On failure the
   /// returned plan has `complete == false` and multiply_with_plan falls
-  /// back to the full pipeline.
-  SpeckPlan plan(const Csr& a, const Csr& b, SpGemmResult* full_result = nullptr);
+  /// back to the full pipeline. A non-null `cancel` token is polled between
+  /// pipeline phases; an expired/cancelled token throws DeadlineExceeded
+  /// from the coordinating thread (cooperative cancellation — running
+  /// kernels are never interrupted).
+  SpeckPlan plan(const Csr& a, const Csr& b, SpGemmResult* full_result = nullptr,
+                 const CancelToken* cancel = nullptr);
 
   /// Values-only multiply against a frozen plan: skips row analysis, global
   /// load balancing, the symbolic pass and sorting, and writes values
@@ -115,8 +120,11 @@ class Speck final : public SpGemmAlgorithm {
  private:
   /// The full pipeline (analysis → LB → symbolic → LB → numeric → sort).
   /// When `capture` is non-null and the run succeeds, the plan is filled
-  /// with the frozen structure state and replay program.
-  SpGemmResult multiply_full(const Csr& a, const Csr& b, SpeckPlan* capture);
+  /// with the frozen structure state and replay program. A non-null
+  /// `cancel` token is polled at every stage boundary and throws
+  /// DeadlineExceeded when expired.
+  SpGemmResult multiply_full(const Csr& a, const Csr& b, SpeckPlan* capture,
+                             const CancelToken* cancel = nullptr);
 
   /// The values-only replay of a verified plan (legacy single-caller form:
   /// writes this instance's diagnostics and trace).

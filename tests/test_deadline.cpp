@@ -1,0 +1,189 @@
+// Tests for request deadlines and cooperative cancellation
+// (common/deadline.h) plus the bounded blocking admission of MemoryBudget
+// (speck/service.h): deadline arithmetic, CancelToken's exception contract,
+// the kDeadlineExceeded taxonomy mapping, acquire_until outcomes
+// (admit / timeout / shed-oldest / never-fits) and cancellation of an
+// in-flight Speck::plan between pipeline phases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/deadline.h"
+#include "gen/generators.h"
+#include "speck/service.h"
+#include "speck/speck.h"
+
+namespace speck {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfiniteAndNeverExpires) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), Deadline::Clock::duration::max());
+  EXPECT_TRUE(Deadline::infinite().is_infinite());
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpiredWithZeroRemaining) {
+  const Deadline d = Deadline::at(Deadline::Clock::now() -
+                                  std::chrono::milliseconds(5));
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), Deadline::Clock::duration::zero());
+}
+
+TEST(DeadlineTest, FutureBudgetExpiresAfterItElapses) {
+  const Deadline d = Deadline::after_ms(20.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), Deadline::Clock::duration::zero());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, SoonerPicksTheEarlierDeadline) {
+  const Deadline near = Deadline::after_ms(10.0);
+  const Deadline far = Deadline::after_ms(10000.0);
+  EXPECT_EQ(Deadline::sooner(near, far).time(), near.time());
+  EXPECT_EQ(Deadline::sooner(far, near).time(), near.time());
+  // Any finite deadline beats the infinite one.
+  EXPECT_EQ(Deadline::sooner(Deadline::infinite(), near).time(), near.time());
+  EXPECT_TRUE(Deadline::sooner(Deadline::infinite(), Deadline::infinite())
+                  .is_infinite());
+}
+
+TEST(DeadlineTest, ErrorTaxonomyMapsDeadlineExceededToExitCode7) {
+  EXPECT_EQ(exit_code(ErrorCode::kDeadlineExceeded), 7);
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  const DeadlineExceeded err("late", "symbolic pass");
+  EXPECT_EQ(err.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(err.context(), "symbolic pass");
+}
+
+TEST(CancelTokenTest, InfiniteTokenNeverCancels) {
+  const CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check("row analysis"));
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineThrowsNamingThePhase) {
+  const CancelToken token(Deadline::at(Deadline::Clock::now()));
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.check("symbolic pass");
+    FAIL() << "check() must throw on an expired deadline";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("symbolic pass"), std::string::npos);
+    EXPECT_EQ(e.context(), "symbolic pass");
+  }
+  // The taxonomy mapping used by the serving layer's catch sites.
+  try {
+    token.check("numeric pass");
+  } catch (...) {
+    const Status st = status_from_current_exception();
+    EXPECT_EQ(st.code, ErrorCode::kDeadlineExceeded);
+    EXPECT_EQ(st.context, "numeric pass");
+  }
+}
+
+TEST(CancelTokenTest, ExternalFlagCancelsAnInfiniteDeadline) {
+  std::atomic<bool> flag{false};
+  const CancelToken token(Deadline::infinite(), &flag);
+  EXPECT_FALSE(token.cancelled());
+  flag.store(true);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check("admission"), DeadlineExceeded);
+}
+
+TEST(MemoryBudgetDeadlines, OversizedRequestNeverFitsWithoutBlocking) {
+  MemoryBudget budget(100);
+  bool waited = true;
+  EXPECT_EQ(budget.acquire_until(200, Deadline::infinite(), 0, &waited),
+            MemoryBudget::Admit::kNeverFits);
+  EXPECT_FALSE(waited);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetDeadlines, FastPathAdmissionReportsNoWait) {
+  MemoryBudget budget(100);
+  bool waited = true;
+  EXPECT_EQ(budget.acquire_until(60, Deadline::infinite(), 0, &waited),
+            MemoryBudget::Admit::kAdmitted);
+  EXPECT_FALSE(waited);
+  budget.release(60);
+}
+
+TEST(MemoryBudgetDeadlines, FullBudgetTimesOutAtTheDeadline) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.try_acquire(100));
+  bool waited = false;
+  const auto t0 = Deadline::Clock::now();
+  EXPECT_EQ(budget.acquire_until(10, Deadline::after_ms(20.0), 0, &waited),
+            MemoryBudget::Admit::kTimedOut);
+  EXPECT_TRUE(waited);
+  EXPECT_GE(Deadline::Clock::now() - t0, std::chrono::milliseconds(19));
+  budget.release(100);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetDeadlines, FullQueueShedsTheOldestWaiter) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.try_acquire(100));
+
+  std::atomic<int> first_outcome{-1};
+  std::thread first([&] {
+    first_outcome.store(static_cast<int>(
+        budget.acquire_until(50, Deadline::infinite(), /*max_waiters=*/1)));
+  });
+  while (budget.waiters() == 0) std::this_thread::yield();
+
+  // The queue (capacity 1) is full: the newcomer sheds the oldest waiter
+  // and takes its place.
+  std::atomic<int> second_outcome{-1};
+  std::thread second([&] {
+    second_outcome.store(static_cast<int>(
+        budget.acquire_until(50, Deadline::infinite(), /*max_waiters=*/1)));
+  });
+  first.join();
+  EXPECT_EQ(first_outcome.load(),
+            static_cast<int>(MemoryBudget::Admit::kShed));
+
+  budget.release(100);  // frees capacity: the surviving waiter admits
+  second.join();
+  EXPECT_EQ(second_outcome.load(),
+            static_cast<int>(MemoryBudget::Admit::kAdmitted));
+  budget.release(50);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.waiters(), 0u);
+}
+
+TEST(MemoryBudgetDeadlines, ReleaseUnderflowThrowsInternalError) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.try_acquire(40));
+  EXPECT_THROW(budget.release(41), InternalError);
+  // The counter is untouched: the corrupt release must not leak capacity
+  // into later admission decisions.
+  EXPECT_EQ(budget.used(), 40u);
+  budget.release(40);
+  EXPECT_THROW(budget.release(1), InternalError);
+}
+
+TEST(SpeckCancellation, ExpiredTokenCancelsPlanBetweenPhases) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::banded(96, 6, 5, 13);
+  const CancelToken expired(Deadline::at(Deadline::Clock::now()));
+  SpGemmResult full;
+  EXPECT_THROW(sp.plan(a, a, &full, &expired), DeadlineExceeded);
+  // The same multiply without a token (or with an infinite one) succeeds —
+  // cancellation is a property of the request, not the input.
+  const CancelToken open;
+  EXPECT_TRUE(sp.plan(a, a, &full, &open).complete);
+  EXPECT_TRUE(full.ok());
+}
+
+}  // namespace
+}  // namespace speck

@@ -42,6 +42,7 @@ TEST(ErrorTaxonomy, ExitCodesAreStable) {
   EXPECT_EQ(exit_code(ErrorCode::kBadInput), 3);
   EXPECT_EQ(exit_code(ErrorCode::kResourceExhausted), 4);
   EXPECT_EQ(exit_code(ErrorCode::kInternal), 5);
+  EXPECT_EQ(exit_code(ErrorCode::kDeadlineExceeded), 7);
 }
 
 TEST(ErrorTaxonomy, StatusToString) {
@@ -222,6 +223,25 @@ TEST(FaultSpecGrammar, ParsesEveryKey) {
   EXPECT_FALSE(parse_fault_spec("").enabled());
 }
 
+TEST(FaultSpecGrammar, ParsesServingFaultKeys) {
+  const FaultSpec spec = parse_fault_spec(
+      "plan-fail-mod=3,plan-delay-ms=1.5,admission-scale=2,evict-every=64");
+  EXPECT_EQ(spec.plan_fail_mod, 3u);
+  EXPECT_DOUBLE_EQ(spec.plan_delay_ms, 1.5);
+  EXPECT_DOUBLE_EQ(spec.admission_bytes_scale, 2.0);
+  EXPECT_EQ(spec.evict_every, 64u);
+  EXPECT_TRUE(spec.enabled());
+  // Each serving fault alone flips enabled().
+  EXPECT_TRUE(parse_fault_spec("plan-fail-mod=2").enabled());
+  EXPECT_TRUE(parse_fault_spec("plan-delay-ms=1").enabled());
+  EXPECT_TRUE(parse_fault_spec("admission-scale=4").enabled());
+  EXPECT_TRUE(parse_fault_spec("evict-every=8").enabled());
+  const std::string text = describe(spec);
+  EXPECT_NE(text.find("plan-fail-mod"), std::string::npos);
+  EXPECT_NE(text.find("admission-scale"), std::string::npos);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+}
+
 TEST(FaultSpecGrammar, RejectsBadPairs) {
   EXPECT_THROW(parse_fault_spec("warp-drive=1"), BadInput);
   EXPECT_THROW(parse_fault_spec("estimate-scale=fast"), BadInput);
@@ -230,6 +250,11 @@ TEST(FaultSpecGrammar, RejectsBadPairs) {
   EXPECT_THROW(parse_fault_spec("scratchpad-scale=2"), BadInput);
   EXPECT_THROW(parse_fault_spec("estimate-jitter=-0.5"), BadInput);
   EXPECT_THROW(parse_fault_spec("hash-overflow-after=-3"), BadInput);
+  // Serving faults: the squeeze can only inflate charges, never shrink them.
+  EXPECT_THROW(parse_fault_spec("admission-scale=0.5"), BadInput);
+  EXPECT_THROW(parse_fault_spec("plan-delay-ms=-1"), BadInput);
+  EXPECT_THROW(parse_fault_spec("plan-fail-mod=-2"), BadInput);
+  EXPECT_THROW(parse_fault_spec("evict-every=-1"), BadInput);
 }
 
 TEST(FaultSpecGrammar, DescribeIsOneLine) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -363,6 +364,216 @@ TEST(ServiceWorkspaces, LeasesReuseLifoAndGrowUnderContention) {
     EXPECT_NE(&*a, &*c);
   }
   EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ServiceDeadlines, ExpiredDeadlineIsRejectedAtAdmission) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  SpeckService svc(sp);
+  const Csr a = gen::banded(100, 8, 6, 7);
+
+  SpeckService::RequestOptions opts;
+  opts.deadline = Deadline::at(Deadline::Clock::now());
+  SpeckService::Response resp = svc.multiply(a, a, opts);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_GT(resp.retry_after, 0.0);
+  EXPECT_EQ(svc.stats().timed_out, 1u);
+  EXPECT_EQ(svc.stats().plans_built, 0u) << "no work for an expired request";
+}
+
+TEST(ServiceDeadlines, DeadlineExpiringInBudgetWaitAnswersDeadlineExceeded) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  const Csr a = gen::banded(100, 8, 6, 7);
+  ServiceConfig cfg;
+  cfg.queue_on_budget = true;
+  cfg.memory_budget_bytes = estimate_plan_bytes(a, a);
+  SpeckService svc(sp, cfg);
+
+  // Hold the whole budget so the request must queue, then let its deadline
+  // lapse inside the wait.
+  ASSERT_TRUE(svc.budget().try_acquire(cfg.memory_budget_bytes));
+  SpeckService::RequestOptions opts;
+  opts.deadline = Deadline::after_ms(25.0);
+  SpeckService::Response resp = svc.multiply(a, a, opts);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_GT(resp.retry_after, 0.0);
+  EXPECT_EQ(svc.stats().timed_out, 1u);
+  svc.budget().release(cfg.memory_budget_bytes);
+
+  // With the pressure gone the same request (fresh deadline) succeeds.
+  opts.deadline = Deadline::after_ms(10000.0);
+  EXPECT_TRUE(svc.multiply(a, a, opts).ok());
+}
+
+TEST(ServiceDegraded, InjectedPlanFailuresServeDegradedAndTripQuarantine) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  ServiceConfig cfg;
+  cfg.faults.plan_fail_mod = 1;  // every plan build fails
+  cfg.degraded_mode = true;
+  cfg.quarantine_threshold = 2;
+  cfg.quarantine_cooldown_ms = 10000.0;  // stays tripped for the whole test
+  SpeckService svc(sp, cfg);
+  const Csr a = gen::banded(100, 8, 6, 7);
+  const Csr ref = gustavson_spgemm(a, a);
+
+  // Two failing builds trip the breaker; later requests bypass the plan
+  // mutex entirely. Every response is still exact.
+  for (int i = 0; i < 4; ++i) {
+    SpeckService::Response resp = svc.multiply(a, a);
+    ASSERT_TRUE(resp.ok()) << resp.status.message;
+    EXPECT_TRUE(resp.degraded);
+    auto diff = compare(resp.c, ref, 0.0);
+    EXPECT_FALSE(diff.has_value()) << diff->description;
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.degraded, 4u);
+  EXPECT_EQ(stats.quarantine_trips, 1u);
+  EXPECT_EQ(stats.plans_built, 0u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+}
+
+TEST(ServiceDegraded, InjectedPlanFailureWithoutDegradedModeIsStructured) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  ServiceConfig cfg;
+  cfg.faults.plan_fail_mod = 1;
+  SpeckService svc(sp, cfg);
+  const Csr a = gen::banded(100, 8, 6, 7);
+
+  SpeckService::Response resp = svc.multiply(a, a);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, ErrorCode::kInternal);
+  EXPECT_NE(resp.status.message.find("fault injection"), std::string::npos)
+      << resp.status.message;
+}
+
+TEST(ServiceDegraded, QuarantineCooldownRetriesTheBuild) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  ServiceConfig cfg;
+  cfg.faults.plan_fail_mod = 1;
+  cfg.quarantine_threshold = 1;  // trip on the first failure
+  cfg.quarantine_cooldown_ms = 30.0;
+  SpeckService svc(sp, cfg);
+  const Csr a = gen::banded(100, 8, 6, 7);
+
+  // First request fails structurally and trips the breaker.
+  EXPECT_EQ(svc.multiply(a, a).status.code, ErrorCode::kInternal);
+  EXPECT_EQ(svc.stats().quarantine_trips, 1u);
+  // While quarantined the pattern serves degraded (even without
+  // degraded_mode: the breaker exists to keep it off the plan mutex).
+  SpeckService::Response during = svc.multiply(a, a);
+  EXPECT_TRUE(during.ok()) << during.status.message;
+  EXPECT_TRUE(during.degraded);
+  // After the cooldown the build is retried — and trips again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(svc.multiply(a, a).status.code, ErrorCode::kInternal);
+  EXPECT_EQ(svc.stats().quarantine_trips, 2u);
+}
+
+TEST(ServiceHerd, ThunderingHerdOnOneFingerprintPlansExactlyOnce) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  SpeckService svc(sp);
+  const Csr a = gen::banded(128, 8, 6, 17);
+  const Csr ref = gustavson_spgemm(a, a);
+
+  constexpr int kThreads = 16;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      std::vector<value_t> buf;
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      SpeckService::Response resp = svc.multiply_into(a, a, buf);
+      const bool ok = resp.ok() && resp.c_nnz == ref.nnz() &&
+                      std::equal(buf.begin(), buf.end(),
+                                 ref.values().begin(), ref.values().end());
+      if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.plans_built, 1u) << "the herd must build exactly one plan";
+  EXPECT_EQ(stats.cache.insertions, 1u) << "no duplicate cache inserts";
+  EXPECT_EQ(stats.replays, static_cast<std::uint64_t>(kThreads) - 1);
+  EXPECT_EQ(stats.full_runs, 0u);
+}
+
+TEST(ServiceChaos, EvictionStormForcesReplansButStaysCorrect) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  ServiceConfig cfg;
+  cfg.faults.evict_every = 3;  // every 3rd request drops the cache
+  SpeckService svc(sp, cfg);
+  const Csr a = gen::banded(100, 8, 6, 7);
+  const Csr ref = gustavson_spgemm(a, a);
+
+  std::vector<value_t> buf;
+  for (int i = 0; i < 10; ++i) {
+    SpeckService::Response resp = svc.multiply_into(a, a, buf);
+    ASSERT_TRUE(resp.ok()) << resp.status.message;
+    EXPECT_EQ(resp.c_nnz, ref.nnz());
+    EXPECT_TRUE(std::equal(buf.begin(), buf.end(), ref.values().begin(),
+                           ref.values().end()))
+        << "post-eviction rebuild diverged on iteration " << i;
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_GT(stats.cache.evictions, 0u);
+  EXPECT_GT(stats.plans_built, 1u) << "storms must force replans";
+  EXPECT_EQ(stats.requests, stats.replays + stats.plans_built);
+}
+
+TEST(ServiceChaos, AdmissionScaleSqueezeBindsTheBudget) {
+  const Csr a = gen::banded(100, 8, 6, 7);
+  // Control: the un-squeezed charge fits this budget comfortably.
+  ServiceConfig roomy;
+  roomy.memory_budget_bytes = 4 * estimate_plan_bytes(a, a);
+  {
+    Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+    SpeckService svc(sp, roomy);
+    EXPECT_TRUE(svc.multiply(a, a).ok());
+    EXPECT_EQ(svc.budget().used(), 0u);
+  }
+  // Squeeze: the same budget with an 8x inflated charge rejects.
+  ServiceConfig squeezed = roomy;
+  squeezed.faults.admission_bytes_scale = 8.0;
+  {
+    Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+    SpeckService svc(sp, squeezed);
+    SpeckService::Response resp = svc.multiply(a, a);
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.status.code, ErrorCode::kResourceExhausted);
+    EXPECT_EQ(svc.stats().rejected, 1u);
+    EXPECT_EQ(svc.budget().used(), 0u) << "failed admission must not leak";
+  }
+}
+
+TEST(ServiceChaos, InjectedPlanLatencyPlusDeadlineCancelsMidPipeline) {
+  Speck sp(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  ServiceConfig cfg;
+  cfg.faults.plan_delay_ms = 60.0;  // burns the deadline inside the build
+  SpeckService svc(sp, cfg);
+  const Csr a = gen::banded(100, 8, 6, 7);
+
+  SpeckService::RequestOptions opts;
+  opts.deadline = Deadline::after_ms(20.0);
+  SpeckService::Response resp = svc.multiply(a, a, opts);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(svc.stats().timed_out, 1u);
+  EXPECT_EQ(svc.stats().plans_built, 0u);
+  EXPECT_EQ(svc.budget().used(), 0u);
+  // Cancellation says nothing about the input: no quarantine, and the next
+  // unhurried request builds the plan normally.
+  SpeckService::Response retry = svc.multiply(a, a);
+  ASSERT_TRUE(retry.ok()) << retry.status.message;
+  EXPECT_TRUE(retry.planned);
 }
 
 TEST(MemoryBudgetTest, TryAcquireReleaseAndOversizedSemantics) {

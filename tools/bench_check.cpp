@@ -1,7 +1,8 @@
 // bench_check — the CI bench-regression gate:
 //
 //   bench_check --baseline BENCH_x.json --fresh fresh.json
-//               [--metric NAME]... [--max-regression F] [--report FILE]
+//               [--metric NAME]... [--info-metric NAME]...
+//               [--max-regression F] [--report FILE]
 //
 // Compares a fresh benchmark run (bench binary piped through bench_to_json)
 // against the checked-in baseline JSON. For every `--metric` (repeatable;
@@ -9,6 +10,11 @@
 // value must not fall below baseline * (1 - max-regression); metrics are
 // higher-is-better (speedups, requests/second). Top-level metrics are
 // compared the same way under the label "(top)".
+//
+// `--info-metric` (repeatable) metrics appear in the delta table with
+// status "info" but never gate and never count toward `compared` — for
+// lifecycle counters (shed / timed-out / degraded) worth eyeballing in the
+// report without turning them into perf floors.
 //
 // `--report FILE` writes a per-metric delta table (also printed to stdout)
 // for upload as a CI artifact, so a red gate shows exactly which point
@@ -205,6 +211,7 @@ int main(int argc, char** argv) {
   const char* fresh_path = nullptr;
   const char* report_path = nullptr;
   std::vector<std::string> metrics;
+  std::vector<std::string> info_metrics;
   double max_regression = 0.10;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
@@ -213,6 +220,8 @@ int main(int argc, char** argv) {
       fresh_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
       metrics.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--info-metric") == 0 && i + 1 < argc) {
+      info_metrics.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
       max_regression = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
@@ -220,7 +229,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --baseline FILE --fresh FILE [--metric NAME]... "
-                   "[--max-regression F] [--report FILE]\n",
+                   "[--info-metric NAME]... [--max-regression F] "
+                   "[--report FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -272,6 +282,19 @@ int main(int argc, char** argv) {
       std::snprintf(line, sizeof(line), "%-12s %-24s %12.5g %12.5g %+8.2f  %s\n",
                     label.c_str(), metric.c_str(), *base, *now, delta,
                     ok ? "ok" : "REGRESSED");
+      report << line;
+    }
+    // Informational metrics: shown for the record, never gated, never
+    // counted — a missing info metric on either side is silently skipped so
+    // older baselines keep working.
+    for (const std::string& metric : info_metrics) {
+      const double* base = find_metric(*base_metrics, metric);
+      const double* now = find_metric(*fresh_it->second, metric);
+      if (base == nullptr || now == nullptr) continue;
+      const double delta =
+          *base != 0.0 ? (*now - *base) / *base * 100.0 : 0.0;
+      std::snprintf(line, sizeof(line), "%-12s %-24s %12.5g %12.5g %+8.2f  %s\n",
+                    label.c_str(), metric.c_str(), *base, *now, delta, "info");
       report << line;
     }
   }
