@@ -13,9 +13,9 @@ namespace speck {
 bool FaultSpec::enabled() const {
   return estimate_scale != 1.0 || estimate_jitter != 0.0 ||
          hash_overflow_after != 0 || scratchpad_scale != 1.0 ||
-         memory_budget_bytes != 0 || plan_fail_mod != 0 ||
-         plan_delay_ms != 0.0 || admission_bytes_scale != 1.0 ||
-         evict_every != 0;
+         memory_budget_bytes != 0 || estimator_scale != 1.0 ||
+         plan_fail_mod != 0 || plan_delay_ms != 0.0 ||
+         admission_bytes_scale != 1.0 || evict_every != 0;
 }
 
 void validate(const FaultSpec& spec) {
@@ -27,6 +27,8 @@ void validate(const FaultSpec& spec) {
                 "hash-overflow-after must be >= 0 (0 = off)");
   SPECK_REQUIRE(spec.scratchpad_scale > 0.0 && spec.scratchpad_scale <= 1.0,
                 "scratchpad-scale must be in (0, 1]");
+  SPECK_REQUIRE(spec.estimator_scale > 0.0 && std::isfinite(spec.estimator_scale),
+                "estimator-scale must be a positive finite number");
   SPECK_REQUIRE(spec.plan_delay_ms >= 0.0 && std::isfinite(spec.plan_delay_ms),
                 "plan-delay-ms must be a finite number >= 0");
   SPECK_REQUIRE(spec.admission_bytes_scale >= 1.0 &&
@@ -86,6 +88,8 @@ FaultSpec parse_fault_spec(const std::string& text) {
       const double mb = parse_double(pair, value);
       if (mb <= 0.0) throw BadInput("fault-spec: memory-budget-mb must be > 0", pair);
       spec.memory_budget_bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+    } else if (key == "estimator-scale") {
+      spec.estimator_scale = parse_double(pair, value);
     } else if (key == "plan-fail-mod") {
       const std::int64_t mod = parse_int(pair, value);
       if (mod < 0) throw BadInput("fault-spec: plan-fail-mod must be >= 0", pair);
@@ -127,6 +131,9 @@ std::string describe(const FaultSpec& spec) {
            std::to_string(static_cast<double>(spec.memory_budget_bytes) /
                           (1024.0 * 1024.0));
   }
+  if (spec.estimator_scale != 1.0) {
+    out += " estimator-scale=" + std::to_string(spec.estimator_scale);
+  }
   if (spec.plan_fail_mod != 0) {
     out += " plan-fail-mod=" + std::to_string(spec.plan_fail_mod);
   }
@@ -155,6 +162,17 @@ offset_t FaultInjector::scale_estimate(index_t row, offset_t estimate) const {
     factor *= 1.0 + spec_.estimate_jitter * (2.0 * unit - 1.0);
   }
   const double scaled = static_cast<double>(estimate) * factor;
+  if (scaled <= 0.0) return 0;
+  if (scaled >= static_cast<double>(std::numeric_limits<offset_t>::max())) {
+    return std::numeric_limits<offset_t>::max();
+  }
+  return static_cast<offset_t>(scaled);
+}
+
+offset_t FaultInjector::scale_sampled_estimate(offset_t estimate) const {
+  if (spec_.estimator_scale == 1.0) return estimate;
+  const double scaled =
+      static_cast<double>(estimate) * spec_.estimator_scale;
   if (scaled <= 0.0) return 0;
   if (scaled >= static_cast<double>(std::numeric_limits<offset_t>::max())) {
     return std::numeric_limits<offset_t>::max();

@@ -46,6 +46,12 @@ struct FaultSpec {
   /// Caps the simulated device memory (0 = off). Exercises the structured
   /// out-of-memory paths of Speck::multiply.
   std::size_t memory_budget_bytes = 0;
+  /// Multiplies the sampled per-row NNZ estimates of estimated planning
+  /// (docs/performance.md "Estimated planning"); <1 forces estimate
+  /// underflow and the per-row numeric fallback. Distinct from
+  /// estimate_scale so exact-mode binning faults and estimator faults
+  /// compose independently.
+  double estimator_scale = 1.0;
 
   // --- Serving-layer faults (consumed by SpeckService via
   // ServiceConfig::faults; the pipeline-side FaultInjector ignores them, and
@@ -78,7 +84,7 @@ void validate(const FaultSpec& spec);
 /// Parses the --fault-spec grammar: comma-separated key=value pairs,
 ///   estimate-scale=<float>     estimate-jitter=<float>   seed=<uint>
 ///   hash-overflow-after=<int>  scratchpad-scale=<float>  memory-budget-mb=<float>
-///   plan-fail-mod=<uint>       plan-delay-ms=<float>
+///   estimator-scale=<float>    plan-fail-mod=<uint>      plan-delay-ms=<float>
 ///   admission-scale=<float>    evict-every=<uint>
 /// e.g. "estimate-scale=0.25,hash-overflow-after=16". Unknown keys,
 /// malformed numbers and out-of-domain values throw BadInput (context
@@ -98,6 +104,10 @@ class FaultInjector {
 
   /// Scaled (and jittered) per-row estimate; clamped to >= 0.
   offset_t scale_estimate(index_t row, offset_t estimate) const;
+
+  /// Sampled-estimator NNZ estimate under the estimator-scale fault;
+  /// clamped to >= 0. Identity when the fault is off.
+  offset_t scale_sampled_estimate(offset_t estimate) const;
 
   /// Scaled scratchpad capacity; clamped to >= 1 slot.
   std::size_t scratchpad_capacity(std::size_t capacity) const;

@@ -283,6 +283,209 @@ inline std::uint32_t nonzero_mask32(const std::uint8_t* p, SimdBackend backend) 
   return nonzero_mask32_scalar(p);
 }
 
+// ---------------------------------------------------------------------------
+// Integer prefix scans: CSR row-offset construction and counting-sort
+// histogram offsets. 64-bit lanes (offset_t and std::size_t histograms are
+// both 8 bytes); integer addition is associative, so every backend is
+// bit-identical to the scalar reference by construction.
+// ---------------------------------------------------------------------------
+
+/// In-place inclusive prefix sum over 64-bit words; returns the total.
+inline std::uint64_t inclusive_scan_u64_scalar(std::uint64_t* data,
+                                               std::size_t n) {
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += data[i];
+    data[i] = running;
+  }
+  return running;
+}
+
+/// In-place exclusive prefix sum over 64-bit words; returns the total.
+inline std::uint64_t exclusive_scan_u64_scalar(std::uint64_t* data,
+                                               std::size_t n) {
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = data[i];
+    data[i] = running;
+    running += v;
+  }
+  return running;
+}
+
+#if defined(SPECK_SIMD_X86)
+inline std::uint64_t inclusive_scan_u64_sse(std::uint64_t* data,
+                                            std::size_t n) {
+  __m128i carry = _mm_setzero_si128();  // running total in both lanes
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    v = _mm_add_epi64(v, _mm_slli_si128(v, 8));  // [v0, v0+v1]
+    v = _mm_add_epi64(v, carry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(data + i), v);
+    carry = _mm_shuffle_epi32(v, _MM_SHUFFLE(3, 2, 3, 2));  // high lane -> both
+  }
+  auto running = static_cast<std::uint64_t>(_mm_cvtsi128_si64(carry));
+  for (; i < n; ++i) {
+    running += data[i];
+    data[i] = running;
+  }
+  return running;
+}
+
+inline std::uint64_t exclusive_scan_u64_sse(std::uint64_t* data,
+                                            std::size_t n) {
+  __m128i carry = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i incl = _mm_add_epi64(v, _mm_slli_si128(v, 8));  // [v0, v0+v1]
+    const __m128i excl =
+        _mm_add_epi64(_mm_slli_si128(incl, 8), carry);  // [run, run+v0]
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(data + i), excl);
+    const __m128i total = _mm_add_epi64(incl, carry);
+    carry = _mm_shuffle_epi32(total, _MM_SHUFFLE(3, 2, 3, 2));
+  }
+  auto running = static_cast<std::uint64_t>(_mm_cvtsi128_si64(carry));
+  for (; i < n; ++i) {
+    const std::uint64_t v = data[i];
+    data[i] = running;
+    running += v;
+  }
+  return running;
+}
+
+[[gnu::target("avx2")]] inline std::uint64_t inclusive_scan_u64_avx2(
+    std::uint64_t* data, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i carry = zero;  // running total in all four lanes
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    // Within-128-bit-lane scan: [v0, v0+v1, v2, v2+v3] ...
+    const __m256i step = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));
+    // ... then carry v0+v1 into the upper half for the full in-vector scan.
+    const __m256i upper = _mm256_blend_epi32(
+        zero, _mm256_permute4x64_epi64(step, _MM_SHUFFLE(1, 1, 1, 1)), 0xF0);
+    const __m256i incl =
+        _mm256_add_epi64(_mm256_add_epi64(step, upper), carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i), incl);
+    carry = _mm256_permute4x64_epi64(incl, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  auto running =
+      static_cast<std::uint64_t>(_mm256_extract_epi64(carry, 0));
+  for (; i < n; ++i) {
+    running += data[i];
+    data[i] = running;
+  }
+  return running;
+}
+
+[[gnu::target("avx2")]] inline std::uint64_t exclusive_scan_u64_avx2(
+    std::uint64_t* data, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i carry = zero;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i step = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));
+    const __m256i upper = _mm256_blend_epi32(
+        zero, _mm256_permute4x64_epi64(step, _MM_SHUFFLE(1, 1, 1, 1)), 0xF0);
+    const __m256i incl = _mm256_add_epi64(step, upper);
+    // Shift one lane up (crossing the 128-bit boundary), zero lane 0.
+    const __m256i shifted = _mm256_blend_epi32(
+        zero, _mm256_permute4x64_epi64(incl, _MM_SHUFFLE(2, 1, 0, 0)), 0xFC);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i),
+                        _mm256_add_epi64(shifted, carry));
+    carry = _mm256_permute4x64_epi64(_mm256_add_epi64(incl, carry),
+                                     _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  auto running =
+      static_cast<std::uint64_t>(_mm256_extract_epi64(carry, 0));
+  for (; i < n; ++i) {
+    const std::uint64_t v = data[i];
+    data[i] = running;
+    running += v;
+  }
+  return running;
+}
+#endif  // SPECK_SIMD_X86
+
+#if defined(SPECK_SIMD_NEON)
+inline std::uint64_t inclusive_scan_u64_neon(std::uint64_t* data,
+                                             std::size_t n) {
+  const uint64x2_t zero = vdupq_n_u64(0);
+  uint64x2_t carry = zero;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t v = vld1q_u64(data + i);
+    v = vaddq_u64(v, vextq_u64(zero, v, 1));  // [v0, v0+v1]
+    v = vaddq_u64(v, carry);
+    vst1q_u64(data + i, v);
+    carry = vdupq_laneq_u64(v, 1);
+  }
+  std::uint64_t running = vgetq_lane_u64(carry, 0);
+  for (; i < n; ++i) {
+    running += data[i];
+    data[i] = running;
+  }
+  return running;
+}
+
+inline std::uint64_t exclusive_scan_u64_neon(std::uint64_t* data,
+                                             std::size_t n) {
+  const uint64x2_t zero = vdupq_n_u64(0);
+  uint64x2_t carry = zero;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(data + i);
+    const uint64x2_t incl = vaddq_u64(v, vextq_u64(zero, v, 1));
+    vst1q_u64(data + i, vaddq_u64(vextq_u64(zero, incl, 1), carry));
+    carry = vdupq_laneq_u64(vaddq_u64(incl, carry), 1);
+  }
+  std::uint64_t running = vgetq_lane_u64(carry, 0);
+  for (; i < n; ++i) {
+    const std::uint64_t v = data[i];
+    data[i] = running;
+    running += v;
+  }
+  return running;
+}
+#endif  // SPECK_SIMD_NEON
+
+/// Dispatching in-place inclusive 64-bit prefix sum; returns the total.
+/// `backend` must be resolved.
+inline std::uint64_t inclusive_scan_u64(std::uint64_t* data, std::size_t n,
+                                        SimdBackend backend) {
+#if defined(SPECK_SIMD_X86)
+  if (backend == SimdBackend::kAvx2) return inclusive_scan_u64_avx2(data, n);
+  if (backend != SimdBackend::kScalar) return inclusive_scan_u64_sse(data, n);
+#elif defined(SPECK_SIMD_NEON)
+  if (backend != SimdBackend::kScalar) return inclusive_scan_u64_neon(data, n);
+#else
+  (void)backend;
+#endif
+  return inclusive_scan_u64_scalar(data, n);
+}
+
+/// Dispatching in-place exclusive 64-bit prefix sum; returns the total.
+/// `backend` must be resolved.
+inline std::uint64_t exclusive_scan_u64(std::uint64_t* data, std::size_t n,
+                                        SimdBackend backend) {
+#if defined(SPECK_SIMD_X86)
+  if (backend == SimdBackend::kAvx2) return exclusive_scan_u64_avx2(data, n);
+  if (backend != SimdBackend::kScalar) return exclusive_scan_u64_sse(data, n);
+#elif defined(SPECK_SIMD_NEON)
+  if (backend != SimdBackend::kScalar) return exclusive_scan_u64_neon(data, n);
+#else
+  (void)backend;
+#endif
+  return exclusive_scan_u64_scalar(data, n);
+}
+
 /// Software prefetch into the read cache hierarchy. Callers gate this on
 /// `backend != kScalar` — prefetch never changes results, but keeping the
 /// scalar path prefetch-free keeps it the plain reference implementation.

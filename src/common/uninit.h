@@ -1,0 +1,49 @@
+// A std::vector whose resize() default-initializes new elements instead of
+// value-initializing (zeroing) them.
+//
+// The replay program's op arrays are tens to hundreds of megabytes and every
+// element is written by the build pass before it is ever read; letting
+// vector::resize memset them first walks the freshly mapped pages twice —
+// once for the (serial) zero fill, once for the real fill — which shows up
+// as a large, pure-overhead slice of plan() capture time. Only use this for
+// buffers that are provably write-before-read; a skipped zero on a buffer
+// that *is* read first becomes an uninitialized-memory bug.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace speck {
+
+template <typename T, typename Base = std::allocator<T>>
+class DefaultInitAllocator : public Base {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename std::allocator_traits<Base>::template rebind_alloc<U>>;
+  };
+
+  using Base::Base;
+
+  // Value-initialization requests (resize's fill of new elements) become
+  // default-initialization: a no-op for trivially constructible T.
+  template <typename U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  // Everything else (copy/move construction, emplace with args) is
+  // forwarded unchanged to the base allocator.
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<Base>::construct(static_cast<Base&>(*this), ptr,
+                                           std::forward<Args>(args)...);
+  }
+};
+
+template <typename T>
+using UninitVector = std::vector<T, DefaultInitAllocator<T>>;
+
+}  // namespace speck

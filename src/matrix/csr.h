@@ -89,6 +89,23 @@ class Csr {
   /// Human-readable one-line description, e.g. "4096x4096, nnz=81920".
   std::string shape_string() const;
 
+  /// Moves the backing arrays out into the given vectors (replacing their
+  /// contents) and resets *this to an empty 0x0 matrix. Lets a caller that
+  /// only needs the arrays (e.g. a plan capturing the C pattern of a result
+  /// the caller discards) take them without the O(nnz) copy.
+  void take_arrays(std::vector<offset_t>& row_offsets,
+                   std::vector<index_t>& col_indices,
+                   std::vector<value_t>& values) {
+    row_offsets = std::move(row_offsets_);
+    col_indices = std::move(col_indices_);
+    values = std::move(values_);
+    rows_ = 0;
+    cols_ = 0;
+    row_offsets_.assign(1, 0);
+    col_indices_.clear();
+    values_.clear();
+  }
+
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;

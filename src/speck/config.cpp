@@ -1,5 +1,8 @@
 #include "speck/config.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/bit_utils.h"
@@ -64,6 +67,11 @@ void validate(const SpeckConfig& config) {
                 std::string("simd_backend '") +
                     simd::backend_name(config.simd_backend) +
                     "' is not available on this CPU");
+  SPECK_REQUIRE(config.estimator_samples >= 1,
+                "estimator_samples must be >= 1");
+  SPECK_REQUIRE(config.estimator_safety_margin >= 1.0 &&
+                    config.estimator_safety_margin <= 16.0,
+                "estimator_safety_margin must be in [1, 16]");
   validate(config.faults);
 }
 
@@ -118,10 +126,63 @@ std::string describe(const SpeckConfig& config) {
                     ")"
               : "") +
          "\n";
+  out += "planning                   = " +
+         std::string(planning_mode_name(config.planning)) +
+         (config.planning == PlanningMode::kAuto
+              ? " (resolves to " +
+                    std::string(planning_mode_name(
+                        resolve_planning(PlanningMode::kAuto))) +
+                    ")"
+              : "") +
+         "\n";
+  out += "estimator_samples          = " +
+         std::to_string(config.estimator_samples) + "\n";
+  out += "estimator_safety_margin    = " +
+         std::to_string(config.estimator_safety_margin) + "\n";
   out += "validate_inputs            = " +
          std::string(config.validate_inputs ? "true" : "false") + "\n";
   out += describe(config.faults) + "\n";
   return out;
+}
+
+std::optional<PlanningMode> parse_planning_mode(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "auto") return PlanningMode::kAuto;
+  if (lower == "exact") return PlanningMode::kExact;
+  if (lower == "estimated") return PlanningMode::kEstimated;
+  return std::nullopt;
+}
+
+const char* planning_mode_name(PlanningMode mode) {
+  switch (mode) {
+    case PlanningMode::kAuto: return "auto";
+    case PlanningMode::kExact: return "exact";
+    case PlanningMode::kEstimated: return "estimated";
+  }
+  return "?";
+}
+
+PlanningMode resolve_planning(PlanningMode choice) {
+  if (choice != PlanningMode::kAuto) return choice;
+  if (const char* env = std::getenv("SPECK_PLANNING")) {
+    const std::optional<PlanningMode> parsed = parse_planning_mode(env);
+    if (parsed.has_value() && *parsed != PlanningMode::kAuto) return *parsed;
+    if (!parsed.has_value()) {
+      // Invalid request from the environment: warn once and fall back to the
+      // exact default rather than aborting the process.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "speck: ignoring SPECK_PLANNING='%s' (expected "
+                     "auto|exact|estimated; using 'exact')\n",
+                     env);
+      }
+    }
+  }
+  return PlanningMode::kExact;
 }
 
 SpeckThresholds reduced_scale_thresholds() {

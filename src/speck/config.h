@@ -3,7 +3,10 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -92,6 +95,27 @@ struct SpeckFeatures {
 /// the paper's Table 2 values remain the SpeckThresholds defaults.
 SpeckThresholds reduced_scale_thresholds();
 
+/// How the planner derives per-row C sizes (docs/performance.md "Estimated
+/// planning"). kExact runs the full symbolic pass; kEstimated replaces the
+/// exact row analysis + symbolic pass with a sampled NNZ estimator (OCEAN-
+/// style) and discovers the exact C pattern during the numeric pass, falling
+/// back per row when an estimate underflows. C values and pattern are
+/// bit-identical either way; only binning, allocation and planning cost may
+/// differ. kAuto resolves via the SPECK_PLANNING environment variable, then
+/// defaults to exact.
+enum class PlanningMode { kAuto, kExact, kEstimated };
+
+/// "auto" / "exact" / "estimated" (case-insensitive); nullopt on anything else.
+std::optional<PlanningMode> parse_planning_mode(std::string_view name);
+
+/// Stable lowercase name of a mode (inverse of parse_planning_mode).
+const char* planning_mode_name(PlanningMode mode);
+
+/// Resolves kAuto against the SPECK_PLANNING environment variable (invalid
+/// values warn once on stderr and fall back), defaulting to kExact; concrete
+/// modes are returned verbatim. Mirrors simd::resolve_backend.
+PlanningMode resolve_planning(PlanningMode choice);
+
 struct SpeckConfig {
   SpeckThresholds thresholds;
   SpeckFeatures features;
@@ -138,6 +162,26 @@ struct SpeckConfig {
   /// Speck::plan() calls ignore the limit — that memory is the caller's
   /// deliberate choice).
   std::size_t plan_cache_limit_bytes = 512u << 20;
+  /// Planning mode (docs/performance.md "Estimated planning"). kAuto
+  /// resolves via SPECK_PLANNING, then exact. Estimated planning skips the
+  /// exact symbolic pass: row analysis, load balancing, kernel choice and C
+  /// allocation run off sampled per-row NNZ estimates, and the numeric pass
+  /// discovers the exact pattern, re-running any row whose estimate
+  /// underflowed (counted in PassStats::estimate_underflow_rows). The
+  /// resolved mode is part of the plan fingerprint, so estimated and exact
+  /// plans never collide in the plan cache.
+  PlanningMode planning = PlanningMode::kAuto;
+  /// A-row positions the estimator samples per row (B row lengths probed);
+  /// rows at most this long are measured exactly. Must be >= 1.
+  int estimator_samples = 32;
+  /// Multiplier applied to the collision-corrected NNZ estimate before it
+  /// sizes bins and the intermediate C allocation. Must be >= 1; larger
+  /// margins trade memory for a lower underflow-fallback rate.
+  double estimator_safety_margin = 1.25;
+  /// Seed of the estimator's stateless per-row PRNG. Part of the plan
+  /// fingerprint: different seeds produce (deterministically) different
+  /// estimates, hence potentially different binning.
+  std::uint64_t estimator_seed = 0x0CEA0CEA0CEA0CEAull;
   /// Re-validates the structural invariants of both inputs (and their
   /// within-row sortedness, which the analysis relies on) at the start of
   /// every multiply; violations raise BadInput. Off by default: matrices

@@ -1,0 +1,519 @@
+#include "speck/estimator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <variant>
+
+#include "common/bit_utils.h"
+#include "common/prefix_sum.h"
+#include "common/prng.h"
+#include "speck/hash_map.h"
+#include "speck/kernels_detail.h"
+#include "speck/local_lb.h"
+
+namespace speck {
+namespace {
+
+/// Rows per parallel chunk. Fixed (never derived from the thread count) so
+/// chunk boundaries — and with them every per-row result — are identical at
+/// any parallelism level.
+constexpr std::size_t kRowChunk = 256;
+
+/// Expected number of distinct columns among `products` draws over a column
+/// universe of size `n` (the balls-into-bins compression correction:
+/// n * (1 - (1 - 1/n)^p), evaluated stably via expm1/log1p).
+double distinct_columns(double products, double n, double log_keep) {
+  if (products <= 0.0 || n <= 0.0) return 0.0;
+  return -n * std::expm1(products * log_keep);
+}
+
+/// Accumulator method per row, re-deriving run_numeric's block-level
+/// selection from the *estimates* exactly like build_replay_program does
+/// from the plan: all-direct blocks stream, single-row blocks may go dense,
+/// everything else hashes. The estimated pass, the fallback pass and the
+/// replay program must all agree on this — the method decides the row's
+/// floating-point assign/accumulate semantics.
+std::vector<RowMethod> methods_for_plan(const KernelContext& ctx,
+                                        const BinPlan& plan,
+                                        std::span<const index_t> row_nnz_estimate) {
+  const auto rows = static_cast<std::size_t>(ctx.a->rows());
+  std::vector<RowMethod> methods(rows, RowMethod::kHash);
+  for (const BinPlan::Block& block : plan.blocks) {
+    const std::span<const index_t> block_rows(
+        plan.row_order.data() + block.begin, block.end - block.begin);
+    if (block_rows.empty()) continue;
+    bool all_direct = ctx.cfg->features.direct_rows;
+    for (const index_t r : block_rows) {
+      all_direct = all_direct && ctx.a->row_length(r) == 1;
+    }
+    if (all_direct) {
+      for (const index_t r : block_rows) {
+        methods[static_cast<std::size_t>(r)] = RowMethod::kDirect;
+      }
+      continue;
+    }
+    if (block_rows.size() == 1) {
+      const index_t r = block_rows.front();
+      RowMethod method = choose_numeric_method(
+          ctx, r, row_nnz_estimate[static_cast<std::size_t>(r)],
+          /*merged_block=*/false, block.config);
+      if (method != RowMethod::kDense) method = RowMethod::kHash;
+      methods[static_cast<std::size_t>(r)] = method;
+    }
+  }
+  return methods;
+}
+
+/// Merges one row of C into `dst_cols`/`dst_vals` (capacity `cap` slots) via
+/// the worker's column-scatter map, returning the row's *actual* NNZ — the
+/// count keeps going past `cap`, only the stores stop. Fitting non-direct
+/// rows are sorted by column in place. `touches` accumulates the products
+/// processed (cost accounting).
+///
+/// Floating-point semantics per method mirror the exact kernels: direct and
+/// hash rows *assign* a column's first product, dense rows accumulate into
+/// an implicit zero (0.0 + p); every subsequent product adds. Products for
+/// one column arrive in ascending-A-column order in every method, which is
+/// what keeps the sums bit-identical across planning modes and the replay.
+index_t merge_row(const KernelContext& ctx, index_t r, RowMethod method,
+                  index_t cap, index_t* dst_cols, value_t* dst_vals,
+                  KernelWorkspace& ws, std::size_t& touches) {
+  const auto a_cols = ctx.a->row_cols(r);
+  const auto a_vals = ctx.a->row_vals(r);
+  if (method == RowMethod::kDirect) {
+    // Single A entry: the C row is the referenced B row, already sorted.
+    if (a_cols.empty()) return 0;
+    const value_t av = a_vals.front();
+    const index_t k = a_cols.front();
+    const auto b_cols = ctx.b->row_cols(k);
+    const auto b_vals = ctx.b->row_vals(k);
+    touches += b_cols.size();
+    const auto len = static_cast<index_t>(b_cols.size());
+    if (len <= cap) {
+      for (std::size_t j = 0; j < b_cols.size(); ++j) {
+        dst_cols[j] = b_cols[j];
+        dst_vals[j] = av * b_vals[j];
+      }
+    }
+    return len;
+  }
+
+  const auto b_cols_total = static_cast<std::size_t>(ctx.b->cols());
+  std::vector<std::uint32_t>& colmap = ws.estimate_colmap();
+  std::vector<std::uint32_t>& epoch = ws.estimate_epoch();
+  if (epoch.size() < b_cols_total) {
+    epoch.resize(b_cols_total, 0);
+    colmap.resize(b_cols_total);
+  }
+  std::uint32_t& counter = ws.estimate_epoch_counter();
+  if (counter == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(epoch.begin(), epoch.end(), 0);
+    counter = 0;
+  }
+  const std::uint32_t cur = ++counter;
+
+  const bool dense = method == RowMethod::kDense;
+  const auto cap_u = static_cast<std::uint32_t>(cap);
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < a_cols.size(); ++i) {
+    const value_t av = a_vals[i];
+    const auto b_cols = ctx.b->row_cols(a_cols[i]);
+    const auto b_vals = ctx.b->row_vals(a_cols[i]);
+    touches += b_cols.size();
+    for (std::size_t j = 0; j < b_cols.size(); ++j) {
+      const auto col = static_cast<std::size_t>(b_cols[j]);
+      const value_t p = av * b_vals[j];
+      if (epoch[col] != cur) {
+        epoch[col] = cur;
+        colmap[col] = count;
+        if (count < cap_u) {
+          dst_cols[count] = b_cols[j];
+          dst_vals[count] = dense ? 0.0 + p : p;
+        }
+        ++count;
+      } else {
+        const std::uint32_t slot = colmap[col];
+        if (slot < cap_u) dst_vals[slot] += p;
+      }
+    }
+  }
+
+  const auto actual = static_cast<index_t>(count);
+  if (actual <= cap && actual > 1) {
+    std::vector<DeviceHashMap::Entry>& entries = ws.entries();
+    entries.resize(static_cast<std::size_t>(actual));
+    // Extraction strategy is pure perf — both paths emit the identical
+    // ascending-column permutation of the fully accumulated slot values.
+    // Dense rows always scan their window (mirroring the exact dense
+    // kernel); hash rows scan too when the row's exact column range is
+    // narrow enough that a linear sweep beats sorting — the usual case on
+    // banded matrices, where first-touch order is nearly sorted already but
+    // std::sort still pays its full comparison bill.
+    const auto ri = static_cast<std::size_t>(r);
+    const auto lo = static_cast<std::size_t>(ctx.analysis->col_min[ri]);
+    const auto hi = static_cast<std::size_t>(ctx.analysis->col_max[ri]);
+    const std::size_t window = hi - lo + 1;
+    const std::size_t sort_cost =
+        static_cast<std::size_t>(actual) *
+        static_cast<std::size_t>(std::bit_width(static_cast<std::size_t>(actual)));
+    if (dense || window <= 4 * sort_cost) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        entries[i].value = dst_vals[i];
+      }
+      std::uint32_t w = 0;
+      for (std::size_t col = lo; col <= hi; ++col) {
+        if (epoch[col] == cur) {
+          dst_cols[w] = static_cast<index_t>(col);
+          dst_vals[w] = entries[colmap[col]].value;
+          ++w;
+        }
+      }
+      SPECK_ASSERT(w == count, "window extraction lost columns");
+    } else {
+      // First-touch order is not sorted; sort the (col, val) pairs through
+      // the worker's entry scratch (warm after the first block).
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        entries[i] = DeviceHashMap::Entry{
+            static_cast<key64_t>(static_cast<std::uint32_t>(dst_cols[i])),
+            dst_vals[i]};
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& x, const auto& y) { return x.key < y.key; });
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        dst_cols[i] = static_cast<index_t>(entries[i].key);
+        dst_vals[i] = entries[i].value;
+      }
+    }
+  }
+  return actual;
+}
+
+}  // namespace
+
+RowEstimate estimate_rows(const Csr& a, const Csr& b, const SpeckConfig& cfg,
+                          sim::Launch& launch, ThreadPool* pool,
+                          const FaultInjector* faults) {
+  RowEstimate out;
+  RowAnalysis& an = out.analysis;
+  const auto rows = static_cast<std::size_t>(a.rows());
+  an.rows = a.rows();
+  an.products.assign(rows, 0);
+  an.longest_b_row.assign(rows, 0);
+  an.col_min.assign(rows, 0);
+  an.col_max.assign(rows, 0);
+  out.row_nnz_estimate.assign(rows, 0);
+
+  const auto samples = static_cast<std::size_t>(cfg.estimator_samples);
+  const double margin = cfg.estimator_safety_margin;
+  const double n_cols = static_cast<double>(b.cols());
+  const index_t col_cap = b.cols();
+  // (1 - 1/n)^p via p * log1p(-1/n); hoisted — constant across rows.
+  const double log_keep = b.cols() > 1 ? std::log1p(-1.0 / n_cols) : 0.0;
+  const auto b_offsets = b.row_offsets();
+  const auto b_col_idx = b.col_indices();
+
+  pool_or_global(pool).parallel_for(
+      rows, kRowChunk, [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        for (std::size_t ri = begin; ri < end; ++ri) {
+          const auto r = static_cast<index_t>(ri);
+          const auto a_cols = a.row_cols(r);
+          const std::size_t row_len = a_cols.size();
+          if (row_len == 0) continue;
+
+          // Lightweight exact analysis, identical to analyze_rows: per A
+          // entry two offset loads and the referenced row's first/last
+          // column. This is the O(nnz_A) part the paper keeps; the O(products)
+          // symbolic hashing is what the estimator below replaces. The tight
+          // column ranges matter — they are what lets the estimated numeric
+          // pass pick dense windows exactly like the exact pipeline does.
+          offset_t prod_r = 0;
+          index_t longest = 0;
+          index_t cmin = b.cols();
+          index_t cmax = -1;
+          for (const index_t col_a : a_cols) {
+            const offset_t id0 = b_offsets[static_cast<std::size_t>(col_a)];
+            const offset_t idn = b_offsets[static_cast<std::size_t>(col_a) + 1];
+            const auto len = static_cast<index_t>(idn - id0);
+            if (len > 0) {
+              cmin = std::min(cmin, b_col_idx[static_cast<std::size_t>(id0)]);
+              cmax = std::max(cmax, b_col_idx[static_cast<std::size_t>(idn - 1)]);
+            }
+            prod_r += len;
+            longest = std::max(longest, len);
+          }
+          an.products[ri] =
+              faults != nullptr ? faults->scale_estimate(r, prod_r) : prod_r;
+          an.longest_b_row[ri] = longest;
+          an.col_min[ri] = cmin == b.cols() ? 0 : cmin;
+          an.col_max[ri] = cmax < 0 ? 0 : cmax;
+
+          // The sampled NNZ estimator: short rows use the exact product
+          // count; long rows extrapolate from `samples` uniformly drawn
+          // B-row lengths instead of trusting the scan above, so the
+          // estimate — and with it staging sizes and the fallback rate —
+          // remains a pure function of (structure, estimator_seed, row).
+          offset_t est_products = prod_r;
+          if (row_len > samples) {
+            // Stateless per-row PRNG: independent of chunking/threading.
+            std::uint64_t sm = cfg.estimator_seed ^
+                               (0x9E3779B97F4A7C15ull *
+                                (static_cast<std::uint64_t>(ri) + 1));
+            Xoshiro256 rng(splitmix64(sm));
+            std::uint64_t sum = 0;
+            for (std::size_t s = 0; s < samples; ++s) {
+              // With replacement — keeps the loop allocation-free; the mean
+              // of sampled B-row lengths stays an unbiased estimator.
+              const auto pick = static_cast<std::size_t>(
+                  rng.next_below(static_cast<std::uint64_t>(row_len)));
+              sum += static_cast<std::uint64_t>(
+                  b.row_length(a_cols[pick]));
+            }
+            const double mean =
+                static_cast<double>(sum) / static_cast<double>(samples);
+            est_products = static_cast<offset_t>(
+                mean * static_cast<double>(row_len) + 0.5);
+          }
+
+          // Distinct-column correction, then the safety margin, clamped to
+          // the hard bounds [1, min(products, b.cols())] for non-empty rows.
+          double est = distinct_columns(static_cast<double>(est_products),
+                                        n_cols, log_keep) *
+                       margin;
+          est = std::min(est,
+                         std::min(static_cast<double>(est_products), n_cols));
+          offset_t est_i =
+              prod_r > 0
+                  ? std::max<offset_t>(1, static_cast<offset_t>(est))
+                  : 0;
+          if (faults != nullptr) {
+            // The forced-underflow hook: may scale the estimate below the
+            // true row size, rerouting the row through the exact fallback.
+            est_i = faults->scale_sampled_estimate(est_i);
+          }
+          est_i = std::min<offset_t>(est_i, static_cast<offset_t>(col_cap));
+          out.row_nnz_estimate[ri] = static_cast<index_t>(est_i);
+        }
+      });
+
+  for (const offset_t prod_r : an.products) {
+    an.total_products += prod_r;
+    an.max_products = std::max(an.max_products, prod_r);
+  }
+  an.avg_products =
+      a.rows() > 0 ? static_cast<double>(an.total_products) / a.rows() : 0.0;
+
+  // Cost: the exact lightweight scan (same shape as analyze_rows — each NZ
+  // of A reads its column index, the B row-offset pair and the referenced
+  // row's first/last column) plus the sampled lookups, which are scattered
+  // (random index within the row) and pay the PRNG's issued work.
+  const auto nnz_a = static_cast<std::size_t>(a.nnz());
+  std::size_t sample_work = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const auto len = static_cast<std::size_t>(a.row_length(r));
+    if (len > samples) sample_work += samples;
+  }
+  const int block_threads = launch.device().max_threads_per_block;
+  const std::size_t total_work = nnz_a + sample_work;
+  const std::size_t num_blocks = std::max<std::size_t>(
+      1, ceil_div(total_work, static_cast<std::size_t>(block_threads)));
+  std::size_t remaining_scan = nnz_a;
+  std::size_t remaining_sample = sample_work;
+  for (std::size_t blk = 0; blk < num_blocks; ++blk) {
+    const std::size_t scan = std::min(remaining_scan,
+                                      static_cast<std::size_t>(block_threads));
+    remaining_scan -= scan;
+    const std::size_t sampled =
+        std::min(remaining_sample,
+                 static_cast<std::size_t>(block_threads) - scan);
+    remaining_sample -= sampled;
+    auto cost = launch.make_block(block_threads, 4 * 1024);
+    cost.global_coalesced(scan);               // col indices of A
+    cost.global_coalesced(2 * scan);           // B row offsets (near-sequential)
+    cost.global_scattered(scan / 2 + sampled); // first/last cols + samples
+    cost.smem_atomic(4.0 * static_cast<double>(scan));  // per-row reductions
+    cost.issued(static_cast<double>(block_threads),
+                sampled > 0 ? 8.0 : 6.0);      // scan + PRNG/extrapolation
+    cost.global_coalesced(4 * scan / 16);      // per-row outputs (amortized)
+    launch.add(cost);
+  }
+  return out;
+}
+
+EstimatedNumericOutcome run_numeric_estimated(
+    const KernelContext& ctx, const BinPlan& plan,
+    std::span<const index_t> row_nnz_estimate) {
+  EstimatedNumericOutcome out;
+  const auto rows = static_cast<std::size_t>(ctx.a->rows());
+  out.row_nnz.assign(rows, 0);
+
+  // Staging: every row gets an estimate-sized slot; the merge records the
+  // actual count even when it overruns the slot (stores just stop). The
+  // scratch persists across plan() calls and only ever grows: every staging
+  // element is written before it is read, so re-zeroing megabytes of slots
+  // on each call would hand back a chunk of the symbolic-pass savings.
+  thread_local std::vector<offset_t> est_offsets;
+  if (est_offsets.size() < rows + 1) est_offsets.resize(rows + 1);
+  est_offsets[0] = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    est_offsets[r + 1] = static_cast<offset_t>(row_nnz_estimate[r]);
+  }
+  inclusive_prefix_sum(std::span<offset_t>(est_offsets.data() + 1, rows),
+                       ctx.simd);
+  const auto staging_total = static_cast<std::size_t>(est_offsets[rows]);
+  thread_local std::vector<index_t> staging_cols;
+  thread_local std::vector<value_t> staging_vals;
+  if (staging_cols.size() < staging_total) staging_cols.resize(staging_total);
+  if (staging_vals.size() < staging_total) staging_vals.resize(staging_total);
+  // Snapshot raw pointers for the worker lambdas: naming a thread_local
+  // inside them would resolve through each *worker's* TLS (empty vectors),
+  // not the coordinating thread's scratch.
+  const offset_t* const est_offsets_ptr = est_offsets.data();
+  index_t* const staging_cols_ptr = staging_cols.data();
+  value_t* const staging_vals_ptr = staging_vals.data();
+
+  const std::vector<RowMethod> methods =
+      methods_for_plan(ctx, plan, row_nnz_estimate);
+
+  detail::execute_block_plan<std::monostate>(
+      ctx, plan, "numeric_est/", out.stats,
+      [&](const sim::Launch& launch, const KernelConfig& config,
+          int /*config_index*/, std::span<const index_t> block_rows,
+          PassStats& counters, std::monostate& /*payload*/,
+          KernelWorkspace& ws) {
+        auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
+        const BlockRowStats row_stats = detail::block_stats(ctx, block_rows);
+        const LocalLbDecision lb =
+            choose_group_size(config.threads, row_stats, ctx.cfg->features);
+
+        std::size_t touches = 0;
+        std::size_t written = 0;
+        std::size_t sorted = 0;
+        for (const index_t r : block_rows) {
+          const auto ri = static_cast<std::size_t>(r);
+          const RowMethod method = methods[ri];
+          const index_t cap = row_nnz_estimate[ri];
+          const auto base = static_cast<std::size_t>(est_offsets_ptr[ri]);
+          const index_t actual =
+              merge_row(ctx, r, method, cap, staging_cols_ptr + base,
+                        staging_vals_ptr + base, ws, touches);
+          out.row_nnz[ri] = actual;
+          if (actual > cap) {
+            ++counters.estimate_underflow_rows;
+          } else {
+            written += static_cast<std::size_t>(actual);
+            if (method == RowMethod::kHash) {
+              // Dense and direct rows emit in column order without sorting.
+              sorted += static_cast<std::size_t>(actual);
+            }
+          }
+          switch (method) {
+            case RowMethod::kDirect: ++counters.direct_rows; break;
+            case RowMethod::kDense: ++counters.dense_rows; break;
+            case RowMethod::kHash: ++counters.hash_rows; break;
+          }
+        }
+
+        detail::charge_row_sweep(cost, ctx, block_rows, lb.group_size,
+                                 /*numeric=*/true, ws);
+        cost.smem_atomic(static_cast<double>(touches));  // scatter-map merge
+        cost.issued(static_cast<double>(sorted), 4.0);   // in-slot pair sort
+        cost.global_coalesced(written);
+        cost.global_coalesced64(written);
+        return cost;
+      },
+      [](const std::monostate&) {});
+
+  // Compaction: exact offsets from the actual counts, then the fitting rows
+  // move from their over-allocated staging slots to final positions.
+  std::vector<offset_t> offsets(rows + 1, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    offsets[r + 1] = static_cast<offset_t>(out.row_nnz[r]);
+  }
+  inclusive_prefix_sum(std::span<offset_t>(offsets.data() + 1, rows), ctx.simd);
+  std::vector<index_t> out_cols(static_cast<std::size_t>(offsets.back()));
+  std::vector<value_t> out_vals(static_cast<std::size_t>(offsets.back()));
+
+  ThreadPool& pool = pool_or_global(ctx.pool);
+  WorkspacePool local_workspaces;
+  WorkspacePool& workspaces =
+      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
+  workspaces.ensure(pool.thread_count());
+
+  pool.parallel_for(rows, kRowChunk,
+                    [&](std::size_t begin, std::size_t end, int /*worker*/) {
+                      for (std::size_t r = begin; r < end; ++r) {
+                        const auto n = static_cast<std::size_t>(out.row_nnz[r]);
+                        if (n == 0 ||
+                            out.row_nnz[r] > row_nnz_estimate[r]) {
+                          continue;  // empty, or recomputed by the fallback
+                        }
+                        const auto src =
+                            static_cast<std::size_t>(est_offsets_ptr[r]);
+                        const auto dst = static_cast<std::size_t>(offsets[r]);
+                        std::memcpy(out_cols.data() + dst,
+                                    staging_cols_ptr + src,
+                                    n * sizeof(index_t));
+                        std::memcpy(out_vals.data() + dst,
+                                    staging_vals_ptr + src,
+                                    n * sizeof(value_t));
+                      }
+                    });
+
+  // Fallback: rows whose estimate underflowed re-run the exact merge into
+  // their exactly-sized final slots — this is how an estimated plan
+  // self-corrects without ever producing an inexact C.
+  std::vector<index_t> fallback_rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (out.row_nnz[r] > row_nnz_estimate[r]) {
+      fallback_rows.push_back(static_cast<index_t>(r));
+    }
+  }
+  if (!fallback_rows.empty()) {
+    sim::Launch fallback_launch("numeric_est_fallback", *ctx.device, *ctx.model);
+    const KernelConfig& largest = ctx.configs->back();
+    std::vector<std::optional<sim::BlockCost>> costs(fallback_rows.size());
+    constexpr std::size_t kFallbackChunk = 4;
+    pool.parallel_for(
+        fallback_rows.size(), kFallbackChunk,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          KernelWorkspace& ws = workspaces.at(worker);
+          for (std::size_t i = begin; i < end; ++i) {
+            const index_t r = fallback_rows[i];
+            const auto ri = static_cast<std::size_t>(r);
+            const auto dst = static_cast<std::size_t>(offsets[ri]);
+            std::size_t touches = 0;
+            const index_t actual = merge_row(
+                ctx, r, methods[ri], out.row_nnz[ri], out_cols.data() + dst,
+                out_vals.data() + dst, ws, touches);
+            SPECK_ASSERT(actual == out.row_nnz[ri],
+                         "estimated fallback recount disagrees with the "
+                         "first pass");
+            auto cost =
+                fallback_launch.make_block(largest.threads,
+                                           largest.scratchpad_bytes);
+            cost.global_scattered(touches);
+            cost.smem_atomic(static_cast<double>(touches));
+            cost.issued(static_cast<double>(actual), 4.0);
+            cost.global_coalesced(static_cast<std::size_t>(actual));
+            cost.global_coalesced64(static_cast<std::size_t>(actual));
+            costs[i] = cost;
+          }
+        });
+    for (const std::optional<sim::BlockCost>& cost : costs) {
+      fallback_launch.add(*cost);
+    }
+    sim::LaunchResult finished = fallback_launch.finish();
+    out.stats.seconds += finished.seconds;
+    if (ctx.trace != nullptr) ctx.trace->record(std::move(finished));
+  }
+
+  out.c = Csr(ctx.a->rows(), ctx.b->cols(), std::move(offsets),
+              std::move(out_cols), std::move(out_vals));
+  return out;
+}
+
+}  // namespace speck

@@ -8,6 +8,7 @@
 
 #include "common/fault_injection.h"
 #include "common/thread_pool.h"
+#include "common/uninit.h"
 #include "matrix/csr.h"
 #include "sim/launch.h"
 #include "sim/trace.h"
@@ -76,6 +77,10 @@ struct PassStats {
   /// installs the counting allocator of common/alloc_counter.h; 0 in the
   /// steady state either way — the zero-allocation hot-path gate).
   std::size_t hot_path_allocs = 0;
+  /// Estimated planning only: rows whose sampled NNZ estimate underflowed
+  /// the actual row size, forcing the per-row exact fallback re-run
+  /// (docs/performance.md "Estimated planning"). Always 0 in exact mode.
+  offset_t estimate_underflow_rows = 0;
 };
 
 struct SymbolicOutcome {
@@ -103,27 +108,35 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
 
 /// Values-only replay program: one entry per intermediate product, grouped
 /// by row of C and ordered exactly like the numeric kernels accumulate
-/// (rows of A outer, referenced rows of B inner). `assign_first` mirrors the
-/// accumulator semantics of the row's method — hash and direct rows *assign*
-/// their first contribution to a slot, dense rows add into a zero-initialized
-/// window — which is what keeps replayed values bit-identical to a full
-/// numeric pass. Built once per plan by build_replay_program (plan.h).
+/// (rows of A outer, referenced rows of B inner).
+///
+/// Only the *destination* of each product is stored: the (a, b) value
+/// positions are re-derived at replay time by walking A's and B's CSR
+/// structure in the same order — the fingerprint pins both patterns, so the
+/// walk reproduces the build-time enumeration exactly, and the B-value reads
+/// become sequential per segment instead of gathered. Each dest word packs
+/// the C value slot in the low 31 bits and the assign-first flag in the top
+/// bit. The flag mirrors the accumulator semantics of the row's method —
+/// hash and direct rows *assign* their first contribution to a slot, dense
+/// rows add into a zero-initialized window — which is what keeps replayed
+/// values bit-identical to a full numeric pass. Built once per plan by
+/// build_replay_program (plan.h).
 struct NumericReplayProgram {
+  /// Top bit of a dest word: store the product instead of adding it.
+  static constexpr std::uint32_t kAssignFirst = 0x8000'0000u;
   /// rows+1 prefix: ops of C row r live in [row_op_start[r], row_op_start[r+1]).
   std::vector<offset_t> row_op_start;
-  std::vector<std::uint32_t> a_idx;        ///< index into a.values()
-  std::vector<std::uint32_t> b_idx;        ///< index into b.values()
-  std::vector<std::uint32_t> dest;         ///< index into the output values
-  std::vector<std::uint8_t> assign_first;  ///< 1: store the product; 0: add it
+  // The dest array is the dominant capture cost (4 bytes per intermediate
+  // product) and every element is written by build_replay_program before any
+  // read, so resize() skips the zero fill (common/uninit.h).
+  UninitVector<std::uint32_t> dest;  ///< output slot | kAssignFirst
 
-  std::size_t ops() const { return a_idx.size(); }
+  std::size_t ops() const { return dest.size(); }
   /// Allocated (capacity-based) host footprint — what the plan cache's byte
   /// budget is charged for.
   std::size_t byte_size() const {
     return row_op_start.capacity() * sizeof(offset_t) +
-           (a_idx.capacity() + b_idx.capacity() + dest.capacity()) *
-               sizeof(std::uint32_t) +
-           assign_first.capacity() * sizeof(std::uint8_t);
+           dest.capacity() * sizeof(std::uint32_t);
   }
 };
 

@@ -34,6 +34,7 @@ inline void merge_pass_counters(PassStats& into, const PassStats& from) {
   into.moved_entries += from.moved_entries;
   into.global_inserts += from.global_inserts;
   into.hot_path_allocs += from.hot_path_allocs;
+  into.estimate_underflow_rows += from.estimate_underflow_rows;
 }
 
 /// Groups the plan's blocks by kernel configuration in one sweep (the passes

@@ -5,6 +5,7 @@
 
 #include "common/alloc_counter.h"
 #include "common/bit_utils.h"
+#include "common/prefix_sum.h"
 #include "common/sorting.h"
 #include "speck/dense_acc.h"
 #include "speck/hash_acc.h"
@@ -187,9 +188,8 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
     ++row_start[static_cast<std::size_t>(
                     key_local_row(entry.key, ctx.wide_keys)) + 1];
   }
-  for (std::size_t local = 0; local < rows.size(); ++local) {
-    row_start[local + 1] += row_start[local];
-  }
+  inclusive_prefix_sum(std::span<std::size_t>(row_start.data() + 1, rows.size()),
+                       ctx.simd);
   std::vector<std::size_t>& row_cursor = ws.row_cursors();
   row_cursor.assign(row_start.begin(), row_start.end());
   std::vector<DeviceHashMap::Entry>& bucketed = ws.bucketed_entries();
@@ -253,12 +253,16 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   NumericOutcome out;
   out.stats.global_pool_bytes = global_pool_bytes(ctx, plan, /*symbolic=*/false);
 
-  // Output allocation: offsets from the symbolic row counts.
-  std::vector<offset_t> offsets(static_cast<std::size_t>(ctx.a->rows()) + 1, 0);
-  for (index_t r = 0; r < ctx.a->rows(); ++r) {
-    offsets[static_cast<std::size_t>(r) + 1] =
-        offsets[static_cast<std::size_t>(r)] + row_nnz[static_cast<std::size_t>(r)];
+  // Output allocation: offsets from the symbolic row counts — a widening
+  // copy followed by the SIMD inclusive scan (bit-identical to the serial
+  // running sum; integer addition is associative).
+  const auto row_count = static_cast<std::size_t>(ctx.a->rows());
+  std::vector<offset_t> offsets(row_count + 1, 0);
+  for (std::size_t r = 0; r < row_count; ++r) {
+    offsets[r + 1] = static_cast<offset_t>(row_nnz[r]);
   }
+  inclusive_prefix_sum(std::span<offset_t>(offsets.data() + 1, row_count),
+                       ctx.simd);
   std::vector<index_t> out_cols(static_cast<std::size_t>(offsets.back()));
   std::vector<value_t> out_vals(static_cast<std::size_t>(offsets.back()));
 
@@ -312,6 +316,54 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   return out;
 }
 
+namespace {
+
+/// Shared replay inner loop for rows [begin, end): walks A's and B's CSR
+/// structure in build order — C row outer, A entry next, referenced B row
+/// inner — so the program never stores value positions, only the packed
+/// dest word per product. The (a, b) value reads are sequential per
+/// segment; the only scatter is the dest slot, which is what the vector
+/// backends prefetch ahead. Prefetch is a pure hint — the arithmetic and
+/// its order are identical on every backend.
+void replay_rows_program(const Csr& a, const Csr& b,
+                         const NumericReplayProgram& program, std::size_t begin,
+                         std::size_t end, std::span<value_t> out,
+                         SimdBackend simd) {
+  constexpr std::uint32_t kAssign = NumericReplayProgram::kAssignFirst;
+  const value_t* a_vals = a.values().data();
+  const value_t* b_vals = b.values().data();
+  const std::uint32_t* dest = program.dest.data();
+  const std::span<const offset_t> a_offsets = a.row_offsets();
+  const std::span<const offset_t> b_offsets = b.row_offsets();
+  const index_t* a_cols = a.col_indices().data();
+  constexpr std::size_t kPrefetchDistance = 16;
+  const bool prefetch_slots = simd != SimdBackend::kScalar;
+  const auto op_limit = static_cast<std::size_t>(program.row_op_start[end]);
+  auto op = static_cast<std::size_t>(program.row_op_start[begin]);
+  for (std::size_t r = begin; r < end; ++r) {
+    const auto row_begin = static_cast<std::size_t>(a_offsets[r]);
+    const auto row_end = static_cast<std::size_t>(a_offsets[r + 1]);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const value_t av = a_vals[i];
+      const auto k = static_cast<std::size_t>(a_cols[i]);
+      const auto seg_end = static_cast<std::size_t>(b_offsets[k + 1]);
+      for (auto bp = static_cast<std::size_t>(b_offsets[k]); bp < seg_end;
+           ++bp, ++op) {
+        if (prefetch_slots && op + kPrefetchDistance < op_limit) {
+          simd::prefetch(out.data() +
+                         (dest[op + kPrefetchDistance] & ~kAssign));
+        }
+        const value_t product = av * b_vals[bp];
+        const std::uint32_t d = dest[op];
+        value_t& slot = out[d & ~kAssign];
+        slot = (d & kAssign) != 0 ? product : slot + product;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::size_t replay_numeric_values(const Csr& a, const Csr& b,
                                   const NumericReplayProgram& program,
                                   ThreadPool* pool, std::span<value_t> out,
@@ -319,8 +371,6 @@ std::size_t replay_numeric_values(const Csr& a, const Csr& b,
   const std::size_t rows =
       program.row_op_start.empty() ? 0 : program.row_op_start.size() - 1;
   if (rows == 0) return 0;
-  const value_t* a_vals = a.values().data();
-  const value_t* b_vals = b.values().data();
 
   // Fixed row chunking — like the block passes, boundaries are a pure
   // function of the row count, so the replay is bit-identical at any thread
@@ -332,25 +382,7 @@ std::size_t replay_numeric_values(const Csr& a, const Csr& b,
   pool_or_global(pool).parallel_for(
       rows, kRowChunk, [&](std::size_t begin, std::size_t end, int /*worker*/) {
         const std::size_t allocs_before = detail::alloc_events_now();
-        const auto op_begin = static_cast<std::size_t>(program.row_op_start[begin]);
-        const auto op_end = static_cast<std::size_t>(program.row_op_start[end]);
-        // The replay loop is three gathers and a fused multiply-add per op;
-        // on the vector backends, prefetching the gather targets a fixed
-        // distance ahead hides their latency. Prefetch is a pure hint — the
-        // arithmetic and its order are identical on every backend.
-        constexpr std::size_t kPrefetchDistance = 16;
-        const bool prefetch_gathers = simd != SimdBackend::kScalar;
-        for (std::size_t op = op_begin; op < op_end; ++op) {
-          if (prefetch_gathers && op + kPrefetchDistance < op_end) {
-            const std::size_t ahead = op + kPrefetchDistance;
-            simd::prefetch(a_vals + program.a_idx[ahead]);
-            simd::prefetch(b_vals + program.b_idx[ahead]);
-          }
-          const value_t product =
-              a_vals[program.a_idx[op]] * b_vals[program.b_idx[op]];
-          value_t& slot = out[program.dest[op]];
-          slot = program.assign_first[op] != 0 ? product : slot + product;
-        }
+        replay_rows_program(a, b, program, begin, end, out, simd);
         chunk_allocs[begin / kRowChunk] +=
             detail::alloc_events_now() - allocs_before;
       });
@@ -364,25 +396,11 @@ std::size_t replay_numeric_values_serial(const Csr& a, const Csr& b,
                                          const NumericReplayProgram& program,
                                          std::span<value_t> out,
                                          SimdBackend simd) {
-  const std::size_t ops = program.ops();
-  if (ops == 0) return 0;
-  const value_t* a_vals = a.values().data();
-  const value_t* b_vals = b.values().data();
-
+  const std::size_t rows =
+      program.row_op_start.empty() ? 0 : program.row_op_start.size() - 1;
+  if (rows == 0) return 0;
   const std::size_t allocs_before = detail::alloc_events_now();
-  constexpr std::size_t kPrefetchDistance = 16;
-  const bool prefetch_gathers = simd != SimdBackend::kScalar;
-  for (std::size_t op = 0; op < ops; ++op) {
-    if (prefetch_gathers && op + kPrefetchDistance < ops) {
-      const std::size_t ahead = op + kPrefetchDistance;
-      simd::prefetch(a_vals + program.a_idx[ahead]);
-      simd::prefetch(b_vals + program.b_idx[ahead]);
-    }
-    const value_t product =
-        a_vals[program.a_idx[op]] * b_vals[program.b_idx[op]];
-    value_t& slot = out[program.dest[op]];
-    slot = program.assign_first[op] != 0 ? product : slot + product;
-  }
+  replay_rows_program(a, b, program, 0, rows, out, simd);
   return detail::alloc_events_now() - allocs_before;
 }
 

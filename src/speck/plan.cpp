@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/check.h"
+#include "common/prefix_sum.h"
 #include "common/prng.h"
 #include "common/thread_pool.h"
 #include "speck/workspace.h"
@@ -47,6 +48,17 @@ std::uint64_t planning_config_hash(const SpeckConfig& cfg) {
   h = mix(h, cfg.dense_density_threshold);
   h = mix(h, static_cast<std::uint64_t>(cfg.max_rows_per_block));
 
+  // The *resolved* planning mode (never kAuto, so an SPECK_PLANNING change
+  // between runs changes the fingerprint): estimated and exact plans derive
+  // different binning / kernel choices from the same structure, so the cache
+  // must never serve one for the other. The estimator knobs only matter in
+  // estimated mode but are hashed unconditionally to keep the hash a pure
+  // function of the config.
+  h = mix(h, static_cast<std::uint64_t>(resolve_planning(cfg.planning)));
+  h = mix(h, static_cast<std::uint64_t>(cfg.estimator_samples));
+  h = mix(h, cfg.estimator_safety_margin);
+  h = mix(h, cfg.estimator_seed);
+
   // Only the pipeline-affecting fault fields enter the hash: the serving
   // faults (plan_fail_mod, plan_delay_ms, admission_bytes_scale,
   // evict_every) never change what a plan computes, so hashing them would
@@ -58,19 +70,43 @@ std::uint64_t planning_config_hash(const SpeckConfig& cfg) {
   h = mix(h, static_cast<std::uint64_t>(fs.hash_overflow_after));
   h = mix(h, fs.scratchpad_scale);
   h = mix(h, static_cast<std::uint64_t>(fs.memory_budget_bytes));
+  h = mix(h, fs.estimator_scale);
   return h;
 }
+
+namespace {
+
+/// Four independent splitmix chains over a strided walk of `data`, folded
+/// into `h` at the end. The single-chain version is a serial dependency
+/// chain (one splitmix64 latency per element); four lanes expose enough ILP
+/// to run at memory speed. Still a pure function of the element sequence.
+template <typename T>
+std::uint64_t hash_array_lanes(std::uint64_t h, std::span<const T> data) {
+  std::uint64_t l0 = h ^ 0x9E37'79B9'7F4A'7C15ULL;
+  std::uint64_t l1 = h ^ 0xBF58'476D'1CE4'E5B9ULL;
+  std::uint64_t l2 = h ^ 0x94D0'49BB'1331'11EBULL;
+  std::uint64_t l3 = h ^ 0xD6E8'FEB8'6659'FD93ULL;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    l0 = mix(l0, static_cast<std::uint64_t>(data[i]));
+    l1 = mix(l1, static_cast<std::uint64_t>(data[i + 1]));
+    l2 = mix(l2, static_cast<std::uint64_t>(data[i + 2]));
+    l3 = mix(l3, static_cast<std::uint64_t>(data[i + 3]));
+  }
+  for (; i < data.size(); ++i) {
+    l0 = mix(l0, static_cast<std::uint64_t>(data[i]));
+  }
+  return mix(mix(mix(mix(h, l0), l1), l2), l3);
+}
+
+}  // namespace
 
 std::uint64_t csr_pattern_hash(const Csr& m) {
   std::uint64_t h = 0x9E37'79B9'7F4A'7C15ULL;
   h = mix(h, static_cast<std::uint64_t>(m.rows()));
   h = mix(h, static_cast<std::uint64_t>(m.cols()));
-  for (const offset_t o : m.row_offsets()) {
-    h = mix(h, static_cast<std::uint64_t>(o));
-  }
-  for (const index_t c : m.col_indices()) {
-    h = mix(h, static_cast<std::uint64_t>(c));
-  }
+  h = hash_array_lanes(h, m.row_offsets());
+  h = hash_array_lanes(h, m.col_indices());
   return h;
 }
 
@@ -123,18 +159,18 @@ std::size_t SpeckPlan::byte_size() const {
 
 std::size_t estimate_plan_bytes(const Csr& a, const Csr& b) {
   // Upper bound on what a plan for (a, b) will pin, computable before any
-  // planning work: the replay program dominates at 13 bytes per intermediate
-  // product (3 uint32 indices + 1 assign flag); the C pattern is at most one
-  // entry per product plus the row-offset array; the per-row planning state
-  // (analysis arrays, bin plans, row_nnz) is a small per-row constant.
+  // planning work: the replay program stores one packed dest word per
+  // intermediate product (the value positions are re-derived from the CSR
+  // structure at replay time); the C pattern is at most one entry per
+  // product plus the row-offset array; the per-row planning state (analysis
+  // arrays, bin plans, row_nnz) is a small per-row constant.
   std::size_t ops = 0;
   for (const index_t k : a.col_indices()) {
     ops += static_cast<std::size_t>(b.row_length(k));
   }
   const auto rows = static_cast<std::size_t>(a.rows());
   const std::size_t program_bytes =
-      ops * (3 * sizeof(std::uint32_t) + sizeof(std::uint8_t)) +
-      (rows + 1) * sizeof(offset_t);
+      ops * sizeof(std::uint32_t) + (rows + 1) * sizeof(offset_t);
   const std::size_t pattern_bytes =
       ops * sizeof(index_t) + (rows + 1) * sizeof(offset_t);
   const std::size_t planning_bytes =
@@ -192,29 +228,33 @@ NumericReplayProgram build_replay_program(const KernelContext& ctx,
   }
 
   // Exact per-row op counts (never the fault-perturbed analysis estimates),
-  // then a serial prefix sum so every row owns its program slice.
+  // then a prefix sum (SIMD scan) so every row owns its program slice.
+  // Without a fault injector the analysis products ARE the exact counts
+  // (sum of referenced B-row lengths per row of A), so the O(products)
+  // recount walk collapses to an O(rows) copy.
   std::vector<offset_t>& starts = program.row_op_start;
-  pool.parallel_for(rows, 512,
-                    [&](std::size_t begin, std::size_t end, int /*worker*/) {
-                      for (std::size_t r = begin; r < end; ++r) {
-                        offset_t ops = 0;
-                        for (const index_t k :
-                             a.row_cols(static_cast<index_t>(r))) {
-                          ops += b.row_length(k);
+  if (ctx.faults == nullptr && ctx.analysis != nullptr &&
+      ctx.analysis->products.size() == rows) {
+    std::copy(ctx.analysis->products.begin(), ctx.analysis->products.end(),
+              starts.begin() + 1);
+  } else {
+    pool.parallel_for(rows, 512,
+                      [&](std::size_t begin, std::size_t end, int /*worker*/) {
+                        for (std::size_t r = begin; r < end; ++r) {
+                          offset_t ops = 0;
+                          for (const index_t k :
+                               a.row_cols(static_cast<index_t>(r))) {
+                            ops += b.row_length(k);
+                          }
+                          starts[r + 1] = ops;
                         }
-                        starts[r + 1] = ops;
-                      }
-                    });
-  for (std::size_t r = 0; r < rows; ++r) starts[r + 1] += starts[r];
+                      });
+  }
+  inclusive_prefix_sum(std::span<offset_t>(starts.data() + 1, rows), ctx.simd);
 
   const auto total_ops = static_cast<std::size_t>(starts.back());
-  program.a_idx.resize(total_ops);
-  program.b_idx.resize(total_ops);
   program.dest.resize(total_ops);
-  program.assign_first.resize(total_ops);
 
-  const std::span<const offset_t> a_offsets = a.row_offsets();
-  const std::span<const offset_t> b_offsets = b.row_offsets();
   const auto b_cols_total = static_cast<std::size_t>(b.cols());
   pool.parallel_for(rows, 256, [&](std::size_t begin, std::size_t end,
                                    int worker) {
@@ -234,16 +274,10 @@ NumericReplayProgram build_replay_program(const KernelContext& ctx,
       if (methods[r] == RowMethod::kDirect) {
         // Single A entry: the C row is the referenced B row, in order.
         if (!a_cols.empty()) {
-          const auto a_pos = static_cast<std::uint32_t>(a_offsets[r]);
-          const index_t k = a_cols.front();
-          const auto b_pos =
-              static_cast<std::size_t>(b_offsets[static_cast<std::size_t>(k)]);
-          const auto len = static_cast<std::size_t>(b.row_length(k));
+          const auto len = static_cast<std::size_t>(b.row_length(a_cols.front()));
           for (std::size_t j = 0; j < len; ++j) {
-            program.a_idx[op] = a_pos;
-            program.b_idx[op] = static_cast<std::uint32_t>(b_pos + j);
-            program.dest[op] = static_cast<std::uint32_t>(c_begin + j);
-            program.assign_first[op] = 1;
+            program.dest[op] = static_cast<std::uint32_t>(c_begin + j) |
+                               NumericReplayProgram::kAssignFirst;
             ++op;
           }
         }
@@ -259,23 +293,18 @@ NumericReplayProgram build_replay_program(const KernelContext& ctx,
             static_cast<std::uint32_t>(l);
       }
       for (std::size_t i = 0; i < a_cols.size(); ++i) {
-        const auto a_pos = static_cast<std::uint32_t>(
-            a_offsets[r] + static_cast<offset_t>(i));
         const index_t k = a_cols[i];
         const auto b_cols = b.row_cols(k);
-        const auto b_pos =
-            static_cast<std::size_t>(b_offsets[static_cast<std::size_t>(k)]);
         for (std::size_t j = 0; j < b_cols.size(); ++j) {
           const auto local = static_cast<std::size_t>(
               colmap[static_cast<std::size_t>(b_cols[j])]);
           SPECK_ASSERT(local < c_cols.size() && c_cols[local] == b_cols[j],
                        "replay program: product column missing from the "
                        "frozen C pattern");
-          program.a_idx[op] = a_pos;
-          program.b_idx[op] = static_cast<std::uint32_t>(b_pos + j);
-          program.dest[op] = static_cast<std::uint32_t>(c_begin + local);
-          program.assign_first[op] =
-              hash && seen[local] == 0 ? std::uint8_t{1} : std::uint8_t{0};
+          const bool assign = hash && seen[local] == 0;
+          program.dest[op] =
+              static_cast<std::uint32_t>(c_begin + local) |
+              (assign ? NumericReplayProgram::kAssignFirst : 0u);
           if (hash) seen[local] = 1;
           ++op;
         }

@@ -93,6 +93,13 @@ struct SpeckDiagnostics {
   /// incomplete plan) and fell back to the full pipeline.
   bool plan_fallback = false;
   std::string plan_fallback_reason;
+  /// True when planning ran in estimated mode (resolved
+  /// SpeckConfig::planning): the symbolic pass was skipped and binning /
+  /// allocation ran off sampled NNZ estimates. The exact pattern of C is
+  /// discovered by the numeric pass either way; see
+  /// numeric.estimate_underflow_rows for the rows whose estimate
+  /// underflowed and re-ran through the exact fallback.
+  bool estimated_planning = false;
 };
 
 /// Frozen pattern-dependent state of one (A, B, config) structure: the full

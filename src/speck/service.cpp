@@ -384,6 +384,10 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
         return resp;
       }
       note_plan_success(key);
+      estimator_fallback_rows_.fetch_add(
+          static_cast<std::uint64_t>(
+              built.diagnostics.numeric.estimate_underflow_rows),
+          std::memory_order_relaxed);
       if (built.complete) {
         cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
         plans_built_.fetch_add(1, std::memory_order_relaxed);
@@ -488,6 +492,10 @@ std::shared_ptr<const SpeckPlan> SpeckService::plan_for(const Csr& a,
     return nullptr;
   }
   plans_built_.fetch_add(1, std::memory_order_relaxed);
+  estimator_fallback_rows_.fetch_add(
+      static_cast<std::uint64_t>(
+          built.diagnostics.numeric.estimate_underflow_rows),
+      std::memory_order_relaxed);
   return cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
 }
 
@@ -502,6 +510,8 @@ ServiceStats SpeckService::stats() const {
   out.timed_out = timed_out_.load(std::memory_order_relaxed);
   out.degraded = degraded_.load(std::memory_order_relaxed);
   out.quarantine_trips = quarantine_trips_.load(std::memory_order_relaxed);
+  out.estimator_fallback_rows =
+      estimator_fallback_rows_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   return out;
 }

@@ -165,6 +165,11 @@ struct ServiceStats {
   std::uint64_t timed_out = 0;    ///< deadline expired (kDeadlineExceeded)
   std::uint64_t degraded = 0;     ///< served by the degraded path
   std::uint64_t quarantine_trips = 0;  ///< circuit-breaker activations
+  /// Rows whose sampled NNZ estimate underflowed during an estimated-planning
+  /// build and re-ran through the exact fallback (always 0 under exact
+  /// planning). High values relative to rows planned mean the estimator's
+  /// safety margin is too tight for this workload.
+  std::uint64_t estimator_fallback_rows = 0;
   PlanCacheStats cache;
 };
 
@@ -173,7 +178,11 @@ class SpeckService {
   /// Wraps `speck` (not owned; must outlive the service). The service keeps
   /// its own PlanCache — Speck's transparent cache stays untouched, so a
   /// Speck can be handed to a service mid-life without invalidating
-  /// anything.
+  /// anything. Cold-miss plan builds inherit the wrapped Speck's
+  /// SpeckConfig::planning: estimated planning shrinks the serialized
+  /// plan-mutex window (the build skips the exact symbolic pass), so misses
+  /// convoy for less time; plans built under each mode carry distinct
+  /// fingerprints and never serve each other's lookups.
   explicit SpeckService(Speck& speck, ServiceConfig config = {});
 
   /// Per-request options. Default-constructed == no deadline.
@@ -297,6 +306,7 @@ class SpeckService {
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> quarantine_trips_{0};
+  std::atomic<std::uint64_t> estimator_fallback_rows_{0};
 };
 
 }  // namespace speck

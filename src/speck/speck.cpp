@@ -5,14 +5,18 @@
 #include <optional>
 
 #include "common/bit_utils.h"
+#include "common/prefix_sum.h"
 #include "matrix/matrix_stats.h"
 #include "sim/memory_tracker.h"
+#include "speck/estimator.h"
 
 namespace speck {
 namespace {
 
-constexpr std::uint64_t kMaxReplayIndex =
-    std::numeric_limits<std::uint32_t>::max();
+// The replay program packs each C value slot with the assign-first flag
+// into one uint32 (NumericReplayProgram::kAssignFirst), so indices must fit
+// in 31 bits.
+constexpr std::uint64_t kMaxReplayIndex = 1ULL << 31;
 
 void validate_multiply_inputs(const Csr& a, const Csr& b) {
   a.validate();
@@ -115,7 +119,10 @@ SpeckPlan Speck::plan(const Csr& a, const Csr& b, SpGemmResult* full_result,
                       const CancelToken* cancel) {
   SpeckPlan plan;
   plan.fingerprint = plan_fingerprint(a, b, config_);
-  SpGemmResult result = multiply_full(a, b, &plan, cancel);
+  // When the caller does not want the full multiply result, the capture
+  // block may steal the C pattern arrays from it instead of copying.
+  SpGemmResult result =
+      multiply_full(a, b, &plan, cancel, /*steal_pattern=*/full_result == nullptr);
   if (!result.ok() && plan.incomplete_reason.empty()) {
     plan.incomplete_reason = "planning run failed: " + result.failure_reason;
   }
@@ -275,7 +282,8 @@ SpGemmResult Speck::replay_plan_into(const SpeckPlan& plan, const Csr& a,
 
 SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
                                   SpeckPlan* capture,
-                                  const CancelToken* cancel) {
+                                  const CancelToken* cancel,
+                                  bool steal_pattern) {
   // Cooperative cancellation: polled at stage boundaries on this (the
   // coordinating) thread only — pool workers never throw. A kernel that has
   // started runs to completion; the check before each stage keeps an
@@ -319,6 +327,11 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
   ctx.workspaces = &workspaces_;
   ctx.faults = faults;
   ctx.simd = simd::resolve_backend(config_.simd_backend);
+
+  if (resolve_planning(config_.planning) == PlanningMode::kEstimated) {
+    return multiply_estimated(a, b, capture, cancel, ctx, memory,
+                              steal_pattern);
+  }
 
   // Stage 1: lightweight row analysis (Algorithm 1).
   sim::Launch analysis_launch("row_analysis", device_, model_);
@@ -460,10 +473,18 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
     SpeckPlan& plan = *capture;
     plan.wide_keys = ctx.wide_keys;
     plan.row_nnz = std::move(symbolic.row_nnz);
-    const std::span<const offset_t> c_offsets = result.c.row_offsets();
-    const std::span<const index_t> c_cols = result.c.col_indices();
-    plan.c_row_offsets.assign(c_offsets.begin(), c_offsets.end());
-    plan.c_col_indices.assign(c_cols.begin(), c_cols.end());
+    if (steal_pattern) {
+      // The caller promised to discard the result: take the pattern arrays
+      // instead of copying them (the values are dropped either way).
+      std::vector<value_t> discarded_values;
+      result.c.take_arrays(plan.c_row_offsets, plan.c_col_indices,
+                           discarded_values);
+    } else {
+      const std::span<const offset_t> c_offsets = result.c.row_offsets();
+      const std::span<const index_t> c_cols = result.c.col_indices();
+      plan.c_row_offsets.assign(c_offsets.begin(), c_offsets.end());
+      plan.c_col_indices.assign(c_cols.begin(), c_cols.end());
+    }
     if (static_cast<std::uint64_t>(a.nnz()) >= kMaxReplayIndex ||
         static_cast<std::uint64_t>(b.nnz()) >= kMaxReplayIndex ||
         static_cast<std::uint64_t>(c_nnz) >= kMaxReplayIndex) {
@@ -489,6 +510,159 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
         result.timeline.seconds(sim::Stage::kAnalysis) +
         result.timeline.seconds(sim::Stage::kSymbolicLoadBalance) +
         result.timeline.seconds(sim::Stage::kSymbolic) +
+        result.timeline.seconds(sim::Stage::kNumericLoadBalance);
+  }
+  return result;
+}
+
+SpGemmResult Speck::multiply_estimated(const Csr& a, const Csr& b,
+                                       SpeckPlan* capture,
+                                       const CancelToken* cancel,
+                                       KernelContext& ctx,
+                                       sim::MemoryTracker& memory,
+                                       bool steal_pattern) {
+  const auto poll_cancel = [cancel](const char* phase) {
+    if (cancel != nullptr) cancel->check(phase);
+  };
+  SpGemmResult result;
+  diagnostics_.estimated_planning = true;
+  const FaultInjector* faults = ctx.faults;
+
+  // Stage 1': row estimation — the exact O(nnz_A) lightweight analysis plus
+  // a bounded per-row sampling pass for the NNZ estimates; what it *skips*
+  // is the O(products) symbolic hashing pass below.
+  sim::Launch estimator_launch("row_estimator", device_, model_);
+  RowEstimate estimate =
+      estimate_rows(a, b, config_, estimator_launch, ctx.pool, faults);
+  ctx.analysis = &estimate.analysis;
+  diagnostics_.products = estimate.analysis.total_products;
+  {
+    sim::LaunchResult finished = estimator_launch.finish();
+    result.timeline.add(sim::Stage::kAnalysis, finished.seconds);
+    trace_.record(std::move(finished));
+  }
+  const std::size_t analysis_bytes =
+      static_cast<std::size_t>(a.rows()) *
+      (sizeof(offset_t) + 4 * sizeof(index_t));
+  if (!memory.allocate(analysis_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "row estimation buffers exceed device memory";
+    return result;
+  }
+
+  poll_cancel("row estimation");
+  // The symbolic load balancer and the symbolic pass are skipped entirely:
+  // numeric binning runs straight off the NNZ estimates, inflated by the
+  // hash fill limit exactly like exact mode inflates the symbolic counts.
+  std::vector<offset_t> numeric_entries(estimate.row_nnz_estimate.size());
+  for (std::size_t r = 0; r < numeric_entries.size(); ++r) {
+    numeric_entries[r] = static_cast<offset_t>(
+        static_cast<double>(estimate.row_nnz_estimate[r]) /
+            config_.max_numeric_fill +
+        1.0);
+    if (faults != nullptr) {
+      numeric_entries[r] =
+          faults->scale_estimate(static_cast<index_t>(r), numeric_entries[r]);
+    }
+  }
+  sim::Launch numeric_lb_launch("numeric_lb", device_, model_);
+  const GlobalLbInputs numeric_inputs{std::span<const offset_t>(numeric_entries),
+                                      /*symbolic=*/false};
+  BinPlan numeric_plan =
+      plan_global_lb(numeric_inputs, kernel_configs_, config_, numeric_lb_launch);
+  diagnostics_.numeric_decision =
+      lb_decision_stats(numeric_inputs, kernel_configs_, config_);
+  diagnostics_.numeric_lb_used = numeric_plan.used_load_balancer;
+  diagnostics_.numeric_blocks = static_cast<int>(numeric_plan.blocks.size());
+  if (numeric_plan.used_load_balancer) {
+    sim::LaunchResult finished = numeric_lb_launch.finish();
+    result.timeline.add(sim::Stage::kNumericLoadBalance, finished.seconds);
+    trace_.record(std::move(finished));
+    if (!memory.allocate(numeric_plan.lb_memory_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "load balancer buffers exceed device memory";
+      return result;
+    }
+  }
+
+  poll_cancel("numeric load balancing");
+  // Estimated C staging: one over-allocated slot per row (this is the
+  // allocation exact mode sizes from the symbolic counts).
+  offset_t staging_nnz = 0;
+  for (const index_t est : estimate.row_nnz_estimate) staging_nnz += est;
+  const std::size_t staging_bytes =
+      (static_cast<std::size_t>(a.rows()) + 1) * sizeof(offset_t) +
+      static_cast<std::size_t>(staging_nnz) * (sizeof(index_t) + sizeof(value_t));
+  if (!memory.allocate(staging_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "estimated output staging exceeds device memory";
+    return result;
+  }
+
+  // Stage 5' + 6': estimated numeric merge (discovers the exact pattern,
+  // re-running underflowed rows through the fallback) and compaction.
+  const std::size_t numeric_trace_mark = trace_.launches().size();
+  EstimatedNumericOutcome numeric =
+      run_numeric_estimated(ctx, numeric_plan, estimate.row_nnz_estimate);
+  diagnostics_.numeric = numeric.stats;
+  diagnostics_.radix_sorted_elements = numeric.radix_sorted_elements;
+  result.timeline.add(sim::Stage::kNumeric, numeric.stats.seconds);
+  result.timeline.add(sim::Stage::kSorting, numeric.sorting_seconds);
+  const offset_t c_nnz = numeric.c.nnz();
+  const std::size_t c_bytes =
+      (static_cast<std::size_t>(a.rows()) + 1) * sizeof(offset_t) +
+      static_cast<std::size_t>(c_nnz) * (sizeof(index_t) + sizeof(value_t));
+  if (!memory.allocate(c_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "output matrix exceeds device memory";
+    return result;
+  }
+  memory.release(staging_bytes);
+
+  result.c = std::move(numeric.c);
+  result.seconds = result.timeline.total_seconds();
+  result.peak_memory_bytes = memory.peak_bytes();
+
+  if (capture != nullptr) {
+    SpeckPlan& plan = *capture;
+    plan.wide_keys = ctx.wide_keys;
+    // The plan stores the *actual* exact counts; the replay program's method
+    // selection is re-derived from the *estimates* — exactly what the
+    // estimated pass executed, which is what keeps replays bit-identical.
+    plan.row_nnz = std::move(numeric.row_nnz);
+    if (steal_pattern) {
+      std::vector<value_t> discarded_values;
+      result.c.take_arrays(plan.c_row_offsets, plan.c_col_indices,
+                           discarded_values);
+    } else {
+      const std::span<const offset_t> c_offsets = result.c.row_offsets();
+      const std::span<const index_t> c_cols = result.c.col_indices();
+      plan.c_row_offsets.assign(c_offsets.begin(), c_offsets.end());
+      plan.c_col_indices.assign(c_cols.begin(), c_cols.end());
+    }
+    if (static_cast<std::uint64_t>(a.nnz()) >= kMaxReplayIndex ||
+        static_cast<std::uint64_t>(b.nnz()) >= kMaxReplayIndex ||
+        static_cast<std::uint64_t>(c_nnz) >= kMaxReplayIndex) {
+      plan.incomplete_reason =
+          "matrix too large for the 32-bit replay program";
+    } else {
+      plan.program = build_replay_program(ctx, numeric_plan,
+                                          estimate.row_nnz_estimate,
+                                          plan.c_row_offsets,
+                                          plan.c_col_indices);
+      plan.complete = true;
+    }
+    plan.analysis = std::move(estimate.analysis);
+    plan.numeric_plan = std::move(numeric_plan);
+    plan.diagnostics = diagnostics_;
+    plan.numeric_seconds = numeric.stats.seconds;
+    plan.sorting_seconds = numeric.sorting_seconds;
+    const std::vector<sim::LaunchResult>& launches = trace_.launches();
+    plan.replay_trace.assign(
+        launches.begin() + static_cast<std::ptrdiff_t>(numeric_trace_mark),
+        launches.end());
+    plan.inspect_seconds =
+        result.timeline.seconds(sim::Stage::kAnalysis) +
         result.timeline.seconds(sim::Stage::kNumericLoadBalance);
   }
   return result;

@@ -11,6 +11,7 @@
 #include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "ref/spgemm_api.h"
+#include "sim/memory_tracker.h"
 #include "speck/config.h"
 #include "speck/kernels.h"
 #include "speck/plan.h"
@@ -122,9 +123,24 @@ class Speck final : public SpGemmAlgorithm {
   /// When `capture` is non-null and the run succeeds, the plan is filled
   /// with the frozen structure state and replay program. A non-null
   /// `cancel` token is polled at every stage boundary and throws
-  /// DeadlineExceeded when expired.
+  /// DeadlineExceeded when expired. `steal_pattern` is a promise from the
+  /// caller that the returned result will be discarded: the capture block
+  /// then moves the C pattern arrays out of result.c into the plan instead
+  /// of copying them (result.c comes back empty).
   SpGemmResult multiply_full(const Csr& a, const Csr& b, SpeckPlan* capture,
-                             const CancelToken* cancel = nullptr);
+                             const CancelToken* cancel = nullptr,
+                             bool steal_pattern = false);
+
+  /// The estimated-planning pipeline (sampled estimator → LB → estimated
+  /// numeric merge with exact fallback; the symbolic pass is skipped
+  /// entirely). Entered from multiply_full when the resolved
+  /// SpeckConfig::planning is kEstimated; `ctx` and `memory` carry the
+  /// preamble state multiply_full already set up. Results are bit-identical
+  /// to the exact pipeline (docs/performance.md "Estimated planning").
+  SpGemmResult multiply_estimated(const Csr& a, const Csr& b,
+                                  SpeckPlan* capture, const CancelToken* cancel,
+                                  KernelContext& ctx, sim::MemoryTracker& memory,
+                                  bool steal_pattern);
 
   /// The values-only replay of a verified plan (legacy single-caller form:
   /// writes this instance's diagnostics and trace).

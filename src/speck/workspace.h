@@ -83,6 +83,17 @@ class KernelWorkspace {
   /// like every other member, so steady-state replays stay allocation-free.
   std::vector<value_t>& replay_values() { return replay_values_; }
 
+  /// Estimated numeric merge pass: column -> local slot scatter map plus the
+  /// epoch tag array that makes it O(1)-resettable per row (a slot is live
+  /// only when its epoch matches the current row's counter). Sized to B's
+  /// column count by the caller; never cleared between rows.
+  std::vector<std::uint32_t>& estimate_colmap() { return estimate_colmap_; }
+  std::vector<std::uint32_t>& estimate_epoch() { return estimate_epoch_; }
+
+  /// Current row counter for estimate_epoch(); the caller increments it per
+  /// row and handles the (practically unreachable) uint32 wrap by refilling.
+  std::uint32_t& estimate_epoch_counter() { return estimate_epoch_counter_; }
+
  private:
   SymbolicHashAccumulator symbolic_;
   NumericHashAccumulator numeric_;
@@ -97,6 +108,9 @@ class KernelWorkspace {
   std::vector<std::uint8_t> replay_seen_;
   std::vector<std::uint32_t> replay_colmap_;
   std::vector<value_t> replay_values_;
+  std::vector<std::uint32_t> estimate_colmap_;
+  std::vector<std::uint32_t> estimate_epoch_;
+  std::uint32_t estimate_epoch_counter_ = 0;
 };
 
 /// Lazily grown set of workspaces indexed by thread-pool worker id.

@@ -41,7 +41,7 @@ std::shared_ptr<const SpeckPlan> make_plan(std::uint64_t id,
   if (approx_bytes > base) {
     // Pad with the dominant program array; shrink_to_fit is not needed —
     // byte_size is capacity-based, resize from empty gives capacity == size.
-    plan->program.a_idx.resize((approx_bytes - base) / sizeof(std::uint32_t));
+    plan->program.dest.resize((approx_bytes - base) / sizeof(std::uint32_t));
   }
   return plan;
 }

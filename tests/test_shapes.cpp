@@ -94,6 +94,9 @@ TEST(Shapes, GlobalHashAvoidanceViaDense) {
   // hash-only variant; dense accumulation avoids the global map.
   const Csr a = gen::skewed_rows(30000, 30000, 0.0005, 12000, 3, 2029);
   SpeckConfig with_dense;
+  // The modeled-time contrast below is an exact-pipeline property (the
+  // estimated pipeline skips the symbolic pass whose global map collapses).
+  with_dense.planning = PlanningMode::kExact;
   with_dense.thresholds = reduced_scale_thresholds();
   SpeckConfig hash_only = with_dense;
   hash_only.features.dense_accumulation = false;

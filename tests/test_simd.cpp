@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/prefix_sum.h"
 #include "common/prng.h"
 #include "common/simd.h"
 #include "gen/generators.h"
@@ -36,6 +37,66 @@ std::vector<SimdBackend> vector_backends() {
 // ---------------------------------------------------------------------------
 // Primitives
 // ---------------------------------------------------------------------------
+
+TEST(SimdPrimitives, PrefixScansU64AgreeWithScalar) {
+  Xoshiro256 rng(994);
+  // Odd lengths straddle every vector-width remainder path.
+  for (const std::size_t n : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 250}) {
+    std::vector<std::uint64_t> base(n);
+    for (auto& v : base) v = rng.next_u64() >> 40;
+
+    std::vector<std::uint64_t> want_incl = base;
+    const std::uint64_t incl_total =
+        simd::inclusive_scan_u64_scalar(want_incl.data(), n);
+    std::vector<std::uint64_t> want_excl = base;
+    const std::uint64_t excl_total =
+        simd::exclusive_scan_u64_scalar(want_excl.data(), n);
+
+    for (const SimdBackend b : vector_backends()) {
+      std::vector<std::uint64_t> got = base;
+      EXPECT_EQ(simd::inclusive_scan_u64(got.data(), n, b), incl_total)
+          << simd::backend_name(b) << " n=" << n;
+      EXPECT_EQ(got, want_incl) << simd::backend_name(b) << " n=" << n;
+      got = base;
+      EXPECT_EQ(simd::exclusive_scan_u64(got.data(), n, b), excl_total)
+          << simd::backend_name(b) << " n=" << n;
+      EXPECT_EQ(got, want_excl) << simd::backend_name(b) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdPrimitives, PrefixSumOverloadsMatchScalarTemplates) {
+  // The backend-dispatched overloads must agree with the plain templates for
+  // every 64-bit integral element type the pipeline scans (offset_t row
+  // offsets, size_t histograms).
+  Xoshiro256 rng(995);
+  std::vector<offset_t> offsets(129);
+  for (auto& v : offsets) v = static_cast<offset_t>(rng.next_u64() % 5000);
+  std::vector<std::size_t> hist(77);
+  for (auto& v : hist) v = static_cast<std::size_t>(rng.next_u64() % 4096);
+
+  std::vector<offset_t> want_offsets = offsets;
+  const offset_t want_off_total =
+      inclusive_prefix_sum(std::span<offset_t>(want_offsets));
+  std::vector<std::size_t> want_hist = hist;
+  const std::size_t want_hist_total =
+      exclusive_prefix_sum(std::span<std::size_t>(want_hist));
+
+  std::vector<SimdBackend> backends = vector_backends();
+  backends.push_back(SimdBackend::kScalar);
+  for (const SimdBackend b : backends) {
+    std::vector<offset_t> got = offsets;
+    EXPECT_EQ(inclusive_prefix_sum(std::span<offset_t>(got), b),
+              want_off_total)
+        << simd::backend_name(b);
+    EXPECT_EQ(got, want_offsets) << simd::backend_name(b);
+    std::vector<std::size_t> got_hist = hist;
+    EXPECT_EQ(exclusive_prefix_sum(std::span<std::size_t>(got_hist), b),
+              want_hist_total)
+        << simd::backend_name(b);
+    EXPECT_EQ(got_hist, want_hist) << simd::backend_name(b);
+  }
+}
 
 TEST(SimdPrimitives, MatchMask16AgreesWithScalar) {
   Xoshiro256 rng(991);

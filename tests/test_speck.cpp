@@ -17,6 +17,15 @@ namespace {
 
 Speck make_speck() { return Speck(sim::DeviceSpec::titan_v(), sim::CostModel{}); }
 
+/// For tests that assert exact-pipeline internals (symbolic-stage
+/// diagnostics, timelines, traces): pinned so an SPECK_PLANNING=estimated
+/// environment doesn't reroute them through the estimated pipeline.
+Speck make_exact_speck() {
+  SpeckConfig config;
+  config.planning = PlanningMode::kExact;
+  return Speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
+}
+
 void expect_exact(Speck& speck, const Csr& a, const Csr& b,
                   const std::string& label) {
   const SpGemmResult result = speck.multiply(a, b);
@@ -131,7 +140,7 @@ TEST(Speck, TransposeIdentityHolds) {
 }
 
 TEST(Speck, DiagnosticsPopulated) {
-  Speck speck = make_speck();
+  Speck speck = make_exact_speck();
   const Csr a = gen::random_uniform(500, 500, 8, 619);
   ASSERT_TRUE(speck.multiply(a, a).ok());
   const SpeckDiagnostics& d = speck.last_diagnostics();
@@ -144,7 +153,7 @@ TEST(Speck, DiagnosticsPopulated) {
 }
 
 TEST(Speck, DirectRowsUsedForSingleEntryRows) {
-  Speck speck = make_speck();
+  Speck speck = make_exact_speck();
   const Csr a = gen::single_entry_mix(600, 600, 1.0, 4, 621);  // all single-entry
   expect_exact(speck, a, a, "single entry");
   const SpeckDiagnostics& d = speck.last_diagnostics();
@@ -162,7 +171,7 @@ TEST(Speck, DenseRowsUsedForDenseOutput) {
 }
 
 TEST(Speck, GlobalLbEngagesOnSkewedLargeMatrix) {
-  Speck speck = make_speck();
+  Speck speck = make_exact_speck();
   const Csr a = gen::skewed_rows(30000, 30000, 0.005, 3000, 2, 625);
   ASSERT_TRUE(speck.multiply(a, a).ok());
   EXPECT_TRUE(speck.last_diagnostics().symbolic_lb_used);
@@ -200,7 +209,7 @@ TEST(Speck, OutOfMemoryReported) {
 }
 
 TEST(Speck, TimelineCoversAllTime) {
-  Speck speck = make_speck();
+  Speck speck = make_exact_speck();
   const Csr a = gen::random_uniform(2000, 2000, 10, 629);
   const SpGemmResult result = speck.multiply(a, a);
   ASSERT_TRUE(result.ok());
@@ -241,7 +250,11 @@ namespace speck {
 namespace {
 
 TEST(SpeckTrace, CoversAllStages) {
-  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  // Asserts symbolic launches exist, so pin exact planning (the estimated
+  // pipeline intentionally has no symbolic stage).
+  SpeckConfig exact_config;
+  exact_config.planning = PlanningMode::kExact;
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, exact_config);
   const Csr a = gen::random_uniform(800, 800, 8, 901);
   ASSERT_TRUE(speck.multiply(a, a).ok());
   const sim::LaunchTrace& trace = speck.last_trace();
@@ -260,6 +273,9 @@ TEST(SpeckTrace, CoversAllStages) {
 
 TEST(SpeckTrace, LbLaunchesOnlyWhenEngaged) {
   SpeckConfig config;
+  // The lb_launches == 2 count below assumes both the symbolic and numeric
+  // balancer run; estimated planning only has the numeric one.
+  config.planning = PlanningMode::kExact;
   config.features.set_global_lb(GlobalLbMode::kAlwaysOff);
   Speck off(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
   const Csr a = gen::skewed_rows(3000, 3000, 0.01, 500, 3, 907);

@@ -71,7 +71,12 @@ TEST(Tuner, LargeKernelSamplesUseLargeThresholds) {
 }
 
 TEST(Tuner, MeasureSampleRunsAllFourCombos) {
-  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{});
+  // The tuner samples the exact pipeline's symbolic/numeric LB grid; pin
+  // exact planning so SPECK_PLANNING=estimated doesn't skip the symbolic
+  // side of the sample.
+  SpeckConfig config;
+  config.planning = PlanningMode::kExact;
+  Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, config);
   const Csr a = gen::skewed_rows(2000, 2000, 0.01, 500, 3, 1001);
   const TuningSample sample = measure_tuning_sample(speck, a, a);
   for (int s = 0; s < 2; ++s) {

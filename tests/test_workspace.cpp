@@ -304,6 +304,9 @@ TEST(WorkspacePipeline, BitIdenticalAcrossThreadCountsUnderForcedSpill) {
   for (const gen::CorpusEntry& entry : gen::test_corpus()) {
     SpeckConfig serial_cfg;
     serial_cfg.host_threads = 1;
+    // The spilled_blocks tally below counts exact-pipeline global hash
+    // blocks; pin exact planning so SPECK_PLANNING=estimated can't zero it.
+    serial_cfg.planning = PlanningMode::kExact;
     serial_cfg.faults = parse_fault_spec("hash-overflow-after=16");
     Speck serial_speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, serial_cfg);
     const PipelineRun serial = run_pipeline(serial_speck, entry);
@@ -313,6 +316,7 @@ TEST(WorkspacePipeline, BitIdenticalAcrossThreadCountsUnderForcedSpill) {
     for (const int threads : {8}) {
       SpeckConfig cfg;
       cfg.host_threads = threads;
+      cfg.planning = PlanningMode::kExact;
       cfg.faults = parse_fault_spec("hash-overflow-after=16");
       Speck speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
       expect_identical(serial, run_pipeline(speck, entry), entry.name, threads);

@@ -2,7 +2,8 @@
 // runspECK executable (Appendix A.2):
 //
 //   runspeck <path-to-matrix.mtx> [config.ini] [--threads N]
-//            [--fault-spec SPEC] [--validate]
+//            [--fault-spec SPEC] [--validate] [--simd BACKEND]
+//            [--planning MODE]
 //
 // `--threads N` sets the host thread pool the pipeline stages run on (the
 // result and the simulated times are bit-identical for every N; only host
@@ -55,12 +56,21 @@ void print_usage(const char* prog, std::FILE* out) {
       "                       hash-overflow-after=<n> spill maps after n keys\n"
       "                       scratchpad-scale=<f>    shrink scratchpads (0,1]\n"
       "                       memory-budget-mb=<f>    cap simulated memory\n"
+      "                       estimator-scale=<f>     scale sampled NNZ\n"
+      "                                               estimates (forces the\n"
+      "                                               estimated-planning\n"
+      "                                               fallback when < 1)\n"
       "                     e.g. --fault-spec estimate-scale=0.25,seed=7\n"
       "  --validate         re-validate CSR invariants at the API boundary\n"
       "  --simd BACKEND     SIMD backend for the kernel hot loops:\n"
       "                     auto|scalar|sse|avx2|neon (default auto — the\n"
       "                     SPECK_SIMD env var, then CPU detection). Results\n"
       "                     are bit-identical for every backend\n"
+      "  --planning MODE    plan construction mode: auto|exact|estimated\n"
+      "                     (default auto — the SPECK_PLANNING env var, then\n"
+      "                     exact). Estimated planning samples row products\n"
+      "                     instead of running the exact symbolic pass;\n"
+      "                     results are bit-identical either way\n"
       "  --help             this message\n"
       "\n"
       "exit codes:\n"
@@ -80,6 +90,7 @@ int run(int argc, char** argv) {
   int flag_threads = 0;
   bool flag_validate = false;
   SimdBackend flag_simd = SimdBackend::kAuto;
+  PlanningMode flag_planning = PlanningMode::kAuto;
   FaultSpec fault_spec;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -122,6 +133,23 @@ int run(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strcmp(argv[i], "--planning") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--planning requires an argument\n");
+        return 2;
+      }
+      const auto parsed = parse_planning_mode(argv[i + 1]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--planning: unknown mode '%s' "
+                     "(expected auto|exact|estimated)\n",
+                     argv[i + 1]);
+        return 3;
+      }
+      flag_planning = *parsed;
+      ++i;
+      continue;
+    }
     if (std::strcmp(argv[i], "--threads") == 0) {
       flag_threads = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
       if (flag_threads < 1) {
@@ -153,6 +181,9 @@ int run(int argc, char** argv) {
   std::printf("simd backend: %s (requested %s)\n",
               simd::backend_name(simd::resolve_backend(flag_simd)),
               simd::backend_name(flag_simd));
+  std::printf("planning: %s (requested %s)\n",
+              planning_mode_name(resolve_planning(flag_planning)),
+              planning_mode_name(flag_planning));
   const bool track_complete = config.get_bool("TrackCompleteTimes", true);
   const bool track_individual = config.get_bool("TrackIndividualTimes", false);
   const bool compare_result = config.get_bool("CompareResult", false);
@@ -182,6 +213,7 @@ int run(int argc, char** argv) {
   if (speck_ptr != nullptr) {
     speck_ptr->config().validate_inputs = flag_validate;
     speck_ptr->config().simd_backend = flag_simd;
+    speck_ptr->config().planning = flag_planning;
     speck_ptr->config().faults = fault_spec;
     speck_ptr->config().plan_cache = config.get_bool("PlanCache", true);
     speck_ptr->config().plan_cache_limit_bytes = static_cast<std::size_t>(
@@ -191,10 +223,11 @@ int run(int argc, char** argv) {
     if (fault_spec.enabled()) {
       std::printf("fault injection: %s\n", describe(fault_spec).c_str());
     }
-  } else if (fault_spec.enabled() || flag_validate) {
+  } else if (fault_spec.enabled() || flag_validate ||
+             flag_planning != PlanningMode::kAuto) {
     std::fprintf(stderr,
-                 "--fault-spec/--validate only apply to Algorithm=speck "
-                 "(got %s)\n",
+                 "--fault-spec/--validate/--planning only apply to "
+                 "Algorithm=speck (got %s)\n",
                  algorithm_name.c_str());
     return 2;
   }
@@ -226,6 +259,12 @@ int run(int argc, char** argv) {
   }
   if (track_individual) {
     std::printf("stage breakdown: %s\n", last.timeline.to_string().c_str());
+  }
+  if (speck_ptr != nullptr && speck_ptr->last_diagnostics().estimated_planning) {
+    std::printf("estimated planning: %lld row(s) underflowed the sampled "
+                "estimate and re-ran the exact fallback\n",
+                static_cast<long long>(
+                    speck_ptr->last_diagnostics().numeric.estimate_underflow_rows));
   }
   if (speck_ptr != nullptr && speck_ptr->last_diagnostics().plan_cache_hit) {
     std::printf(

@@ -4,7 +4,7 @@
 //          [--cache-mb MB] [--budget-mb MB] [--queue] [--seed N]
 //          [--max-queue N] [--max-wait-ms MS] [--deadline-ms MS]
 //          [--degraded] [--fault-spec SPEC] [--chaos]
-//          [--chaos-p99-factor F] [--validate] [--check]
+//          [--chaos-p99-factor F] [--planning MODE] [--validate] [--check]
 //
 // Spawns N client threads issuing a Zipf(S)-distributed mix of K distinct
 // fixed-pattern multiplies against one SpeckService (sharded plan cache,
@@ -84,6 +84,12 @@ void print_usage(const char* prog, std::FILE* out) {
       "                       with injected serving faults; gate statuses and p99\n"
       "  --chaos-p99-factor F chaos p99 budget as a multiple of baseline p99\n"
       "                       (default 2.0)\n"
+      "  --planning MODE      plan construction mode: auto|exact|estimated\n"
+      "                       (default auto). Estimated planning shrinks the\n"
+      "                       serialized cold-miss build window; responses are\n"
+      "                       bit-identical either way, and rows whose sampled\n"
+      "                       estimate underflowed are reported as\n"
+      "                       estimator_fallback_rows\n"
       "  --seed N             traffic-schedule seed (default 42)\n"
       "  --validate           re-validate CSR invariants and full fingerprints\n"
       "  --check              verify every served response against the Gustavson\n"
@@ -305,6 +311,7 @@ void emit_phase(const std::string& prefix, const PhaseResult& r) {
   emit_count(prefix + "timed_out", r.stats.timed_out);
   emit_count(prefix + "degraded", r.stats.degraded);
   emit_count(prefix + "quarantine_trips", r.stats.quarantine_trips);
+  emit_count(prefix + "estimator_fallback_rows", r.stats.estimator_fallback_rows);
   emit_count(prefix + "deadline_exceeded", r.deadline_exceeded);
   emit_count(prefix + "resource_exhausted", r.resource_exhausted);
   emit_count(prefix + "injected_failures", r.injected_failures);
@@ -353,6 +360,7 @@ int main(int argc, char** argv) {
   double max_wait_ms = 0.0;
   double deadline_ms = 0.0;
   double chaos_p99_factor = 2.0;
+  PlanningMode planning = PlanningMode::kAuto;
   std::string fault_spec_text;
   std::uint64_t seed = 42;
   for (int i = 1; i < argc; ++i) {
@@ -385,6 +393,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--chaos-p99-factor") == 0 &&
                i + 1 < argc) {
       chaos_p99_factor = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--planning") == 0 && i + 1 < argc) {
+      const auto parsed = parse_planning_mode(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--planning: unknown mode '%s' "
+                     "(expected auto|exact|estimated)\n",
+                     argv[i]);
+        return 3;
+      }
+      planning = *parsed;
     } else if (std::strcmp(argv[i], "--inject-check-mismatch") == 0) {
       inject_check_mismatch = true;  // test hook for the --check failure path
     } else if (std::strcmp(argv[i], "--validate") == 0) {
@@ -415,6 +433,7 @@ int main(int argc, char** argv) {
     cfg.host_threads = 1;  // replays run serially per client thread
     cfg.plan_cache = false;  // the service owns the cache
     cfg.validate_inputs = validate;
+    cfg.planning = planning;
 
     // Per-pattern reference products and fingerprint keys, computed up
     // front so mid-run verification is a pure compare.
