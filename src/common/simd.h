@@ -486,6 +486,142 @@ inline std::uint64_t exclusive_scan_u64(std::uint64_t* data, std::size_t n,
   return exclusive_scan_u64_scalar(data, n);
 }
 
+// ---------------------------------------------------------------------------
+// Widening copy: int32 -> int64, the CSR row-offset staging step (per-row
+// nnz counts are index_t, offsets are offset_t). Sign extension is exact,
+// so every backend is bit-identical to the scalar reference.
+// ---------------------------------------------------------------------------
+
+/// dst[i] = (int64) src[i] for i in [0, n); dst must not alias src.
+inline void widen_i32_to_i64_scalar(const std::int32_t* src, std::int64_t* dst,
+                                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<std::int64_t>(src[i]);
+}
+
+#if defined(SPECK_SIMD_X86)
+inline void widen_i32_to_i64_sse(const std::int32_t* src, std::int64_t* dst,
+                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // SSE2 sign extension: replicate the sign bit, then interleave.
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i sign = _mm_srai_epi32(v, 31);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_unpacklo_epi32(v, sign));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 2),
+                     _mm_unpackhi_epi32(v, sign));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::int64_t>(src[i]);
+}
+
+[[gnu::target("avx2")]] inline void widen_i32_to_i64_avx2(
+    const std::int32_t* src, std::int64_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_cvtepi32_epi64(v));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::int64_t>(src[i]);
+}
+#endif  // SPECK_SIMD_X86
+
+#if defined(SPECK_SIMD_NEON)
+inline void widen_i32_to_i64_neon(const std::int32_t* src, std::int64_t* dst,
+                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t v = vld1q_s32(src + i);
+    vst1q_s64(dst + i, vmovl_s32(vget_low_s32(v)));
+    vst1q_s64(dst + i + 2, vmovl_s32(vget_high_s32(v)));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::int64_t>(src[i]);
+}
+#endif  // SPECK_SIMD_NEON
+
+/// Dispatching widening copy int32 -> int64. `backend` must be resolved.
+inline void widen_i32_to_i64(const std::int32_t* src, std::int64_t* dst,
+                             std::size_t n, SimdBackend backend) {
+#if defined(SPECK_SIMD_X86)
+  if (backend == SimdBackend::kAvx2) return widen_i32_to_i64_avx2(src, dst, n);
+  if (backend != SimdBackend::kScalar) return widen_i32_to_i64_sse(src, dst, n);
+#elif defined(SPECK_SIMD_NEON)
+  if (backend != SimdBackend::kScalar) return widen_i32_to_i64_neon(src, dst, n);
+#else
+  (void)backend;
+#endif
+  return widen_i32_to_i64_scalar(src, dst, n);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise 64-bit add: merging striped counting-sort histograms (the
+// stripes break the store-to-load dependency carried through a single
+// histogram when consecutive entries hit the same bucket). Integer addition
+// is associative and the merge order is fixed, so every backend is
+// bit-identical to the scalar reference.
+// ---------------------------------------------------------------------------
+
+/// dst[i] += src[i] for i in [0, n).
+inline void add_u64_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+#if defined(SPECK_SIMD_X86)
+inline void add_u64_sse(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_add_epi64(a, b));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+[[gnu::target("avx2")]] inline void add_u64_avx2(std::uint64_t* dst,
+                                                 const std::uint64_t* src,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi64(a, b));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+#endif  // SPECK_SIMD_X86
+
+#if defined(SPECK_SIMD_NEON)
+inline void add_u64_neon(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vaddq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+#endif  // SPECK_SIMD_NEON
+
+/// Dispatching elementwise 64-bit add. `backend` must be resolved.
+inline void add_u64(std::uint64_t* dst, const std::uint64_t* src, std::size_t n,
+                    SimdBackend backend) {
+#if defined(SPECK_SIMD_X86)
+  if (backend == SimdBackend::kAvx2) return add_u64_avx2(dst, src, n);
+  if (backend != SimdBackend::kScalar) return add_u64_sse(dst, src, n);
+#elif defined(SPECK_SIMD_NEON)
+  if (backend != SimdBackend::kScalar) return add_u64_neon(dst, src, n);
+#else
+  (void)backend;
+#endif
+  return add_u64_scalar(dst, src, n);
+}
+
 /// Software prefetch into the read cache hierarchy. Callers gate this on
 /// `backend != kScalar` — prefetch never changes results, but keeping the
 /// scalar path prefetch-free keeps it the plain reference implementation.

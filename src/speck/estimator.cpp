@@ -358,9 +358,8 @@ EstimatedNumericOutcome run_numeric_estimated(
   thread_local std::vector<offset_t> est_offsets;
   if (est_offsets.size() < rows + 1) est_offsets.resize(rows + 1);
   est_offsets[0] = 0;
-  for (std::size_t r = 0; r < rows; ++r) {
-    est_offsets[r + 1] = static_cast<offset_t>(row_nnz_estimate[r]);
-  }
+  simd::widen_i32_to_i64(row_nnz_estimate.data(), est_offsets.data() + 1, rows,
+                         ctx.simd);
   inclusive_prefix_sum(std::span<offset_t>(est_offsets.data() + 1, rows),
                        ctx.simd);
   const auto staging_total = static_cast<std::size_t>(est_offsets[rows]);
@@ -380,14 +379,14 @@ EstimatedNumericOutcome run_numeric_estimated(
 
   detail::execute_block_plan<std::monostate>(
       ctx, plan, "numeric_est/", out.stats,
-      [&](const sim::Launch& launch, const KernelConfig& config,
-          int /*config_index*/, std::span<const index_t> block_rows,
-          PassStats& counters, std::monostate& /*payload*/,
-          KernelWorkspace& ws) {
+      [&](const KernelContext& bctx, const sim::Launch& launch,
+          const KernelConfig& config, int /*config_index*/,
+          std::span<const index_t> block_rows, PassStats& counters,
+          std::monostate& /*payload*/, KernelWorkspace& ws) {
         auto cost = launch.make_block(config.threads, config.scratchpad_bytes);
-        const BlockRowStats row_stats = detail::block_stats(ctx, block_rows);
+        const BlockRowStats row_stats = detail::block_stats(bctx, block_rows);
         const LocalLbDecision lb =
-            choose_group_size(config.threads, row_stats, ctx.cfg->features);
+            choose_group_size(config.threads, row_stats, bctx.cfg->features);
 
         std::size_t touches = 0;
         std::size_t written = 0;
@@ -398,7 +397,7 @@ EstimatedNumericOutcome run_numeric_estimated(
           const index_t cap = row_nnz_estimate[ri];
           const auto base = static_cast<std::size_t>(est_offsets_ptr[ri]);
           const index_t actual =
-              merge_row(ctx, r, method, cap, staging_cols_ptr + base,
+              merge_row(bctx, r, method, cap, staging_cols_ptr + base,
                         staging_vals_ptr + base, ws, touches);
           out.row_nnz[ri] = actual;
           if (actual > cap) {
@@ -417,7 +416,7 @@ EstimatedNumericOutcome run_numeric_estimated(
           }
         }
 
-        detail::charge_row_sweep(cost, ctx, block_rows, lb.group_size,
+        detail::charge_row_sweep(cost, bctx, block_rows, lb.group_size,
                                  /*numeric=*/true, ws);
         cost.smem_atomic(static_cast<double>(touches));  // scatter-map merge
         cost.issued(static_cast<double>(sorted), 4.0);   // in-slot pair sort
@@ -430,9 +429,8 @@ EstimatedNumericOutcome run_numeric_estimated(
   // Compaction: exact offsets from the actual counts, then the fitting rows
   // move from their over-allocated staging slots to final positions.
   std::vector<offset_t> offsets(rows + 1, 0);
-  for (std::size_t r = 0; r < rows; ++r) {
-    offsets[r + 1] = static_cast<offset_t>(out.row_nnz[r]);
-  }
+  simd::widen_i32_to_i64(out.row_nnz.data(), offsets.data() + 1, rows,
+                         ctx.simd);
   inclusive_prefix_sum(std::span<offset_t>(offsets.data() + 1, rows), ctx.simd);
   std::vector<index_t> out_cols(static_cast<std::size_t>(offsets.back()));
   std::vector<value_t> out_vals(static_cast<std::size_t>(offsets.back()));

@@ -30,6 +30,11 @@ SymbolicEstimate symbolic_estimate(Speck& speck, const Csr& a, const Csr& b) {
   ctx.wide_keys = b.cols() > kMaxColumns32Bit;
   ctx.pool = speck.host_pool();
   ctx.workspaces = &speck.workspaces();
+  ctx.simd = simd::resolve_backend(speck.config().simd_backend);
+  // Same two-level execution as multiply(): bit-identical estimate at any
+  // partition count (no diag sink — pass-local team workspaces suffice).
+  ctx.partitions = resolve_partitions(speck.config().partitions);
+  ctx.partition_steal = speck.config().partition_steal;
 
   SymbolicEstimate estimate;
 

@@ -76,21 +76,40 @@ SpGemmResult MultiGpuSpeck::multiply(const Csr& a, const Csr& b) {
                      : 0.0;
 
   SpGemmResult result;
-  std::vector<Csr> panels;
-  panels.reserve(partition.size());
+  const std::size_t devices = partition.size();
+  std::vector<Csr> panels(devices);
+  std::vector<SpGemmResult> panel_results(devices);
+  std::vector<PartitionDiag> panel_partition(devices);
+  diagnostics_.device_seconds.assign(devices, 0.0);
+  diagnostics_.device_products.assign(devices, 0);
+
+  // Panels run concurrently, one indexed slot per device — like every
+  // other loop in the repo, results are a pure function of the partition,
+  // not of the schedule. Each panel gets its own Speck instance (mutable
+  // per-multiply state); the pipeline's nested parallel_for calls run
+  // inline on the panel's worker, and with speck.partitions > 1 each
+  // panel's host execution itself goes through the two-level executor.
+  global_pool().parallel_for(
+      devices, 1, [&](std::size_t d, std::size_t, int) {
+        const auto [begin, end] = partition[d];
+        if (begin == end) {
+          panels[d] = Csr::zeros(0, b.cols());
+          panel_results[d].status = SpGemmStatus::kOk;
+          return;
+        }
+        Speck panel_speck(device_, model_, config_.speck);
+        const Csr panel = extract_row_panel(a, begin, end);
+        panel_results[d] = panel_speck.multiply(panel, b);
+        panel_partition[d] = panel_speck.last_diagnostics().partition;
+      });
+
   double makespan = 0.0;
   double total_device_seconds = 0.0;
   std::size_t peak_device_memory = 0;
-  Speck panel_speck(device_, model_, config_.speck);
-  for (const auto& [begin, end] : partition) {
-    if (begin == end) {
-      panels.push_back(Csr::zeros(0, b.cols()));
-      diagnostics_.device_seconds.push_back(0.0);
-      diagnostics_.device_products.push_back(0);
-      continue;
-    }
-    const Csr panel = extract_row_panel(a, begin, end);
-    SpGemmResult panel_result = panel_speck.multiply(panel, b);
+  for (std::size_t d = 0; d < devices; ++d) {
+    const auto [begin, end] = partition[d];
+    if (begin == end) continue;
+    SpGemmResult& panel_result = panel_results[d];
     if (!panel_result.ok()) {
       result.status = panel_result.status;
       result.failure_reason = panel_result.failure_reason;
@@ -109,12 +128,15 @@ SpGemmResult MultiGpuSpeck::multiply(const Csr& a, const Csr& b) {
     for (index_t r = begin; r < end; ++r) {
       panel_products += row_products[static_cast<std::size_t>(r)];
     }
-    diagnostics_.device_seconds.push_back(seconds);
-    diagnostics_.device_products.push_back(panel_products);
+    diagnostics_.device_seconds[d] = seconds;
+    diagnostics_.device_products[d] = panel_products;
     makespan = std::max(makespan, seconds);
     total_device_seconds += seconds;
     peak_device_memory = std::max(peak_device_memory, panel_result.peak_memory_bytes);
-    panels.push_back(std::move(panel_result.c));
+    diagnostics_.steal_count += panel_partition[d].steal_count();
+    diagnostics_.worst_imbalance_ratio = std::max(
+        diagnostics_.worst_imbalance_ratio, panel_partition[d].imbalance_ratio());
+    panels[d] = std::move(panel_result.c);
   }
   diagnostics_.parallel_efficiency =
       makespan > 0.0

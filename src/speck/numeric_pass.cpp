@@ -184,9 +184,33 @@ sim::BlockCost run_numeric_block(const KernelContext& ctx,
   acc.extract_into(entries);
   std::vector<std::size_t>& row_start = ws.row_starts();
   row_start.assign(rows.size() + 1, 0);
-  for (const auto& entry : entries) {
-    ++row_start[static_cast<std::size_t>(
-                    key_local_row(entry.key, ctx.wide_keys)) + 1];
+  // Striped histogram build: skewed rows put long runs of identical buckets
+  // in `entries`, and a single histogram then serializes on the same
+  // store-to-load address. Four sub-histograms take every fourth entry and
+  // are merged with a vectorized element-wise add — integer additions in a
+  // fixed order, so the counts (and everything downstream) are bit-identical
+  // to the single-histogram loop this replaces.
+  constexpr std::size_t kHistogramStripes = 4;
+  const std::size_t hist_width = rows.size() + 1;
+  const auto local_row_of = [&](std::size_t e) {
+    return static_cast<std::size_t>(key_local_row(entries[e].key, ctx.wide_keys));
+  };
+  std::vector<std::uint64_t>& stripes = ws.histogram_stripes();
+  stripes.assign((kHistogramStripes - 1) * hist_width, 0);
+  {
+    std::size_t e = 0;
+    for (; e + kHistogramStripes <= entries.size(); e += kHistogramStripes) {
+      ++row_start[local_row_of(e) + 1];
+      ++stripes[0 * hist_width + local_row_of(e + 1) + 1];
+      ++stripes[1 * hist_width + local_row_of(e + 2) + 1];
+      ++stripes[2 * hist_width + local_row_of(e + 3) + 1];
+    }
+    for (; e < entries.size(); ++e) ++row_start[local_row_of(e) + 1];
+  }
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t));
+  for (std::size_t s = 0; s + 1 < kHistogramStripes; ++s) {
+    simd::add_u64(reinterpret_cast<std::uint64_t*>(row_start.data()),
+                  stripes.data() + s * hist_width, hist_width, ctx.simd);
   }
   inclusive_prefix_sum(std::span<std::size_t>(row_start.data() + 1, rows.size()),
                        ctx.simd);
@@ -258,9 +282,8 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   // running sum; integer addition is associative).
   const auto row_count = static_cast<std::size_t>(ctx.a->rows());
   std::vector<offset_t> offsets(row_count + 1, 0);
-  for (std::size_t r = 0; r < row_count; ++r) {
-    offsets[r + 1] = static_cast<offset_t>(row_nnz[r]);
-  }
+  simd::widen_i32_to_i64(row_nnz.data(), offsets.data() + 1, row_count,
+                         ctx.simd);
   inclusive_prefix_sum(std::span<offset_t>(offsets.data() + 1, row_count),
                        ctx.simd);
   std::vector<index_t> out_cols(static_cast<std::size_t>(offsets.back()));
@@ -274,10 +297,11 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
   // serial commit of costs and radix contributions.
   detail::execute_block_plan<RadixContribution>(
       ctx, plan, "numeric/", out.stats,
-      [&](const sim::Launch& launch, const KernelConfig& config,
-          int config_index, std::span<const index_t> rows, PassStats& counters,
+      [&](const KernelContext& bctx, const sim::Launch& launch,
+          const KernelConfig& config, int config_index,
+          std::span<const index_t> rows, PassStats& counters,
           RadixContribution& radix, KernelWorkspace& ws) {
-        return run_numeric_block(ctx, launch, config, config_index,
+        return run_numeric_block(bctx, launch, config, config_index,
                                  /*largest_sorts_via_radix=*/config_index > 2,
                                  rows, row_nnz, offsets, out_cols, out_vals,
                                  counters, radix, ws);

@@ -100,6 +100,12 @@ struct SpeckDiagnostics {
   /// numeric.estimate_underflow_rows for the rows whose estimate
   /// underflowed and re-ran through the exact fallback.
   bool estimated_planning = false;
+  /// Two-level executor telemetry (docs/performance.md "NUMA scale-out"),
+  /// accumulated over every partitioned pass of the multiply. Empty vectors
+  /// with partitions == 1 (the flat executor). Schedule-dependent — team
+  /// seconds, steal counts, imbalance — and therefore deliberately outside
+  /// the bit-identity-gated PassStats counters.
+  PartitionDiag partition;
 };
 
 /// Frozen pattern-dependent state of one (A, B, config) structure: the full

@@ -1,5 +1,6 @@
 #include "speck/service.h"
 
+#include <bit>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -384,10 +385,7 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
         return resp;
       }
       note_plan_success(key);
-      estimator_fallback_rows_.fetch_add(
-          static_cast<std::uint64_t>(
-              built.diagnostics.numeric.estimate_underflow_rows),
-          std::memory_order_relaxed);
+      note_build_diagnostics(built.diagnostics);
       if (built.complete) {
         cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
         plans_built_.fetch_add(1, std::memory_order_relaxed);
@@ -492,11 +490,26 @@ std::shared_ptr<const SpeckPlan> SpeckService::plan_for(const Csr& a,
     return nullptr;
   }
   plans_built_.fetch_add(1, std::memory_order_relaxed);
+  note_build_diagnostics(built.diagnostics);
+  return cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
+}
+
+void SpeckService::note_build_diagnostics(const SpeckDiagnostics& diagnostics) {
   estimator_fallback_rows_.fetch_add(
       static_cast<std::uint64_t>(
-          built.diagnostics.numeric.estimate_underflow_rows),
+          diagnostics.numeric.estimate_underflow_rows),
       std::memory_order_relaxed);
-  return cache_.insert(std::make_shared<const SpeckPlan>(std::move(built)));
+  partition_steals_.fetch_add(
+      static_cast<std::uint64_t>(diagnostics.partition.steal_count()),
+      std::memory_order_relaxed);
+  const double ratio = diagnostics.partition.imbalance_ratio();
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(ratio);
+  std::uint64_t seen =
+      worst_partition_imbalance_bits_.load(std::memory_order_relaxed);
+  while (bits > seen &&
+         !worst_partition_imbalance_bits_.compare_exchange_weak(
+             seen, bits, std::memory_order_relaxed)) {
+  }
 }
 
 ServiceStats SpeckService::stats() const {
@@ -512,6 +525,9 @@ ServiceStats SpeckService::stats() const {
   out.quarantine_trips = quarantine_trips_.load(std::memory_order_relaxed);
   out.estimator_fallback_rows =
       estimator_fallback_rows_.load(std::memory_order_relaxed);
+  out.partition_steals = partition_steals_.load(std::memory_order_relaxed);
+  out.worst_partition_imbalance = std::bit_cast<double>(
+      worst_partition_imbalance_bits_.load(std::memory_order_relaxed));
   out.cache = cache_.stats();
   return out;
 }

@@ -66,6 +66,22 @@ ThreadPool* Speck::host_pool() {
   return pool_.get();
 }
 
+void Speck::ensure_team_b(const Csr& b, const KernelContext& ctx) {
+  const int parts = ctx.partitions;
+  team_b_.resize(static_cast<std::size_t>(parts));
+  // One chunk per partition with identity boundaries: team t's lanes copy
+  // replica t, so (with pinned threads on a NUMA host) the replica's pages
+  // are first-touched on the team's node. Copy-assignment into a retained
+  // replica reuses its vector capacity — no steady-state allocations.
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(parts) + 1);
+  for (int p = 0; p <= parts; ++p) {
+    bounds[static_cast<std::size_t>(p)] = static_cast<std::size_t>(p);
+  }
+  pool_or_global(ctx.pool).partitioned_for(
+      static_cast<std::size_t>(parts), 1, bounds, /*steal=*/false,
+      [&](std::size_t begin, std::size_t, int, int) { team_b_[begin] = b; });
+}
+
 bool Speck::plan_worth_caching(const Csr& a, const Csr& b) const {
   if (static_cast<std::uint64_t>(a.nnz()) >= kMaxReplayIndex ||
       static_cast<std::uint64_t>(b.nnz()) >= kMaxReplayIndex) {
@@ -327,6 +343,17 @@ SpGemmResult Speck::multiply_full(const Csr& a, const Csr& b,
   ctx.workspaces = &workspaces_;
   ctx.faults = faults;
   ctx.simd = simd::resolve_backend(config_.simd_backend);
+  ctx.partitions = resolve_partitions(config_.partitions);
+  ctx.partition_steal = config_.partition_steal;
+  diagnostics_.partition.partitions = ctx.partitions;
+  ctx.partition_diag = &diagnostics_.partition;
+  if (ctx.partitions > 1) {
+    ctx.team_workspaces = &team_workspaces_;
+    if (config_.numa_local_b) {
+      ensure_team_b(b, ctx);
+      ctx.team_b = &team_b_;
+    }
+  }
 
   if (resolve_planning(config_.planning) == PlanningMode::kEstimated) {
     return multiply_estimated(a, b, capture, cancel, ctx, memory,

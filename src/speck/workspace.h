@@ -62,6 +62,11 @@ class KernelWorkspace {
   std::vector<std::size_t>& row_cursors() { return row_cursors_; }
   std::vector<DeviceHashMap::Entry>& bucketed_entries() { return bucketed_; }
 
+  /// Striped counting-sort histogram scratch (numeric bucketing): the
+  /// non-primary sub-histograms, merged into row_starts() with
+  /// simd::add_u64 after the build.
+  std::vector<std::uint64_t>& histogram_stripes() { return histogram_stripes_; }
+
   /// charge_row_sweep scratch: per-group lockstep iteration counts and the
   /// unique-referenced-B-row buffer.
   std::vector<std::size_t>& group_iterations() { return group_iterations_; }
@@ -102,6 +107,7 @@ class KernelWorkspace {
   std::vector<std::size_t> row_starts_;
   std::vector<std::size_t> row_cursors_;
   std::vector<DeviceHashMap::Entry> bucketed_;
+  std::vector<std::uint64_t> histogram_stripes_;
   std::vector<std::size_t> group_iterations_;
   std::vector<index_t> referenced_;
   DenseScratch dense_;
@@ -167,6 +173,29 @@ class WorkspacePool {
   std::vector<std::unique_ptr<KernelWorkspace>> slots_;
   std::mutex lease_mutex_;
   std::vector<KernelWorkspace*> idle_;  ///< LIFO free list; guarded above
+};
+
+/// Partition-local workspace pools for the two-level executor
+/// (ThreadPool::partitioned_for): one WorkspacePool per team, indexed by the
+/// lane's slot within the team, so each team's lanes touch only their own
+/// partition's warm buffers (first-touch placement on NUMA hosts). A lane
+/// keeps using its own team's workspace even for stolen chunks — which
+/// workspace runs a chunk never influences results, exactly the invariant
+/// WorkspacePool already documents for worker ids. Grows monotonically like
+/// WorkspacePool: switching partition or thread counts keeps warm buffers.
+class PartitionWorkspaces {
+ public:
+  /// Guarantees `teams` pools with at least `slots_per_team` workspaces
+  /// each (each team always has >= 1 slot: the serial path and lane-less
+  /// teams use slot 0). Never shrinks.
+  void ensure(int teams, int slots_per_team);
+
+  WorkspacePool& team(int t) { return *teams_[static_cast<std::size_t>(t)]; }
+
+  int teams() const { return static_cast<int>(teams_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<WorkspacePool>> teams_;  // stable addresses
 };
 
 }  // namespace speck

@@ -2,6 +2,9 @@
 // shared matrix storage in multi-GPU setups).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "gen/generators.h"
 #include "matrix/ops.h"
 #include "ref/gustavson.h"
@@ -43,6 +46,98 @@ TEST(PartitionRows, MorePartsThanRows) {
   const auto parts = partition_rows_balanced(products, 8);
   ASSERT_EQ(parts.size(), 8u);
   EXPECT_EQ(parts.back().second, 3);
+  // Still contiguous and non-overlapping; trailing parts are empty.
+  index_t begin = 0;
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_EQ(lo, begin);
+    EXPECT_LE(lo, hi);
+    begin = hi;
+  }
+  EXPECT_EQ(begin, 3);
+}
+
+TEST(PartitionRows, EmptyMatrix) {
+  const auto parts = partition_rows_balanced({}, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 0);
+  }
+}
+
+TEST(PartitionRows, AllEmptyRows) {
+  // Zero total volume: every cut target is 0, so the greedy loop takes no
+  // rows until the last part sweeps up everything. Contiguity and coverage
+  // must still hold — downstream code only relies on those.
+  std::vector<offset_t> products(64, 0);
+  const auto parts = partition_rows_balanced(products, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  index_t begin = 0;
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_EQ(lo, begin);
+    EXPECT_LE(lo, hi);
+    begin = hi;
+  }
+  EXPECT_EQ(begin, 64);
+}
+
+TEST(PartitionRows, OneGiantRowDominates) {
+  // One row carries ~99% of the volume. The documented bound: each prefix
+  // of panels overshoots its proportional share by less than one row's
+  // volume, so the panel holding the giant row is that row plus a bounded
+  // remainder — and every other panel stays within its share.
+  std::vector<offset_t> products(100, 1);
+  products[37] = 10000;
+  const offset_t total = 10000 + 99;
+  const int parts_n = 4;
+  const auto parts = partition_rows_balanced(products, parts_n);
+  ASSERT_EQ(parts.size(), 4u);
+  index_t begin = 0;
+  offset_t prefix = 0;
+  offset_t max_row_in_prefix = 0;
+  for (int p = 0; p < parts_n; ++p) {
+    const auto& [lo, hi] = parts[static_cast<std::size_t>(p)];
+    EXPECT_EQ(lo, begin);
+    EXPECT_LE(lo, hi);
+    for (index_t r = lo; r < hi; ++r) {
+      prefix += products[static_cast<std::size_t>(r)];
+      max_row_in_prefix =
+          std::max(max_row_in_prefix, products[static_cast<std::size_t>(r)]);
+    }
+    // Documented prefix balance bound: each prefix meets its proportional
+    // share and overshoots it by less than one row's volume (the largest
+    // row the prefix contains — here the giant row once it is taken).
+    if (p + 1 < parts_n) {
+      const offset_t target = total * (p + 1) / parts_n;
+      EXPECT_GE(prefix, target) << "part " << p;
+      EXPECT_LT(prefix - target, std::max<offset_t>(max_row_in_prefix, 1))
+          << "part " << p;
+    }
+    begin = hi;
+  }
+  EXPECT_EQ(begin, 100);
+  // The giant row's panel contains row 37.
+  bool found = false;
+  for (const auto& [lo, hi] : parts) {
+    if (lo <= 37 && 37 < hi) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PartitionRows, SkewedFrontLoadedVolume) {
+  // Volume concentrated at the front: later parts must still get valid
+  // (possibly empty) contiguous ranges and coverage must be exact.
+  std::vector<offset_t> products(50, 0);
+  for (int r = 0; r < 10; ++r) products[static_cast<std::size_t>(r)] = 100;
+  const auto parts = partition_rows_balanced(products, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  index_t begin = 0;
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_EQ(lo, begin);
+    EXPECT_LE(lo, hi);
+    begin = hi;
+  }
+  EXPECT_EQ(begin, 50);
 }
 
 TEST(MultiGpu, MatchesSingleDeviceResult) {

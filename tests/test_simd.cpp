@@ -14,6 +14,7 @@
 #include "common/prefix_sum.h"
 #include "common/prng.h"
 #include "common/simd.h"
+#include "common/sorting.h"
 #include "gen/generators.h"
 #include "matrix/ops.h"
 #include "speck/dense_acc.h"
@@ -62,6 +63,67 @@ TEST(SimdPrimitives, PrefixScansU64AgreeWithScalar) {
           << simd::backend_name(b) << " n=" << n;
       EXPECT_EQ(got, want_excl) << simd::backend_name(b) << " n=" << n;
     }
+  }
+}
+
+TEST(SimdPrimitives, WidenI32ToI64AgreesWithScalar) {
+  Xoshiro256 rng(996);
+  // Odd lengths straddle every vector-width remainder path; negative values
+  // exercise the sign-extension lanes.
+  for (const std::size_t n : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 250}) {
+    std::vector<std::int32_t> src(n);
+    for (auto& v : src) {
+      v = static_cast<std::int32_t>(rng.next_u64());  // full range, both signs
+    }
+    std::vector<std::int64_t> want(n, -1);
+    simd::widen_i32_to_i64_scalar(src.data(), want.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(want[i], static_cast<std::int64_t>(src[i])) << "i=" << i;
+    }
+    for (const SimdBackend b : vector_backends()) {
+      std::vector<std::int64_t> got(n, -1);
+      simd::widen_i32_to_i64(src.data(), got.data(), n, b);
+      EXPECT_EQ(got, want) << simd::backend_name(b) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdPrimitives, AddU64AgreesWithScalar) {
+  Xoshiro256 rng(997);
+  for (const std::size_t n : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 250}) {
+    std::vector<std::uint64_t> dst_base(n);
+    std::vector<std::uint64_t> src(n);
+    for (auto& v : dst_base) v = rng.next_u64() >> 1;
+    for (auto& v : src) v = rng.next_u64() >> 1;
+    std::vector<std::uint64_t> want = dst_base;
+    simd::add_u64_scalar(want.data(), src.data(), n);
+    for (const SimdBackend b : vector_backends()) {
+      std::vector<std::uint64_t> got = dst_base;
+      simd::add_u64(got.data(), src.data(), n, b);
+      EXPECT_EQ(got, want) << simd::backend_name(b) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdPrimitives, RadixSortOffsetsBitIdenticalAcrossBackends) {
+  // The radix sort's histogram->offsets scan is vectorized; the permutation
+  // must stay identical on every backend.
+  Xoshiro256 rng(998);
+  std::vector<std::uint32_t> keys(513);
+  std::vector<std::uint32_t> vals(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::uint32_t>(rng.next_u64());
+    vals[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint32_t> want_keys = keys;
+  std::vector<std::uint32_t> want_vals = vals;
+  radix_sort_pairs(want_keys, want_vals, SimdBackend::kScalar);
+  for (const SimdBackend b : vector_backends()) {
+    std::vector<std::uint32_t> got_keys = keys;
+    std::vector<std::uint32_t> got_vals = vals;
+    radix_sort_pairs(got_keys, got_vals, b);
+    EXPECT_EQ(got_keys, want_keys) << simd::backend_name(b);
+    EXPECT_EQ(got_vals, want_vals) << simd::backend_name(b);
   }
 }
 

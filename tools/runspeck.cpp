@@ -3,7 +3,7 @@
 //
 //   runspeck <path-to-matrix.mtx> [config.ini] [--threads N]
 //            [--fault-spec SPEC] [--validate] [--simd BACKEND]
-//            [--planning MODE]
+//            [--planning MODE] [--partitions N]
 //
 // `--threads N` sets the host thread pool the pipeline stages run on (the
 // result and the simulated times are bit-identical for every N; only host
@@ -71,6 +71,11 @@ void print_usage(const char* prog, std::FILE* out) {
       "                     exact). Estimated planning samples row products\n"
       "                     instead of running the exact symbolic pass;\n"
       "                     results are bit-identical either way\n"
+      "  --partitions N     two-level executor: group the worker threads into\n"
+      "                     N partition-local teams with cross-partition work\n"
+      "                     stealing (default auto — the SPECK_PARTITIONS env\n"
+      "                     var, then 1 = flat pool). Results are\n"
+      "                     bit-identical for every N\n"
       "  --help             this message\n"
       "\n"
       "exit codes:\n"
@@ -88,6 +93,7 @@ int run(int argc, char** argv) {
   using namespace speck;
   // Split off the flags; everything else keeps positional meaning.
   int flag_threads = 0;
+  int flag_partitions = 0;
   bool flag_validate = false;
   SimdBackend flag_simd = SimdBackend::kAuto;
   PlanningMode flag_planning = PlanningMode::kAuto;
@@ -159,6 +165,16 @@ int run(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strcmp(argv[i], "--partitions") == 0) {
+      flag_partitions = i + 1 < argc ? std::atoi(argv[i + 1]) : -1;
+      if (flag_partitions < 1 || flag_partitions > 256) {
+        std::fprintf(stderr,
+                     "--partitions requires an integer in [1, 256]\n");
+        return 2;
+      }
+      ++i;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   const int nargs = static_cast<int>(args.size());
@@ -184,6 +200,8 @@ int run(int argc, char** argv) {
   std::printf("planning: %s (requested %s)\n",
               planning_mode_name(resolve_planning(flag_planning)),
               planning_mode_name(flag_planning));
+  std::printf("partitions: %d%s\n", resolve_partitions(flag_partitions),
+              flag_partitions == 0 ? " (auto)" : "");
   const bool track_complete = config.get_bool("TrackCompleteTimes", true);
   const bool track_individual = config.get_bool("TrackIndividualTimes", false);
   const bool compare_result = config.get_bool("CompareResult", false);
@@ -214,6 +232,7 @@ int run(int argc, char** argv) {
     speck_ptr->config().validate_inputs = flag_validate;
     speck_ptr->config().simd_backend = flag_simd;
     speck_ptr->config().planning = flag_planning;
+    speck_ptr->config().partitions = flag_partitions;
     speck_ptr->config().faults = fault_spec;
     speck_ptr->config().plan_cache = config.get_bool("PlanCache", true);
     speck_ptr->config().plan_cache_limit_bytes = static_cast<std::size_t>(
@@ -224,10 +243,10 @@ int run(int argc, char** argv) {
       std::printf("fault injection: %s\n", describe(fault_spec).c_str());
     }
   } else if (fault_spec.enabled() || flag_validate ||
-             flag_planning != PlanningMode::kAuto) {
+             flag_planning != PlanningMode::kAuto || flag_partitions != 0) {
     std::fprintf(stderr,
-                 "--fault-spec/--validate/--planning only apply to "
-                 "Algorithm=speck (got %s)\n",
+                 "--fault-spec/--validate/--planning/--partitions only apply "
+                 "to Algorithm=speck (got %s)\n",
                  algorithm_name.c_str());
     return 2;
   }
@@ -265,6 +284,13 @@ int run(int argc, char** argv) {
                 "estimate and re-ran the exact fallback\n",
                 static_cast<long long>(
                     speck_ptr->last_diagnostics().numeric.estimate_underflow_rows));
+  }
+  if (speck_ptr != nullptr &&
+      speck_ptr->last_diagnostics().partition.partitions > 1) {
+    const auto& part = speck_ptr->last_diagnostics().partition;
+    std::printf("partitions: %d team(s), %zu stolen chunk(s), "
+                "imbalance ratio %.2f\n",
+                part.partitions, part.steal_count(), part.imbalance_ratio());
   }
   if (speck_ptr != nullptr && speck_ptr->last_diagnostics().plan_cache_hit) {
     std::printf(
