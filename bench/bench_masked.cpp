@@ -1,0 +1,375 @@
+// Masked-SpGEMM benchmark: triangle counting C = (L*L) .* L over a corpus
+// of scale-free / web-crawl graphs, comparing the output-masked fast path
+// (Speck::multiply_masked — no symbolic pass, accumulators sized off
+// min(products, mask row nnz)) against the naive pipeline the mask
+// replaces: full multiply, then filter the product down to the mask
+// positions. Emitted as key=value / point= lines for tools/bench_to_json.
+//
+// Four hard gates back the checked-in BENCH_masked.json (CI runs
+// `bench_masked --quick`):
+//
+//   * the masked path must beat full-multiply-then-filter by --min-speedup
+//     (default 2x) in corpus wall time at one thread — the win is
+//     algorithmic (symbolic + sort skipped, smaller accumulators), so it
+//     must hold on any core count,
+//   * every masked C must be bit-identical to the masked-Gustavson oracle,
+//     and every triangle count must agree across masked / filtered / oracle,
+//   * masked plan replays must be bit-identical and perform zero heap
+//     allocations in their hot path (same counting operator new as
+//     bench_hotpath),
+//   * the transparent plan cache must replay a repeated masked product
+//     (hits >= 1 on the third call).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/alloc_counter.h"
+#include "gen/corpus.h"
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/ops.h"
+#include "ref/masked.h"
+#include "speck/plan_cache.h"
+#include "speck/speck.h"
+
+// Counting allocator: every successful allocation bumps the thread-local
+// event counter the replay snapshots around its chunk bodies.
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  ++speck::detail::thread_alloc_events;
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace speck;
+
+void emit(const char* key, double value) { std::printf("%s=%.6g\n", key, value); }
+void emit_count(const char* key, std::size_t value) {
+  std::printf("%s=%zu\n", key, value);
+}
+
+double now_minus(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Symmetrizes into an undirected pattern (no self-loops, values 1).
+Csr undirected_pattern(const Csr& directed) {
+  Coo sym(directed.rows(), directed.cols());
+  for (index_t r = 0; r < directed.rows(); ++r) {
+    for (const index_t c : directed.row_cols(r)) {
+      if (c == r) continue;
+      sym.add(r, c, 1.0);
+      sym.add(c, r, 1.0);
+    }
+  }
+  Csr result = sym.to_csr();
+  for (auto& v : result.values_mutable()) v = 1.0;
+  return result;
+}
+
+/// Strictly-lower-triangular part (column < row), values clamped to 1.
+Csr lower_triangular(const Csr& a) {
+  Coo lower(a.rows(), a.cols());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (const index_t c : a.row_cols(r)) {
+      if (c < r) lower.add(r, c, 1.0);
+    }
+  }
+  return lower.to_csr();
+}
+
+/// Post-hoc masking — what the baseline pipeline pays after the full
+/// multiply: intersect each product row with the mask row, appending the
+/// surviving values to `out` (reserved once by the caller) and returning
+/// their sum. Two-pointer merge, no per-row allocation.
+double filter_into(const Csr& c, const Csr& mask, std::vector<value_t>& out) {
+  out.clear();
+  double sum = 0.0;
+  for (index_t r = 0; r < c.rows(); ++r) {
+    const auto cols = c.row_cols(r);
+    const auto vals = c.row_vals(r);
+    const auto mask_cols = mask.row_cols(r);
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      while (j < mask_cols.size() && mask_cols[j] < cols[i]) ++j;
+      if (j < mask_cols.size() && mask_cols[j] == cols[i]) {
+        out.push_back(vals[i]);
+        sum += vals[i];
+      }
+    }
+  }
+  return sum;
+}
+
+double sum_values(const Csr& c) {
+  double sum = 0.0;
+  for (const value_t v : c.values()) sum += v;
+  return sum;
+}
+
+struct TriangleEntry {
+  std::string name;
+  Csr lower;  ///< strictly-lower adjacency pattern; mask == operand
+};
+
+/// The triangle corpus: the scale-free / web-crawl graph families triangle
+/// counting actually runs on (skewed degree distributions are where the
+/// mask pays — hub rows have huge unmasked products and tiny mask rows).
+std::vector<TriangleEntry> make_triangle_corpus() {
+  std::vector<TriangleEntry> out;
+  const char* const graph_like[] = {"webbase", "mario002", "email-Enron",
+                                    "cage13", "144"};
+  for (auto& entry : gen::common_corpus()) {
+    if (!entry.square) continue;
+    for (const char* name : graph_like) {
+      if (entry.name == name) {
+        out.push_back({entry.name,
+                       lower_triangular(undirected_pattern(entry.a))});
+      }
+    }
+  }
+  out.push_back({"rmat-12", lower_triangular(undirected_pattern(
+                                gen::rmat(12, 8, 0.45, 0.22, 0.22, 7)))});
+  out.push_back({"rmat-11", lower_triangular(undirected_pattern(
+                                gen::rmat(11, 16, 0.45, 0.22, 0.22, 21)))});
+  out.push_back(
+      {"powerlaw-8k", lower_triangular(undirected_pattern(
+                          gen::power_law(8000, 8000, 12, 2.1, 400, 33)))});
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> thread_counts = {1, 8};
+  std::size_t iterations = 3;
+  double min_speedup = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      thread_counts = {1};
+      iterations = 2;
+    } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      iterations = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = {std::atoi(argv[++i])};
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--iterations N] [--threads N] "
+                   "[--min-speedup X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (iterations == 0) iterations = 1;
+
+  const std::vector<TriangleEntry> corpus = make_triangle_corpus();
+
+  // Oracle counts, computed once: every path must land on these exactly.
+  std::vector<Csr> oracle(corpus.size());
+  double oracle_triangles = 0.0;
+  for (std::size_t e = 0; e < corpus.size(); ++e) {
+    oracle[e] =
+        masked_spgemm(corpus[e].lower, corpus[e].lower, corpus[e].lower);
+    oracle_triangles += sum_values(oracle[e]);
+  }
+
+  std::printf("bench=masked\n");
+  emit_count("corpus_graphs", corpus.size());
+  emit_count("iterations", iterations);
+  emit("min_speedup", min_speedup);
+  emit("triangles", oracle_triangles);
+
+  bool gate_failed = false;
+  for (const int threads : thread_counts) {
+    SpeckConfig cfg;
+    cfg.host_threads = threads;
+    cfg.plan_cache = false;  // both paths replan; the cache gets its own gate
+    Speck masked_speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+    Speck full_speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+    std::printf("point=threads%d\n", threads);
+    emit_count("threads", static_cast<std::size_t>(threads));
+
+    // Warm both instances' kernel workspaces with one corpus pass so the
+    // timed loops compare steady states rather than first-touch growth.
+    std::size_t filter_reserve = 0;
+    for (const auto& entry : corpus) {
+      if (!masked_speck.multiply_masked(entry.lower, entry.lower, entry.lower)
+               .ok() ||
+          !full_speck.multiply(entry.lower, entry.lower).ok()) {
+        std::fprintf(stderr, "warm-up multiply failed\n");
+        return 2;
+      }
+      filter_reserve =
+          std::max(filter_reserve, static_cast<std::size_t>(entry.lower.nnz()));
+    }
+
+    // Baseline: full product every iteration, then filter it down to the
+    // mask positions (the deliverable a mask-less pipeline produces).
+    double full_triangles = 0.0;
+    std::vector<value_t> filtered;
+    filtered.reserve(filter_reserve);
+    const auto t_full = std::chrono::steady_clock::now();
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+      full_triangles = 0.0;
+      for (const auto& entry : corpus) {
+        SpGemmResult r = full_speck.multiply(entry.lower, entry.lower);
+        if (!r.ok()) {
+          std::fprintf(stderr, "full multiply failed on %s: %s\n",
+                       entry.name.c_str(), r.failure_reason.c_str());
+          return 2;
+        }
+        full_triangles += filter_into(r.c, entry.lower, filtered);
+      }
+    }
+    const double full_wall = now_minus(t_full);
+
+    // Masked fast path: same deliverable straight from the masked pipeline.
+    double masked_triangles = 0.0;
+    bool bit_identical = true;
+    const auto t_masked = std::chrono::steady_clock::now();
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+      masked_triangles = 0.0;
+      for (std::size_t e = 0; e < corpus.size(); ++e) {
+        SpGemmResult r = masked_speck.multiply_masked(
+            corpus[e].lower, corpus[e].lower, corpus[e].lower);
+        if (!r.ok()) {
+          std::fprintf(stderr, "masked multiply failed on %s: %s\n",
+                       corpus[e].name.c_str(), r.failure_reason.c_str());
+          return 2;
+        }
+        masked_triangles += sum_values(r.c);
+        if (iter + 1 == iterations && compare(r.c, oracle[e], 0.0).has_value()) {
+          std::fprintf(stderr,
+                       "FAIL: masked product of %s diverges from the "
+                       "masked-Gustavson oracle\n",
+                       corpus[e].name.c_str());
+          bit_identical = false;
+        }
+      }
+    }
+    const double masked_wall = now_minus(t_masked);
+
+    // Replay: build each masked plan once, then run values-only replays.
+    // The hot path must not allocate and every replay must stay bitwise.
+    std::size_t replay_allocs = 0;
+    double replay_wall = 0.0;
+    {
+      Speck replay_speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
+      std::vector<SpeckPlan> plans;
+      plans.reserve(corpus.size());
+      for (const auto& entry : corpus) {
+        plans.push_back(
+            replay_speck.plan_masked(entry.lower, entry.lower, entry.lower));
+        if (!plans.back().complete) {
+          std::fprintf(stderr, "masked planning failed on %s: %s\n",
+                       entry.name.c_str(),
+                       plans.back().incomplete_reason.c_str());
+          return 2;
+        }
+      }
+      const auto t_replay = std::chrono::steady_clock::now();
+      for (std::size_t iter = 0; iter < iterations; ++iter) {
+        for (std::size_t e = 0; e < corpus.size(); ++e) {
+          // multiply_with_plan checks the plan against the configured mask.
+          replay_speck.config().mask =
+              std::make_shared<const Csr>(corpus[e].lower);
+          SpGemmResult r = replay_speck.multiply_with_plan(
+              plans[e], corpus[e].lower, corpus[e].lower);
+          const SpeckDiagnostics& diag = replay_speck.last_diagnostics();
+          if (!r.ok() || diag.plan_fallback) {
+            std::fprintf(stderr, "masked replay failed on %s: %s%s\n",
+                         corpus[e].name.c_str(), r.failure_reason.c_str(),
+                         diag.plan_fallback_reason.c_str());
+            return 2;
+          }
+          replay_allocs += diag.numeric.hot_path_allocs;
+          if (compare(r.c, oracle[e], 0.0).has_value()) {
+            std::fprintf(stderr,
+                         "FAIL: masked replay of %s is not bit-identical\n",
+                         corpus[e].name.c_str());
+            bit_identical = false;
+          }
+        }
+      }
+      replay_wall = now_minus(t_replay);
+    }
+
+    // Transparent cache: the third identical masked product must replay.
+    std::size_t cache_hits = 0;
+    {
+      SpeckConfig cached_cfg = cfg;
+      cached_cfg.plan_cache = true;
+      Speck cached(sim::DeviceSpec::titan_v(), sim::CostModel{}, cached_cfg);
+      const auto& entry = corpus.front();
+      for (int i = 0; i < 3; ++i) {
+        SpGemmResult r =
+            cached.multiply_masked(entry.lower, entry.lower, entry.lower);
+        if (!r.ok() || compare(r.c, oracle.front(), 0.0).has_value()) {
+          std::fprintf(stderr, "FAIL: cached masked multiply diverged\n");
+          bit_identical = false;
+          break;
+        }
+      }
+      cache_hits = cached.plan_cache().stats().hits;
+    }
+
+    const double speedup = full_wall / masked_wall;
+    emit("full_filter_wall_seconds", full_wall);
+    emit("masked_wall_seconds", masked_wall);
+    emit("replay_wall_seconds", replay_wall);
+    emit("speedup", speedup);
+    emit("masked_triangles", masked_triangles);
+    emit("full_triangles", full_triangles);
+    emit_count("replay_hot_allocs", replay_allocs);
+    emit_count("cache_hits", cache_hits);
+    std::printf("point=\n");
+
+    if (masked_triangles != oracle_triangles ||
+        full_triangles != oracle_triangles) {
+      std::fprintf(stderr,
+                   "FAIL: triangle counts disagree (masked %.0f, filtered "
+                   "%.0f, oracle %.0f)\n",
+                   masked_triangles, full_triangles, oracle_triangles);
+      gate_failed = true;
+    }
+    // The speedup gate runs at one worker: the masked win is algorithmic,
+    // so a single deterministic thread is its cleanest measurement.
+    if (threads == 1 && speedup < min_speedup) {
+      std::fprintf(stderr, "FAIL: masked speedup %.3f < %.3f\n", speedup,
+                   min_speedup);
+      gate_failed = true;
+    }
+    if (threads == 1 && replay_allocs != 0) {
+      std::fprintf(stderr,
+                   "FAIL: masked replay hot path performed %zu heap "
+                   "allocations\n",
+                   replay_allocs);
+      gate_failed = true;
+    }
+    if (cache_hits == 0) {
+      std::fprintf(stderr,
+                   "FAIL: repeated masked product never hit the plan cache\n");
+      gate_failed = true;
+    }
+    if (!bit_identical) gate_failed = true;
+  }
+
+  if (gate_failed) return 1;
+  std::printf("gate=pass\n");
+  return 0;
+}

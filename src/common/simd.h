@@ -622,6 +622,159 @@ inline void add_u64(std::uint64_t* dst, const std::uint64_t* src, std::size_t n,
   return add_u64_scalar(dst, src, n);
 }
 
+// ---------------------------------------------------------------------------
+// Masked dense-window gather: the extraction step of the masked SpGEMM dense
+// path. A dense accumulation window covers columns [base, base + window); for
+// each mask column cols[i] inside that range the primitive reads the window
+// cell idx = cols[i] - base and emits
+//   out_touched[i] = occupied[idx] != 0
+//   out_vals[i]    = touched ? window_vals[idx] : 0.0
+// Both outputs are pure element copies/zeroes — no arithmetic — so every
+// backend is bit-identical to the scalar reference by construction. The AVX2
+// variant gathers occupancy bytes four at a time with a scale-1 dword gather,
+// which reads up to 3 bytes past occupied[window - 1]; callers must pad the
+// occupancy buffer accordingly (kMaskedGatherPad bytes suffice).
+// ---------------------------------------------------------------------------
+
+/// Extra readable bytes required past the end of the occupancy window.
+inline constexpr std::size_t kMaskedGatherPad = 3;
+
+inline void masked_window_gather_scalar(const std::int32_t* cols, std::size_t n,
+                                        std::int32_t base,
+                                        const double* window_vals,
+                                        const std::uint8_t* occupied,
+                                        double* out_vals,
+                                        std::uint8_t* out_touched) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(cols[i] - base);
+    const bool occ = occupied[idx] != 0;
+    out_touched[i] = occ ? 1 : 0;
+    out_vals[i] = occ ? window_vals[idx] : 0.0;
+  }
+}
+
+#if defined(SPECK_SIMD_X86)
+inline void masked_window_gather_sse(const std::int32_t* cols, std::size_t n,
+                                     std::int32_t base,
+                                     const double* window_vals,
+                                     const std::uint8_t* occupied,
+                                     double* out_vals,
+                                     std::uint8_t* out_touched) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // SSE2 has no gather instruction; two scalar element loads feed one
+    // vector mask-and-store per pair.
+    const auto i0 = static_cast<std::size_t>(cols[i] - base);
+    const auto i1 = static_cast<std::size_t>(cols[i + 1] - base);
+    const bool o0 = occupied[i0] != 0;
+    const bool o1 = occupied[i1] != 0;
+    const __m128d v = _mm_set_pd(window_vals[i1], window_vals[i0]);
+    const __m128i keep = _mm_set_epi64x(o1 ? -1 : 0, o0 ? -1 : 0);
+    _mm_storeu_pd(out_vals + i, _mm_and_pd(v, _mm_castsi128_pd(keep)));
+    out_touched[i] = o0 ? 1 : 0;
+    out_touched[i + 1] = o1 ? 1 : 0;
+  }
+  for (; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(cols[i] - base);
+    const bool occ = occupied[idx] != 0;
+    out_touched[i] = occ ? 1 : 0;
+    out_vals[i] = occ ? window_vals[idx] : 0.0;
+  }
+}
+
+[[gnu::target("avx2")]] inline void masked_window_gather_avx2(
+    const std::int32_t* cols, std::size_t n, std::int32_t base,
+    const double* window_vals, const std::uint8_t* occupied, double* out_vals,
+    std::uint8_t* out_touched) {
+  const __m128i vbase = _mm_set1_epi32(base);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx = _mm_sub_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + i)), vbase);
+    const __m256d v = _mm256_i32gather_pd(window_vals, idx, 8);
+    // Scale-1 dword gather of the occupancy bytes (low byte per lane); the
+    // caller's kMaskedGatherPad padding keeps the tail lanes in bounds.
+    const __m128i occ4 = _mm_and_si128(
+        _mm_i32gather_epi32(reinterpret_cast<const int*>(occupied), idx, 1),
+        _mm_set1_epi32(0xFF));
+    const __m128i occ_mask = _mm_cmpgt_epi32(occ4, _mm_setzero_si128());
+    const __m256d keep = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(occ_mask));
+    _mm256_storeu_pd(out_vals + i, _mm256_and_pd(v, keep));
+    const int bits = _mm_movemask_ps(_mm_castsi128_ps(occ_mask));
+    out_touched[i] = static_cast<std::uint8_t>(bits & 1);
+    out_touched[i + 1] = static_cast<std::uint8_t>((bits >> 1) & 1);
+    out_touched[i + 2] = static_cast<std::uint8_t>((bits >> 2) & 1);
+    out_touched[i + 3] = static_cast<std::uint8_t>((bits >> 3) & 1);
+  }
+  for (; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(cols[i] - base);
+    const bool occ = occupied[idx] != 0;
+    out_touched[i] = occ ? 1 : 0;
+    out_vals[i] = occ ? window_vals[idx] : 0.0;
+  }
+}
+#endif  // SPECK_SIMD_X86
+
+#if defined(SPECK_SIMD_NEON)
+inline void masked_window_gather_neon(const std::int32_t* cols, std::size_t n,
+                                      std::int32_t base,
+                                      const double* window_vals,
+                                      const std::uint8_t* occupied,
+                                      double* out_vals,
+                                      std::uint8_t* out_touched) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // NEON has no gather either; lane-wise loads feed one masked store.
+    const auto i0 = static_cast<std::size_t>(cols[i] - base);
+    const auto i1 = static_cast<std::size_t>(cols[i + 1] - base);
+    const bool o0 = occupied[i0] != 0;
+    const bool o1 = occupied[i1] != 0;
+    const float64x2_t v =
+        vsetq_lane_f64(window_vals[i1], vdupq_n_f64(window_vals[i0]), 1);
+    const uint64x2_t keep = vsetq_lane_u64(
+        o1 ? ~0ull : 0, vdupq_n_u64(o0 ? ~0ull : 0), 1);
+    vst1q_f64(out_vals + i, vreinterpretq_f64_u64(vandq_u64(
+                                vreinterpretq_u64_f64(v), keep)));
+    out_touched[i] = o0 ? 1 : 0;
+    out_touched[i + 1] = o1 ? 1 : 0;
+  }
+  for (; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(cols[i] - base);
+    const bool occ = occupied[idx] != 0;
+    out_touched[i] = occ ? 1 : 0;
+    out_vals[i] = occ ? window_vals[idx] : 0.0;
+  }
+}
+#endif  // SPECK_SIMD_NEON
+
+/// Dispatching masked dense-window gather. `backend` must be resolved. The
+/// occupancy buffer needs kMaskedGatherPad readable bytes of tail padding.
+inline void masked_window_gather(const std::int32_t* cols, std::size_t n,
+                                 std::int32_t base, const double* window_vals,
+                                 const std::uint8_t* occupied, double* out_vals,
+                                 std::uint8_t* out_touched,
+                                 SimdBackend backend) {
+#if defined(SPECK_SIMD_X86)
+  if (backend == SimdBackend::kAvx2) {
+    return masked_window_gather_avx2(cols, n, base, window_vals, occupied,
+                                     out_vals, out_touched);
+  }
+  if (backend != SimdBackend::kScalar) {
+    return masked_window_gather_sse(cols, n, base, window_vals, occupied,
+                                    out_vals, out_touched);
+  }
+#elif defined(SPECK_SIMD_NEON)
+  if (backend != SimdBackend::kScalar) {
+    return masked_window_gather_neon(cols, n, base, window_vals, occupied,
+                                     out_vals, out_touched);
+  }
+#else
+  (void)backend;
+#endif
+  return masked_window_gather_scalar(cols, n, base, window_vals, occupied,
+                                     out_vals, out_touched);
+}
+
 /// Software prefetch into the read cache hierarchy. Callers gate this on
 /// `backend != kScalar` — prefetch never changes results, but keeping the
 /// scalar path prefetch-free keeps it the plain reference implementation.

@@ -7,12 +7,30 @@
 
 #include "common/check.h"
 
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace speck {
 namespace {
 
 /// True while the current thread executes chunks of some pool's job; nested
 /// parallel_for calls detect this and run inline.
 thread_local bool t_inside_worker = false;
+
+/// NUMA node the calling thread is currently running on, or -1 when the
+/// platform cannot say. The raw syscall avoids a glibc >= 2.29 dependency.
+int current_numa_node() {
+#ifdef __linux__
+  unsigned cpu = 0;
+  unsigned node = 0;
+  if (syscall(SYS_getcpu, &cpu, &node, nullptr) == 0) {
+    return static_cast<int>(node);
+  }
+#endif
+  return -1;
+}
 
 }  // namespace
 
@@ -154,6 +172,7 @@ void ThreadPool::partitioned_for(std::size_t n, std::size_t chunk,
     diag->team_chunks.assign(static_cast<std::size_t>(parts), 0);
     diag->team_steals.assign(static_cast<std::size_t>(parts), 0);
     diag->team_seconds.assign(static_cast<std::size_t>(parts), 0.0);
+    diag->team_numa_nodes.assign(static_cast<std::size_t>(parts), -1);
   }
   if (total_chunks == 0) return;
 
@@ -178,6 +197,9 @@ void ThreadPool::partitioned_for(std::size_t n, std::size_t chunk,
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
+        // All teams ran on the calling thread; report its node for each.
+        diag->team_numa_nodes[static_cast<std::size_t>(p)] =
+            current_numa_node();
       }
     }
     return;
@@ -211,6 +233,7 @@ void ThreadPool::partitioned_for(std::size_t n, std::size_t chunk,
     std::size_t chunks = 0;
     std::size_t steals = 0;
     double seconds = 0.0;
+    int numa_node = -1;
   };
   std::vector<LaneStat> lane_stats(static_cast<std::size_t>(lanes));
 
@@ -268,6 +291,7 @@ void ThreadPool::partitioned_for(std::size_t n, std::size_t chunk,
         st.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+        st.numa_node = current_numa_node();
       });
 
   if (diag != nullptr) {
@@ -278,6 +302,9 @@ void ThreadPool::partitioned_for(std::size_t n, std::size_t chunk,
       diag->team_steals[static_cast<std::size_t>(team)] += st.steals;
       diag->team_seconds[static_cast<std::size_t>(team)] =
           std::max(diag->team_seconds[static_cast<std::size_t>(team)], st.seconds);
+      if (st.numa_node >= 0) {
+        diag->team_numa_nodes[static_cast<std::size_t>(team)] = st.numa_node;
+      }
     }
   }
 }

@@ -43,6 +43,10 @@ struct PartitionedRunDiag {
   std::vector<std::size_t> team_chunks;
   std::vector<std::size_t> team_steals;
   std::vector<double> team_seconds;
+  /// NUMA node each team's lanes observed themselves on (getcpu) when their
+  /// run finished; -1 when unknown (non-Linux host, or a team whose lanes
+  /// never ran). Pure telemetry — the OS may migrate threads at any time.
+  std::vector<int> team_numa_nodes;
 };
 
 /// Team of `lane` when `lanes` pool workers split into `parts` teams:

@@ -153,6 +153,8 @@ std::string describe(const SpeckConfig& config) {
          std::to_string(config.estimator_safety_margin) + "\n";
   out += "validate_inputs            = " +
          std::string(config.validate_inputs ? "true" : "false") + "\n";
+  out += "mask                       = " +
+         std::string(config.mask != nullptr ? "set" : "none") + "\n";
   out += describe(config.faults) + "\n";
   return out;
 }

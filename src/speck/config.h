@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -15,6 +16,8 @@
 #include "sim/device_spec.h"
 
 namespace speck {
+
+class Csr;
 
 /// One of the six kernel configurations (paper §4.2 "Configuration"):
 /// the largest uses the Volta 96 KB opt-in at 1024 threads (halving
@@ -218,6 +221,19 @@ struct SpeckConfig {
   /// every multiply; violations raise BadInput. Off by default: matrices
   /// built through the library's own constructors are already validated.
   bool validate_inputs = false;
+  /// Output mask (docs/performance.md "Masked SpGEMM"): when set, every
+  /// multiply() computes C = (A·B) ∘ mask with GraphBLAS structural
+  /// semantics — only mask positions may appear in C, a position is kept iff
+  /// at least one intermediate product lands on it (computed zeros
+  /// included), and the symbolic pass is skipped entirely because the mask
+  /// row is the candidate pattern. Must be an m×n CSR matching the product's
+  /// shape (checked per multiply against the actual operands — dims always,
+  /// full structure under validate_inputs); only its pattern matters, values
+  /// are ignored. Shared, so configs stay cheap to copy; the mask's pattern
+  /// hash joins the plan fingerprint, letting masked plans replay through
+  /// the plan cache like any fixed-pattern multiply. Equivalent to calling
+  /// Speck::multiply_masked explicitly.
+  std::shared_ptr<const Csr> mask;
   /// Deterministic fault injection (docs/robustness.md). Default: no
   /// faults. Any injected fault may only change the simulated cost and
   /// planning — the numeric result stays exact — or surface as a typed

@@ -8,6 +8,10 @@ constexpr std::size_t kInitialSlots = 64;  // power of two, multiple of 16
 
 FlatSpillMap::Locate FlatSpillMap::locate(key64_t key) {
   if (slot_count_ == 0 || (size_ + 1) * 4 > slot_count_ * 3) grow();
+  return find(key);
+}
+
+FlatSpillMap::Locate FlatSpillMap::find(key64_t key) {
   const std::uint64_t h = key * kHashPrime;
   const std::uint8_t tag = hash_tag(h);
   std::size_t slot = slot_for(h);
@@ -72,12 +76,41 @@ void FlatSpillMap::accumulate(key64_t key, value_t value) {
   vals_[l.index] += value;
 }
 
+bool FlatSpillMap::seed(key64_t key) {
+  const Locate l = locate(key);
+  if (l.present) return false;
+  ctrl_[l.index] = hash_tag(key * kHashPrime);
+  keys_[l.index] = key;
+  vals_[l.index] = 0.0;
+  touched_[l.index] = 0;
+  ++size_;
+  return true;
+}
+
+bool FlatSpillMap::accumulate_if_present(key64_t key, value_t value) {
+  if (slot_count_ == 0) return false;
+  const Locate l = find(key);
+  if (!l.present) return false;
+  vals_[l.index] += value;
+  touched_[l.index] = 1;
+  return true;
+}
+
+bool FlatSpillMap::lookup_touched(key64_t key, value_t* value) {
+  if (slot_count_ == 0) return false;
+  const Locate l = find(key);
+  if (!l.present || touched_[l.index] == 0) return false;
+  *value = vals_[l.index];
+  return true;
+}
+
 void FlatSpillMap::grow() {
   const std::size_t next = slot_count_ == 0 ? kInitialSlots : slot_count_ * 2;
   std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
   std::vector<std::uint64_t> old_group_epoch = std::move(group_epoch_);
   std::vector<key64_t> old_keys = std::move(keys_);
   std::vector<value_t> old_vals = std::move(vals_);
+  std::vector<std::uint8_t> old_touched = std::move(touched_);
   const std::size_t old_count = slot_count_;
   const std::uint64_t old_epoch = epoch_;
 
@@ -85,6 +118,7 @@ void FlatSpillMap::grow() {
   group_epoch_.assign(next / simd::kGroupWidth, 1);
   keys_.assign(next, 0);
   vals_.assign(next, 0.0);
+  touched_.assign(next, 0);
   slot_count_ = next;
   epoch_ = 1;
 
@@ -102,6 +136,7 @@ void FlatSpillMap::grow() {
       ctrl_[slot] = hash_tag(h);
       keys_[slot] = old_keys[i];
       vals_[slot] = old_vals[i];
+      touched_[slot] = old_touched[i];
     }
   }
 }

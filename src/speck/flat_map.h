@@ -50,6 +50,18 @@ class FlatSpillMap {
   /// Adds `value` to the slot for `key`, creating it at 0 (numeric spill).
   void accumulate(key64_t key, value_t value);
 
+  /// Masked-insert mode: pre-seeds `key` as an admissible slot (value zero,
+  /// untouched), growing like any other insert. Returns true when new.
+  bool seed(key64_t key);
+
+  /// Masked accumulate: adds into `key`'s slot only when it was seeded,
+  /// marking it touched; a miss claims nothing and never grows the table.
+  bool accumulate_if_present(key64_t key, value_t value);
+
+  /// Reads a seeded slot back: true (with the sum in `*value`) iff the slot
+  /// was touched since seeding. Never grows the table.
+  bool lookup_touched(key64_t key, value_t* value);
+
   /// Visits every occupied slot in slot order with fn(key, value). Whole
   /// stale groups (untouched since the last clear) are skipped 16 slots at
   /// a time. The vector backends reduce each group to one occupied-lane
@@ -110,12 +122,18 @@ class FlatSpillMap {
     bool present;
   };
   Locate locate(key64_t key);
+  /// Probe without the grow step — lookups must not resize the table. The
+  /// ≤75% load factor maintained by `locate` guarantees termination.
+  Locate find(key64_t key);
   void grow();
 
   std::vector<std::uint8_t> ctrl_;
   std::vector<std::uint64_t> group_epoch_;
   std::vector<key64_t> keys_;
   std::vector<value_t> vals_;
+  /// Masked mode only: 1 iff the seeded slot has been accumulated into.
+  /// Written by seed(); carried across grow()'s re-place.
+  std::vector<std::uint8_t> touched_;
   std::size_t slot_count_ = 0;  ///< power of two, multiple of kGroupWidth
   std::uint64_t epoch_ = 1;
   std::size_t size_ = 0;

@@ -109,4 +109,52 @@ void NumericHashAccumulator::spill() {
   local_.reset();
 }
 
+void MaskedNumericAccumulator::begin_block(std::size_t capacity,
+                                           const FaultInjector* faults,
+                                           SimdBackend simd) {
+  local_.reconfigure(capacity);
+  local_.set_backend(simd);
+  global_.clear();
+  global_.set_backend(simd);
+  faults_ = faults;
+  in_global_ = false;
+  moved_entries_ = 0;
+  global_inserts_ = 0;
+}
+
+void MaskedNumericAccumulator::seed(key64_t key) {
+  if (!in_global_) {
+    if (!local_.full() && !forced_overflow()) {
+      local_.seed_key(key);
+      if (local_.full()) spill();
+      return;
+    }
+    spill();
+  }
+  ++global_inserts_;
+  global_.seed(key);
+}
+
+void MaskedNumericAccumulator::accumulate(key64_t key, value_t value) {
+  if (!in_global_) {
+    local_.accumulate_if_present(key, value);
+    return;
+  }
+  global_.accumulate_if_present(key, value);
+}
+
+bool MaskedNumericAccumulator::lookup_touched(key64_t key, value_t* value) {
+  if (!in_global_) return local_.lookup_touched(key, value);
+  return global_.lookup_touched(key, value);
+}
+
+void MaskedNumericAccumulator::spill() {
+  in_global_ = true;
+  // Only seeds can be in flight here (streaming never inserts), so every
+  // moved entry is an untouched zero and re-seeding preserves state.
+  local_.for_each([&](key64_t key, value_t) { global_.seed(key); });
+  moved_entries_ += local_.size();
+  local_.reset();
+}
+
 }  // namespace speck

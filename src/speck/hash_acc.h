@@ -116,4 +116,57 @@ class NumericHashAccumulator {
   std::size_t global_inserts_ = 0;
 };
 
+/// Masked accumulator (paper-style scratchpad map in GraphBLAS masked mode):
+/// the mask columns are pre-seeded as the *only* admissible keys, then
+/// products are streamed with `accumulate()` — a non-mask column misses its
+/// probe and is dropped without claiming a slot, so the map never holds more
+/// than the mask row's nnz. Extraction probes the mask columns back in
+/// order with `lookup_touched()`, which distinguishes "mask column some
+/// product landed on" (emit, even a computed zero) from "mask column no
+/// product touched" (drop).
+///
+/// Spill can only trigger while seeding (capacity pressure — or the
+/// fault-injection overflow hook — is decided by the seed count; streaming
+/// and lookups never insert): seeded keys move to the global FlatSpillMap
+/// and all later seeds, accumulates and lookups go there.
+class MaskedNumericAccumulator {
+ public:
+  /// Reusable accumulator; `begin_block()` must run before seeds.
+  MaskedNumericAccumulator() = default;
+
+  /// Prepares for a new block: scratchpad capacity, fault hook, SIMD
+  /// backend, all contents and counters cleared. O(1) after warm-up. The
+  /// backend only changes probe speed; contents and counters are identical.
+  void begin_block(std::size_t capacity, const FaultInjector* faults,
+                   SimdBackend simd = SimdBackend::kScalar);
+
+  /// Admits `key` (a mask column) as an accumulation target.
+  void seed(key64_t key);
+
+  /// Adds `value` into `key`'s slot iff the key was seeded; marks it
+  /// touched. Non-mask keys are dropped (their probe is still counted).
+  void accumulate(key64_t key, value_t value);
+
+  /// True (with the accumulated sum) iff `key` was seeded and touched.
+  bool lookup_touched(key64_t key, value_t* value);
+
+  bool spilled() const { return in_global_; }
+  std::size_t probes() const { return local_.probes(); }
+  std::size_t moved_entries() const { return moved_entries_; }
+  std::size_t global_inserts() const { return global_inserts_; }
+
+ private:
+  void spill();
+  bool forced_overflow() const {
+    return faults_ != nullptr && faults_->force_hash_overflow(local_.size());
+  }
+
+  DeviceHashMap local_;
+  const FaultInjector* faults_ = nullptr;
+  bool in_global_ = false;
+  FlatSpillMap global_;
+  std::size_t moved_entries_ = 0;
+  std::size_t global_inserts_ = 0;
+};
+
 }  // namespace speck

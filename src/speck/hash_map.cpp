@@ -109,6 +109,39 @@ bool DeviceHashMap::accumulate(key64_t key, value_t value) {
   return true;
 }
 
+bool DeviceHashMap::seed_key(key64_t key) {
+  const std::uint64_t h = key * kHashPrime;
+  const Probe p = probe(key, hash_slot(h), hash_tag(h));
+  if (p.index == kNoSlot) {
+    overflowed_ = true;
+    return false;
+  }
+  if (p.found) return false;
+  ctrl_[p.index] = hash_tag(h);
+  keys_[p.index] = key;
+  vals_[p.index] = 0.0;
+  touched_[p.index] = 0;
+  ++size_;
+  return true;
+}
+
+bool DeviceHashMap::accumulate_if_present(key64_t key, value_t value) {
+  const std::uint64_t h = key * kHashPrime;
+  const Probe p = probe(key, hash_slot(h), hash_tag(h));
+  if (p.index == kNoSlot || !p.found) return false;
+  vals_[p.index] += value;
+  touched_[p.index] = 1;
+  return true;
+}
+
+bool DeviceHashMap::lookup_touched(key64_t key, value_t* value) {
+  const std::uint64_t h = key * kHashPrime;
+  const Probe p = probe(key, hash_slot(h), hash_tag(h));
+  if (p.index == kNoSlot || !p.found || touched_[p.index] == 0) return false;
+  *value = vals_[p.index];
+  return true;
+}
+
 std::vector<DeviceHashMap::Entry> DeviceHashMap::extract() const {
   std::vector<Entry> out;
   out.reserve(size_);
@@ -134,6 +167,7 @@ void DeviceHashMap::reconfigure(std::size_t capacity) {
     group_epoch_.resize(groups_, 0);
     keys_.resize(groups_ * simd::kGroupWidth);
     vals_.resize(groups_ * simd::kGroupWidth);
+    touched_.resize(groups_ * simd::kGroupWidth);
   }
   capacity_ = capacity;
   ++epoch_;

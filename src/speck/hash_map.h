@@ -86,6 +86,21 @@ class DeviceHashMap {
   /// creating it if needed. Returns false on overflow.
   bool accumulate(key64_t key, value_t value);
 
+  /// Masked-insert mode: pre-seeds `key` as an admissible slot (value zero,
+  /// untouched). Same probe, tag and overflow semantics as insert_key, so
+  /// seeded maps behave exactly like symbolically-built ones.
+  bool seed_key(key64_t key);
+
+  /// Masked accumulate: adds into `key`'s slot only when it was seeded,
+  /// marking it touched. A miss (non-mask column) is a no-op — no slot is
+  /// claimed — but its probe walk is still counted like any other.
+  bool accumulate_if_present(key64_t key, value_t value);
+
+  /// Reads a seeded slot back: true (with the accumulated sum in `*value`)
+  /// iff the slot was touched since seeding. Untouched seeds and absent
+  /// keys both report false. The probe walk is counted like any other.
+  bool lookup_touched(key64_t key, value_t* value);
+
   bool overflowed() const { return overflowed_; }
 
   /// Extraction: occupied (key, value) pairs in slot order (unsorted).
@@ -190,6 +205,10 @@ class DeviceHashMap {
   std::vector<std::uint64_t> group_epoch_;  ///< ctrl valid iff == epoch_
   std::vector<key64_t> keys_;
   std::vector<value_t> vals_;
+  /// Masked mode only: 1 iff the seeded slot has been accumulated into.
+  /// Valid only for slots written by seed_key in the current epoch, so no
+  /// epoch machinery of its own is needed.
+  std::vector<std::uint8_t> touched_;
   std::size_t capacity_ = 0;  ///< logical capacity; <= retained storage
   std::size_t groups_ = 0;    ///< ceil(capacity_ / kGroupWidth)
   std::uint64_t epoch_ = 1;   ///< group epochs start at 0, i.e. stale

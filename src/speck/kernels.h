@@ -33,6 +33,11 @@ struct PartitionDiag {
   std::vector<std::size_t> team_chunks;
   std::vector<std::size_t> team_steals;
   std::vector<double> team_seconds;
+  /// NUMA node each team's lanes last reported running on (-1 unknown — a
+  /// non-Linux host, or a team whose lanes never ran). Like every field
+  /// here this is schedule telemetry: the OS may migrate threads between
+  /// passes, so the value is the last observation, not a binding.
+  std::vector<int> team_numa_nodes;
 
   std::size_t steal_count() const {
     std::size_t total = 0;
@@ -57,11 +62,15 @@ struct PartitionDiag {
       team_chunks.resize(run.team_chunks.size(), 0);
       team_steals.resize(run.team_steals.size(), 0);
       team_seconds.resize(run.team_seconds.size(), 0.0);
+      team_numa_nodes.resize(run.team_chunks.size(), -1);
     }
     for (std::size_t t = 0; t < run.team_chunks.size(); ++t) {
       team_chunks[t] += run.team_chunks[t];
       team_steals[t] += run.team_steals[t];
       team_seconds[t] += run.team_seconds[t];
+      if (t < run.team_numa_nodes.size() && run.team_numa_nodes[t] >= 0) {
+        team_numa_nodes[t] = run.team_numa_nodes[t];
+      }
     }
   }
 };
@@ -70,6 +79,10 @@ struct PartitionDiag {
 struct KernelContext {
   const Csr* a = nullptr;
   const Csr* b = nullptr;
+  /// Output mask of a masked multiply (GraphBLAS structural semantics:
+  /// only mask positions may appear in C); null on unmasked runs. Set by
+  /// Speck::multiply_masked before the masked numeric pass.
+  const Csr* mask = nullptr;
   const RowAnalysis* analysis = nullptr;
   const SpeckConfig* cfg = nullptr;
   const std::vector<KernelConfig>* configs = nullptr;
@@ -186,6 +199,16 @@ NumericOutcome run_numeric(const KernelContext& ctx, const BinPlan& plan,
 struct NumericReplayProgram {
   /// Top bit of a dest word: store the product instead of adding it.
   static constexpr std::uint32_t kAssignFirst = 0x8000'0000u;
+  /// Masked programs only: sentinel dest word for a product whose B column
+  /// is not in the frozen masked C pattern — the replay drops it. Never a
+  /// valid slot|kAssignFirst encoding (slots are < 2^31 - 1, see
+  /// kMaxReplayIndex in speck.cpp).
+  static constexpr std::uint32_t kSkip = 0xFFFF'FFFFu;
+  /// True for programs built from a masked plan: dest words may be kSkip
+  /// and never carry kAssignFirst (masked accumulation adds into the
+  /// zero-filled output buffer, mirroring the masked kernels' 0.0 + p
+  /// first-touch convention). Selects the skip-aware replay inner loop.
+  bool masked = false;
   /// rows+1 prefix: ops of C row r live in [row_op_start[r], row_op_start[r+1]).
   std::vector<offset_t> row_op_start;
   // The dest array is the dominant capture cost (4 bytes per intermediate

@@ -386,6 +386,48 @@ void replay_rows_program(const Csr& a, const Csr& b,
   }
 }
 
+/// Masked variant of replay_rows_program: the same CSR walk, but dest words
+/// may be NumericReplayProgram::kSkip (product's B column outside the frozen
+/// masked C pattern — dropped) and never carry kAssignFirst (the caller
+/// zero-fills `out`, so pure adds reproduce the masked kernels' 0.0 + p
+/// first-touch convention). Kept separate so the unmasked loop stays
+/// branch-free.
+void replay_rows_program_masked(const Csr& a, const Csr& b,
+                                const NumericReplayProgram& program,
+                                std::size_t begin, std::size_t end,
+                                std::span<value_t> out, SimdBackend simd) {
+  constexpr std::uint32_t kSkip = NumericReplayProgram::kSkip;
+  const value_t* a_vals = a.values().data();
+  const value_t* b_vals = b.values().data();
+  const std::uint32_t* dest = program.dest.data();
+  const std::span<const offset_t> a_offsets = a.row_offsets();
+  const std::span<const offset_t> b_offsets = b.row_offsets();
+  const index_t* a_cols = a.col_indices().data();
+  constexpr std::size_t kPrefetchDistance = 16;
+  const bool prefetch_slots = simd != SimdBackend::kScalar;
+  const auto op_limit = static_cast<std::size_t>(program.row_op_start[end]);
+  auto op = static_cast<std::size_t>(program.row_op_start[begin]);
+  for (std::size_t r = begin; r < end; ++r) {
+    const auto row_begin = static_cast<std::size_t>(a_offsets[r]);
+    const auto row_end = static_cast<std::size_t>(a_offsets[r + 1]);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const value_t av = a_vals[i];
+      const auto k = static_cast<std::size_t>(a_cols[i]);
+      const auto seg_end = static_cast<std::size_t>(b_offsets[k + 1]);
+      for (auto bp = static_cast<std::size_t>(b_offsets[k]); bp < seg_end;
+           ++bp, ++op) {
+        if (prefetch_slots && op + kPrefetchDistance < op_limit &&
+            dest[op + kPrefetchDistance] != kSkip) {
+          simd::prefetch(out.data() + dest[op + kPrefetchDistance]);
+        }
+        const std::uint32_t d = dest[op];
+        if (d == kSkip) continue;
+        out[d] += av * b_vals[bp];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::size_t replay_numeric_values(const Csr& a, const Csr& b,
@@ -406,7 +448,11 @@ std::size_t replay_numeric_values(const Csr& a, const Csr& b,
   pool_or_global(pool).parallel_for(
       rows, kRowChunk, [&](std::size_t begin, std::size_t end, int /*worker*/) {
         const std::size_t allocs_before = detail::alloc_events_now();
-        replay_rows_program(a, b, program, begin, end, out, simd);
+        if (program.masked) {
+          replay_rows_program_masked(a, b, program, begin, end, out, simd);
+        } else {
+          replay_rows_program(a, b, program, begin, end, out, simd);
+        }
         chunk_allocs[begin / kRowChunk] +=
             detail::alloc_events_now() - allocs_before;
       });
@@ -424,7 +470,11 @@ std::size_t replay_numeric_values_serial(const Csr& a, const Csr& b,
       program.row_op_start.empty() ? 0 : program.row_op_start.size() - 1;
   if (rows == 0) return 0;
   const std::size_t allocs_before = detail::alloc_events_now();
-  replay_rows_program(a, b, program, 0, rows, out, simd);
+  if (program.masked) {
+    replay_rows_program_masked(a, b, program, 0, rows, out, simd);
+  } else {
+    replay_rows_program(a, b, program, 0, rows, out, simd);
+  }
   return detail::alloc_events_now() - allocs_before;
 }
 

@@ -134,6 +134,18 @@ PlanFingerprint plan_fingerprint(const Csr& a, const Csr& b,
   return fp;
 }
 
+PlanFingerprint plan_fingerprint_masked(const Csr& a, const Csr& b,
+                                        const Csr& mask, const SpeckConfig& cfg,
+                                        bool with_pattern_hashes) {
+  PlanFingerprint fp = plan_fingerprint(a, b, cfg, with_pattern_hashes);
+  fp.masked = true;
+  fp.mask_rows = mask.rows();
+  fp.mask_cols = mask.cols();
+  fp.mask_nnz = mask.nnz();
+  if (with_pattern_hashes) fp.mask_pattern_hash = csr_pattern_hash(mask);
+  return fp;
+}
+
 namespace {
 
 /// Heap bytes behind a std::string: zero while the small-string buffer
@@ -312,6 +324,86 @@ NumericReplayProgram build_replay_program(const KernelContext& ctx,
               static_cast<std::uint32_t>(c_begin + local) |
               (assign ? NumericReplayProgram::kAssignFirst : 0u);
           if (hash) seen[local] = 1;
+          ++op;
+        }
+      }
+    }
+  });
+
+  return program;
+}
+
+NumericReplayProgram build_replay_program_masked(
+    const KernelContext& ctx, std::span<const offset_t> c_row_offsets,
+    std::span<const index_t> c_col_indices) {
+  const Csr& a = *ctx.a;
+  const Csr& b = *ctx.b;
+  const auto rows = static_cast<std::size_t>(a.rows());
+
+  NumericReplayProgram program;
+  program.masked = true;
+  program.row_op_start.assign(rows + 1, 0);
+  if (rows == 0) return program;
+
+  ThreadPool& pool = pool_or_global(ctx.pool);
+  WorkspacePool local_workspaces;
+  WorkspacePool& workspaces =
+      ctx.workspaces != nullptr ? *ctx.workspaces : local_workspaces;
+  workspaces.ensure(pool.thread_count());
+
+  // Exact per-row op counts — the full product enumeration, not the masked
+  // output size: the replay walks every product and drops the off-mask ones
+  // via kSkip, which is what keeps the walk a pure function of A's and B's
+  // structure (same recount/copy split as the unmasked build).
+  std::vector<offset_t>& starts = program.row_op_start;
+  if (ctx.faults == nullptr && ctx.analysis != nullptr &&
+      ctx.analysis->products.size() == rows) {
+    std::copy(ctx.analysis->products.begin(), ctx.analysis->products.end(),
+              starts.begin() + 1);
+  } else {
+    pool.parallel_for(rows, 512,
+                      [&](std::size_t begin, std::size_t end, int /*worker*/) {
+                        for (std::size_t r = begin; r < end; ++r) {
+                          offset_t ops = 0;
+                          for (const index_t k :
+                               a.row_cols(static_cast<index_t>(r))) {
+                            ops += b.row_length(k);
+                          }
+                          starts[r + 1] = ops;
+                        }
+                      });
+  }
+  inclusive_prefix_sum(std::span<offset_t>(starts.data() + 1, rows), ctx.simd);
+
+  const auto total_ops = static_cast<std::size_t>(starts.back());
+  program.dest.resize(total_ops);
+
+  const auto b_cols_total = static_cast<std::size_t>(b.cols());
+  pool.parallel_for(rows, 256, [&](std::size_t begin, std::size_t end,
+                                   int worker) {
+    // Column -> local C-row slot scatter map, never cleared between rows:
+    // a stale entry only surfaces for a column missing from the row's
+    // frozen pattern, exactly the case the recheck below turns into kSkip.
+    std::vector<std::uint32_t>& colmap = workspaces.at(worker).replay_colmap();
+    if (colmap.size() < b_cols_total) colmap.resize(b_cols_total);
+    for (std::size_t r = begin; r < end; ++r) {
+      auto op = static_cast<std::size_t>(starts[r]);
+      const auto c_begin = static_cast<std::size_t>(c_row_offsets[r]);
+      const auto c_end = static_cast<std::size_t>(c_row_offsets[r + 1]);
+      const std::span<const index_t> c_cols =
+          c_col_indices.subspan(c_begin, c_end - c_begin);
+      for (std::size_t l = 0; l < c_cols.size(); ++l) {
+        colmap[static_cast<std::size_t>(c_cols[l])] =
+            static_cast<std::uint32_t>(l);
+      }
+      for (const index_t k : a.row_cols(static_cast<index_t>(r))) {
+        for (const index_t col : b.row_cols(k)) {
+          const auto local =
+              static_cast<std::size_t>(colmap[static_cast<std::size_t>(col)]);
+          program.dest[op] =
+              local < c_cols.size() && c_cols[local] == col
+                  ? static_cast<std::uint32_t>(c_begin + local)
+                  : NumericReplayProgram::kSkip;
           ++op;
         }
       }

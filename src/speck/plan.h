@@ -41,17 +41,29 @@ struct PlanFingerprint {
   std::uint64_t a_pattern_hash = 0;
   std::uint64_t b_pattern_hash = 0;
 
-  /// O(1): dimensions, nnz and the planning-config hash.
+  /// Masked multiplies: the output mask joins the structural identity — a
+  /// masked plan must never replay an unmasked product (or one under a
+  /// different mask), and vice versa. The mask is structure-only like A and
+  /// B: only its pattern enters (values of the mask never matter).
+  bool masked = false;
+  index_t mask_rows = 0, mask_cols = 0;
+  offset_t mask_nnz = 0;
+  std::uint64_t mask_pattern_hash = 0;
+
+  /// O(1): dimensions, nnz, mask dimensions and the planning-config hash.
   bool matches_quick(const PlanFingerprint& o) const {
     return a_rows == o.a_rows && a_cols == o.a_cols && b_rows == o.b_rows &&
            b_cols == o.b_cols && a_nnz == o.a_nnz && b_nnz == o.b_nnz &&
-           config_hash == o.config_hash;
+           config_hash == o.config_hash && masked == o.masked &&
+           mask_rows == o.mask_rows && mask_cols == o.mask_cols &&
+           mask_nnz == o.mask_nnz;
   }
 
-  /// Quick check plus the O(nnz) pattern hashes (both sides computed).
+  /// Quick check plus the O(nnz) pattern hashes (all sides computed).
   bool matches_full(const PlanFingerprint& o) const {
     return matches_quick(o) && a_pattern_hash == o.a_pattern_hash &&
-           b_pattern_hash == o.b_pattern_hash;
+           b_pattern_hash == o.b_pattern_hash &&
+           mask_pattern_hash == o.mask_pattern_hash;
   }
 };
 
@@ -67,6 +79,12 @@ std::uint64_t csr_pattern_hash(const Csr& m);
 PlanFingerprint plan_fingerprint(const Csr& a, const Csr& b,
                                  const SpeckConfig& cfg,
                                  bool with_pattern_hashes = true);
+
+/// Fingerprint of a *masked* product (a, b, mask) under `cfg`: the unmasked
+/// fingerprint plus the mask's dimensions, nnz and pattern hash.
+PlanFingerprint plan_fingerprint_masked(const Csr& a, const Csr& b,
+                                        const Csr& mask, const SpeckConfig& cfg,
+                                        bool with_pattern_hashes = true);
 
 /// Per-run diagnostics beyond the common SpGemmResult (used by tests and
 /// the ablation benchmarks).
@@ -100,6 +118,10 @@ struct SpeckDiagnostics {
   /// numeric.estimate_underflow_rows for the rows whose estimate
   /// underflowed and re-ran through the exact fallback.
   bool estimated_planning = false;
+  /// True when the multiply ran the output-masked pipeline (multiply_masked
+  /// or SpeckConfig::mask): no symbolic pass, no sorting pass, accumulators
+  /// sized off min(products, mask_row_nnz).
+  bool masked = false;
   /// Two-level executor telemetry (docs/performance.md "NUMA scale-out"),
   /// accumulated over every partitioned pass of the multiply. Empty vectors
   /// with partitions == 1 (the flat executor). Schedule-dependent — team
@@ -182,5 +204,15 @@ NumericReplayProgram build_replay_program(const KernelContext& ctx,
                                           std::span<const index_t> row_nnz,
                                           std::span<const offset_t> c_row_offsets,
                                           std::span<const index_t> c_col_indices);
+
+/// Masked variant: same product enumeration, but a product whose B column is
+/// missing from the frozen masked C pattern gets the kSkip sentinel (the
+/// replay drops it) and no dest word ever carries kAssignFirst — masked
+/// replays add into a zero-filled buffer, mirroring the masked kernels'
+/// 0.0 + p first-touch convention, so no per-row method derivation is
+/// needed. Sets program.masked.
+NumericReplayProgram build_replay_program_masked(
+    const KernelContext& ctx, std::span<const offset_t> c_row_offsets,
+    std::span<const index_t> c_col_indices);
 
 }  // namespace speck

@@ -22,6 +22,15 @@ std::uint64_t plan_key_hash(const PlanFingerprint& fp) {
   fold(fp.config_hash);
   fold(fp.a_pattern_hash);
   fold(fp.b_pattern_hash);
+  if (fp.masked) {
+    // Unmasked fingerprints skip the mask folds entirely so their hashes —
+    // and any stored key built from them — are unchanged by the mask fields'
+    // existence.
+    fold(static_cast<std::uint64_t>(fp.mask_rows));
+    fold(static_cast<std::uint64_t>(fp.mask_cols));
+    fold(static_cast<std::uint64_t>(fp.mask_nnz));
+    fold(fp.mask_pattern_hash);
+  }
   return h;
 }
 

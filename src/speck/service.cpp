@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "ref/gustavson.h"
+#include "ref/masked.h"
 
 namespace speck {
 namespace {
@@ -241,7 +242,11 @@ SpeckService::Response SpeckService::serve_degraded(const Csr& a, const Csr& b,
     // degraded responses stay bit-identical to what the full pipeline would
     // have produced. No plan, no cache insert, no budget accounting (the
     // safety valve must not be throttled by the pressure it relieves).
-    Csr c = gustavson_spgemm(a, b);
+    // A configured mask routes through the masked oracle, mirroring the
+    // masked pipeline's semantics exactly.
+    const Csr* mask = speck_.config().mask.get();
+    Csr c = mask != nullptr ? masked_spgemm(a, b, *mask)
+                            : gustavson_spgemm(a, b);
     resp.c_nnz = c.nnz();
     if (out != nullptr) {
       const std::span<const value_t> vals = c.values();
@@ -276,7 +281,13 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
       request_id % config_.faults.evict_every == 0) {
     cache_.evict(cache_.entries());
   }
-  const PlanFingerprint fp = plan_fingerprint(a, b, speck_.config());
+  // A mask on the wrapped Speck's config turns every request into a masked
+  // product: the fingerprint (and thus the cache key) carries the mask
+  // pattern, so masked and unmasked plans for one structure never collide.
+  const Csr* mask = speck_.config().mask.get();
+  const PlanFingerprint fp =
+      mask != nullptr ? plan_fingerprint_masked(a, b, *mask, speck_.config())
+                      : plan_fingerprint(a, b, speck_.config());
   const std::uint64_t key = plan_key_hash(fp);
 
   // True when the request had to block anywhere — the plan mutex or the
@@ -363,7 +374,9 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
       SpeckPlan built;
       const CancelToken cancel(opts.deadline);
       try {
-        built = speck_.plan(a, b, &full, &cancel);
+        built = mask != nullptr
+                    ? speck_.plan_masked(a, b, *mask, &full, &cancel)
+                    : speck_.plan(a, b, &full, &cancel);
       } catch (...) {
         // Bad inputs (dimension mismatch, corrupt CSR) throw from the
         // pipeline; a service must answer, not unwind a client thread.
@@ -460,7 +473,10 @@ SpeckService::Response SpeckService::serve(const Csr& a, const Csr& b,
 std::shared_ptr<const SpeckPlan> SpeckService::plan_for(const Csr& a,
                                                         const Csr& b,
                                                         Status* status) {
-  const PlanFingerprint fp = plan_fingerprint(a, b, speck_.config());
+  const Csr* mask = speck_.config().mask.get();
+  const PlanFingerprint fp =
+      mask != nullptr ? plan_fingerprint_masked(a, b, *mask, speck_.config())
+                      : plan_fingerprint(a, b, speck_.config());
   if (std::shared_ptr<const SpeckPlan> plan = cache_.find(fp)) return plan;
   std::lock_guard<std::timed_mutex> lock(plan_mutex_);
   if (std::shared_ptr<const SpeckPlan> plan = cache_.find(fp)) return plan;
@@ -475,7 +491,7 @@ std::shared_ptr<const SpeckPlan> SpeckService::plan_for(const Csr& a,
   }
   SpeckPlan built;
   try {
-    built = speck_.plan(a, b);
+    built = mask != nullptr ? speck_.plan_masked(a, b, *mask) : speck_.plan(a, b);
   } catch (...) {
     if (config_.memory_budget_bytes != 0) budget_.release(build_bytes);
     if (status != nullptr) *status = status_from_current_exception();

@@ -9,6 +9,7 @@
 #include "matrix/matrix_stats.h"
 #include "sim/memory_tracker.h"
 #include "speck/estimator.h"
+#include "speck/masked_pass.h"
 
 namespace speck {
 namespace {
@@ -33,6 +34,28 @@ void validate_multiply_inputs(const Csr& a, const Csr& b) {
   }
 }
 
+/// The output mask must describe positions of C = A*B, i.e. be rows(A) x
+/// cols(B). The dimension check is unconditional (it is O(1) and a wrong-
+/// shape mask silently corrupts the product); the O(nnz) structural checks
+/// run under validate_inputs like A's and B's.
+void validate_mask_input(const Csr& a, const Csr& b, const Csr& mask,
+                         bool full) {
+  if (mask.rows() != a.rows() || mask.cols() != b.cols()) {
+    throw BadInput("output mask must be rows(A) x cols(B) = " +
+                       std::to_string(a.rows()) + "x" + std::to_string(b.cols()) +
+                       "; got " + std::to_string(mask.rows()) + "x" +
+                       std::to_string(mask.cols()),
+                   "Speck::multiply_masked");
+  }
+  if (!full) return;
+  mask.validate();
+  if (!mask.sorted_within_rows()) {
+    throw BadInput("mask has unsorted rows (CSR requires ascending column "
+                   "indices; call sort_rows())",
+                   "Speck::multiply_masked");
+  }
+}
+
 /// Why `plan` must not be replayed against (a, b) under `cfg`, or empty.
 /// Shared by the fallback (legacy) and reject (concurrent) replay entries.
 std::string plan_reject_reason(const SpeckPlan& plan, const Csr& a,
@@ -41,8 +64,17 @@ std::string plan_reject_reason(const SpeckPlan& plan, const Csr& a,
     return plan.incomplete_reason.empty() ? "plan is incomplete"
                                           : plan.incomplete_reason;
   }
-  const PlanFingerprint now = plan_fingerprint(
-      a, b, cfg, /*with_pattern_hashes=*/cfg.validate_inputs);
+  const Csr* mask = cfg.mask.get();
+  if (plan.fingerprint.masked && mask == nullptr) {
+    return "plan is masked but no mask is configured (set SpeckConfig::mask "
+           "to the mask the plan was built with)";
+  }
+  const PlanFingerprint now =
+      mask != nullptr
+          ? plan_fingerprint_masked(a, b, *mask, cfg,
+                                    /*with_pattern_hashes=*/cfg.validate_inputs)
+          : plan_fingerprint(a, b, cfg,
+                             /*with_pattern_hashes=*/cfg.validate_inputs);
   const bool match = cfg.validate_inputs
                          ? now.matches_full(plan.fingerprint)
                          : now.matches_quick(plan.fingerprint);
@@ -104,6 +136,7 @@ PlanCache& Speck::plan_cache() {
 }
 
 SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
+  if (config_.mask != nullptr) return multiply_masked(a, b, *config_.mask);
   if (!config_.plan_cache) {
     has_last_structure_ = false;
     transparent_cache_.reset();
@@ -131,6 +164,34 @@ SpGemmResult Speck::multiply(const Csr& a, const Csr& b) {
   return result;
 }
 
+SpGemmResult Speck::multiply_masked(const Csr& a, const Csr& b,
+                                    const Csr& mask) {
+  if (!config_.plan_cache) {
+    has_last_structure_ = false;
+    transparent_cache_.reset();
+    return multiply_masked_full(a, b, mask, nullptr);
+  }
+  PlanCache& cache = plan_cache();
+  const PlanFingerprint fp = plan_fingerprint_masked(a, b, mask, config_);
+  if (const std::shared_ptr<const SpeckPlan> plan = cache.find(fp)) {
+    SpGemmResult result = replay_plan(*plan, a, b);
+    diagnostics_.plan_cache_hit = true;
+    return result;
+  }
+  // Same build-on-second-sight policy as the unmasked path; the masked
+  // fingerprint keeps masked and unmasked structures from ever colliding.
+  const bool build = has_last_structure_ && fp.matches_full(last_structure_) &&
+                     plan_worth_caching(a, b);
+  last_structure_ = fp;
+  has_last_structure_ = true;
+  if (!build) return multiply_masked_full(a, b, mask, nullptr);
+  auto plan = std::make_shared<SpeckPlan>();
+  plan->fingerprint = fp;
+  SpGemmResult result = multiply_masked_full(a, b, mask, plan.get());
+  if (result.ok() && plan->complete) cache.insert(std::move(plan));
+  return result;
+}
+
 SpeckPlan Speck::plan(const Csr& a, const Csr& b, SpGemmResult* full_result,
                       const CancelToken* cancel) {
   SpeckPlan plan;
@@ -139,6 +200,20 @@ SpeckPlan Speck::plan(const Csr& a, const Csr& b, SpGemmResult* full_result,
   // block may steal the C pattern arrays from it instead of copying.
   SpGemmResult result =
       multiply_full(a, b, &plan, cancel, /*steal_pattern=*/full_result == nullptr);
+  if (!result.ok() && plan.incomplete_reason.empty()) {
+    plan.incomplete_reason = "planning run failed: " + result.failure_reason;
+  }
+  if (full_result != nullptr) *full_result = std::move(result);
+  return plan;
+}
+
+SpeckPlan Speck::plan_masked(const Csr& a, const Csr& b, const Csr& mask,
+                             SpGemmResult* full_result,
+                             const CancelToken* cancel) {
+  SpeckPlan plan;
+  plan.fingerprint = plan_fingerprint_masked(a, b, mask, config_);
+  SpGemmResult result = multiply_masked_full(
+      a, b, mask, &plan, cancel, /*steal_pattern=*/full_result == nullptr);
   if (!result.ok() && plan.incomplete_reason.empty()) {
     plan.incomplete_reason = "planning run failed: " + result.failure_reason;
   }
@@ -684,6 +759,209 @@ SpGemmResult Speck::multiply_estimated(const Csr& a, const Csr& b,
     plan.diagnostics = diagnostics_;
     plan.numeric_seconds = numeric.stats.seconds;
     plan.sorting_seconds = numeric.sorting_seconds;
+    const std::vector<sim::LaunchResult>& launches = trace_.launches();
+    plan.replay_trace.assign(
+        launches.begin() + static_cast<std::ptrdiff_t>(numeric_trace_mark),
+        launches.end());
+    plan.inspect_seconds =
+        result.timeline.seconds(sim::Stage::kAnalysis) +
+        result.timeline.seconds(sim::Stage::kNumericLoadBalance);
+  }
+  return result;
+}
+
+SpGemmResult Speck::multiply_masked_full(const Csr& a, const Csr& b,
+                                         const Csr& mask, SpeckPlan* capture,
+                                         const CancelToken* cancel,
+                                         bool steal_pattern) {
+  const auto poll_cancel = [cancel](const char* phase) {
+    if (cancel != nullptr) cancel->check(phase);
+  };
+  poll_cancel("admission");
+  SPECK_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  validate_mask_input(a, b, mask, /*full=*/config_.validate_inputs);
+  if (config_.validate_inputs) validate_multiply_inputs(a, b);
+  std::optional<FaultInjector> injector;
+  if (config_.faults.enabled()) injector.emplace(config_.faults);
+  const FaultInjector* faults = injector ? &*injector : nullptr;
+
+  SpGemmResult result;
+  diagnostics_ = SpeckDiagnostics{};
+  diagnostics_.masked = true;
+  diagnostics_.wide_keys = b.cols() > kMaxColumns32Bit;
+  trace_.clear();
+
+  sim::MemoryTracker memory(faults != nullptr
+                                ? faults->cap_memory(device_.global_memory_bytes)
+                                : device_.global_memory_bytes);
+  // The mask is resident alongside the inputs for the whole multiply: the
+  // numeric kernels stream it row by row like they stream B.
+  if (!memory.allocate(a.byte_size() + b.byte_size() + mask.byte_size())) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "input matrices exceed device memory";
+    return result;
+  }
+
+  KernelContext ctx;
+  ctx.a = &a;
+  ctx.b = &b;
+  ctx.mask = &mask;
+  ctx.cfg = &config_;
+  ctx.configs = &kernel_configs_;
+  ctx.device = &device_;
+  ctx.model = &model_;
+  ctx.wide_keys = diagnostics_.wide_keys;
+  ctx.trace = &trace_;
+  ctx.pool = host_pool();
+  ctx.workspaces = &workspaces_;
+  ctx.faults = faults;
+  ctx.simd = simd::resolve_backend(config_.simd_backend);
+  ctx.partitions = resolve_partitions(config_.partitions);
+  ctx.partition_steal = config_.partition_steal;
+  diagnostics_.partition.partitions = ctx.partitions;
+  ctx.partition_diag = &diagnostics_.partition;
+  if (ctx.partitions > 1) {
+    ctx.team_workspaces = &team_workspaces_;
+    if (config_.numa_local_b) {
+      ensure_team_b(b, ctx);
+      ctx.team_b = &team_b_;
+    }
+  }
+
+  // Stage 1: the same lightweight row analysis as the exact pipeline — the
+  // product counts bound the per-row work and cap the accumulator demand.
+  sim::Launch analysis_launch("row_analysis", device_, model_);
+  RowAnalysis analysis = analyze_rows(a, b, analysis_launch, ctx.pool, faults);
+  ctx.analysis = &analysis;
+  diagnostics_.products = analysis.total_products;
+  {
+    sim::LaunchResult finished = analysis_launch.finish();
+    result.timeline.add(sim::Stage::kAnalysis, finished.seconds);
+    trace_.record(std::move(finished));
+  }
+  const std::size_t analysis_bytes =
+      static_cast<std::size_t>(a.rows()) *
+      (sizeof(offset_t) + 3 * sizeof(index_t));
+  if (!memory.allocate(analysis_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "row analysis buffers exceed device memory";
+    return result;
+  }
+
+  poll_cancel("row analysis");
+  // The symbolic pass is skipped entirely: the mask row *is* the candidate
+  // pattern, so the accumulator demand per row is the hard bound
+  // min(products, mask_row_nnz) — never an estimate, so there is no
+  // fallback machinery. Numeric binning runs off that demand inflated by
+  // the hash fill limit, exactly like exact mode inflates the symbolic
+  // counts.
+  const std::span<const offset_t> mask_offsets = mask.row_offsets();
+  const auto rows = static_cast<std::size_t>(a.rows());
+  std::vector<index_t> masked_demand(rows);
+  std::vector<offset_t> numeric_entries(rows);
+  offset_t staging_nnz = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const offset_t mask_len = mask_offsets[r + 1] - mask_offsets[r];
+    const offset_t demand = std::min(analysis.products[r], mask_len);
+    masked_demand[r] = static_cast<index_t>(demand);
+    staging_nnz += demand;
+    numeric_entries[r] = static_cast<offset_t>(
+        static_cast<double>(demand) / config_.max_numeric_fill + 1.0);
+    if (faults != nullptr) {
+      numeric_entries[r] =
+          faults->scale_estimate(static_cast<index_t>(r), numeric_entries[r]);
+    }
+  }
+  sim::Launch numeric_lb_launch("numeric_lb", device_, model_);
+  const GlobalLbInputs numeric_inputs{std::span<const offset_t>(numeric_entries),
+                                      /*symbolic=*/false};
+  BinPlan numeric_plan =
+      plan_global_lb(numeric_inputs, kernel_configs_, config_, numeric_lb_launch);
+  diagnostics_.numeric_decision =
+      lb_decision_stats(numeric_inputs, kernel_configs_, config_);
+  diagnostics_.numeric_lb_used = numeric_plan.used_load_balancer;
+  diagnostics_.numeric_blocks = static_cast<int>(numeric_plan.blocks.size());
+  if (numeric_plan.used_load_balancer) {
+    sim::LaunchResult finished = numeric_lb_launch.finish();
+    result.timeline.add(sim::Stage::kNumericLoadBalance, finished.seconds);
+    trace_.record(std::move(finished));
+    if (!memory.allocate(numeric_plan.lb_memory_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "load balancer buffers exceed device memory";
+      return result;
+    }
+  }
+
+  poll_cancel("numeric load balancing");
+  // Masked C staging: one slot per admissible (mask ∩ demand) position.
+  const std::size_t staging_bytes =
+      (rows + 1) * sizeof(offset_t) +
+      static_cast<std::size_t>(staging_nnz) * (sizeof(index_t) + sizeof(value_t));
+  if (!memory.allocate(staging_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "masked output staging exceeds device memory";
+    return result;
+  }
+
+  // Stage 5'': masked numeric pass. No sorting stage follows — mask rows
+  // are ascending, so extraction emits C already in final order.
+  const std::size_t numeric_trace_mark = trace_.launches().size();
+  MaskedNumericOutcome numeric =
+      run_numeric_masked(ctx, numeric_plan, masked_demand);
+  diagnostics_.numeric = numeric.stats;
+  result.timeline.add(sim::Stage::kNumeric, numeric.stats.seconds);
+  if (numeric.stats.global_pool_bytes > 0) {
+    if (!memory.allocate(numeric.stats.global_pool_bytes)) {
+      result.status = SpGemmStatus::kOutOfMemory;
+      result.failure_reason = "global hash pool exceeds device memory";
+      return result;
+    }
+    memory.release(numeric.stats.global_pool_bytes);
+  }
+  const offset_t c_nnz = numeric.c.nnz();
+  const std::size_t c_bytes =
+      (rows + 1) * sizeof(offset_t) +
+      static_cast<std::size_t>(c_nnz) * (sizeof(index_t) + sizeof(value_t));
+  if (!memory.allocate(c_bytes)) {
+    result.status = SpGemmStatus::kOutOfMemory;
+    result.failure_reason = "output matrix exceeds device memory";
+    return result;
+  }
+  memory.release(staging_bytes);
+
+  result.c = std::move(numeric.c);
+  result.seconds = result.timeline.total_seconds();
+  result.peak_memory_bytes = memory.peak_bytes();
+
+  if (capture != nullptr) {
+    SpeckPlan& plan = *capture;
+    plan.wide_keys = ctx.wide_keys;
+    plan.row_nnz = std::move(numeric.row_nnz);
+    if (steal_pattern) {
+      std::vector<value_t> discarded_values;
+      result.c.take_arrays(plan.c_row_offsets, plan.c_col_indices,
+                           discarded_values);
+    } else {
+      const std::span<const offset_t> c_offsets = result.c.row_offsets();
+      const std::span<const index_t> c_cols = result.c.col_indices();
+      plan.c_row_offsets.assign(c_offsets.begin(), c_offsets.end());
+      plan.c_col_indices.assign(c_cols.begin(), c_cols.end());
+    }
+    if (static_cast<std::uint64_t>(a.nnz()) >= kMaxReplayIndex ||
+        static_cast<std::uint64_t>(b.nnz()) >= kMaxReplayIndex ||
+        static_cast<std::uint64_t>(c_nnz) >= kMaxReplayIndex) {
+      plan.incomplete_reason =
+          "matrix too large for the 32-bit replay program";
+    } else {
+      plan.program = build_replay_program_masked(ctx, plan.c_row_offsets,
+                                                 plan.c_col_indices);
+      plan.complete = true;
+    }
+    plan.analysis = std::move(analysis);
+    plan.numeric_plan = std::move(numeric_plan);
+    plan.diagnostics = diagnostics_;
+    plan.numeric_seconds = numeric.stats.seconds;
+    plan.sorting_seconds = 0.0;
     const std::vector<sim::LaunchResult>& launches = trace_.launches();
     plan.replay_trace.assign(
         launches.begin() + static_cast<std::ptrdiff_t>(numeric_trace_mark),

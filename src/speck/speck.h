@@ -31,6 +31,19 @@ class Speck final : public SpGemmAlgorithm {
   std::string name() const override { return "speck"; }
   SpGemmResult multiply(const Csr& a, const Csr& b) override;
 
+  /// Output-masked multiply: C = (A * B) ∘ mask, the mask taken structurally
+  /// (GraphBLAS-style — its values never matter). Only mask positions can
+  /// appear in C; a mask position touched by at least one intermediate
+  /// product is kept even when the accumulated value is 0.0, an untouched
+  /// one is dropped. The pipeline skips the symbolic pass entirely — the
+  /// mask row *is* the candidate pattern — and sizes accumulators off
+  /// min(products, mask_row_nnz), which is what makes masked products (the
+  /// triangle-counting kernel tricount builds on) cheaper than
+  /// multiply-then-filter. Transparently plan-cached like multiply(), keyed
+  /// by the extended masked fingerprint. Equivalent to setting
+  /// SpeckConfig::mask and calling multiply().
+  SpGemmResult multiply_masked(const Csr& a, const Csr& b, const Csr& mask);
+
   /// Outcome of the non-throwing entry point. `status.ok()` implies
   /// `result` carries a successful multiplication; otherwise `result` is
   /// whatever partial state was produced (timeline, failure_reason) and
@@ -59,6 +72,16 @@ class Speck final : public SpGemmAlgorithm {
   /// kernels are never interrupted).
   SpeckPlan plan(const Csr& a, const Csr& b, SpGemmResult* full_result = nullptr,
                  const CancelToken* cancel = nullptr);
+
+  /// Masked counterpart of plan(): freezes the masked pipeline's structure
+  /// state (fingerprint includes the mask pattern) so masked products replay
+  /// values-only like any fixed-pattern multiply. Replay the result with
+  /// multiply_with_plan / replay_values_into while SpeckConfig::mask holds
+  /// the same mask — a masked plan is rejected when the configured mask is
+  /// absent or different.
+  SpeckPlan plan_masked(const Csr& a, const Csr& b, const Csr& mask,
+                        SpGemmResult* full_result = nullptr,
+                        const CancelToken* cancel = nullptr);
 
   /// Values-only multiply against a frozen plan: skips row analysis, global
   /// load balancing, the symbolic pass and sorting, and writes values
@@ -141,6 +164,15 @@ class Speck final : public SpGemmAlgorithm {
                                   SpeckPlan* capture, const CancelToken* cancel,
                                   KernelContext& ctx, sim::MemoryTracker& memory,
                                   bool steal_pattern);
+
+  /// The masked pipeline (analysis → numeric LB off min(products,
+  /// mask_row_nnz) → masked numeric; no symbolic pass, no sorting — mask
+  /// rows are ascending so the output is born sorted). Same capture /
+  /// cancel / steal_pattern contract as multiply_full.
+  SpGemmResult multiply_masked_full(const Csr& a, const Csr& b,
+                                    const Csr& mask, SpeckPlan* capture,
+                                    const CancelToken* cancel = nullptr,
+                                    bool steal_pattern = false);
 
   /// The values-only replay of a verified plan (legacy single-caller form:
   /// writes this instance's diagnostics and trace).

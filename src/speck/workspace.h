@@ -50,6 +50,15 @@ class KernelWorkspace {
     return numeric_;
   }
 
+  /// Masked accumulator reset for a new row/block of the given capacity
+  /// (the masked numeric pass pre-seeds mask columns into it).
+  MaskedNumericAccumulator& masked_acc(std::size_t capacity,
+                                       const FaultInjector* faults,
+                                       SimdBackend simd = SimdBackend::kScalar) {
+    masked_.begin_block(capacity, faults, simd);
+    return masked_;
+  }
+
   /// Per-local-row NNZ counts (symbolic extraction).
   std::vector<index_t>& row_counts() { return row_counts_; }
 
@@ -102,6 +111,7 @@ class KernelWorkspace {
  private:
   SymbolicHashAccumulator symbolic_;
   NumericHashAccumulator numeric_;
+  MaskedNumericAccumulator masked_;
   std::vector<index_t> row_counts_;
   std::vector<DeviceHashMap::Entry> entries_;
   std::vector<std::size_t> row_starts_;

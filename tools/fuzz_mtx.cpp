@@ -34,6 +34,7 @@
 #include "matrix/io_mtx.h"
 #include "matrix/ops.h"
 #include "ref/gustavson.h"
+#include "ref/masked.h"
 #include "speck/speck.h"
 
 namespace {
@@ -233,6 +234,22 @@ std::string check_input(const std::string& data, bool strict_duplicates) {
       if (diff.has_value()) {
         return "pipeline result diverges from the oracle: " +
                diff->description;
+      }
+      // The accepted input doubles as its own output mask: anything the
+      // reader lets through must also survive the masked pipeline (mask
+      // validation included) and match the masked-Gustavson oracle
+      // bit-for-bit.
+      const SpGemmResult masked =
+          speck.multiply_masked(parsed, parsed, parsed);
+      if (!masked.ok()) {
+        return "masked pipeline failed on accepted input: " +
+               masked.failure_reason;
+      }
+      const auto masked_diff =
+          compare(masked.c, masked_spgemm(parsed, parsed, parsed), 0.0);
+      if (masked_diff.has_value()) {
+        return "masked pipeline result diverges from the oracle: " +
+               masked_diff->description;
       }
     }
   } catch (const std::exception& e) {

@@ -25,6 +25,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/cusparse_like.h"
@@ -36,6 +38,7 @@
 #include "matrix/io_mtx.h"
 #include "matrix/matrix_stats.h"
 #include "matrix/ops.h"
+#include "ref/masked.h"
 #include "speck/speck.h"
 
 namespace {
@@ -76,6 +79,12 @@ void print_usage(const char* prog, std::FILE* out) {
       "                     stealing (default auto — the SPECK_PARTITIONS env\n"
       "                     var, then 1 = flat pool). Results are\n"
       "                     bit-identical for every N\n"
+      "  --mask PATH        output-masked multiply C = (A*B) .* mask(PATH):\n"
+      "                     the .mtx pattern at PATH (shape rows(A) x cols(B))\n"
+      "                     restricts which C positions are computed; the\n"
+      "                     symbolic pass is skipped and accumulators shrink\n"
+      "                     to min(products, mask row nnz). Speck only;\n"
+      "                     CompareResult checks the masked oracle instead\n"
       "  --help             this message\n"
       "\n"
       "exit codes:\n"
@@ -98,6 +107,7 @@ int run(int argc, char** argv) {
   SimdBackend flag_simd = SimdBackend::kAuto;
   PlanningMode flag_planning = PlanningMode::kAuto;
   FaultSpec fault_spec;
+  std::string mask_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -153,6 +163,15 @@ int run(int argc, char** argv) {
         return 3;
       }
       flag_planning = *parsed;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--mask") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--mask requires a matrix file path\n");
+        return 2;
+      }
+      mask_path = argv[i + 1];
       ++i;
       continue;
     }
@@ -222,6 +241,13 @@ int run(int argc, char** argv) {
   std::printf("A: %s, products: %lld\n", a.shape_string().c_str(),
               static_cast<long long>(products));
 
+  std::shared_ptr<const Csr> mask;
+  if (!mask_path.empty()) {
+    std::printf("reading mask %s ...\n", mask_path.c_str());
+    mask = std::make_shared<const Csr>(read_matrix_market_file(mask_path));
+    std::printf("mask: %s\n", mask->shape_string().c_str());
+  }
+
   const std::string algorithm_name = config.get_string("Algorithm", "speck");
   const auto algorithm = baselines::make_algorithm(
       algorithm_name, sim::DeviceSpec::titan_v(), sim::CostModel{});
@@ -229,6 +255,7 @@ int run(int argc, char** argv) {
   // Speck-specific.
   auto* speck_ptr = dynamic_cast<Speck*>(algorithm.get());
   if (speck_ptr != nullptr) {
+    speck_ptr->config().mask = mask;
     speck_ptr->config().validate_inputs = flag_validate;
     speck_ptr->config().simd_backend = flag_simd;
     speck_ptr->config().planning = flag_planning;
@@ -243,10 +270,11 @@ int run(int argc, char** argv) {
       std::printf("fault injection: %s\n", describe(fault_spec).c_str());
     }
   } else if (fault_spec.enabled() || flag_validate ||
-             flag_planning != PlanningMode::kAuto || flag_partitions != 0) {
+             flag_planning != PlanningMode::kAuto || flag_partitions != 0 ||
+             mask != nullptr) {
     std::fprintf(stderr,
-                 "--fault-spec/--validate/--planning/--partitions only apply "
-                 "to Algorithm=speck (got %s)\n",
+                 "--fault-spec/--validate/--planning/--partitions/--mask only "
+                 "apply to Algorithm=speck (got %s)\n",
                  algorithm_name.c_str());
     return 2;
   }
@@ -291,6 +319,14 @@ int run(int argc, char** argv) {
     std::printf("partitions: %d team(s), %zu stolen chunk(s), "
                 "imbalance ratio %.2f\n",
                 part.partitions, part.steal_count(), part.imbalance_ratio());
+    std::string nodes;
+    for (std::size_t t = 0; t < part.team_numa_nodes.size(); ++t) {
+      if (t > 0) nodes += " ";
+      nodes += part.team_numa_nodes[t] >= 0
+                   ? std::to_string(part.team_numa_nodes[t])
+                   : "?";
+    }
+    std::printf("partition numa nodes: [%s]\n", nodes.c_str());
   }
   if (speck_ptr != nullptr && speck_ptr->last_diagnostics().plan_cache_hit) {
     std::printf(
@@ -301,15 +337,24 @@ int run(int argc, char** argv) {
     std::printf("\n%s", speck_ptr->last_trace().to_string().c_str());
   }
   if (compare_result) {
-    baselines::CusparseLike reference(sim::DeviceSpec::titan_v(), sim::CostModel{});
-    const SpGemmResult expected = reference.multiply(a, b);
-    const auto diff = compare(last.c, expected.c);
+    // With --mask the product is output-masked, so the unmasked baseline
+    // would spuriously mismatch; check against the masked oracle instead.
+    Csr expected_c;
+    if (mask != nullptr) {
+      expected_c = masked_spgemm(a, b, *mask);
+    } else {
+      baselines::CusparseLike reference(sim::DeviceSpec::titan_v(),
+                                        sim::CostModel{});
+      expected_c = reference.multiply(a, b).c;
+    }
+    const auto diff = compare(last.c, expected_c);
     if (diff.has_value()) {
       std::fprintf(stderr, "ERROR: column indices do not match the reference: %s\n",
                    diff->description.c_str());
       return 1;
     }
-    std::printf("result matches the cuSPARSE-like reference\n");
+    std::printf("result matches the %s reference\n",
+                mask != nullptr ? "masked-Gustavson" : "cuSPARSE-like");
   }
   return 0;
 }

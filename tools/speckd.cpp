@@ -50,6 +50,7 @@
 #include "gen/generators.h"
 #include "matrix/ops.h"
 #include "ref/gustavson.h"
+#include "ref/masked.h"
 #include "speck/plan_cache.h"
 #include "speck/service.h"
 #include "speck/speck.h"
@@ -97,6 +98,13 @@ void print_usage(const char* prog, std::FILE* out) {
       "                       calling client thread either way. Steal and\n"
       "                       imbalance telemetry lands in partition_steals /\n"
       "                       worst_partition_imbalance\n"
+      "  --masked             serve output-masked products C = (p*p) .* M\n"
+      "                       against one shared band mask M (patterns are\n"
+      "                       forced to a single size so M applies to all);\n"
+      "                       masked plans carry the mask pattern hash in\n"
+      "                       their fingerprint and replay values-only like\n"
+      "                       unmasked ones. --check verifies against the\n"
+      "                       masked-Gustavson oracle\n"
       "  --seed N             traffic-schedule seed (default 42)\n"
       "  --validate           re-validate CSR invariants and full fingerprints\n"
       "  --check              verify every served response against the Gustavson\n"
@@ -106,12 +114,16 @@ void print_usage(const char* prog, std::FILE* out) {
 }
 
 /// K distinct serving-sized structures, cycling over the generator families.
-std::vector<Csr> make_patterns(std::size_t count, std::uint64_t seed) {
+/// `force_n` != 0 pins every pattern to an n x n shape (masked serving needs
+/// one shared mask to apply to all patterns).
+std::vector<Csr> make_patterns(std::size_t count, std::uint64_t seed,
+                               index_t force_n = 0) {
   std::vector<Csr> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t s = seed + 1000 * i;
-    const auto n = static_cast<index_t>(256 + 64 * (i % 5));
+    const index_t n =
+        force_n != 0 ? force_n : static_cast<index_t>(256 + 64 * (i % 5));
     switch (i % 4) {
       case 0:
         out.push_back(gen::banded(n, 16, 10, s));
@@ -120,10 +132,13 @@ std::vector<Csr> make_patterns(std::size_t count, std::uint64_t seed) {
         out.push_back(gen::power_law(n, n, 7, 2.1, 50, s));
         break;
       case 2:
-        out.push_back(gen::stencil_2d(16 + static_cast<index_t>(i), 16));
+        out.push_back(force_n != 0
+                          ? gen::banded(n, 24, 12, s + 1)
+                          : gen::stencil_2d(16 + static_cast<index_t>(i), 16));
         break;
       default:
-        out.push_back(gen::block_diagonal(12, 20, 0.5, s));
+        out.push_back(force_n != 0 ? gen::power_law(n, n, 9, 1.8, 60, s + 2)
+                                   : gen::block_diagonal(12, 20, 0.5, s));
         break;
     }
   }
@@ -364,6 +379,7 @@ int main(int argc, char** argv) {
   bool check = false;
   bool chaos = false;
   bool degraded = false;
+  bool masked = false;
   bool inject_check_mismatch = false;
   std::size_t max_queue = 0;
   double max_wait_ms = 0.0;
@@ -396,6 +412,8 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--degraded") == 0) {
       degraded = true;
+    } else if (std::strcmp(argv[i], "--masked") == 0) {
+      masked = true;
     } else if (std::strcmp(argv[i], "--fault-spec") == 0 && i + 1 < argc) {
       fault_spec_text = argv[++i];
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
@@ -438,10 +456,20 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const std::vector<Csr> patterns = make_patterns(pattern_count, seed);
+    // Masked serving shares ONE output mask across the whole mix, so every
+    // pattern must have the mask's shape.
+    const index_t masked_n = 320;
+    const std::vector<Csr> patterns =
+        make_patterns(pattern_count, seed, masked ? masked_n : 0);
     const std::vector<double> cdf = zipf_cdf(pattern_count, zipf_s);
+    std::shared_ptr<const Csr> mask;
+    if (masked) {
+      mask = std::make_shared<const Csr>(
+          gen::banded(masked_n, 32, 20, seed + 999));
+    }
 
     SpeckConfig cfg;
+    cfg.mask = mask;
     cfg.host_threads = 1;  // replays run serially per client thread
     cfg.plan_cache = false;  // the service owns the cache
     cfg.partitions = partitions;
@@ -461,13 +489,18 @@ int main(int argc, char** argv) {
     {
       Speck fp_speck(sim::DeviceSpec::titan_v(), sim::CostModel{}, cfg);
       for (const Csr& p : patterns) {
-        fingerprints.push_back(
-            plan_key_hash(plan_fingerprint(p, p, fp_speck.config())));
+        fingerprints.push_back(plan_key_hash(
+            mask != nullptr
+                ? plan_fingerprint_masked(p, p, *mask, fp_speck.config())
+                : plan_fingerprint(p, p, fp_speck.config())));
       }
     }
     if (check) {
       refs.reserve(pattern_count);
-      for (const Csr& p : patterns) refs.push_back(gustavson_spgemm(p, p));
+      for (const Csr& p : patterns) {
+        refs.push_back(mask != nullptr ? masked_spgemm(p, p, *mask)
+                                       : gustavson_spgemm(p, p));
+      }
     }
     const std::vector<Csr>* refs_ptr = check ? &refs : nullptr;
 
